@@ -1,0 +1,163 @@
+// Command lrcsim regenerates the paper's evaluation: it generates (or
+// loads) a workload trace and replays it against the LI, LU, EI and EU
+// protocol engines across a range of page sizes, printing the message and
+// data series behind Figures 5–14.
+//
+// Examples:
+//
+//	lrcsim -app locusroute                  # Figures 5 and 6
+//	lrcsim -app all                         # every figure
+//	lrcsim -app pthor -protocols LI,LU,SC   # with the Ivy SC baseline
+//	lrcsim -app water -format csv
+//	lrcsim -trace water.lrct                # replay a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "locusroute", "workload name ("+strings.Join(workload.Names, ", ")+") or \"all\"")
+		traceFile = flag.String("trace", "", "replay a saved trace file instead of generating a workload")
+		procs     = flag.Int("procs", 16, "number of processors (the paper used 16)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		seed      = flag.Int64("seed", 42, "workload random seed")
+		protocols = flag.String("protocols", "LI,LU,EI,EU", "comma-separated protocols (LI, LU, EI, EU, SC)")
+		sizes     = flag.String("pagesizes", "8192,4096,2048,1024,512", "comma-separated page sizes in bytes")
+		format    = flag.String("format", "table", "output format: table or csv")
+		noPiggy   = flag.Bool("no-piggyback", false, "ablation: send write notices in separate messages")
+		noDiffs   = flag.Bool("no-diffs", false, "ablation: ship whole pages instead of diffs")
+		exclusive = flag.Bool("exclusive-writer", false, "ablation: disable the multiple-writer protocol")
+	)
+	flag.Parse()
+
+	opts := proto.Options{NoPiggyback: *noPiggy, NoDiffs: *noDiffs, ExclusiveWriter: *exclusive}
+	protoList := splitList(*protocols)
+	pageSizes, err := parseSizes(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+
+	var traces []*trace.Trace
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := trace.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		traces = append(traces, t)
+	case *app == "all":
+		for _, name := range workload.Names {
+			t, err := workload.GenerateCached(name, *procs, *scale, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			traces = append(traces, t)
+		}
+	default:
+		t, err := workload.GenerateCached(*app, *procs, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		traces = append(traces, t)
+	}
+
+	for _, t := range traces {
+		results, err := sim.Sweep(t, protoList, pageSizes, opts)
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "csv":
+			printCSV(t, results)
+		default:
+			printTables(t, results, protoList, pageSizes)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad page size %q: %v", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func printTables(t *trace.Trace, results []sim.Result, protocols []string, pageSizes []int) {
+	c := t.Count()
+	fmt.Printf("== %s: %d procs, %d events (%d reads, %d writes, %d acquires, %d releases, %d barrier arrivals), %d KB shared ==\n",
+		t.Name, t.NumProcs, len(t.Events), c.Reads, c.Writes, c.Acquires, c.Releases, c.BarrierArrivals, t.SpaceSize/1024)
+	for _, metric := range []string{"messages", "data"} {
+		unit := ""
+		if metric == "data" {
+			unit = " (kbytes)"
+		}
+		fmt.Printf("\n%s%s\n", strings.ToUpper(metric[:1])+metric[1:], unit)
+		fmt.Printf("%-10s", "page")
+		for _, p := range protocols {
+			fmt.Printf("%12s", p)
+		}
+		fmt.Println()
+		for _, ps := range pageSizes {
+			fmt.Printf("%-10d", ps)
+			for _, p := range protocols {
+				series, err := sim.Series(results, p, []int{ps}, metric)
+				if err != nil {
+					fatal(err)
+				}
+				v := series[0]
+				if metric == "data" {
+					v /= 1024
+				}
+				fmt.Printf("%12d", v)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}
+
+func printCSV(t *trace.Trace, results []sim.Result) {
+	fmt.Println("workload,protocol,pagesize,messages,databytes,misses,diffs,pages,notices")
+	for _, r := range results {
+		s := r.Stats
+		fmt.Printf("%s,%s,%d,%d,%d,%d,%d,%d,%d\n",
+			t.Name, r.Protocol, r.PageSize, r.Messages(), r.DataBytes(),
+			s.AccessMisses, s.DiffsSent, s.PagesSent, s.WriteNoticesSent)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lrcsim:", err)
+	os.Exit(1)
+}

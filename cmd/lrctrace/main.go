@@ -1,0 +1,86 @@
+// Command lrctrace generates, saves, and inspects workload traces — the
+// equivalent of the paper's Tango tracing step (§5.1).
+//
+// Examples:
+//
+//	lrctrace -app pthor -o pthor.lrct          # generate and save
+//	lrctrace -in pthor.lrct -stats             # event mix of a saved trace
+//	lrctrace -app water -dump | head           # print events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "", "workload to generate (locusroute, cholesky, mp3d, water, pthor)")
+		in    = flag.String("in", "", "read a saved trace instead of generating")
+		out   = flag.String("o", "", "write the trace to this file")
+		procs = flag.Int("procs", 16, "number of processors")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		seed  = flag.Int64("seed", 42, "workload random seed")
+		dump  = flag.Bool("dump", false, "print every event")
+		stats = flag.Bool("stats", true, "print the trace's event mix")
+	)
+	flag.Parse()
+
+	var t *trace.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		t, err = trace.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *app != "":
+		var err error
+		t, err = workload.GenerateCached(*app, *procs, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("one of -app or -in is required"))
+	}
+
+	if *stats {
+		c := t.Count()
+		fmt.Printf("trace %s: %d procs, %d locks, %d barriers, %d KB shared, %d events\n",
+			t.Name, t.NumProcs, t.NumLocks, t.NumBarriers, t.SpaceSize/1024, len(t.Events))
+		fmt.Printf("  reads %d, writes %d, acquires %d, releases %d, barrier arrivals %d\n",
+			c.Reads, c.Writes, c.Acquires, c.Releases, c.BarrierArrivals)
+	}
+	if *dump {
+		for _, e := range t.Events {
+			fmt.Println(e)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := t.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d bytes to %s\n", n, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lrctrace:", err)
+	os.Exit(1)
+}

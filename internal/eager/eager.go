@@ -1,0 +1,457 @@
+// Package eager implements eager release consistency modeled on Munin's
+// write-shared protocol (paper §3): a processor buffers its modifications
+// until a release, then propagates them — invalidations (EI) or diffs (EU)
+// — to every other cacher of each modified page, blocking until all
+// acknowledgments arrive. Access misses go through a static directory
+// manager that forwards to the page's current owner.
+package eager
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/page"
+	"repro/internal/proto"
+)
+
+// Flavor selects the release-time propagation policy.
+type Flavor int
+
+const (
+	// Invalidate sends invalidations to other cachers at release (EI).
+	Invalidate Flavor = iota
+	// Update sends diffs to other cachers at release (EU).
+	Update
+)
+
+// String returns the protocol's short name for the flavor.
+func (f Flavor) String() string {
+	if f == Update {
+		return "EU"
+	}
+	return "EI"
+}
+
+type pstatus uint8
+
+const (
+	psNoCopy pstatus = iota
+	psValid
+	psInvalid
+)
+
+type procState struct {
+	status []pstatus
+	// dirty holds the byte ranges modified per page since this
+	// processor's last release point (unlock or barrier).
+	dirty map[mem.PageID]*page.RangeSet
+}
+
+// Engine is the trace-driven simulation engine for the eager protocols EI
+// and EU.
+type Engine struct {
+	layout *mem.Layout
+	n      int
+	flavor Flavor
+	opts   proto.Options
+	stats  proto.Stats
+	procs  []procState
+	// owner is the processor holding the authoritative copy of each page
+	// (the last releaser of a modification, or the manager before any
+	// release). copyset is the bitmask of processors with a valid copy.
+	owner   []mem.ProcID
+	copyset []uint64
+	locks   map[mem.LockID]mem.ProcID
+}
+
+// NewEngine constructs an eager engine for n processors (n <= 64) over the
+// given layout.
+func NewEngine(layout *mem.Layout, n int, flavor Flavor, opts proto.Options) *Engine {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("eager: processor count %d outside [1,64]", n))
+	}
+	e := &Engine{
+		layout:  layout,
+		n:       n,
+		flavor:  flavor,
+		opts:    opts,
+		procs:   make([]procState, n),
+		owner:   make([]mem.ProcID, layout.NumPages()),
+		copyset: make([]uint64, layout.NumPages()),
+		locks:   make(map[mem.LockID]mem.ProcID),
+	}
+	e.stats.Protocol = flavor.String()
+	for i := range e.procs {
+		e.procs[i] = procState{
+			status: make([]pstatus, layout.NumPages()),
+			dirty:  make(map[mem.PageID]*page.RangeSet),
+		}
+	}
+	for pg := range e.owner {
+		e.owner[pg] = mem.ProcID(pg % n) // manager owns pages initially
+	}
+	return e
+}
+
+// Name implements proto.Protocol.
+func (e *Engine) Name() string { return e.flavor.String() }
+
+// Stats implements proto.Protocol.
+func (e *Engine) Stats() *proto.Stats { return &e.stats }
+
+// PageStatus reports whether processor p holds a valid copy of the page
+// containing addr (for tests).
+func (e *Engine) PageStatus(p mem.ProcID, addr mem.Addr) (valid, present bool) {
+	st := e.procs[p].status[e.layout.PageOf(addr)]
+	return st == psValid, st != psNoCopy
+}
+
+// Read implements proto.Protocol.
+func (e *Engine) Read(p mem.ProcID, addr mem.Addr, size int) {
+	e.stats.Reads++
+	ps := &e.procs[p]
+	for _, pg := range e.layout.PagesOf(addr, size) {
+		if ps.status[pg] != psValid {
+			e.miss(p, ps, pg)
+		}
+	}
+}
+
+// Write implements proto.Protocol. Munin's write-shared pages accept
+// concurrent writers: no ownership is acquired, modifications are buffered
+// in the dirty set until the next release.
+func (e *Engine) Write(p mem.ProcID, addr mem.Addr, size int) {
+	e.stats.Writes++
+	ps := &e.procs[p]
+	e.layout.SplitRange(addr, size, func(pg mem.PageID, off, n int) {
+		if ps.status[pg] != psValid {
+			e.miss(p, ps, pg)
+		}
+		if e.opts.ExclusiveWriter {
+			e.evictOtherCopies(p, pg)
+		}
+		mods := ps.dirty[pg]
+		if mods == nil {
+			mods = &page.RangeSet{}
+			ps.dirty[pg] = mods
+		}
+		mods.Add(off, n)
+	})
+}
+
+func (e *Engine) evictOtherCopies(p mem.ProcID, pg mem.PageID) {
+	others := e.copyset[pg] &^ (1 << uint(p))
+	for q := 0; others != 0; q++ {
+		bit := uint64(1) << uint(q)
+		if others&bit == 0 {
+			continue
+		}
+		others &^= bit
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.InvalBytes)
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.AckBytes)
+		e.stats.InvalidationsSent++
+		e.procs[q].status[pg] = psInvalid
+		e.copyset[pg] &^= bit
+	}
+}
+
+// miss services an access miss: a request to the page's directory manager,
+// forwarded to the current owner unless the manager holds a valid copy —
+// 2 or 3 messages (§3, Table 1) — and the full page travels back.
+func (e *Engine) miss(p mem.ProcID, ps *procState, pg mem.PageID) {
+	e.stats.AccessMisses++
+	if ps.status[pg] == psNoCopy {
+		e.stats.ColdMisses++
+	}
+	mgr := mem.ProcID(int(pg) % e.n)
+	owner := e.owner[pg]
+	respBytes := proto.MsgHeaderBytes + e.layout.PageSize()
+	switch {
+	case mgr == p && owner == p:
+		// Degenerate: we are manager and owner yet miss (first touch of an
+		// unowned page). Materialize locally, no traffic.
+	case mgr == p:
+		// Local directory lookup, remote owner: request + page.
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.PageReqBytes)
+		e.stats.Msg(proto.CatMiss, respBytes)
+		e.countPage()
+	case owner == mgr || owner == p:
+		// Manager can satisfy the request itself: 2 messages.
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.PageReqBytes)
+		e.stats.Msg(proto.CatMiss, respBytes)
+		e.countPage()
+	default:
+		// Request, forward, page from owner: 3 messages.
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.PageReqBytes)
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.PageReqBytes)
+		e.stats.Msg(proto.CatMiss, respBytes)
+		e.countPage()
+	}
+	ps.status[pg] = psValid
+	e.copyset[pg] |= 1 << uint(p)
+}
+
+func (e *Engine) countPage() {
+	e.stats.PagesSent++
+	e.stats.PageBytes += int64(e.layout.PageSize())
+}
+
+// Acquire implements proto.Protocol: only lock location and transfer, no
+// consistency actions (§3: "no consistency-related operations occur on an
+// acquire").
+func (e *Engine) Acquire(p mem.ProcID, l mem.LockID) {
+	e.stats.Acquires++
+	q, held := e.locks[l]
+	if held && q == p {
+		return
+	}
+	mgr := mem.ProcID(int(l) % e.n)
+	reqBytes := proto.MsgHeaderBytes + proto.LockReqBytes
+	if !held {
+		if mgr != p {
+			e.stats.Msg(proto.CatLock, reqBytes)
+			e.stats.Msg(proto.CatLock, proto.MsgHeaderBytes+proto.LockGrantBytes)
+		}
+		return
+	}
+	if mgr != p {
+		e.stats.Msg(proto.CatLock, reqBytes)
+	}
+	if mgr != q {
+		e.stats.Msg(proto.CatLock, reqBytes)
+	}
+	e.stats.Msg(proto.CatLock, proto.MsgHeaderBytes+proto.LockGrantBytes)
+}
+
+// Release implements proto.Protocol: the releaser propagates every dirty
+// page to all other cachers — invalidations (EI) or diffs (EU) — and
+// blocks for acknowledgments: the 2c messages of Table 1.
+func (e *Engine) Release(p mem.ProcID, l mem.LockID) {
+	e.stats.Releases++
+	e.flush(p, proto.CatUnlock)
+	e.locks[l] = p
+}
+
+// flush propagates processor p's dirty pages, charging messages to
+// category cat. All traffic to one destination is merged into a single
+// message + acknowledgment, Munin's key optimization (§1: "all writes
+// going to the same destination are merged into a single message"). It
+// clears the dirty set.
+func (e *Engine) flush(p mem.ProcID, cat proto.Category) {
+	ps := &e.procs[p]
+	if len(ps.dirty) == 0 {
+		return
+	}
+	pages := make([]mem.PageID, 0, len(ps.dirty))
+	for pg := range ps.dirty {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	// Per-destination merged payload.
+	payload := make([]int, e.n)
+	touched := make([]bool, e.n)
+	for _, pg := range pages {
+		mods := ps.dirty[pg]
+		others := e.copyset[pg] &^ (1 << uint(p))
+		for q := 0; others != 0; q++ {
+			bit := uint64(1) << uint(q)
+			if others&bit == 0 {
+				continue
+			}
+			others &^= bit
+			qs := &e.procs[q]
+			touched[q] = true
+			switch e.flavor {
+			case Invalidate:
+				payload[q] += proto.InvalBytes
+				e.stats.InvalidationsSent++
+				// If the cacher has its own buffered modifications to the
+				// page (false sharing), its acknowledgment carries them
+				// back as a diff so they are not lost; it is then no
+				// longer responsible for flushing this page.
+				if qmods, ok := qs.dirty[pg]; ok {
+					db := page.EstimateDiffWireSize(qmods)
+					payload[q] += db // rides the ack
+					e.stats.DiffsSent++
+					e.stats.DiffBytes += int64(db)
+					mods.Union(qmods)
+					delete(qs.dirty, pg)
+				}
+				qs.status[pg] = psInvalid
+				e.copyset[pg] &^= bit
+			case Update:
+				if e.opts.NoDiffs {
+					payload[q] += e.layout.PageSize()
+					e.countPage()
+				} else {
+					db := page.EstimateDiffWireSize(mods)
+					payload[q] += db
+					e.stats.DiffsSent++
+					e.stats.DiffBytes += int64(db)
+				}
+			}
+		}
+		e.owner[pg] = p
+		delete(ps.dirty, pg)
+	}
+	for q := 0; q < e.n; q++ {
+		if !touched[q] {
+			continue
+		}
+		e.stats.Msg(cat, proto.MsgHeaderBytes+payload[q])
+		e.stats.Msg(cat, proto.MsgHeaderBytes+proto.AckBytes)
+	}
+}
+
+// Barrier implements proto.Protocol. Arrival and exit messages cost
+// 2(n-1); EI piggybacks invalidations on them, paying only 2v extra
+// messages to reconcile pages invalidated by multiple processors; EU sends
+// its updates as separate message pairs (the 2u term).
+func (e *Engine) Barrier(arrivals []mem.ProcID, b mem.BarrierID) {
+	e.stats.Barriers++
+	const master = mem.ProcID(0)
+
+	// Episode modification map: page -> modifiers in arrival order.
+	modifiers := make(map[mem.PageID][]mem.ProcID)
+	for _, p := range arrivals {
+		for pg := range e.procs[p].dirty {
+			modifiers[pg] = append(modifiers[pg], p)
+		}
+	}
+	pages := make([]mem.PageID, 0, len(modifiers))
+	for pg := range modifiers {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pg := range pages {
+		sort.Slice(modifiers[pg], func(i, j int) bool { return modifiers[pg][i] < modifiers[pg][j] })
+	}
+
+	// Arrival and exit messages. EI piggybacks each arriver's dirty-page
+	// list inward and the merged invalidation list outward.
+	for _, p := range arrivals {
+		if p == master {
+			continue
+		}
+		arriveBytes := proto.MsgHeaderBytes + proto.BarrierBytes
+		exitBytes := proto.MsgHeaderBytes + proto.BarrierBytes
+		if e.flavor == Invalidate {
+			arriveBytes += len(e.procs[p].dirty) * proto.InvalBytes
+			exitBytes += len(pages) * proto.InvalBytes
+		}
+		e.stats.Msg(proto.CatBarrier, arriveBytes)
+		e.stats.Msg(proto.CatBarrier, exitBytes)
+	}
+
+	switch e.flavor {
+	case Invalidate:
+		e.invalidateAtBarrier(pages, modifiers)
+	case Update:
+		e.updateAtBarrier(pages, modifiers)
+	}
+}
+
+// invalidateAtBarrier applies the piggybacked invalidations: every page
+// modified this episode survives only at one "winner" modifier. When a
+// page has k > 1 modifiers, the k-1 losers each exchange a message pair
+// with the winner to merge their diffs (the 2v term of Table 1).
+func (e *Engine) invalidateAtBarrier(pages []mem.PageID, modifiers map[mem.PageID][]mem.ProcID) {
+	// Reconciliation traffic merges per (loser, winner) pair across pages.
+	type pair struct{ loser, winner mem.ProcID }
+	reconBytes := make(map[pair]int)
+	for _, pg := range pages {
+		mods := modifiers[pg]
+		winner := mods[0]
+		wmods := e.procs[winner].dirty[pg]
+		for _, loser := range mods[1:] {
+			ls := &e.procs[loser]
+			db := page.EstimateDiffWireSize(ls.dirty[pg])
+			reconBytes[pair{loser, winner}] += db
+			e.stats.DiffsSent++
+			e.stats.DiffBytes += int64(db)
+			wmods.Union(ls.dirty[pg])
+			delete(ls.dirty, pg)
+		}
+		// Everyone but the winner drops to invalid.
+		set := e.copyset[pg]
+		for q := 0; set != 0; q++ {
+			bit := uint64(1) << uint(q)
+			if set&bit == 0 {
+				continue
+			}
+			set &^= bit
+			if mem.ProcID(q) == winner {
+				continue
+			}
+			e.procs[q].status[pg] = psInvalid
+			e.copyset[pg] &^= bit
+			e.stats.InvalidationsSent++
+		}
+		e.owner[pg] = winner
+		delete(e.procs[winner].dirty, pg)
+	}
+	pairs := make([]pair, 0, len(reconBytes))
+	for pr := range reconBytes {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].loser != pairs[j].loser {
+			return pairs[i].loser < pairs[j].loser
+		}
+		return pairs[i].winner < pairs[j].winner
+	})
+	for _, pr := range pairs {
+		e.stats.Msg(proto.CatBarrier, proto.MsgHeaderBytes+reconBytes[pr])
+		e.stats.Msg(proto.CatBarrier, proto.MsgHeaderBytes+proto.AckBytes)
+	}
+}
+
+// updateAtBarrier sends each modifier's diffs to every other cacher of its
+// modified pages (the 2u messages of Table 1); traffic from one modifier
+// to one destination merges into a single message pair (Munin's
+// per-destination merge). All copies stay valid.
+func (e *Engine) updateAtBarrier(pages []mem.PageID, modifiers map[mem.PageID][]mem.ProcID) {
+	payload := make([][]int, e.n) // [modifier][destination] merged bytes
+	sent := make([][]bool, e.n)
+	for i := range payload {
+		payload[i] = make([]int, e.n)
+		sent[i] = make([]bool, e.n)
+	}
+	for _, pg := range pages {
+		for _, i := range modifiers[pg] {
+			is := &e.procs[i]
+			mods := is.dirty[pg]
+			others := e.copyset[pg] &^ (1 << uint(i))
+			for q := 0; others != 0; q++ {
+				bit := uint64(1) << uint(q)
+				if others&bit == 0 {
+					continue
+				}
+				others &^= bit
+				sent[i][q] = true
+				if e.opts.NoDiffs {
+					payload[i][q] += e.layout.PageSize()
+					e.countPage()
+				} else {
+					db := page.EstimateDiffWireSize(mods)
+					payload[i][q] += db
+					e.stats.DiffsSent++
+					e.stats.DiffBytes += int64(db)
+				}
+			}
+			delete(is.dirty, pg)
+		}
+		e.owner[pg] = modifiers[pg][len(modifiers[pg])-1]
+	}
+	for i := 0; i < e.n; i++ {
+		for q := 0; q < e.n; q++ {
+			if !sent[i][q] {
+				continue
+			}
+			e.stats.Msg(proto.CatBarrier, proto.MsgHeaderBytes+payload[i][q])
+			e.stats.Msg(proto.CatBarrier, proto.MsgHeaderBytes+proto.AckBytes)
+		}
+	}
+}

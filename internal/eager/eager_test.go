@@ -1,0 +1,215 @@
+package eager
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/proto"
+)
+
+func newTestEngine(f Flavor) *Engine {
+	return NewEngine(mem.MustLayout(16384, 1024), 4, f, proto.Options{})
+}
+
+const testLock = mem.LockID(2) // manager p2
+
+func totalMsgs(e *Engine) int64 { return e.Stats().TotalMessages() }
+
+func TestAcquireHasNoConsistencyActions(t *testing.T) {
+	// §3: "No consistency-related operations occur on an acquire."
+	e := newTestEngine(Invalidate)
+	e.Read(3, 100, 4)
+	e.Acquire(0, testLock)
+	e.Write(0, 104, 4)
+	e.Release(0, testLock) // invalidates p3
+	e.Read(3, 100, 4)      // p3 refetches
+	before := totalMsgs(e)
+	e.Acquire(3, testLock)
+	if got := totalMsgs(e) - before; got != 3 {
+		t.Errorf("eager acquire = %d messages, want exactly the 3 lock messages", got)
+	}
+	if valid, _ := e.PageStatus(3, 100); !valid {
+		t.Error("acquire disturbed p3's valid copy")
+	}
+}
+
+func TestEIReleaseInvalidatesOtherCachers(t *testing.T) {
+	// Table 1: unlock = 2c. One other cacher -> 2 messages.
+	e := newTestEngine(Invalidate)
+	e.Read(3, 100, 4)
+	e.Acquire(0, testLock)
+	e.Write(0, 104, 4)
+	before := totalMsgs(e)
+	e.Release(0, testLock)
+	if got := totalMsgs(e) - before; got != 2 {
+		t.Errorf("EI release with c=1: %d messages, want 2", got)
+	}
+	valid, present := e.PageStatus(3, 100)
+	if valid || !present {
+		t.Errorf("other cacher after EI release: valid=%v present=%v, want invalidated", valid, present)
+	}
+	if e.Stats().InvalidationsSent != 1 {
+		t.Errorf("InvalidationsSent = %d, want 1", e.Stats().InvalidationsSent)
+	}
+}
+
+func TestEUReleaseUpdatesOtherCachers(t *testing.T) {
+	e := newTestEngine(Update)
+	e.Read(3, 100, 4)
+	e.Acquire(0, testLock)
+	e.Write(0, 104, 4)
+	before := totalMsgs(e)
+	e.Release(0, testLock)
+	if got := totalMsgs(e) - before; got != 2 {
+		t.Errorf("EU release with c=1: %d messages, want 2", got)
+	}
+	if valid, _ := e.PageStatus(3, 100); !valid {
+		t.Error("other cacher lost validity after EU release")
+	}
+	if e.Stats().DiffsSent == 0 {
+		t.Error("EU release moved no diffs")
+	}
+	// The updated cacher reads without a miss.
+	before = totalMsgs(e)
+	e.Read(3, 100, 4)
+	if got := totalMsgs(e) - before; got != 0 {
+		t.Errorf("read after EU update missed: %d messages", got)
+	}
+}
+
+func TestEUReleaseMergesPerDestination(t *testing.T) {
+	// Munin's merge: p0 dirties two pages both cached by p3; the release
+	// sends one message + ack, not two pairs.
+	e := newTestEngine(Update)
+	e.Read(3, 100, 4)
+	e.Read(3, 1100, 4)
+	e.Acquire(0, testLock)
+	e.Write(0, 104, 4)
+	e.Write(0, 1104, 4)
+	before := totalMsgs(e)
+	e.Release(0, testLock)
+	if got := totalMsgs(e) - before; got != 2 {
+		t.Errorf("EU release to one destination with two dirty pages: %d messages, want 2", got)
+	}
+}
+
+func TestReleaseWithNoOtherCachersIsFree(t *testing.T) {
+	for _, f := range []Flavor{Invalidate, Update} {
+		e := newTestEngine(f)
+		e.Acquire(0, testLock)
+		e.Write(0, 100, 4)
+		before := totalMsgs(e)
+		e.Release(0, testLock)
+		if got := totalMsgs(e) - before; got != 0 {
+			t.Errorf("%v: sole-cacher release sent %d messages, want 0", f, got)
+		}
+	}
+}
+
+func TestMissCostsTwoOrThreeMessages(t *testing.T) {
+	// Table 1: eager miss = 2 or 3 messages depending on whether the
+	// directory manager has a valid copy.
+	e := newTestEngine(Invalidate)
+	// Page 1 (addr 1024): manager p1 owns it initially -> p0's miss is a
+	// 2-message exchange with the manager.
+	before := totalMsgs(e)
+	e.Read(0, 1024, 4)
+	if got := totalMsgs(e) - before; got != 2 {
+		t.Errorf("miss with manager-owned page = %d messages, want 2", got)
+	}
+	// p0 modifies page 1 under a lock and releases: p0 becomes owner.
+	e.Acquire(0, testLock)
+	e.Write(0, 1028, 4)
+	e.Release(0, testLock) // invalidates p1's initial... (manager had no copy yet)
+	// p3's miss now goes requester -> manager p1 -> owner p0: 3 messages.
+	before = totalMsgs(e)
+	e.Read(3, 1024, 4)
+	if got := totalMsgs(e) - before; got != 3 {
+		t.Errorf("forwarded miss = %d messages, want 3", got)
+	}
+	if e.Stats().PagesSent != 2 {
+		t.Errorf("PagesSent = %d, want 2 (eager misses move whole pages)", e.Stats().PagesSent)
+	}
+}
+
+func TestEIFalseSharingDiffRidesAck(t *testing.T) {
+	// p0 and p3 write disjoint parts of one page; p0's release invalidates
+	// p3, whose buffered modification rides back on the ack and is not
+	// lost (merged into p0's dirty set, flushed at p0's next release).
+	e := newTestEngine(Invalidate)
+	e.Write(3, 512, 4) // p3 writes its half (cold miss first)
+	e.Acquire(0, testLock)
+	e.Write(0, 4, 4)
+	e.Release(0, testLock)
+	st := e.Stats()
+	if st.DiffsSent != 1 {
+		t.Errorf("DiffsSent = %d, want 1 (loser's diff on the ack)", st.DiffsSent)
+	}
+	if valid, _ := e.PageStatus(3, 512); valid {
+		t.Error("p3 still valid after invalidation")
+	}
+}
+
+func TestBarrierBaseCost(t *testing.T) {
+	// No modifications: barrier = 2(n-1) for both flavors.
+	for _, f := range []Flavor{Invalidate, Update} {
+		e := newTestEngine(f)
+		before := totalMsgs(e)
+		e.Barrier([]mem.ProcID{0, 1, 2, 3}, 0)
+		if got := totalMsgs(e) - before; got != 6 {
+			t.Errorf("%v: empty barrier = %d messages, want 6", f, got)
+		}
+	}
+}
+
+func TestEIBarrierReconciliation(t *testing.T) {
+	// Two processors modified the same page: one reconciliation pair (the
+	// 2v term), and everyone but the winner ends invalid.
+	e := newTestEngine(Invalidate)
+	e.Write(0, 4, 4)
+	e.Write(1, 512, 4)
+	before := totalMsgs(e)
+	e.Barrier([]mem.ProcID{0, 1, 2, 3}, 0)
+	if got := totalMsgs(e) - before; got != 6+2 {
+		t.Errorf("EI barrier with v=1: %d messages, want 8", got)
+	}
+	if valid, _ := e.PageStatus(0, 4); !valid {
+		t.Error("winner's copy invalid after barrier")
+	}
+	if valid, _ := e.PageStatus(1, 512); valid {
+		t.Error("loser's copy still valid after barrier")
+	}
+}
+
+func TestEUBarrierUpdates(t *testing.T) {
+	// One modifier, one other cacher: u=1 -> 2(n-1) + 2 messages.
+	e := newTestEngine(Update)
+	e.Read(3, 100, 4)
+	e.Write(1, 100, 4)
+	before := totalMsgs(e)
+	e.Barrier([]mem.ProcID{0, 1, 2, 3}, 0)
+	if got := totalMsgs(e) - before; got != 6+2 {
+		t.Errorf("EU barrier with u=1: %d messages, want 8", got)
+	}
+	if valid, _ := e.PageStatus(3, 100); !valid {
+		t.Error("cacher not updated at EU barrier")
+	}
+}
+
+func TestEagerFlavorNames(t *testing.T) {
+	if Invalidate.String() != "EI" || Update.String() != "EU" {
+		t.Error("flavor names wrong")
+	}
+	if newTestEngine(Update).Name() != "EU" {
+		t.Error("engine name wrong")
+	}
+}
+
+func TestEagerRejectsTooManyProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("65 processors accepted")
+		}
+	}()
+	NewEngine(mem.MustLayout(16384, 1024), 65, Invalidate, proto.Options{})
+}

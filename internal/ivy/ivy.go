@@ -1,0 +1,188 @@
+// Package ivy implements a sequentially consistent, single-writer,
+// write-invalidate page-based DSM in the style of Ivy (Li & Hudak, the
+// paper's §6 related work), as a baseline ablation: it shows what release
+// consistency — eager or lazy — buys over SC page shipping.
+//
+// Protocol: each page has a static directory manager (page % n) tracking
+// the owner and copyset. A read miss fetches the page from the owner and
+// joins the copyset. A write requires exclusive ownership: the writer
+// fetches the page if needed and invalidates every other copy, each
+// invalidation acknowledged. Locks and barriers cost the same messages as
+// in the RC protocols, but carry no consistency payload.
+package ivy
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/proto"
+)
+
+type pstatus uint8
+
+const (
+	psNoCopy pstatus = iota
+	psRead           // read-only copy
+	psWrite          // exclusively owned, writable
+)
+
+// Engine is the trace-driven simulation engine for the Ivy baseline.
+type Engine struct {
+	layout  *mem.Layout
+	n       int
+	stats   proto.Stats
+	status  [][]pstatus // [proc][page]
+	owner   []mem.ProcID
+	copyset []uint64
+	locks   map[mem.LockID]mem.ProcID
+}
+
+// NewEngine constructs an Ivy engine for n processors (n <= 64).
+func NewEngine(layout *mem.Layout, n int) *Engine {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("ivy: processor count %d outside [1,64]", n))
+	}
+	e := &Engine{
+		layout:  layout,
+		n:       n,
+		status:  make([][]pstatus, n),
+		owner:   make([]mem.ProcID, layout.NumPages()),
+		copyset: make([]uint64, layout.NumPages()),
+		locks:   make(map[mem.LockID]mem.ProcID),
+	}
+	e.stats.Protocol = "SC"
+	for i := range e.status {
+		e.status[i] = make([]pstatus, layout.NumPages())
+	}
+	for pg := range e.owner {
+		e.owner[pg] = mem.ProcID(pg % n)
+	}
+	return e
+}
+
+// Name implements proto.Protocol.
+func (e *Engine) Name() string { return "SC" }
+
+// Stats implements proto.Protocol.
+func (e *Engine) Stats() *proto.Stats { return &e.stats }
+
+// fetch charges the 2-or-3-message page fetch through the directory
+// manager.
+func (e *Engine) fetch(p mem.ProcID, pg mem.PageID) {
+	e.stats.AccessMisses++
+	if e.status[p][pg] == psNoCopy {
+		e.stats.ColdMisses++
+	}
+	mgr := mem.ProcID(int(pg) % e.n)
+	owner := e.owner[pg]
+	if owner == p {
+		return // already authoritative; nothing travels
+	}
+	respBytes := proto.MsgHeaderBytes + e.layout.PageSize()
+	if mgr != p && owner != mgr {
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.PageReqBytes) // to manager
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.PageReqBytes) // forward
+	} else {
+		e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.PageReqBytes)
+	}
+	e.stats.Msg(proto.CatMiss, respBytes)
+	e.stats.PagesSent++
+	e.stats.PageBytes += int64(e.layout.PageSize())
+}
+
+// Read implements proto.Protocol.
+func (e *Engine) Read(p mem.ProcID, addr mem.Addr, size int) {
+	e.stats.Reads++
+	for _, pg := range e.layout.PagesOf(addr, size) {
+		if e.status[p][pg] != psNoCopy {
+			continue // psRead or psWrite both satisfy reads
+		}
+		e.fetch(p, pg)
+		// Previous exclusive owner downgrades to a read copy.
+		if o := e.owner[pg]; e.status[o][pg] == psWrite {
+			e.status[o][pg] = psRead
+		}
+		e.status[p][pg] = psRead
+		e.copyset[pg] |= 1 << uint(p)
+	}
+}
+
+// Write implements proto.Protocol: exclusive ownership is acquired,
+// invalidating every other copy (2 messages per copy: invalidation + ack).
+func (e *Engine) Write(p mem.ProcID, addr mem.Addr, size int) {
+	e.stats.Writes++
+	for _, pg := range e.layout.PagesOf(addr, size) {
+		if e.status[p][pg] == psWrite {
+			continue
+		}
+		if e.status[p][pg] == psNoCopy {
+			e.fetch(p, pg)
+		} else {
+			// Upgrading a read copy still requires an ownership message
+			// exchange with the manager.
+			e.stats.AccessMisses++
+			e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.PageReqBytes)
+			e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.AckBytes)
+		}
+		others := e.copyset[pg] &^ (1 << uint(p))
+		for q := 0; others != 0; q++ {
+			bit := uint64(1) << uint(q)
+			if others&bit == 0 {
+				continue
+			}
+			others &^= bit
+			e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.InvalBytes)
+			e.stats.Msg(proto.CatMiss, proto.MsgHeaderBytes+proto.AckBytes)
+			e.stats.InvalidationsSent++
+			e.status[q][pg] = psNoCopy
+			e.copyset[pg] &^= bit
+		}
+		e.status[p][pg] = psWrite
+		e.owner[pg] = p
+		e.copyset[pg] = 1 << uint(p)
+	}
+}
+
+// Acquire implements proto.Protocol.
+func (e *Engine) Acquire(p mem.ProcID, l mem.LockID) {
+	e.stats.Acquires++
+	q, held := e.locks[l]
+	if held && q == p {
+		return
+	}
+	mgr := mem.ProcID(int(l) % e.n)
+	if !held {
+		if mgr != p {
+			e.stats.Msg(proto.CatLock, proto.MsgHeaderBytes+proto.LockReqBytes)
+			e.stats.Msg(proto.CatLock, proto.MsgHeaderBytes+proto.LockGrantBytes)
+		}
+		return
+	}
+	if mgr != p {
+		e.stats.Msg(proto.CatLock, proto.MsgHeaderBytes+proto.LockReqBytes)
+	}
+	if mgr != q {
+		e.stats.Msg(proto.CatLock, proto.MsgHeaderBytes+proto.LockReqBytes)
+	}
+	e.stats.Msg(proto.CatLock, proto.MsgHeaderBytes+proto.LockGrantBytes)
+}
+
+// Release implements proto.Protocol: SC needs no release-time consistency
+// work; the lock just records its holder.
+func (e *Engine) Release(p mem.ProcID, l mem.LockID) {
+	e.stats.Releases++
+	e.locks[l] = p
+}
+
+// Barrier implements proto.Protocol: 2(n-1) arrival/exit messages.
+func (e *Engine) Barrier(arrivals []mem.ProcID, b mem.BarrierID) {
+	e.stats.Barriers++
+	const master = mem.ProcID(0)
+	for _, p := range arrivals {
+		if p == master {
+			continue
+		}
+		e.stats.Msg(proto.CatBarrier, proto.MsgHeaderBytes+proto.BarrierBytes)
+		e.stats.Msg(proto.CatBarrier, proto.MsgHeaderBytes+proto.BarrierBytes)
+	}
+}

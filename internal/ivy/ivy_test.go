@@ -1,0 +1,135 @@
+package ivy
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func newTestEngine() *Engine {
+	return NewEngine(mem.MustLayout(16384, 1024), 4)
+}
+
+func totalMsgs(e *Engine) int64 { return e.Stats().TotalMessages() }
+
+func TestReadMissFetchesPage(t *testing.T) {
+	e := newTestEngine()
+	before := totalMsgs(e)
+	e.Read(0, 1024, 4) // page 1, manager/owner p1: 2 messages
+	if got := totalMsgs(e) - before; got != 2 {
+		t.Errorf("read miss = %d messages, want 2", got)
+	}
+	if e.Stats().PagesSent != 1 {
+		t.Errorf("PagesSent = %d, want 1", e.Stats().PagesSent)
+	}
+	// Second read hits.
+	before = totalMsgs(e)
+	e.Read(0, 1024, 4)
+	if got := totalMsgs(e) - before; got != 0 {
+		t.Errorf("read hit = %d messages, want 0", got)
+	}
+}
+
+func TestWriteInvalidatesReaders(t *testing.T) {
+	e := newTestEngine()
+	e.Read(0, 1024, 4)
+	e.Read(3, 1024, 4)
+	e.Write(2, 1024, 4) // must invalidate p0 and p3
+	if e.Stats().InvalidationsSent != 2 {
+		t.Errorf("InvalidationsSent = %d, want 2", e.Stats().InvalidationsSent)
+	}
+	// Readers refetch.
+	before := totalMsgs(e)
+	e.Read(0, 1024, 4)
+	if got := totalMsgs(e) - before; got == 0 {
+		t.Error("invalidated reader did not miss")
+	}
+}
+
+func TestWriterRetainsExclusiveAccess(t *testing.T) {
+	e := newTestEngine()
+	e.Write(2, 1024, 4)
+	before := totalMsgs(e)
+	for i := 0; i < 10; i++ {
+		e.Write(2, mem.Addr(1024+4*i), 4)
+		e.Read(2, 1024, 4)
+	}
+	if got := totalMsgs(e) - before; got != 0 {
+		t.Errorf("exclusive owner paid %d messages for local accesses", got)
+	}
+}
+
+func TestSingleWriterPingPong(t *testing.T) {
+	// The false-sharing pathology the multiple-writer protocols avoid:
+	// alternating writers to one page pay messages on every switch.
+	e := newTestEngine()
+	e.Write(0, 0, 4)
+	e.Write(1, 512, 4)
+	before := totalMsgs(e)
+	for i := 0; i < 5; i++ {
+		e.Write(0, 0, 4)
+		e.Write(1, 512, 4)
+	}
+	if got := totalMsgs(e) - before; got == 0 {
+		t.Error("alternating writers exchanged no messages: not a single-writer protocol")
+	}
+}
+
+func TestReadDowngradesWriter(t *testing.T) {
+	e := newTestEngine()
+	e.Write(2, 1024, 4)
+	e.Read(0, 1024, 4) // p2 downgrades to read-only copy
+	// p2 writing again must re-acquire exclusivity.
+	before := totalMsgs(e)
+	e.Write(2, 1024, 4)
+	if got := totalMsgs(e) - before; got == 0 {
+		t.Error("downgraded owner wrote for free")
+	}
+}
+
+func TestUpgradeFromReadCopy(t *testing.T) {
+	e := newTestEngine()
+	e.Read(0, 1024, 4)
+	before := totalMsgs(e)
+	pagesBefore := e.Stats().PagesSent
+	e.Write(0, 1024, 4) // upgrade: ownership messages + invalidate owner
+	if got := totalMsgs(e) - before; got == 0 {
+		t.Error("upgrade was free")
+	}
+	if e.Stats().PagesSent != pagesBefore {
+		t.Error("upgrade refetched a page the writer already holds")
+	}
+}
+
+func TestLocksAndBarriersCostSyncMessagesOnly(t *testing.T) {
+	e := newTestEngine()
+	e.Acquire(0, 2)
+	if got := totalMsgs(e); got != 2 {
+		t.Errorf("first acquire = %d messages, want 2", got)
+	}
+	e.Release(0, 2)
+	e.Acquire(3, 2)
+	if got := totalMsgs(e); got != 2+3 {
+		t.Errorf("remote acquire total = %d, want 5", got)
+	}
+	before := totalMsgs(e)
+	e.Barrier([]mem.ProcID{0, 1, 2, 3}, 0)
+	if got := totalMsgs(e) - before; got != 6 {
+		t.Errorf("barrier = %d messages, want 6", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if newTestEngine().Name() != "SC" {
+		t.Error("name wrong")
+	}
+}
+
+func TestIvyRejectsTooManyProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("65 processors accepted")
+		}
+	}()
+	NewEngine(mem.MustLayout(16384, 1024), 65)
+}

@@ -1,0 +1,140 @@
+// Package mem defines the shared address space model used by every layer
+// of the DSM: processor, page, lock and barrier identifiers, and the
+// mapping from byte addresses to pages for a configurable page size.
+//
+// The paper simulates page sizes from 512 to 8192 bytes over a fixed
+// shared address space; the same access trace is replayed with different
+// page sizes, so the address-to-page mapping must be a pure function of
+// the page size and not baked into the trace.
+package mem
+
+import "fmt"
+
+// ProcID identifies a processor (node) in the DSM. Processors are numbered
+// densely from 0 to NumProcs-1.
+type ProcID int32
+
+// PageID identifies a page of the shared address space under a particular
+// page size. PageIDs are only meaningful relative to a Layout.
+type PageID int32
+
+// LockID identifies an exclusive lock synchronization object.
+type LockID int32
+
+// BarrierID identifies a barrier synchronization object.
+type BarrierID int32
+
+// Addr is a byte offset into the shared address space.
+type Addr int64
+
+// NilProc is the sentinel "no processor" value.
+const NilProc ProcID = -1
+
+// NilPage is the sentinel "no page" value.
+const NilPage PageID = -1
+
+// Standard page sizes swept by the paper's evaluation (bytes).
+var PaperPageSizes = []int{512, 1024, 2048, 4096, 8192}
+
+// Layout describes a shared address space divided into fixed-size pages.
+// The zero value is not usable; construct with NewLayout.
+type Layout struct {
+	pageSize  int
+	pageShift uint
+	spaceSize Addr
+	numPages  int
+}
+
+// NewLayout constructs a layout for a shared address space of spaceSize
+// bytes divided into pages of pageSize bytes. pageSize must be a power of
+// two; spaceSize is rounded up to a whole number of pages.
+func NewLayout(spaceSize Addr, pageSize int) (*Layout, error) {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("mem: page size %d is not a positive power of two", pageSize)
+	}
+	if spaceSize <= 0 {
+		return nil, fmt.Errorf("mem: address space size %d must be positive", spaceSize)
+	}
+	shift := uint(0)
+	for 1<<shift != pageSize {
+		shift++
+	}
+	np := int((spaceSize + Addr(pageSize) - 1) >> shift)
+	return &Layout{
+		pageSize:  pageSize,
+		pageShift: shift,
+		spaceSize: Addr(np) << shift,
+		numPages:  np,
+	}, nil
+}
+
+// MustLayout is NewLayout that panics on error; for tests and internal
+// construction from validated configuration.
+func MustLayout(spaceSize Addr, pageSize int) *Layout {
+	l, err := NewLayout(spaceSize, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// PageSize returns the page size in bytes.
+func (l *Layout) PageSize() int { return l.pageSize }
+
+// NumPages returns the number of pages in the address space.
+func (l *Layout) NumPages() int { return l.numPages }
+
+// SpaceSize returns the total size of the address space in bytes
+// (rounded up to a whole number of pages).
+func (l *Layout) SpaceSize() Addr { return l.spaceSize }
+
+// PageOf returns the page containing addr.
+func (l *Layout) PageOf(addr Addr) PageID {
+	return PageID(addr >> l.pageShift)
+}
+
+// Offset returns the byte offset of addr within its page.
+func (l *Layout) Offset(addr Addr) int {
+	return int(addr & Addr(l.pageSize-1))
+}
+
+// Base returns the first address of page p.
+func (l *Layout) Base(p PageID) Addr {
+	return Addr(p) << l.pageShift
+}
+
+// Contains reports whether addr lies inside the address space.
+func (l *Layout) Contains(addr Addr) bool {
+	return addr >= 0 && addr < l.spaceSize
+}
+
+// PagesOf returns every page touched by the byte range [addr, addr+size).
+// A zero or negative size yields no pages.
+func (l *Layout) PagesOf(addr Addr, size int) []PageID {
+	if size <= 0 {
+		return nil
+	}
+	first := l.PageOf(addr)
+	last := l.PageOf(addr + Addr(size) - 1)
+	pages := make([]PageID, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		pages = append(pages, p)
+	}
+	return pages
+}
+
+// SplitRange splits the byte range [addr, addr+size) into per-page
+// sub-ranges, invoking fn(page, offsetInPage, length) for each.
+func (l *Layout) SplitRange(addr Addr, size int, fn func(p PageID, off, n int)) {
+	for size > 0 {
+		p := l.PageOf(addr)
+		off := l.Offset(addr)
+		n := l.pageSize - off
+		if n > size {
+			n = size
+		}
+		fn(p, off, n)
+		addr += Addr(n)
+		size -= n
+	}
+}

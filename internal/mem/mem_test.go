@@ -1,0 +1,136 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(4096, 1000); err == nil {
+		t.Error("non-power-of-two page size accepted")
+	}
+	if _, err := NewLayout(4096, 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+	if _, err := NewLayout(4096, -512); err == nil {
+		t.Error("negative page size accepted")
+	}
+	if _, err := NewLayout(0, 512); err == nil {
+		t.Error("zero space accepted")
+	}
+}
+
+func TestLayoutRoundsUp(t *testing.T) {
+	l := MustLayout(1000, 512)
+	if l.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", l.NumPages())
+	}
+	if l.SpaceSize() != 1024 {
+		t.Errorf("SpaceSize = %d, want 1024", l.SpaceSize())
+	}
+}
+
+func TestPageOfOffsetBase(t *testing.T) {
+	l := MustLayout(8192, 1024)
+	cases := []struct {
+		addr Addr
+		page PageID
+		off  int
+	}{
+		{0, 0, 0}, {1023, 0, 1023}, {1024, 1, 0}, {5000, 4, 904},
+	}
+	for _, c := range cases {
+		if got := l.PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.page)
+		}
+		if got := l.Offset(c.addr); got != c.off {
+			t.Errorf("Offset(%d) = %d, want %d", c.addr, got, c.off)
+		}
+	}
+	if got := l.Base(3); got != 3072 {
+		t.Errorf("Base(3) = %d, want 3072", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	l := MustLayout(2048, 1024)
+	if !l.Contains(0) || !l.Contains(2047) {
+		t.Error("in-range addresses rejected")
+	}
+	if l.Contains(-1) || l.Contains(2048) {
+		t.Error("out-of-range addresses accepted")
+	}
+}
+
+func TestPagesOf(t *testing.T) {
+	l := MustLayout(8192, 1024)
+	if got := l.PagesOf(100, 0); got != nil {
+		t.Errorf("zero-size access returned pages: %v", got)
+	}
+	if got := l.PagesOf(1000, 100); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("straddling access pages = %v, want [0 1]", got)
+	}
+	if got := l.PagesOf(1024, 1024); len(got) != 1 || got[0] != 1 {
+		t.Errorf("exact-page access pages = %v, want [1]", got)
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	l := MustLayout(8192, 1024)
+	type part struct {
+		p      PageID
+		off, n int
+	}
+	var got []part
+	l.SplitRange(1000, 2100, func(p PageID, off, n int) {
+		got = append(got, part{p, off, n})
+	})
+	want := []part{{0, 1000, 24}, {1, 0, 1024}, {2, 0, 1024}, {3, 0, 28}}
+	if len(got) != len(want) {
+		t.Fatalf("SplitRange produced %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("part %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPropSplitRangeCoversExactly(t *testing.T) {
+	l := MustLayout(1<<20, 4096)
+	f := func(addrRaw uint32, sizeRaw uint16) bool {
+		addr := Addr(addrRaw % (1 << 19))
+		size := int(sizeRaw%20000) + 1
+		total := 0
+		prevEnd := addr
+		l.SplitRange(addr, size, func(p PageID, off, n int) {
+			if l.Base(p)+Addr(off) != prevEnd {
+				t.Fatalf("non-contiguous split at page %d", p)
+			}
+			if off+n > l.PageSize() {
+				t.Fatalf("split exceeds page: off=%d n=%d", off, n)
+			}
+			prevEnd += Addr(n)
+			total += n
+		})
+		return total == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPageOfConsistentWithBase(t *testing.T) {
+	for _, ps := range PaperPageSizes {
+		l := MustLayout(1<<20, ps)
+		f := func(addrRaw uint32) bool {
+			addr := Addr(addrRaw % (1 << 20))
+			p := l.PageOf(addr)
+			return l.Base(p) <= addr && addr < l.Base(p)+Addr(l.PageSize()) &&
+				addr == l.Base(p)+Addr(l.Offset(addr))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("page size %d: %v", ps, err)
+		}
+	}
+}

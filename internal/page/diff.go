@@ -1,0 +1,179 @@
+package page
+
+import (
+	"fmt"
+)
+
+// Wire-size model for diffs, shared by the simulator's byte accounting and
+// the live runtime's message encoder. A diff on the wire carries a 16-byte
+// header (page id, creating interval, run count) plus, per run, an 8-byte
+// (offset, length) descriptor and the run's payload bytes.
+const (
+	// DiffHeaderBytes is the fixed per-diff header size on the wire.
+	DiffHeaderBytes = 16
+	// RunHeaderBytes is the per-run descriptor size on the wire.
+	RunHeaderBytes = 8
+	// wordSize is the diffing granularity: diffs are computed word by
+	// word, as in Munin and TreadMarks, so sub-word writes dilate to a
+	// whole word.
+	wordSize = 4
+)
+
+// Twin is a pristine copy of a page's contents, taken at the first write
+// after the page became writable, so that the processor's modifications
+// can later be recovered as a diff (current XOR twin, run-length encoded).
+type Twin struct {
+	data []byte
+}
+
+// NewTwin captures a twin of the given page contents.
+func NewTwin(contents []byte) *Twin {
+	t := &Twin{data: make([]byte, len(contents))}
+	copy(t.data, contents)
+	return t
+}
+
+// Len returns the page size the twin covers.
+func (t *Twin) Len() int { return len(t.data) }
+
+// Data exposes the twin's bytes; callers must not mutate them.
+func (t *Twin) Data() []byte { return t.data }
+
+// Diff is a run-length encoding of the difference between a twin and the
+// current contents of a page: the set of word-aligned byte runs that
+// changed, together with their new values.
+type Diff struct {
+	runs []Run
+	data [][]byte
+}
+
+// MakeDiff computes the diff between twin and current, which must be the
+// same length. Comparison is word-granular: any word containing a changed
+// byte is included whole, and adjacent changed words coalesce into runs.
+func MakeDiff(twin *Twin, current []byte) (*Diff, error) {
+	if len(current) != len(twin.data) {
+		return nil, fmt.Errorf("page: diff length mismatch: twin %d bytes, page %d bytes", len(twin.data), len(current))
+	}
+	d := &Diff{}
+	n := len(current)
+	i := 0
+	for i < n {
+		// Skip unchanged words.
+		for i < n && wordEqual(twin.data, current, i, n) {
+			i += wordSize
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !wordEqual(twin.data, current, i, n) {
+			i += wordSize
+		}
+		end := i
+		if end > n {
+			end = n
+		}
+		payload := make([]byte, end-start)
+		copy(payload, current[start:end])
+		d.runs = append(d.runs, Run{Off: int32(start), Len: int32(end - start)})
+		d.data = append(d.data, payload)
+	}
+	return d, nil
+}
+
+// wordEqual reports whether the word starting at off matches between a and
+// b, tolerating a short final word.
+func wordEqual(a, b []byte, off, n int) bool {
+	end := off + wordSize
+	if end > n {
+		end = n
+	}
+	for k := off; k < end; k++ {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d *Diff) Empty() bool { return len(d.runs) == 0 }
+
+// NumRuns returns the number of runs in the diff.
+func (d *Diff) NumRuns() int { return len(d.runs) }
+
+// Runs returns the diff's runs; callers must not mutate the slice.
+func (d *Diff) Runs() []Run { return d.runs }
+
+// RunData returns the payload of run i; callers must not mutate it.
+func (d *Diff) RunData(i int) []byte { return d.data[i] }
+
+// PayloadBytes returns the number of modified bytes the diff carries.
+func (d *Diff) PayloadBytes() int {
+	total := 0
+	for _, r := range d.runs {
+		total += int(r.Len)
+	}
+	return total
+}
+
+// WireSize returns the size of the diff on the wire under the package's
+// size model.
+func (d *Diff) WireSize() int {
+	return DiffHeaderBytes + len(d.runs)*RunHeaderBytes + d.PayloadBytes()
+}
+
+// Apply merges the diff into the page contents in place. Later diffs
+// applied on top overwrite earlier ones, which is how the happened-before
+// ordering of modifications is realized (§4.3.3: diffs are applied in the
+// order specified by hb1).
+func (d *Diff) Apply(contents []byte) error {
+	for i, r := range d.runs {
+		if int(r.End()) > len(contents) {
+			return fmt.Errorf("page: diff run [%d,%d) exceeds page size %d", r.Off, r.End(), len(contents))
+		}
+		copy(contents[r.Off:r.End()], d.data[i])
+	}
+	return nil
+}
+
+// Ranges returns the byte ranges the diff covers as a RangeSet.
+func (d *Diff) Ranges() *RangeSet {
+	s := &RangeSet{}
+	for _, r := range d.runs {
+		s.AddRun(r)
+	}
+	return s
+}
+
+// DiffFromRuns constructs a diff directly from runs and payloads; used by
+// the wire decoder. Each payload must match its run's length.
+func DiffFromRuns(runs []Run, data [][]byte) (*Diff, error) {
+	if len(runs) != len(data) {
+		return nil, fmt.Errorf("page: %d runs but %d payloads", len(runs), len(data))
+	}
+	for i, r := range runs {
+		if int(r.Len) != len(data[i]) {
+			return nil, fmt.Errorf("page: run %d declares %d bytes but payload has %d", i, r.Len, len(data[i]))
+		}
+	}
+	return &Diff{runs: runs, data: data}, nil
+}
+
+// EstimateDiffWireSize returns the wire size a diff would have for a
+// modification pattern described by a RangeSet, dilating each run to word
+// alignment and coalescing runs that become adjacent, the same way
+// MakeDiff would. The trace-driven simulator uses this to account bytes
+// without materializing page contents.
+func EstimateDiffWireSize(mods *RangeSet) int {
+	if mods.Empty() {
+		return DiffHeaderBytes
+	}
+	var dilated RangeSet
+	for _, r := range mods.Runs() {
+		start := int(r.Off) &^ (wordSize - 1)
+		end := (int(r.End()) + wordSize - 1) &^ (wordSize - 1)
+		dilated.Add(start, end-start)
+	}
+	return DiffHeaderBytes + dilated.NumRuns()*RunHeaderBytes + dilated.Bytes()
+}

@@ -1,0 +1,257 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeDiffEmpty(t *testing.T) {
+	data := make([]byte, 64)
+	tw := NewTwin(data)
+	d, err := MakeDiff(tw, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() || d.NumRuns() != 0 || d.PayloadBytes() != 0 {
+		t.Fatalf("diff of identical data not empty: %d runs", d.NumRuns())
+	}
+	if got := d.WireSize(); got != DiffHeaderBytes {
+		t.Errorf("empty diff WireSize = %d, want %d", got, DiffHeaderBytes)
+	}
+}
+
+func TestMakeDiffSingleWord(t *testing.T) {
+	data := make([]byte, 64)
+	tw := NewTwin(data)
+	data[9] = 0xff // within word [8,12)
+	d, err := MakeDiff(tw, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRuns() != 1 {
+		t.Fatalf("NumRuns = %d, want 1", d.NumRuns())
+	}
+	r := d.Runs()[0]
+	if r.Off != 8 || r.Len != 4 {
+		t.Errorf("run = [%d,%d), want word-dilated [8,12)", r.Off, r.End())
+	}
+}
+
+func TestMakeDiffCoalescesAdjacentWords(t *testing.T) {
+	data := make([]byte, 64)
+	tw := NewTwin(data)
+	data[4] = 1
+	data[8] = 2 // adjacent words -> single run
+	d, err := MakeDiff(tw, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRuns() != 1 || d.Runs()[0].Off != 4 || d.Runs()[0].Len != 8 {
+		t.Fatalf("adjacent changed words did not coalesce: %v", d.Runs())
+	}
+}
+
+func TestMakeDiffLengthMismatch(t *testing.T) {
+	tw := NewTwin(make([]byte, 32))
+	if _, err := MakeDiff(tw, make([]byte, 64)); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+func TestMakeDiffShortTailWord(t *testing.T) {
+	data := make([]byte, 10) // not a multiple of the word size
+	tw := NewTwin(data)
+	data[9] = 7
+	d, err := MakeDiff(tw, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]byte, 10)
+	if err := d.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, data) {
+		t.Fatalf("short-tail diff did not roundtrip: %v vs %v", fresh, data)
+	}
+}
+
+func TestApplyOutOfRange(t *testing.T) {
+	d, err := DiffFromRuns([]Run{{Off: 60, Len: 8}}, [][]byte{make([]byte, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(make([]byte, 64)); err == nil {
+		t.Fatal("out-of-range apply not rejected")
+	}
+}
+
+func TestDiffFromRunsValidation(t *testing.T) {
+	if _, err := DiffFromRuns([]Run{{0, 4}}, nil); err == nil {
+		t.Error("run/payload count mismatch not rejected")
+	}
+	if _, err := DiffFromRuns([]Run{{0, 4}}, [][]byte{make([]byte, 3)}); err == nil {
+		t.Error("run length / payload length mismatch not rejected")
+	}
+}
+
+func TestPropDiffRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 32 + r.Intn(200)
+		orig := make([]byte, size)
+		r.Read(orig)
+		tw := NewTwin(orig)
+		cur := make([]byte, size)
+		copy(cur, orig)
+		for i := 0; i < 1+r.Intn(8); i++ {
+			off := r.Intn(size)
+			n := 1 + r.Intn(size-off)
+			for k := off; k < off+n; k++ {
+				cur[k] = byte(r.Intn(256))
+			}
+		}
+		d, err := MakeDiff(tw, cur)
+		if err != nil {
+			return false
+		}
+		// Applying the diff to a fresh copy of the twin must reproduce
+		// the current contents exactly.
+		restored := make([]byte, size)
+		copy(restored, orig)
+		if err := d.Apply(restored); err != nil {
+			return false
+		}
+		return bytes.Equal(restored, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDiffRunsCoverExactlyChangedWords(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 64
+		orig := make([]byte, size)
+		cur := make([]byte, size)
+		r.Read(orig)
+		copy(cur, orig)
+		changed := make([]bool, size)
+		for i := 0; i < 5; i++ {
+			k := r.Intn(size)
+			cur[k] = orig[k] ^ 0x5a // guaranteed change, idempotent
+			changed[k] = true
+		}
+		d, err := MakeDiff(NewTwin(orig), cur)
+		if err != nil {
+			return false
+		}
+		rs := d.Ranges()
+		for k := 0; k < size; k++ {
+			if changed[k] && !rs.Contains(k) {
+				return false // a changed byte must be covered
+			}
+		}
+		// Every covered word must contain at least one changed byte.
+		for _, run := range rs.Runs() {
+			for w := run.Off &^ 3; w < run.End(); w += 4 {
+				wordChanged := false
+				for k := w; k < w+4 && int(k) < size; k++ {
+					if changed[k] {
+						wordChanged = true
+					}
+				}
+				if !wordChanged {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSequentialDiffsComposeInOrder(t *testing.T) {
+	// Applying diffs in happened-before order must reproduce the final
+	// contents even when the diffs overlap (later writers win), the §4.3.3
+	// ordering requirement.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 96
+		base := make([]byte, size)
+		r.Read(base)
+		cur := make([]byte, size)
+		copy(cur, base)
+		var diffs []*Diff
+		for step := 0; step < 4; step++ {
+			tw := NewTwin(cur)
+			for i := 0; i < 3; i++ {
+				off := r.Intn(size)
+				cur[off] = byte(r.Intn(256))
+			}
+			d, err := MakeDiff(tw, cur)
+			if err != nil {
+				return false
+			}
+			diffs = append(diffs, d)
+		}
+		restored := make([]byte, size)
+		copy(restored, base)
+		for _, d := range diffs {
+			if err := d.Apply(restored); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(restored, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateDiffWireSize(t *testing.T) {
+	var s RangeSet
+	if got := EstimateDiffWireSize(&s); got != DiffHeaderBytes {
+		t.Errorf("empty estimate = %d, want %d", got, DiffHeaderBytes)
+	}
+	s.Add(2, 4) // word-dilates to [0,8): 8 payload bytes
+	want := DiffHeaderBytes + RunHeaderBytes + 8
+	if got := EstimateDiffWireSize(&s); got != want {
+		t.Errorf("estimate = %d, want %d", got, want)
+	}
+}
+
+func TestPropEstimateMatchesRealDiff(t *testing.T) {
+	// The simulator's estimated wire size must equal the size of a real
+	// diff whose writes exactly cover the same ranges (on a zeroed page
+	// written with non-zero bytes, so every written word really changes).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 128
+		cur := make([]byte, size)
+		tw := NewTwin(cur)
+		var s RangeSet
+		for i := 0; i < 4; i++ {
+			off := r.Intn(size)
+			n := 1 + r.Intn(size-off)
+			s.Add(off, n)
+		}
+		for _, run := range s.Runs() {
+			for k := run.Off; k < run.End(); k++ {
+				cur[k] = 0xA5
+			}
+		}
+		d, err := MakeDiff(tw, cur)
+		if err != nil {
+			return false
+		}
+		return d.WireSize() == EstimateDiffWireSize(&s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

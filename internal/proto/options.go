@@ -1,0 +1,21 @@
+package proto
+
+// Options toggles ablations of the design choices the paper motivates.
+// The defaults (all false) are the protocols as published; each flag
+// removes one optimization so benchmarks can quantify its contribution.
+type Options struct {
+	// NoPiggyback disables carrying write notices on lock-grant and
+	// barrier messages (§4.2, Figure 4): notices travel in a separate
+	// message + ack pair instead.
+	NoPiggyback bool
+
+	// NoDiffs disables diffs (§4.3): whole pages travel wherever a diff
+	// would have, as in single-writer page-shipping protocols.
+	NoDiffs bool
+
+	// ExclusiveWriter disables the multiple-writer protocol (§4.3.1):
+	// a processor must invalidate all other copies before writing a page,
+	// as in DASH's exclusive-writer scheme, making false sharing
+	// ping-pong.
+	ExclusiveWriter bool
+}

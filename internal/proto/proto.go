@@ -1,0 +1,153 @@
+// Package proto defines the interface every consistency-protocol engine
+// implements for the trace-driven simulator, the statistics they report
+// (message and data counts, the paper's two metrics), and the single
+// message-size model shared by the simulator and the live runtime.
+package proto
+
+import (
+	"repro/internal/mem"
+)
+
+// Protocol is a simulated consistency protocol. The simulator feeds it one
+// event at a time in global trace order; the engine maintains full protocol
+// state (caches, directories, interval logs) and accounts every message it
+// would send on a real interconnect.
+//
+// Implementations: lazy invalidate and lazy update (internal/core), eager
+// invalidate and eager update (internal/eager), and the sequentially
+// consistent Ivy baseline (internal/ivy).
+type Protocol interface {
+	// Name returns the protocol's short name ("LI", "LU", "EI", "EU", ...).
+	Name() string
+	// Read simulates an ordinary read of [addr, addr+size) by processor p.
+	Read(p mem.ProcID, addr mem.Addr, size int)
+	// Write simulates an ordinary write of [addr, addr+size) by processor p.
+	Write(p mem.ProcID, addr mem.Addr, size int)
+	// Acquire simulates processor p acquiring lock l. The simulator
+	// guarantees the lock is free (trace legality).
+	Acquire(p mem.ProcID, l mem.LockID)
+	// Release simulates processor p releasing lock l.
+	Release(p mem.ProcID, l mem.LockID)
+	// Barrier simulates one complete barrier episode: arrivals lists every
+	// processor in arrival order (last entry is the last to arrive).
+	Barrier(arrivals []mem.ProcID, b mem.BarrierID)
+	// Stats returns the accumulated statistics. The returned pointer stays
+	// live; the simulator reads it after the replay completes.
+	Stats() *Stats
+}
+
+// Category classifies messages by the shared-memory operation that caused
+// them, matching the columns of the paper's Table 1.
+type Category int
+
+const (
+	// CatMiss covers messages caused by access misses (page and diff
+	// fetches).
+	CatMiss Category = iota
+	// CatLock covers lock find/transfer messages and any consistency
+	// traffic performed at acquire time (lazy write notices, LU diff
+	// collection).
+	CatLock
+	// CatUnlock covers release-time traffic (eager invalidations/updates).
+	CatUnlock
+	// CatBarrier covers barrier arrival/exit messages and barrier-time
+	// consistency traffic (updates, invalidation reconciliation).
+	CatBarrier
+	// NumCategories is the number of message categories.
+	NumCategories
+)
+
+// String returns the category's column name.
+func (c Category) String() string {
+	switch c {
+	case CatMiss:
+		return "miss"
+	case CatLock:
+		return "lock"
+	case CatUnlock:
+		return "unlock"
+	case CatBarrier:
+		return "barrier"
+	default:
+		return "other"
+	}
+}
+
+// Stats accumulates the two metrics of the paper's evaluation — message
+// count and data volume — broken down by operation category, plus protocol
+// event counters used by the tests to validate Table 1's cost formulas.
+type Stats struct {
+	Protocol string
+
+	// Msgs and Bytes count messages and wire bytes per category.
+	Msgs  [NumCategories]int64
+	Bytes [NumCategories]int64
+
+	// Event counters.
+	Reads, Writes       int64
+	Acquires, Releases  int64
+	Barriers            int64
+	AccessMisses        int64 // misses needing remote traffic
+	ColdMisses          int64 // first-ever access with no remote version
+	DiffsSent           int64
+	DiffBytes           int64
+	PagesSent           int64
+	PageBytes           int64
+	WriteNoticesSent    int64
+	InvalidationsSent   int64
+	IntervalsCreated    int64
+	DiffRequestsBatched int64 // diff fetches answered by one proc for >1 interval
+}
+
+// Msg records one message of wire size bytes in category cat.
+func (s *Stats) Msg(cat Category, bytes int) {
+	s.Msgs[cat]++
+	s.Bytes[cat] += int64(bytes)
+}
+
+// MsgN records n messages each of wire size bytes in category cat.
+func (s *Stats) MsgN(cat Category, n, bytes int) {
+	s.Msgs[cat] += int64(n)
+	s.Bytes[cat] += int64(n) * int64(bytes)
+}
+
+// TotalMessages returns the total message count across categories.
+func (s *Stats) TotalMessages() int64 {
+	var t int64
+	for _, m := range s.Msgs {
+		t += m
+	}
+	return t
+}
+
+// TotalBytes returns the total wire bytes across categories.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.Bytes {
+		t += b
+	}
+	return t
+}
+
+// Add accumulates o into s (for aggregating shard results).
+func (s *Stats) Add(o *Stats) {
+	for c := Category(0); c < NumCategories; c++ {
+		s.Msgs[c] += o.Msgs[c]
+		s.Bytes[c] += o.Bytes[c]
+	}
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Acquires += o.Acquires
+	s.Releases += o.Releases
+	s.Barriers += o.Barriers
+	s.AccessMisses += o.AccessMisses
+	s.ColdMisses += o.ColdMisses
+	s.DiffsSent += o.DiffsSent
+	s.DiffBytes += o.DiffBytes
+	s.PagesSent += o.PagesSent
+	s.PageBytes += o.PageBytes
+	s.WriteNoticesSent += o.WriteNoticesSent
+	s.InvalidationsSent += o.InvalidationsSent
+	s.IntervalsCreated += o.IntervalsCreated
+	s.DiffRequestsBatched += o.DiffRequestsBatched
+}

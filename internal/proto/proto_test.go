@@ -1,0 +1,68 @@
+package proto
+
+import "testing"
+
+func TestStatsMsg(t *testing.T) {
+	var s Stats
+	s.Msg(CatLock, 100)
+	s.Msg(CatLock, 50)
+	s.Msg(CatMiss, 10)
+	if s.Msgs[CatLock] != 2 || s.Bytes[CatLock] != 150 {
+		t.Errorf("lock counters: %d msgs %d bytes", s.Msgs[CatLock], s.Bytes[CatLock])
+	}
+	if s.TotalMessages() != 3 || s.TotalBytes() != 160 {
+		t.Errorf("totals: %d msgs %d bytes", s.TotalMessages(), s.TotalBytes())
+	}
+}
+
+func TestStatsMsgN(t *testing.T) {
+	var s Stats
+	s.MsgN(CatBarrier, 6, 32)
+	if s.Msgs[CatBarrier] != 6 || s.Bytes[CatBarrier] != 192 {
+		t.Errorf("barrier counters: %d msgs %d bytes", s.Msgs[CatBarrier], s.Bytes[CatBarrier])
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	var a, b Stats
+	a.Msg(CatMiss, 10)
+	a.AccessMisses = 1
+	a.DiffsSent = 2
+	b.Msg(CatMiss, 20)
+	b.AccessMisses = 3
+	b.PagesSent = 4
+	a.Add(&b)
+	if a.Msgs[CatMiss] != 2 || a.Bytes[CatMiss] != 30 {
+		t.Errorf("merged miss counters: %d msgs %d bytes", a.Msgs[CatMiss], a.Bytes[CatMiss])
+	}
+	if a.AccessMisses != 4 || a.DiffsSent != 2 || a.PagesSent != 4 {
+		t.Errorf("merged event counters: %+v", a)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{
+		CatMiss: "miss", CatLock: "lock", CatUnlock: "unlock", CatBarrier: "barrier",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Category(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if Category(99).String() != "other" {
+		t.Error("unknown category name")
+	}
+}
+
+func TestSizeModel(t *testing.T) {
+	if VCBytes(16) != 64 {
+		t.Errorf("VCBytes(16) = %d", VCBytes(16))
+	}
+	// 3 notices over 2 intervals: 3*12 + 2*8.
+	if NoticesBytes(3, 2) != 52 {
+		t.Errorf("NoticesBytes(3,2) = %d", NoticesBytes(3, 2))
+	}
+	if NoticesBytes(0, 0) != 0 {
+		t.Errorf("NoticesBytes(0,0) = %d", NoticesBytes(0, 0))
+	}
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/proto"
+	"repro/internal/trace"
+)
+
+// randomLegalTrace builds a structurally legal trace with random accesses,
+// lock critical sections and barrier episodes — a fuzz driver for every
+// protocol engine.
+func randomLegalTrace(seed int64, events int) *trace.Trace {
+	r := rand.New(rand.NewSource(seed))
+	const procs = 8
+	tr := &trace.Trace{
+		NumProcs:    procs,
+		SpaceSize:   64 * 1024,
+		NumLocks:    6,
+		NumBarriers: 2,
+		Name:        "fuzz",
+	}
+	held := make(map[int]int32) // proc -> held lock (single depth)
+	for i := 0; i < events; i++ {
+		p := r.Intn(procs)
+		switch r.Intn(10) {
+		case 0, 1, 2, 3:
+			addr := mem.Addr(r.Intn(64*1024 - 64))
+			tr.Events = append(tr.Events, trace.Event{
+				Kind: trace.Read, Proc: mem.ProcID(p), Addr: addr, Size: int32(1 + r.Intn(64)),
+			})
+		case 4, 5, 6:
+			addr := mem.Addr(r.Intn(64*1024 - 64))
+			tr.Events = append(tr.Events, trace.Event{
+				Kind: trace.Write, Proc: mem.ProcID(p), Addr: addr, Size: int32(1 + r.Intn(64)),
+			})
+		case 7, 8:
+			if l, ok := held[p]; ok {
+				tr.Events = append(tr.Events, trace.Event{Kind: trace.Release, Proc: mem.ProcID(p), Sync: l})
+				delete(held, p)
+			} else {
+				// Pick a lock nobody holds.
+				l := int32(r.Intn(6))
+				free := true
+				for _, hl := range held {
+					if hl == l {
+						free = false
+					}
+				}
+				if free {
+					tr.Events = append(tr.Events, trace.Event{Kind: trace.Acquire, Proc: mem.ProcID(p), Sync: l})
+					held[p] = l
+				}
+			}
+		case 9:
+			if len(held) == 0 && r.Intn(4) == 0 {
+				// Full barrier episode (everyone must be outside critical
+				// sections for trace legality here).
+				b := int32(r.Intn(2))
+				for q := 0; q < procs; q++ {
+					tr.Events = append(tr.Events, trace.Event{Kind: trace.Barrier, Proc: mem.ProcID(q), Sync: b})
+				}
+			}
+		}
+	}
+	// Release everything still held.
+	for p, l := range held {
+		tr.Events = append(tr.Events, trace.Event{Kind: trace.Release, Proc: mem.ProcID(p), Sync: l})
+	}
+	return tr
+}
+
+// TestRandomTracesAllProtocols replays randomized legal traces through
+// every protocol at every paper page size: no panics, sane stats, and
+// deterministic replay.
+func TestRandomTracesAllProtocols(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		tr := randomLegalTrace(seed, 800)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: generator produced invalid trace: %v", seed, err)
+		}
+		for _, name := range AllProtocolNames {
+			for _, ps := range mem.PaperPageSizes {
+				a, err := Run(tr, name, ps, proto.Options{})
+				if err != nil {
+					t.Fatalf("seed %d %s/%d: %v", seed, name, ps, err)
+				}
+				b, err := Run(tr, name, ps, proto.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.TotalMessages() != b.TotalMessages() || a.TotalBytes() != b.TotalBytes() {
+					t.Errorf("seed %d %s/%d: nondeterministic replay", seed, name, ps)
+				}
+				if a.TotalBytes() < a.TotalMessages()*proto.MsgHeaderBytes {
+					t.Errorf("seed %d %s/%d: bytes %d below header floor for %d messages",
+						seed, name, ps, a.TotalBytes(), a.TotalMessages())
+				}
+			}
+		}
+	}
+}
+
+// TestRandomTracesAblations replays randomized traces with every ablation
+// combination through the lazy engines.
+func TestRandomTracesAblations(t *testing.T) {
+	tr := randomLegalTrace(99, 600)
+	combos := []proto.Options{
+		{NoPiggyback: true},
+		{NoDiffs: true},
+		{ExclusiveWriter: true},
+		{NoPiggyback: true, NoDiffs: true, ExclusiveWriter: true},
+	}
+	for _, opts := range combos {
+		for _, name := range ProtocolNames {
+			base, err := Run(tr, name, 1024, proto.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ablated, err := Run(tr, name, 1024, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			// Ablations remove optimizations: they can only add traffic.
+			if ablated.TotalBytes() < base.TotalBytes() && ablated.TotalMessages() < base.TotalMessages() {
+				t.Errorf("%s %+v: ablation reduced both messages (%d<%d) and bytes (%d<%d)",
+					name, opts, ablated.TotalMessages(), base.TotalMessages(),
+					ablated.TotalBytes(), base.TotalBytes())
+			}
+		}
+	}
+}
+
+// TestColdMissesBounded: every (proc, page) pair cold-misses at most once.
+func TestColdMissesBounded(t *testing.T) {
+	tr := randomLegalTrace(7, 1000)
+	layout, _ := mem.NewLayout(tr.SpaceSize, 512)
+	bound := int64(tr.NumProcs * layout.NumPages())
+	for _, name := range AllProtocolNames {
+		st, err := Run(tr, name, 512, proto.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ColdMisses > bound {
+			t.Errorf("%s: %d cold misses exceeds procs*pages = %d", name, st.ColdMisses, bound)
+		}
+	}
+}
+
+// TestLazyReleasesNeverSend is the paper's defining property (§4.2):
+// replaying any trace, the lazy engines charge zero messages to the
+// unlock category.
+func TestLazyReleasesNeverSend(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tr := randomLegalTrace(seed, 700)
+		for _, name := range []string{"LI", "LU"} {
+			st, err := Run(tr, name, 1024, proto.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Msgs[proto.CatUnlock] != 0 {
+				t.Errorf("seed %d %s: %d unlock messages, want 0", seed, name, st.Msgs[proto.CatUnlock])
+			}
+		}
+	}
+}
+
+// TestEagerNoticesNeverRideLocks: eager engines perform no consistency
+// work at acquire time, so their lock-category bytes are exactly the
+// fixed lock messages (no piggybacked payload).
+func TestEagerLockBytesAreFixed(t *testing.T) {
+	tr := randomLegalTrace(3, 700)
+	for _, name := range []string{"EI", "EU"} {
+		st, err := Run(tr, name, 1024, proto.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxPerMsg := int64(proto.MsgHeaderBytes + proto.LockReqBytes)
+		if st.Msgs[proto.CatLock] > 0 && st.Bytes[proto.CatLock] > st.Msgs[proto.CatLock]*maxPerMsg {
+			t.Errorf("%s: lock bytes %d exceed fixed-size bound %d",
+				name, st.Bytes[proto.CatLock], st.Msgs[proto.CatLock]*maxPerMsg)
+		}
+	}
+}

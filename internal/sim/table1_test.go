@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/trace"
+)
+
+// Table 1 of the paper gives the per-operation message costs:
+//
+//	        Access Miss   Locks    Unlocks   Barriers
+//	LI      2m            3        0         2(n-1)
+//	LU      2m            3+2h     0         2(n-1)+2u
+//	EI      2 or 3        3        2c        2(n-1)+2v
+//	EU      2 or 3        3        2c        2(n-1)+2u
+//
+// These tests drive each engine through micro-traces that pin m, h, c, u
+// and v to known values and assert the exact message deltas. They
+// complement the per-engine unit tests by exercising the costs through the
+// trace-replay path used by the benchmarks.
+
+const t1Procs = 4
+
+// t1Trace wraps events into a validated trace over 16 pages of 1 KB.
+func t1Trace(t *testing.T, events []trace.Event) *trace.Trace {
+	t.Helper()
+	tr := &trace.Trace{
+		NumProcs:    t1Procs,
+		SpaceSize:   16384,
+		NumLocks:    4,
+		NumBarriers: 1,
+		Name:        "table1",
+		Events:      events,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("bad micro-trace: %v", err)
+	}
+	return tr
+}
+
+// msgsAfterPrefix returns total messages for the full trace minus the
+// total for the prefix, isolating the cost of the suffix operations.
+func msgsAfterPrefix(t *testing.T, name string, events []trace.Event, split int) int64 {
+	t.Helper()
+	full, err := Run(t1Trace(t, events), name, 1024, proto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prefix must itself be a valid trace (balanced locks/barriers).
+	prefix, err := Run(t1Trace(t, events[:split]), name, 1024, proto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full.TotalMessages() - prefix.TotalMessages()
+}
+
+func TestTable1LockTransfer(t *testing.T) {
+	// Remote lock transfer: requester -> manager -> holder -> grant.
+	events := []trace.Event{
+		{Kind: trace.Acquire, Proc: 0, Sync: 2},
+		{Kind: trace.Release, Proc: 0, Sync: 2},
+		// -- split --
+		{Kind: trace.Acquire, Proc: 3, Sync: 2},
+		{Kind: trace.Release, Proc: 3, Sync: 2},
+	}
+	for _, name := range ProtocolNames {
+		if got := msgsAfterPrefix(t, name, events, 2); got != 3 {
+			t.Errorf("%s: lock transfer = %d messages, want 3", name, got)
+		}
+	}
+}
+
+func TestTable1UnlockCost(t *testing.T) {
+	// c = 2: processors 1 and 2 cache the page p0 dirties. Lazy unlocks
+	// are free; eager unlocks cost 2c = 4.
+	events := []trace.Event{
+		{Kind: trace.Read, Proc: 1, Addr: 0, Size: 8},
+		{Kind: trace.Read, Proc: 2, Addr: 0, Size: 8},
+		{Kind: trace.Acquire, Proc: 0, Sync: 2},
+		{Kind: trace.Write, Proc: 0, Addr: 16, Size: 8},
+		// -- split --
+		{Kind: trace.Release, Proc: 0, Sync: 2},
+	}
+	// The prefix for the release-only suffix isn't lock-balanced, so
+	// compute deltas against a manually completed prefix instead.
+	for _, c := range []struct {
+		name string
+		want int64
+	}{{"LI", 0}, {"LU", 0}, {"EI", 4}, {"EU", 4}} {
+		full, err := Run(t1Trace(t, events), c.name, 1024, proto.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Prefix trace with a free release (no dirty pages) to stay
+		// balanced: p0 acquires and releases without writing.
+		prefixEvents := []trace.Event{
+			{Kind: trace.Read, Proc: 1, Addr: 0, Size: 8},
+			{Kind: trace.Read, Proc: 2, Addr: 0, Size: 8},
+			{Kind: trace.Acquire, Proc: 0, Sync: 2},
+			{Kind: trace.Release, Proc: 0, Sync: 2},
+		}
+		prefix, err := Run(t1Trace(t, prefixEvents), c.name, 1024, proto.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := full.TotalMessages() - prefix.TotalMessages()
+		// got also includes p0's cold write miss; measure that separately
+		// and subtract it, leaving the pure unlock cost.
+		missOnly := []trace.Event{
+			{Kind: trace.Read, Proc: 1, Addr: 0, Size: 8},
+			{Kind: trace.Read, Proc: 2, Addr: 0, Size: 8},
+			{Kind: trace.Write, Proc: 0, Addr: 16, Size: 8},
+		}
+		withMiss, err := Run(t1Trace(t, missOnly), c.name, 1024, proto.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		noMiss, err := Run(t1Trace(t, missOnly[:2]), c.name, 1024, proto.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		missCost := withMiss.TotalMessages() - noMiss.TotalMessages()
+		if got-missCost != c.want {
+			t.Errorf("%s: unlock with c=2 = %d messages, want %d", c.name, got-missCost, c.want)
+		}
+	}
+}
+
+func TestTable1LazyMissCost(t *testing.T) {
+	// m = 2 concurrent last modifiers: p0 and p1 write the same page
+	// under different locks; p3 (which cached the page) synchronizes with
+	// both and misses: 2m = 4 messages.
+	events := []trace.Event{
+		{Kind: trace.Read, Proc: 3, Addr: 0, Size: 8},
+		{Kind: trace.Acquire, Proc: 0, Sync: 1},
+		{Kind: trace.Write, Proc: 0, Addr: 16, Size: 8},
+		{Kind: trace.Release, Proc: 0, Sync: 1},
+		{Kind: trace.Acquire, Proc: 1, Sync: 2},
+		{Kind: trace.Write, Proc: 1, Addr: 32, Size: 8},
+		{Kind: trace.Release, Proc: 1, Sync: 2},
+		{Kind: trace.Acquire, Proc: 3, Sync: 1},
+		{Kind: trace.Release, Proc: 3, Sync: 1},
+		{Kind: trace.Acquire, Proc: 3, Sync: 2},
+		{Kind: trace.Release, Proc: 3, Sync: 2},
+		// -- split --
+		{Kind: trace.Read, Proc: 3, Addr: 0, Size: 8},
+	}
+	if got := msgsAfterPrefix(t, "LI", events, 11); got != 4 {
+		t.Errorf("LI miss with m=2: %d messages, want 4", got)
+	}
+}
+
+func TestTable1EagerMissCost(t *testing.T) {
+	// Eager miss: 2 messages when the manager can satisfy it, 3 when it
+	// forwards to the owner.
+	twoMsg := []trace.Event{
+		// -- split at 0 --
+		{Kind: trace.Read, Proc: 0, Addr: 1024, Size: 8}, // page 1, manager p1 owns
+	}
+	for _, name := range []string{"EI", "EU"} {
+		full, err := Run(t1Trace(t, twoMsg), name, 1024, proto.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := full.TotalMessages(); got != 2 {
+			t.Errorf("%s: manager-satisfied miss = %d messages, want 2", name, got)
+		}
+	}
+	threeMsg := []trace.Event{
+		{Kind: trace.Acquire, Proc: 0, Sync: 1},
+		{Kind: trace.Write, Proc: 0, Addr: 1024, Size: 8}, // p0 becomes owner
+		{Kind: trace.Release, Proc: 0, Sync: 1},
+		// -- split --
+		{Kind: trace.Read, Proc: 3, Addr: 1024, Size: 8}, // p3 -> mgr p1 -> owner p0
+	}
+	for _, name := range []string{"EI", "EU"} {
+		if got := msgsAfterPrefix(t, name, threeMsg, 3); got != 3 {
+			t.Errorf("%s: forwarded miss = %d messages, want 3", name, got)
+		}
+	}
+}
+
+func TestTable1BarrierCost(t *testing.T) {
+	// Clean barrier (no modifications): 2(n-1) for every protocol.
+	events := []trace.Event{
+		{Kind: trace.Barrier, Proc: 0, Sync: 0},
+		{Kind: trace.Barrier, Proc: 1, Sync: 0},
+		{Kind: trace.Barrier, Proc: 2, Sync: 0},
+		{Kind: trace.Barrier, Proc: 3, Sync: 0},
+	}
+	for _, name := range ProtocolNames {
+		st, err := Run(t1Trace(t, events), name, 1024, proto.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := st.TotalMessages(); got != 2*(t1Procs-1) {
+			t.Errorf("%s: clean barrier = %d messages, want %d", name, got, 2*(t1Procs-1))
+		}
+	}
+}

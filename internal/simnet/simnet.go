@@ -1,0 +1,208 @@
+// Package simnet provides the simulated interconnect for the live DSM
+// runtime: reliable, FIFO, point-to-point message channels between n
+// endpoints (the paper's §5.1 network assumptions — no broadcast or
+// multicast), with per-endpoint message and byte accounting and an
+// optional latency/bandwidth model for estimating communication time.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Frame is one message in flight.
+type Frame struct {
+	Src, Dst int
+	Payload  []byte
+}
+
+// LatencyModel estimates the wire time of messages: a fixed per-message
+// latency plus a bandwidth term. The defaults approximate the 1992-era
+// networks the paper targets (kernel traps, interrupts and protocol stacks
+// make software DSM messages expensive, §1).
+type LatencyModel struct {
+	// PerMessage is the fixed cost of any message.
+	PerMessage time.Duration
+	// PerKByte is the additional cost per 1024 payload bytes.
+	PerKByte time.Duration
+}
+
+// DefaultLatency is a millisecond-class software DSM message cost.
+var DefaultLatency = LatencyModel{PerMessage: time.Millisecond, PerKByte: 100 * time.Microsecond}
+
+// Cost returns the estimated time on the wire for one message of the
+// given size.
+func (m LatencyModel) Cost(bytes int) time.Duration {
+	return m.PerMessage + time.Duration(int64(m.PerKByte)*int64(bytes)/1024)
+}
+
+// Estimate returns the estimated serial wire time for a message/byte
+// total (messages do overlap in a real system; this is the upper bound
+// used in EXPERIMENTS.md when relating counts to time).
+func (m LatencyModel) Estimate(messages, bytes int64) time.Duration {
+	return time.Duration(messages)*m.PerMessage + time.Duration(bytes/1024)*m.PerKByte
+}
+
+// Stats is a snapshot of traffic counters.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Network connects n endpoints with reliable FIFO delivery.
+type Network struct {
+	n       int
+	queues  []chan Frame
+	latency LatencyModel
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+	// per-endpoint sent counters
+	sentMsgs  []atomic.Int64
+	sentBytes []atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the latency model used by EstimateTime.
+func WithLatency(m LatencyModel) Option {
+	return func(n *Network) { n.latency = m }
+}
+
+// WithQueueDepth is reserved for tests that want tiny queues; depth must
+// be positive.
+func WithQueueDepth(depth int) Option {
+	return func(n *Network) {
+		for i := range n.queues {
+			n.queues[i] = make(chan Frame, depth)
+		}
+	}
+}
+
+// New creates a network of n endpoints.
+func New(n int, opts ...Option) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("simnet: endpoint count %d must be positive", n))
+	}
+	net := &Network{
+		n:         n,
+		queues:    make([]chan Frame, n),
+		latency:   DefaultLatency,
+		sentMsgs:  make([]atomic.Int64, n),
+		sentBytes: make([]atomic.Int64, n),
+		closed:    make(chan struct{}),
+	}
+	for i := range net.queues {
+		net.queues[i] = make(chan Frame, 4096)
+	}
+	for _, o := range opts {
+		o(net)
+	}
+	return net
+}
+
+// NumEndpoints returns the endpoint count.
+func (net *Network) NumEndpoints() int { return net.n }
+
+// Endpoint returns endpoint i's handle.
+func (net *Network) Endpoint(i int) *Endpoint {
+	if i < 0 || i >= net.n {
+		panic(fmt.Sprintf("simnet: endpoint %d outside [0,%d)", i, net.n))
+	}
+	return &Endpoint{net: net, id: i}
+}
+
+// ErrClosed is returned by Send after the network is closed.
+var ErrClosed = errors.New("simnet: network closed")
+
+// Close shuts the network down; pending and future Recv calls return
+// ok=false, future Sends fail.
+func (net *Network) Close() {
+	net.closeOnce.Do(func() { close(net.closed) })
+}
+
+// Totals returns the global traffic counters.
+func (net *Network) Totals() Stats {
+	return Stats{Messages: net.msgs.Load(), Bytes: net.bytes.Load()}
+}
+
+// SentBy returns endpoint i's send counters.
+func (net *Network) SentBy(i int) Stats {
+	return Stats{Messages: net.sentMsgs[i].Load(), Bytes: net.sentBytes[i].Load()}
+}
+
+// EstimateTime applies the latency model to the current totals.
+func (net *Network) EstimateTime() time.Duration {
+	return net.latency.Estimate(net.msgs.Load(), net.bytes.Load())
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	net *Network
+	id  int
+}
+
+// ID returns the endpoint's index.
+func (e *Endpoint) ID() int { return e.id }
+
+// Send delivers payload to dst, reliably and in FIFO order with respect to
+// other sends from this endpoint to the same destination. Sending to
+// oneself is allowed (loopback counts no traffic — local operations are
+// free in the paper's cost model).
+func (e *Endpoint) Send(dst int, payload []byte) error {
+	if dst < 0 || dst >= e.net.n {
+		return fmt.Errorf("simnet: destination %d outside [0,%d)", dst, e.net.n)
+	}
+	select {
+	case <-e.net.closed:
+		return ErrClosed
+	default:
+	}
+	if dst != e.id {
+		e.net.msgs.Add(1)
+		e.net.bytes.Add(int64(len(payload)))
+		e.net.sentMsgs[e.id].Add(1)
+		e.net.sentBytes[e.id].Add(int64(len(payload)))
+	}
+	select {
+	case e.net.queues[dst] <- Frame{Src: e.id, Dst: dst, Payload: payload}:
+		return nil
+	case <-e.net.closed:
+		return ErrClosed
+	}
+}
+
+// Recv blocks until a frame arrives for this endpoint or the network
+// closes (ok=false).
+func (e *Endpoint) Recv() (Frame, bool) {
+	select {
+	case f := <-e.net.queues[e.id]:
+		return f, true
+	case <-e.net.closed:
+		// Drain anything already queued before reporting closure, so
+		// shutdown does not lose frames racing with Close.
+		select {
+		case f := <-e.net.queues[e.id]:
+			return f, true
+		default:
+			return Frame{}, false
+		}
+	}
+}
+
+// TryRecv returns immediately with ok=false if nothing is queued.
+func (e *Endpoint) TryRecv() (Frame, bool) {
+	select {
+	case f := <-e.net.queues[e.id]:
+		return f, true
+	default:
+		return Frame{}, false
+	}
+}

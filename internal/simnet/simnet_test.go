@@ -1,0 +1,190 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecv(t *testing.T) {
+	net := New(2)
+	defer net.Close()
+	a, b := net.Endpoint(0), net.Endpoint(1)
+	if err := a.Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := b.Recv()
+	if !ok {
+		t.Fatal("Recv failed")
+	}
+	if f.Src != 0 || f.Dst != 1 || string(f.Payload) != "hello" {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestFIFOPerSender(t *testing.T) {
+	net := New(2)
+	defer net.Close()
+	a, b := net.Endpoint(0), net.Endpoint(1)
+	for i := 0; i < 100; i++ {
+		if err := a.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		f, ok := b.Recv()
+		if !ok || f.Payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order: %+v ok=%v", i, f, ok)
+		}
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	net := New(3)
+	defer net.Close()
+	a := net.Endpoint(0)
+	if err := a.Send(1, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	tot := net.Totals()
+	if tot.Messages != 2 || tot.Bytes != 150 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	by := net.SentBy(0)
+	if by.Messages != 2 || by.Bytes != 150 {
+		t.Fatalf("SentBy = %+v", by)
+	}
+	if s := net.SentBy(1); s.Messages != 0 {
+		t.Fatalf("endpoint 1 sent nothing but counted %+v", s)
+	}
+}
+
+func TestLoopbackIsFree(t *testing.T) {
+	net := New(2)
+	defer net.Close()
+	a := net.Endpoint(0)
+	if err := a.Send(0, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	if tot := net.Totals(); tot.Messages != 0 {
+		t.Fatalf("loopback counted: %+v", tot)
+	}
+	if f, ok := a.Recv(); !ok || string(f.Payload) != "self" {
+		t.Fatal("loopback frame lost")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	net := New(2)
+	defer net.Close()
+	if err := net.Endpoint(0).Send(5, nil); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	net := New(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := net.Endpoint(0).Recv()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	net.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv returned a frame after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+	if err := net.Endpoint(0).Send(0, nil); err != ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	net := New(1)
+	defer net.Close()
+	e := net.Endpoint(0)
+	if _, ok := e.TryRecv(); ok {
+		t.Fatal("TryRecv returned a frame from an empty queue")
+	}
+	if err := e.Send(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := e.TryRecv(); !ok || string(f.Payload) != "x" {
+		t.Fatal("TryRecv missed a queued frame")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	net := New(4)
+	defer net.Close()
+	const per = 200
+	var wg sync.WaitGroup
+	for src := 1; src < 4; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			e := net.Endpoint(src)
+			for i := 0; i < per; i++ {
+				if err := e.Send(0, []byte{byte(src), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(src)
+	}
+	recvd := make(map[byte]int)
+	e := net.Endpoint(0)
+	for i := 0; i < 3*per; i++ {
+		f, ok := e.Recv()
+		if !ok {
+			t.Fatal("Recv failed mid-stream")
+		}
+		// Per-sender FIFO: sequence numbers ascend within a source.
+		if int(f.Payload[1]) != recvd[f.Payload[0]] {
+			t.Fatalf("per-sender order violated: src %d got %d want %d",
+				f.Payload[0], f.Payload[1], recvd[f.Payload[0]])
+		}
+		recvd[f.Payload[0]]++
+	}
+	wg.Wait()
+	if tot := net.Totals(); tot.Messages != 3*per {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	m := LatencyModel{PerMessage: time.Millisecond, PerKByte: 100 * time.Microsecond}
+	if got := m.Cost(2048); got != time.Millisecond+200*time.Microsecond {
+		t.Errorf("Cost = %v", got)
+	}
+	if got := m.Estimate(10, 10240); got != 10*time.Millisecond+time.Millisecond {
+		t.Errorf("Estimate = %v", got)
+	}
+	net := New(2, WithLatency(m))
+	defer net.Close()
+	if err := net.Endpoint(0).Send(1, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.EstimateTime(); got != time.Millisecond+100*time.Microsecond {
+		t.Errorf("EstimateTime = %v", got)
+	}
+}
+
+func TestBadEndpointPanics(t *testing.T) {
+	net := New(2)
+	defer net.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad endpoint index accepted")
+		}
+	}()
+	net.Endpoint(9)
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Binary trace format:
+//
+//	magic    uint32  'L','R','C','T'
+//	version  uint32  1
+//	numProcs uint32
+//	space    uint64
+//	locks    uint32
+//	barriers uint32
+//	nameLen  uint32, name bytes
+//	count    uint64
+//	events   count × record
+//
+// Each record is packed little-endian:
+//
+//	kind uint8, proc uint8 (pad to keep records self-describing),
+//	sync int32, addr int64, size int32
+const (
+	traceMagic   = 0x4c524354 // "LRCT"
+	traceVersion = 1
+)
+
+// WriteTo serializes the trace in the package's binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	hdr := []any{
+		uint32(traceMagic), uint32(traceVersion),
+		uint32(t.NumProcs), uint64(t.SpaceSize),
+		uint32(t.NumLocks), uint32(t.NumBarriers),
+		uint32(len(t.Name)),
+	}
+	for _, v := range hdr {
+		if err := put(v); err != nil {
+			return n, fmt.Errorf("trace: writing header: %w", err)
+		}
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return n, fmt.Errorf("trace: writing name: %w", err)
+	}
+	n += int64(len(t.Name))
+	if err := put(uint64(len(t.Events))); err != nil {
+		return n, fmt.Errorf("trace: writing event count: %w", err)
+	}
+	var rec [18]byte
+	for _, e := range t.Events {
+		rec[0] = byte(e.Kind)
+		rec[1] = byte(e.Proc)
+		binary.LittleEndian.PutUint32(rec[2:], uint32(e.Sync))
+		binary.LittleEndian.PutUint64(rec[6:], uint64(e.Addr))
+		binary.LittleEndian.PutUint32(rec[14:], uint32(e.Size))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, fmt.Errorf("trace: writing event: %w", err)
+		}
+		n += int64(len(rec))
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo and validates it.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic, version, procs, locks, barriers, nameLen uint32
+	var space, count uint64
+	for _, v := range []any{&magic, &version} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x (want %#x)", magic, traceMagic)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", version, traceVersion)
+	}
+	for _, v := range []any{&procs, &space, &locks, &barriers, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if procs == 0 || procs > 256 {
+		return nil, fmt.Errorf("trace: implausible processor count %d", procs)
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: reading event count: %w", err)
+	}
+	const maxEvents = 1 << 30
+	if count > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	t := &Trace{
+		NumProcs:    int(procs),
+		SpaceSize:   mem.Addr(space),
+		NumLocks:    int(locks),
+		NumBarriers: int(barriers),
+		Name:        string(name),
+		Events:      make([]Event, count),
+	}
+	var rec [18]byte
+	for i := range t.Events {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		t.Events[i] = Event{
+			Kind: Kind(rec[0]),
+			Proc: mem.ProcID(rec[1]),
+			Sync: int32(binary.LittleEndian.Uint32(rec[2:])),
+			Addr: mem.Addr(binary.LittleEndian.Uint64(rec[6:])),
+			Size: int32(binary.LittleEndian.Uint32(rec[14:])),
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: stored trace invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,201 @@
+// Package trace defines the shared-memory access traces consumed by the
+// protocol simulator, mirroring the paper's methodology (§5.1): a
+// 16-processor execution trace of each application is generated once and
+// then replayed against every protocol and page size.
+//
+// A trace is a globally-ordered sequence of events that corresponds to one
+// legal interleaving of the application: per-processor subsequences respect
+// program order, lock acquire/release pairs nest correctly, and barrier
+// episodes group one arrival per processor. Traces are page-size
+// independent: events carry byte addresses, and the simulator maps them to
+// pages under each swept page size.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Kind enumerates trace event types.
+type Kind uint8
+
+const (
+	// Read is an ordinary shared-memory read of [Addr, Addr+Size).
+	Read Kind = iota
+	// Write is an ordinary shared-memory write of [Addr, Addr+Size).
+	Write
+	// Acquire is a lock acquisition (special access, sync/acquire label).
+	Acquire
+	// Release is a lock release (special access, sync/release label).
+	Release
+	// Barrier is a barrier arrival; the event is ordered at the point the
+	// processor arrives. A barrier episode consists of one Barrier event
+	// per processor with the same Sync id; the last arrival releases all.
+	Barrier
+	numKinds
+)
+
+// String returns the event kind's mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Acquire:
+		return "acquire"
+	case Release:
+		return "release"
+	case Barrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Event is one record of a trace.
+type Event struct {
+	Kind Kind
+	Proc mem.ProcID
+	// Addr and Size describe the byte range of a Read or Write.
+	Addr mem.Addr
+	Size int32
+	// Sync is the lock id (Acquire/Release) or barrier id (Barrier).
+	Sync int32
+}
+
+// String renders the event for diagnostics.
+func (e Event) String() string {
+	switch e.Kind {
+	case Read, Write:
+		return fmt.Sprintf("p%d %s [%d,%d)", e.Proc, e.Kind, e.Addr, e.Addr+mem.Addr(e.Size))
+	case Acquire, Release:
+		return fmt.Sprintf("p%d %s lock%d", e.Proc, e.Kind, e.Sync)
+	case Barrier:
+		return fmt.Sprintf("p%d barrier%d", e.Proc, e.Sync)
+	default:
+		return fmt.Sprintf("p%d %s", e.Proc, e.Kind)
+	}
+}
+
+// Trace is a complete globally-ordered execution trace.
+type Trace struct {
+	// NumProcs is the number of processors in the traced execution.
+	NumProcs int
+	// SpaceSize is the extent of the shared address space the trace
+	// touches, in bytes.
+	SpaceSize mem.Addr
+	// NumLocks and NumBarriers bound the Sync ids used.
+	NumLocks    int
+	NumBarriers int
+	// Name identifies the workload that generated the trace.
+	Name string
+	// Events is the globally-ordered event sequence.
+	Events []Event
+}
+
+// Counts summarizes a trace's event mix.
+type Counts struct {
+	Reads, Writes, Acquires, Releases, BarrierArrivals int
+}
+
+// Count tallies the trace's event mix.
+func (t *Trace) Count() Counts {
+	var c Counts
+	for _, e := range t.Events {
+		switch e.Kind {
+		case Read:
+			c.Reads++
+		case Write:
+			c.Writes++
+		case Acquire:
+			c.Acquires++
+		case Release:
+			c.Releases++
+		case Barrier:
+			c.BarrierArrivals++
+		}
+	}
+	return c
+}
+
+// Validate checks the structural legality of the trace: event fields in
+// range, per-processor lock nesting (acquire before release, no double
+// acquire of one lock by one holder, release by the holder), and complete
+// barrier episodes (each barrier id is arrived-at exactly once per
+// processor per episode, and episodes do not interleave with one another
+// for the same id).
+func (t *Trace) Validate() error {
+	if t.NumProcs <= 0 {
+		return fmt.Errorf("trace: NumProcs %d must be positive", t.NumProcs)
+	}
+	if t.SpaceSize <= 0 {
+		return fmt.Errorf("trace: SpaceSize %d must be positive", t.SpaceSize)
+	}
+	lockHolder := make(map[int32]mem.ProcID)
+	barArrived := make(map[int32]map[mem.ProcID]bool)
+	for i, e := range t.Events {
+		if !e.Kind.Valid() {
+			return fmt.Errorf("trace: event %d: invalid kind %d", i, e.Kind)
+		}
+		if e.Proc < 0 || int(e.Proc) >= t.NumProcs {
+			return fmt.Errorf("trace: event %d: processor %d out of range [0,%d)", i, e.Proc, t.NumProcs)
+		}
+		switch e.Kind {
+		case Read, Write:
+			if e.Size <= 0 {
+				return fmt.Errorf("trace: event %d: access size %d must be positive", i, e.Size)
+			}
+			if e.Addr < 0 || e.Addr+mem.Addr(e.Size) > t.SpaceSize {
+				return fmt.Errorf("trace: event %d: access [%d,%d) outside space [0,%d)", i, e.Addr, e.Addr+mem.Addr(e.Size), t.SpaceSize)
+			}
+		case Acquire:
+			if e.Sync < 0 || int(e.Sync) >= t.NumLocks {
+				return fmt.Errorf("trace: event %d: lock %d out of range [0,%d)", i, e.Sync, t.NumLocks)
+			}
+			if h, held := lockHolder[e.Sync]; held {
+				return fmt.Errorf("trace: event %d: p%d acquires lock %d already held by p%d", i, e.Proc, e.Sync, h)
+			}
+			lockHolder[e.Sync] = e.Proc
+		case Release:
+			if e.Sync < 0 || int(e.Sync) >= t.NumLocks {
+				return fmt.Errorf("trace: event %d: lock %d out of range [0,%d)", i, e.Sync, t.NumLocks)
+			}
+			h, held := lockHolder[e.Sync]
+			if !held {
+				return fmt.Errorf("trace: event %d: p%d releases unheld lock %d", i, e.Proc, e.Sync)
+			}
+			if h != e.Proc {
+				return fmt.Errorf("trace: event %d: p%d releases lock %d held by p%d", i, e.Proc, e.Sync, h)
+			}
+			delete(lockHolder, e.Sync)
+		case Barrier:
+			if e.Sync < 0 || int(e.Sync) >= t.NumBarriers {
+				return fmt.Errorf("trace: event %d: barrier %d out of range [0,%d)", i, e.Sync, t.NumBarriers)
+			}
+			arr := barArrived[e.Sync]
+			if arr == nil {
+				arr = make(map[mem.ProcID]bool)
+				barArrived[e.Sync] = arr
+			}
+			if arr[e.Proc] {
+				return fmt.Errorf("trace: event %d: p%d arrives twice at barrier %d within one episode", i, e.Proc, e.Sync)
+			}
+			arr[e.Proc] = true
+			if len(arr) == t.NumProcs {
+				delete(barArrived, e.Sync) // episode complete
+			}
+		}
+	}
+	for l, h := range lockHolder {
+		return fmt.Errorf("trace: lock %d still held by p%d at end of trace", l, h)
+	}
+	for b, arr := range barArrived {
+		return fmt.Errorf("trace: barrier %d episode incomplete: %d of %d processors arrived", b, len(arr), t.NumProcs)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Package vc implements the vector timestamps that order intervals under
+// the happened-before-1 partial order of Adve & Hill, as used by lazy
+// release consistency (paper §4.1–4.2).
+//
+// A vector clock V held by processor p has one entry per processor; V[q]
+// is the index of the most recent interval of processor q that has
+// performed at p (and V[p] is p's own current interval index).
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock with one int32 entry per processor. The zero-length
+// VC is valid and compares as dominated-by-everything of its size class;
+// clocks of different lengths must never be mixed.
+type VC []int32
+
+// New returns a zero vector clock for n processors. All entries start at
+// -1, meaning "no interval of that processor has performed here yet";
+// interval indices are numbered from 0.
+func New(n int) VC {
+	v := make(VC, n)
+	for i := range v {
+		v[i] = -1
+	}
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Len returns the number of processors covered by the clock.
+func (v VC) Len() int { return len(v) }
+
+// Covers reports whether v already includes interval idx of processor p,
+// i.e. whether that interval has performed at the clock's holder.
+func (v VC) Covers(p int, idx int32) bool {
+	return int(v[p]) >= int(idx)
+}
+
+// Dominates reports whether v >= o entrywise. A clock dominates itself.
+func (v VC) Dominates(o VC) bool {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vc: comparing clocks of different sizes %d and %d", len(v), len(o)))
+	}
+	for i := range v {
+		if v[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+const (
+	// Equal means the clocks are identical.
+	Equal Ordering = iota
+	// Before means the receiver happened-before the argument (strictly
+	// dominated by it).
+	Before
+	// After means the argument happened-before the receiver.
+	After
+	// Concurrent means neither dominates the other.
+	Concurrent
+)
+
+// String returns a readable name for the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Compare classifies the relationship between v and o under hb1.
+func (v VC) Compare(o VC) Ordering {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vc: comparing clocks of different sizes %d and %d", len(v), len(o)))
+	}
+	less, greater := false, false
+	for i := range v {
+		switch {
+		case v[i] < o[i]:
+			less = true
+		case v[i] > o[i]:
+			greater = true
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Max merges o into v in place, taking the entrywise maximum. It returns v
+// for chaining.
+func (v VC) Max(o VC) VC {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vc: merging clocks of different sizes %d and %d", len(v), len(o)))
+	}
+	for i := range v {
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// Tick advances processor p's own entry by one and returns the new
+// interval index.
+func (v VC) Tick(p int) int32 {
+	v[p]++
+	return v[p]
+}
+
+// String renders the clock as "<v0,v1,...>".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// WireSize returns the number of bytes the clock occupies in a message
+// (4 bytes per entry); used by the message size model.
+func (v VC) WireSize() int { return 4 * len(v) }

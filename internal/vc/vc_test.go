@@ -1,0 +1,225 @@
+package vc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStartsAtMinusOne(t *testing.T) {
+	v := New(4)
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", v.Len())
+	}
+	for i, x := range v {
+		if x != -1 {
+			t.Errorf("entry %d = %d, want -1", i, x)
+		}
+	}
+}
+
+func TestTick(t *testing.T) {
+	v := New(3)
+	if got := v.Tick(1); got != 0 {
+		t.Fatalf("first Tick = %d, want 0", got)
+	}
+	if got := v.Tick(1); got != 1 {
+		t.Fatalf("second Tick = %d, want 1", got)
+	}
+	if v[0] != -1 || v[2] != -1 {
+		t.Errorf("Tick(1) disturbed other entries: %v", v)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	v := VC{2, -1, 0}
+	cases := []struct {
+		p    int
+		idx  int32
+		want bool
+	}{
+		{0, 0, true}, {0, 2, true}, {0, 3, false},
+		{1, 0, false},
+		{2, 0, true}, {2, 1, false},
+	}
+	for _, c := range cases {
+		if got := v.Covers(c.p, c.idx); got != c.want {
+			t.Errorf("Covers(%d, %d) = %v, want %v", c.p, c.idx, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want Ordering
+	}{
+		{VC{0, 0}, VC{0, 0}, Equal},
+		{VC{0, 0}, VC{1, 0}, Before},
+		{VC{2, 3}, VC{1, 3}, After},
+		{VC{1, 0}, VC{0, 1}, Concurrent},
+		{VC{-1, -1}, VC{0, -1}, Before},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !(VC{1, 2}).Dominates(VC{1, 2}) {
+		t.Error("a clock must dominate itself")
+	}
+	if !(VC{2, 2}).Dominates(VC{1, 2}) {
+		t.Error("{2,2} must dominate {1,2}")
+	}
+	if (VC{2, 1}).Dominates(VC{1, 2}) {
+		t.Error("{2,1} must not dominate {1,2}")
+	}
+}
+
+func TestMax(t *testing.T) {
+	a := VC{1, 5, -1}
+	b := VC{3, 2, -1}
+	a.Max(b)
+	if !reflect.DeepEqual(a, VC{3, 5, -1}) {
+		t.Errorf("Max = %v, want {3,5,-1}", a)
+	}
+	if !reflect.DeepEqual(b, VC{3, 2, -1}) {
+		t.Errorf("Max mutated its argument: %v", b)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := VC{1, 2}
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("mutating a clone changed the original")
+	}
+}
+
+func TestMismatchedSizesPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Dominates": func() { VC{1}.Dominates(VC{1, 2}) },
+		"Compare":   func() { VC{1}.Compare(VC{1, 2}) },
+		"Max":       func() { VC{1}.Max(VC{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on mismatched sizes did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStringAndWireSize(t *testing.T) {
+	v := VC{0, -1, 7}
+	if got := v.String(); got != "<0,-1,7>" {
+		t.Errorf("String = %q", got)
+	}
+	if got := v.WireSize(); got != 12 {
+		t.Errorf("WireSize = %d, want 12", got)
+	}
+	if got := Concurrent.String(); got != "concurrent" {
+		t.Errorf("Ordering.String = %q", got)
+	}
+	if got := Ordering(42).String(); got != "Ordering(42)" {
+		t.Errorf("Ordering.String = %q", got)
+	}
+}
+
+// randVC generates a random clock of fixed size for property tests.
+func randVC(r *rand.Rand, n int) VC {
+	v := make(VC, n)
+	for i := range v {
+		v[i] = int32(r.Intn(8)) - 1
+	}
+	return v
+}
+
+func TestPropMaxDominatesBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r, 6), randVC(r, 6)
+		m := a.Clone().Max(b)
+		return m.Dominates(a) && m.Dominates(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMaxIsLeastUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r, 5), randVC(r, 5)
+		m := a.Clone().Max(b)
+		// Any clock dominating both a and b dominates m.
+		u := randVC(r, 5)
+		if u.Dominates(a) && u.Dominates(b) && !u.Dominates(m) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r, 4), randVC(r, 4)
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case Equal:
+			return ba == Equal
+		case Before:
+			return ba == After
+		case After:
+			return ba == Before
+		case Concurrent:
+			return ba == Concurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDominatesIffBeforeOrEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r, 4), randVC(r, 4)
+		ord := a.Compare(b)
+		return a.Dominates(b) == (ord == After || ord == Equal)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMaxCommutativeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r, 5), randVC(r, 5), randVC(r, 5)
+		ab := a.Clone().Max(b)
+		ba := b.Clone().Max(a)
+		if !reflect.DeepEqual(ab, ba) {
+			return false
+		}
+		abc1 := a.Clone().Max(b).Max(c)
+		abc2 := a.Clone().Max(b.Clone().Max(c))
+		return reflect.DeepEqual(abc1, abc2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package wire defines the on-the-wire message format of the live DSM
+// runtime (internal/dsm): a fixed 24-byte header followed by kind-specific
+// payload sections, encoded little-endian with explicit counts, so every
+// byte the runtime sends through simnet is accounted and decodable.
+//
+// The trace-driven simulator sizes messages with the closed-form model in
+// internal/proto; the runtime encodes real messages. The two agree on
+// header, lock, page, barrier and diff payload sizes; runtime interval
+// blocks additionally carry each interval's vector timestamp (4n bytes),
+// which the closed-form model's receiver is assumed to reconstruct — the
+// difference is measured and documented in EXPERIMENTS.md rather than
+// hidden.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/page"
+	"repro/internal/proto"
+	"repro/internal/vc"
+)
+
+// Kind identifies a runtime message type.
+type Kind uint16
+
+const (
+	// KLockReq: requester -> lock manager. A/B = lock id, requester.
+	KLockReq Kind = iota + 1
+	// KLockFwd: manager -> last holder, same payload as KLockReq.
+	KLockFwd
+	// KLockGrant: holder -> requester, with clock, intervals and (LU)
+	// piggybacked diffs. A = lock id.
+	KLockGrant
+	// KDiffReq: requester -> responder, listing wanted (page, interval)
+	// diffs. A = requester.
+	KDiffReq
+	// KDiffResp: responder -> requester with the diffs.
+	KDiffResp
+	// KPageReq: requester -> page home. A/B = page id, requester.
+	KPageReq
+	// KPageResp: home -> requester with page contents and the applied
+	// clock of the copy. A = page id.
+	KPageResp
+	// KBarrierArrive: node -> barrier master with clock and intervals.
+	// A/B = barrier id, arriving node.
+	KBarrierArrive
+	// KBarrierExit: master -> node with merged clock and intervals.
+	// A = barrier id.
+	KBarrierExit
+	// KGCReady: node -> master after validating its pages for log
+	// truncation; KGCDone: master -> nodes to truncate. A = barrier id.
+	KGCReady
+	KGCDone
+	kindLimit
+)
+
+var kindNames = map[Kind]string{
+	KLockReq: "lockreq", KLockFwd: "lockfwd", KLockGrant: "lockgrant",
+	KDiffReq: "diffreq", KDiffResp: "diffresp",
+	KPageReq: "pagereq", KPageResp: "pageresp",
+	KBarrierArrive: "arrive", KBarrierExit: "exit",
+	KGCReady: "gcready", KGCDone: "gcdone",
+}
+
+// String returns the kind's mnemonic.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint16(k))
+}
+
+// IntervalRec carries one interval's identity, timestamp and write
+// notices (the pages it modified).
+type IntervalRec struct {
+	Proc  mem.ProcID
+	Index int32
+	VC    vc.VC
+	Pages []mem.PageID
+}
+
+// DiffRec carries one interval's diff for one page.
+type DiffRec struct {
+	Page  mem.PageID
+	Proc  mem.ProcID
+	Index int32
+	Diff  *page.Diff
+}
+
+// Want names one (page, interval) diff a requester needs.
+type Want struct {
+	Page  mem.PageID
+	Proc  mem.ProcID
+	Index int32
+}
+
+// Msg is a runtime protocol message. Only the fields relevant to Kind are
+// encoded; see the Kind constants for field meanings of A and B.
+type Msg struct {
+	Kind Kind
+	Seq  uint64 // request/response correlation
+	A, B int32  // kind-specific scalars (lock/page/barrier id, requester)
+
+	VC        vc.VC
+	Intervals []IntervalRec
+	Diffs     []DiffRec
+	Wants     []Want
+	Data      []byte // page contents (KPageResp)
+}
+
+// header layout: kind(2) reserved(2) seq(8) a(4) b(4) counts(4) = 24 bytes
+// where counts packs presence bits; section counts are encoded inline.
+const headerBytes = proto.MsgHeaderBytes
+
+// Encode serializes the message.
+func (m *Msg) Encode() []byte {
+	buf := make([]byte, 0, m.encodedSizeHint())
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint16(h[0:], uint16(m.Kind))
+	binary.LittleEndian.PutUint64(h[4:], m.Seq)
+	binary.LittleEndian.PutUint32(h[12:], uint32(m.A))
+	binary.LittleEndian.PutUint32(h[16:], uint32(m.B))
+	flags := uint32(0)
+	if m.VC != nil {
+		flags |= 1
+	}
+	binary.LittleEndian.PutUint32(h[20:], flags)
+	buf = append(buf, h[:]...)
+
+	if m.VC != nil {
+		buf = put32(buf, int32(len(m.VC)))
+		for _, x := range m.VC {
+			buf = put32(buf, x)
+		}
+	}
+	buf = put32(buf, int32(len(m.Intervals)))
+	for _, iv := range m.Intervals {
+		buf = put32(buf, int32(iv.Proc))
+		buf = put32(buf, iv.Index)
+		buf = put32(buf, int32(len(iv.VC)))
+		for _, x := range iv.VC {
+			buf = put32(buf, x)
+		}
+		buf = put32(buf, int32(len(iv.Pages)))
+		for _, p := range iv.Pages {
+			buf = put32(buf, int32(p))
+		}
+	}
+	buf = put32(buf, int32(len(m.Diffs)))
+	for _, d := range m.Diffs {
+		buf = put32(buf, int32(d.Page))
+		buf = put32(buf, int32(d.Proc))
+		buf = put32(buf, d.Index)
+		runs := d.Diff.Runs()
+		buf = put32(buf, int32(len(runs)))
+		for i, r := range runs {
+			buf = put32(buf, r.Off)
+			buf = put32(buf, r.Len)
+			buf = append(buf, d.Diff.RunData(i)...)
+		}
+	}
+	buf = put32(buf, int32(len(m.Wants)))
+	for _, w := range m.Wants {
+		buf = put32(buf, int32(w.Page))
+		buf = put32(buf, int32(w.Proc))
+		buf = put32(buf, w.Index)
+	}
+	buf = put32(buf, int32(len(m.Data)))
+	buf = append(buf, m.Data...)
+	return buf
+}
+
+func (m *Msg) encodedSizeHint() int {
+	n := headerBytes + 64
+	for _, d := range m.Diffs {
+		n += d.Diff.WireSize()
+	}
+	n += len(m.Data)
+	n += len(m.Intervals) * 64
+	return n
+}
+
+func put32(b []byte, v int32) []byte {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], uint32(v))
+	return append(b, t[:]...)
+}
+
+// decoder walks an encoded buffer with bounds checking.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) i32() int32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.b) {
+		d.err = fmt.Errorf("wire: truncated at offset %d", d.off)
+		return 0
+	}
+	v := int32(binary.LittleEndian.Uint32(d.b[d.off:]))
+	d.off += 4
+	return v
+}
+
+func (d *decoder) count(what string, limit int32) int32 {
+	n := d.i32()
+	if d.err == nil && (n < 0 || n > limit) {
+		d.err = fmt.Errorf("wire: implausible %s count %d", what, n)
+	}
+	return n
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.err = fmt.Errorf("wire: truncated payload at offset %d (want %d bytes)", d.off, n)
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// Decode parses an encoded message.
+func Decode(b []byte) (*Msg, error) {
+	if len(b) < headerBytes {
+		return nil, fmt.Errorf("wire: message of %d bytes shorter than header", len(b))
+	}
+	m := &Msg{
+		Kind: Kind(binary.LittleEndian.Uint16(b[0:])),
+		Seq:  binary.LittleEndian.Uint64(b[4:]),
+		A:    int32(binary.LittleEndian.Uint32(b[12:])),
+		B:    int32(binary.LittleEndian.Uint32(b[16:])),
+	}
+	if m.Kind == 0 || m.Kind >= kindLimit {
+		return nil, fmt.Errorf("wire: unknown message kind %d", m.Kind)
+	}
+	flags := binary.LittleEndian.Uint32(b[20:])
+	d := &decoder{b: b, off: headerBytes}
+	const maxCount = 1 << 24
+	if flags&1 != 0 {
+		n := d.count("clock", 64)
+		m.VC = make(vc.VC, n)
+		for i := range m.VC {
+			m.VC[i] = d.i32()
+		}
+	}
+	nivs := d.count("interval", maxCount)
+	for i := int32(0); i < nivs && d.err == nil; i++ {
+		var iv IntervalRec
+		iv.Proc = mem.ProcID(d.i32())
+		iv.Index = d.i32()
+		vn := d.count("interval clock", 64)
+		iv.VC = make(vc.VC, vn)
+		for k := range iv.VC {
+			iv.VC[k] = d.i32()
+		}
+		pn := d.count("interval page", maxCount)
+		iv.Pages = make([]mem.PageID, pn)
+		for k := range iv.Pages {
+			iv.Pages[k] = mem.PageID(d.i32())
+		}
+		m.Intervals = append(m.Intervals, iv)
+	}
+	ndiffs := d.count("diff", maxCount)
+	for i := int32(0); i < ndiffs && d.err == nil; i++ {
+		var rec DiffRec
+		rec.Page = mem.PageID(d.i32())
+		rec.Proc = mem.ProcID(d.i32())
+		rec.Index = d.i32()
+		nruns := d.count("run", maxCount)
+		runs := make([]page.Run, 0, nruns)
+		data := make([][]byte, 0, nruns)
+		for k := int32(0); k < nruns && d.err == nil; k++ {
+			off := d.i32()
+			length := d.i32()
+			payload := d.bytes(int(length))
+			if d.err != nil {
+				break
+			}
+			cp := make([]byte, length)
+			copy(cp, payload)
+			runs = append(runs, page.Run{Off: off, Len: length})
+			data = append(data, cp)
+		}
+		if d.err == nil {
+			df, err := page.DiffFromRuns(runs, data)
+			if err != nil {
+				return nil, fmt.Errorf("wire: %v", err)
+			}
+			rec.Diff = df
+			m.Diffs = append(m.Diffs, rec)
+		}
+	}
+	nwants := d.count("want", maxCount)
+	for i := int32(0); i < nwants && d.err == nil; i++ {
+		m.Wants = append(m.Wants, Want{
+			Page:  mem.PageID(d.i32()),
+			Proc:  mem.ProcID(d.i32()),
+			Index: d.i32(),
+		})
+	}
+	ndata := d.count("data", maxCount)
+	if ndata > 0 {
+		payload := d.bytes(int(ndata))
+		if d.err == nil {
+			m.Data = make([]byte, ndata)
+			copy(m.Data, payload)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-d.off)
+	}
+	return m, nil
+}

@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/page"
+	"repro/internal/vc"
+)
+
+func mkDiff(t *testing.T, size int, writes ...int) *page.Diff {
+	t.Helper()
+	base := make([]byte, size)
+	tw := page.NewTwin(base)
+	for _, off := range writes {
+		base[off] = 0xAB
+	}
+	d, err := page.MakeDiff(tw, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func roundTrip(t *testing.T, m *Msg) *Msg {
+	t.Helper()
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	m := &Msg{Kind: KLockReq, Seq: 12345, A: 7, B: -3}
+	got := roundTrip(t, m)
+	if got.Kind != KLockReq || got.Seq != 12345 || got.A != 7 || got.B != -3 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+}
+
+func TestVCRoundTrip(t *testing.T) {
+	m := &Msg{Kind: KLockGrant, A: 1, VC: vc.VC{0, -1, 5, 2}}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got.VC, m.VC) {
+		t.Fatalf("VC = %v, want %v", got.VC, m.VC)
+	}
+}
+
+func TestNilVCStaysNil(t *testing.T) {
+	m := &Msg{Kind: KPageReq, A: 3}
+	if got := roundTrip(t, m); got.VC != nil {
+		t.Fatalf("VC = %v, want nil", got.VC)
+	}
+}
+
+func TestIntervalsRoundTrip(t *testing.T) {
+	m := &Msg{
+		Kind: KBarrierArrive,
+		A:    0,
+		B:    2,
+		VC:   vc.VC{1, 2},
+		Intervals: []IntervalRec{
+			{Proc: 0, Index: 1, VC: vc.VC{1, -1}, Pages: []mem.PageID{3, 9}},
+			{Proc: 1, Index: 0, VC: vc.VC{0, 0}, Pages: nil},
+		},
+	}
+	got := roundTrip(t, m)
+	if len(got.Intervals) != 2 {
+		t.Fatalf("intervals = %d", len(got.Intervals))
+	}
+	if got.Intervals[0].Proc != 0 || got.Intervals[0].Index != 1 ||
+		!reflect.DeepEqual(got.Intervals[0].VC, vc.VC{1, -1}) ||
+		!reflect.DeepEqual(got.Intervals[0].Pages, []mem.PageID{3, 9}) {
+		t.Fatalf("interval 0 = %+v", got.Intervals[0])
+	}
+	if len(got.Intervals[1].Pages) != 0 {
+		t.Fatalf("interval 1 pages = %v", got.Intervals[1].Pages)
+	}
+}
+
+func TestDiffsRoundTrip(t *testing.T) {
+	d := mkDiff(t, 64, 4, 5, 20)
+	m := &Msg{
+		Kind:  KDiffResp,
+		Diffs: []DiffRec{{Page: 5, Proc: 2, Index: 3, Diff: d}},
+	}
+	got := roundTrip(t, m)
+	if len(got.Diffs) != 1 {
+		t.Fatalf("diffs = %d", len(got.Diffs))
+	}
+	rd := got.Diffs[0]
+	if rd.Page != 5 || rd.Proc != 2 || rd.Index != 3 {
+		t.Fatalf("diff rec = %+v", rd)
+	}
+	// The decoded diff must reproduce the same modification.
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	if err := d.Apply(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Diff.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("decoded diff applies differently")
+	}
+}
+
+func TestWantsAndDataRoundTrip(t *testing.T) {
+	m := &Msg{
+		Kind:  KDiffReq,
+		Wants: []Want{{Page: 1, Proc: 2, Index: 3}, {Page: 4, Proc: 5, Index: 6}},
+		Data:  []byte{1, 2, 3, 4, 5},
+	}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got.Wants, m.Wants) {
+		t.Fatalf("wants = %v", got.Wants)
+	}
+	if !reflect.DeepEqual(got.Data, m.Data) {
+		t.Fatalf("data = %v", got.Data)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),               // short header
+		make([]byte, 24),               // kind 0
+		append((&Msg{Kind: KLockReq}).Encode(), 0xff), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncations of a real message must all fail cleanly.
+	full := (&Msg{
+		Kind: KLockGrant, VC: vc.VC{1, 2},
+		Intervals: []IntervalRec{{Proc: 0, Index: 0, VC: vc.VC{0, 0}, Pages: []mem.PageID{1}}},
+	}).Encode()
+	for cut := 24; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KLockGrant.String() != "lockgrant" {
+		t.Error("kind name wrong")
+	}
+	if Kind(999).String() != "Kind(999)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestPropEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		m := &Msg{
+			Kind: Kind(1 + r.Intn(int(kindLimit)-1)),
+			Seq:  r.Uint64(),
+			A:    int32(r.Intn(1000) - 500),
+			B:    int32(r.Intn(1000) - 500),
+		}
+		if r.Intn(2) == 0 {
+			m.VC = make(vc.VC, n)
+			for i := range m.VC {
+				m.VC[i] = int32(r.Intn(10)) - 1
+			}
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			iv := IntervalRec{Proc: mem.ProcID(r.Intn(n)), Index: int32(r.Intn(10))}
+			iv.VC = make(vc.VC, n)
+			for k := range iv.VC {
+				iv.VC[k] = int32(r.Intn(10)) - 1
+			}
+			for k := 0; k < r.Intn(4); k++ {
+				iv.Pages = append(iv.Pages, mem.PageID(r.Intn(32)))
+			}
+			m.Intervals = append(m.Intervals, iv)
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			m.Wants = append(m.Wants, Want{
+				Page: mem.PageID(r.Intn(32)), Proc: mem.ProcID(r.Intn(n)), Index: int32(r.Intn(10)),
+			})
+		}
+		if r.Intn(2) == 0 {
+			m.Data = make([]byte, r.Intn(256))
+			r.Read(m.Data)
+		}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Kind != m.Kind || got.Seq != m.Seq || got.A != m.A || got.B != m.B {
+			return false
+		}
+		if !reflect.DeepEqual(got.VC, m.VC) {
+			return false
+		}
+		if len(got.Intervals) != len(m.Intervals) || len(got.Wants) != len(m.Wants) {
+			return false
+		}
+		for i := range m.Intervals {
+			if !reflect.DeepEqual(got.Intervals[i], m.Intervals[i]) &&
+				!(len(m.Intervals[i].Pages) == 0 && len(got.Intervals[i].Pages) == 0 &&
+					got.Intervals[i].Proc == m.Intervals[i].Proc &&
+					got.Intervals[i].Index == m.Intervals[i].Index &&
+					reflect.DeepEqual(got.Intervals[i].VC, m.Intervals[i].VC)) {
+				return false
+			}
+		}
+		if !reflect.DeepEqual(got.Wants, m.Wants) {
+			return false
+		}
+		if len(m.Data) == 0 {
+			return got.Data == nil || len(got.Data) == 0
+		}
+		return reflect.DeepEqual(got.Data, m.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderSizeMatchesModel(t *testing.T) {
+	// An empty message carries exactly the modeled header plus the four
+	// empty section counts (16 bytes): the runtime's fixed framing.
+	m := &Msg{Kind: KPageReq}
+	if got := len(m.Encode()); got != 24+16 {
+		t.Errorf("empty message = %d bytes, want 40", got)
+	}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// Cholesky models the SPLASH sparse Cholesky factorization (paper §5.2.2):
+// a lock-protected global task queue hands out supernodes; completing a
+// column applies updates to a few later columns, arbitrated by per-column
+// locks. No barriers are used (the original relies on fork/join ordering,
+// modeled here by one initial barrier). Data motion is migratory, like
+// LocusRoute, and lock-driven — the category where lazy protocols win most.
+type Cholesky struct {
+	Procs    int
+	Cols     int
+	ColBytes int // bytes of numeric data per column
+	Fanout   int // columns updated per completed column
+	ColLocks int
+	Seed     int64
+
+	queue  Region
+	matrix Region
+	space  mem.Addr
+	// affected[j] lists the later columns column j updates (fixed sparse
+	// structure, chosen at construction).
+	affected [][]int
+	popCount int
+}
+
+// NewCholesky returns the workload at the given scale (scales the number
+// of columns).
+func NewCholesky(procs int, scale float64, seed int64) *Cholesky {
+	w := &Cholesky{
+		Procs:    procs,
+		Cols:     int(384 * scale),
+		ColBytes: 1024,
+		Fanout:   3,
+		ColLocks: 32,
+		Seed:     seed,
+	}
+	var s Space
+	w.queue = s.AllocArray(1+w.Cols, 8)
+	w.matrix = s.AllocArray(w.Cols, w.ColBytes)
+	w.space = s.Used()
+	rng := rand.New(rand.NewSource(splitRNG(seed, -1)))
+	w.affected = make([][]int, w.Cols)
+	for j := 0; j < w.Cols; j++ {
+		n := 1 + rng.Intn(w.Fanout)
+		for k := 0; k < n; k++ {
+			if t := j + 1 + rng.Intn(16); t < w.Cols {
+				w.affected[j] = append(w.affected[j], t)
+			}
+		}
+	}
+	return w
+}
+
+// Name implements Program.
+func (w *Cholesky) Name() string { return "cholesky" }
+
+// Config implements Program.
+func (w *Cholesky) Config() Config {
+	return Config{
+		NumProcs:    w.Procs,
+		SpaceSize:   w.space,
+		NumLocks:    1 + w.ColLocks,
+		NumBarriers: 1,
+	}
+}
+
+const chQueueLock = 0
+
+func (w *Cholesky) colLock(j int) int { return 1 + j%w.ColLocks }
+
+// Proc implements Program.
+func (w *Cholesky) Proc(c *Ctx) {
+	p := c.Proc()
+
+	// Partitioned initialization of the matrix; processor 0 sets up the
+	// queue. One barrier models the original's fork ordering.
+	if p == 0 {
+		c.Write(w.queue.At(0), 8)
+	}
+	colsPer := (w.Cols + w.Procs - 1) / w.Procs
+	for j := p * colsPer; j < (p+1)*colsPer && j < w.Cols; j++ {
+		for off := 0; off < w.ColBytes; off += 256 {
+			c.Write(w.matrix.Elem(j, w.ColBytes)+mem.Addr(off), 256)
+		}
+	}
+	c.Barrier(0)
+
+	for {
+		// Pop the next column task.
+		var j int
+		c.Acquire(chQueueLock)
+		c.Read(w.queue.At(0), 8)
+		if w.popCount >= w.Cols {
+			c.Release(chQueueLock)
+			return
+		}
+		j = w.popCount
+		w.popCount++
+		c.Write(w.queue.At(0), 8)
+		c.Release(chQueueLock)
+
+		// Numeric factorization of column j: read it whole, write the
+		// factored result back.
+		colBase := w.matrix.Elem(j, w.ColBytes)
+		for off := 0; off < w.ColBytes; off += 256 {
+			c.Read(colBase+mem.Addr(off), 256)
+		}
+		for off := 0; off < w.ColBytes; off += 256 {
+			c.Write(colBase+mem.Addr(off), 256)
+		}
+
+		// Supernodal updates to affected later columns, arbitrated by
+		// per-column locks (simultaneous modifications of one column are
+		// serialized, §5.2.2).
+		for _, t := range w.affected[j] {
+			tBase := w.matrix.Elem(t, w.ColBytes)
+			c.Acquire(w.colLock(t))
+			for off := 0; off < w.ColBytes/2; off += 256 {
+				c.Read(tBase+mem.Addr(off), 256)
+				c.Write(tBase+mem.Addr(off), 256)
+			}
+			c.Release(w.colLock(t))
+		}
+	}
+}

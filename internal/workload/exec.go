@@ -1,0 +1,229 @@
+// Package workload generates the traces of the paper's evaluation. The
+// original study traced five SPLASH programs on 16 processors with the
+// Tango simulator; those traces are not available, so this package
+// re-creates each program's *sharing and synchronization structure* (as
+// documented in the paper's §5.3) as a deterministic synthetic program and
+// executes it on a miniature lockstep scheduler that serializes all shared
+// accesses into one legal, globally-ordered trace.
+//
+// Each "processor" is a goroutine running the program body against a Ctx;
+// the scheduler resumes exactly one processor at a time (round-robin among
+// runnable processors), parks processors that block on held locks or
+// barriers, and emits events in the order operations are granted — so lock
+// nesting and barrier episodes in the trace are correct by construction.
+// Given a fixed seed, generation is fully deterministic.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config describes a synthetic program's shape.
+type Config struct {
+	NumProcs    int
+	SpaceSize   mem.Addr
+	NumLocks    int
+	NumBarriers int
+}
+
+// Program is a synthetic shared-memory application.
+type Program interface {
+	// Name identifies the workload ("locusroute", ...).
+	Name() string
+	// Config returns the program's shape. It is called once, before any
+	// processor starts.
+	Config() Config
+	// Proc is the per-processor body; it runs concurrently on
+	// Config().NumProcs scheduler-controlled goroutines and must perform
+	// every shared access through ctx.
+	Proc(ctx *Ctx)
+}
+
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opAcquire
+	opRelease
+	opBarrier
+	opDone
+)
+
+type yieldMsg struct {
+	proc int
+	kind opKind
+	addr mem.Addr
+	size int32
+	sync int32
+}
+
+// Ctx is a processor's handle for performing shared-memory and
+// synchronization operations during trace generation. Methods block until
+// the scheduler grants the operation, exactly like the real DSM API.
+type Ctx struct {
+	proc int
+	g    *generator
+}
+
+// Proc returns this processor's id, 0..NumProcs-1.
+func (c *Ctx) Proc() int { return c.proc }
+
+// NumProcs returns the number of processors in the execution.
+func (c *Ctx) NumProcs() int { return c.g.cfg.NumProcs }
+
+func (c *Ctx) op(k opKind, addr mem.Addr, size int32, sync int32) {
+	c.g.yield <- yieldMsg{proc: c.proc, kind: k, addr: addr, size: size, sync: sync}
+	<-c.g.resume[c.proc]
+}
+
+// Read performs an ordinary shared read of [addr, addr+size).
+func (c *Ctx) Read(addr mem.Addr, size int) { c.op(opRead, addr, int32(size), 0) }
+
+// Write performs an ordinary shared write of [addr, addr+size).
+func (c *Ctx) Write(addr mem.Addr, size int) { c.op(opWrite, addr, int32(size), 0) }
+
+// Update performs a read-modify-write of [addr, addr+size).
+func (c *Ctx) Update(addr mem.Addr, size int) {
+	c.Read(addr, size)
+	c.Write(addr, size)
+}
+
+// Acquire blocks until lock l is granted to this processor.
+func (c *Ctx) Acquire(l int) { c.op(opAcquire, 0, 0, int32(l)) }
+
+// Release releases lock l, which the processor must hold.
+func (c *Ctx) Release(l int) { c.op(opRelease, 0, 0, int32(l)) }
+
+// Barrier blocks until every processor has arrived at barrier b.
+func (c *Ctx) Barrier(b int) { c.op(opBarrier, 0, 0, int32(b)) }
+
+// Locked runs body while holding lock l.
+func (c *Ctx) Locked(l int, body func()) {
+	c.Acquire(l)
+	body()
+	c.Release(l)
+}
+
+type generator struct {
+	cfg    Config
+	resume []chan struct{}
+	yield  chan yieldMsg
+}
+
+// Generate executes the program on the lockstep scheduler and returns the
+// resulting validated trace.
+func Generate(p Program) (*trace.Trace, error) {
+	cfg := p.Config()
+	if cfg.NumProcs <= 0 || cfg.NumProcs > 64 {
+		return nil, fmt.Errorf("workload %s: processor count %d outside [1,64]", p.Name(), cfg.NumProcs)
+	}
+	g := &generator{
+		cfg:    cfg,
+		resume: make([]chan struct{}, cfg.NumProcs),
+		yield:  make(chan yieldMsg),
+	}
+	for i := range g.resume {
+		g.resume[i] = make(chan struct{})
+	}
+	for i := 0; i < cfg.NumProcs; i++ {
+		go func(id int) {
+			ctx := &Ctx{proc: id, g: g}
+			<-g.resume[id] // wait for first scheduling slot
+			p.Proc(ctx)
+			g.yield <- yieldMsg{proc: id, kind: opDone}
+		}(i)
+	}
+
+	t := &trace.Trace{
+		NumProcs:    cfg.NumProcs,
+		SpaceSize:   cfg.SpaceSize,
+		NumLocks:    cfg.NumLocks,
+		NumBarriers: cfg.NumBarriers,
+		Name:        p.Name(),
+	}
+
+	const (
+		stRunnable = iota
+		stBlocked  // waiting on a lock or barrier
+		stDone
+	)
+	state := make([]int, cfg.NumProcs)
+	lockHolder := make(map[int32]int)   // lock -> holder
+	lockQueue := make(map[int32][]int)  // lock -> FIFO waiters
+	barWaiters := make(map[int32][]int) // barrier -> arrived & parked
+	active := cfg.NumProcs
+
+	// The resumed processor runs until its next yield; operations are
+	// granted (and their events emitted) here, in scheduling order.
+	next := 0
+	for active > 0 {
+		// Pick the next runnable processor, round-robin.
+		picked := -1
+		for i := 0; i < cfg.NumProcs; i++ {
+			cand := (next + i) % cfg.NumProcs
+			if state[cand] == stRunnable {
+				picked = cand
+				break
+			}
+		}
+		if picked == -1 {
+			return nil, fmt.Errorf("workload %s: deadlock: %d processors active but none runnable", p.Name(), active)
+		}
+		next = (picked + 1) % cfg.NumProcs
+		g.resume[picked] <- struct{}{}
+		y := <-g.yield
+		if y.proc != picked {
+			return nil, fmt.Errorf("workload %s: scheduler resumed p%d but p%d yielded", p.Name(), picked, y.proc)
+		}
+		switch y.kind {
+		case opRead:
+			t.Events = append(t.Events, trace.Event{Kind: trace.Read, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: y.size})
+		case opWrite:
+			t.Events = append(t.Events, trace.Event{Kind: trace.Write, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: y.size})
+		case opAcquire:
+			if _, held := lockHolder[y.sync]; held {
+				lockQueue[y.sync] = append(lockQueue[y.sync], y.proc)
+				state[y.proc] = stBlocked
+			} else {
+				lockHolder[y.sync] = y.proc
+				t.Events = append(t.Events, trace.Event{Kind: trace.Acquire, Proc: mem.ProcID(y.proc), Sync: y.sync})
+			}
+		case opRelease:
+			if h, held := lockHolder[y.sync]; !held || h != y.proc {
+				return nil, fmt.Errorf("workload %s: p%d releases lock %d it does not hold", p.Name(), y.proc, y.sync)
+			}
+			t.Events = append(t.Events, trace.Event{Kind: trace.Release, Proc: mem.ProcID(y.proc), Sync: y.sync})
+			delete(lockHolder, y.sync)
+			if q := lockQueue[y.sync]; len(q) > 0 {
+				w := q[0]
+				lockQueue[y.sync] = q[1:]
+				lockHolder[y.sync] = w
+				t.Events = append(t.Events, trace.Event{Kind: trace.Acquire, Proc: mem.ProcID(w), Sync: y.sync})
+				state[w] = stRunnable
+			}
+		case opBarrier:
+			t.Events = append(t.Events, trace.Event{Kind: trace.Barrier, Proc: mem.ProcID(y.proc), Sync: y.sync})
+			arr := append(barWaiters[y.sync], y.proc)
+			if len(arr) == cfg.NumProcs {
+				for _, w := range arr {
+					state[w] = stRunnable
+				}
+				delete(barWaiters, y.sync)
+			} else {
+				barWaiters[y.sync] = arr
+				state[y.proc] = stBlocked
+			}
+		case opDone:
+			state[y.proc] = stDone
+			active--
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workload %s: generated invalid trace: %w", p.Name(), err)
+	}
+	return t, nil
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// LocusRoute models the SPLASH VLSI standard-cell router (paper §5.2.1):
+// the dominant shared structure is a cost grid (a cell's cost is the
+// number of wires through it); work is handed out a wire at a time from a
+// central task queue protected by a lock, and synchronization is almost
+// entirely lock-based. Data motion is migratory — the task-queue and cost
+// pages follow the lock from processor to processor — and false sharing on
+// the grid grows with page size (adjacent rows land on one page), the two
+// factors the paper says favor lazy protocols.
+//
+// Each popped wire evaluates three candidate rows over a column span
+// (reads) and then routes through the cheapest (read-modify-writes). An
+// initial barrier stands in for the original program's fork ordering.
+type LocusRoute struct {
+	Procs    int
+	Wires    int // total wires to route
+	GridRows int
+	GridCols int
+	SpanLen  int // cells per route segment
+	Seed     int64
+
+	queue Region // head counter + wire descriptors
+	grid  Region // GridRows x GridCols x 4-byte cost cells
+	space mem.Addr
+	// popCount is the shared pop cursor, mirrored app-side; it is only
+	// touched while holding the queue lock, and the lockstep scheduler
+	// runs one processor at a time, so this is race-free.
+	popCount int
+}
+
+// lrRowLocks is the number of locks hashing the grid rows; the paper's
+// §5.3 notes LocusRoute's locks protect individual cost-array elements, so
+// cost updates are lock-arbitrated (and thereby happened-before-ordered).
+const lrRowLocks = 16
+
+// NewLocusRoute returns the workload at the given scale (1.0 reproduces
+// the repository's standard configuration; larger scales add wires).
+func NewLocusRoute(procs int, scale float64, seed int64) *LocusRoute {
+	w := &LocusRoute{
+		Procs:    procs,
+		Wires:    int(1200 * scale),
+		GridRows: 64,
+		GridCols: 256,
+		SpanLen:  24,
+		Seed:     seed,
+	}
+	var s Space
+	w.queue = s.AllocArray(1+w.Wires, 16)
+	w.grid = s.AllocArray(w.GridRows*w.GridCols, 4)
+	w.space = s.Used()
+	return w
+}
+
+// Name implements Program.
+func (w *LocusRoute) Name() string { return "locusroute" }
+
+// Config implements Program.
+func (w *LocusRoute) Config() Config {
+	return Config{
+		NumProcs:    w.Procs,
+		SpaceSize:   w.space,
+		NumLocks:    1 + lrRowLocks,
+		NumBarriers: 1,
+	}
+}
+
+const lrQueueLock = 0
+
+func (w *LocusRoute) rowLock(row int) int { return 1 + row%lrRowLocks }
+
+func (w *LocusRoute) cell(row, col int) mem.Addr {
+	return w.grid.Elem(row*w.GridCols+col, 4)
+}
+
+// Proc implements Program.
+func (w *LocusRoute) Proc(c *Ctx) {
+	p := c.Proc()
+	rng := rand.New(rand.NewSource(splitRNG(w.Seed, int64(p))))
+
+	// Initialization: processor 0 sets up the task queue; the grid is
+	// zero-initialized in partitioned fashion (each processor clears a
+	// band of rows), as the original does.
+	if p == 0 {
+		c.Write(w.queue.At(0), 8) // head
+		for i := 0; i < w.Wires; i++ {
+			c.Write(w.queue.Elem(1+i, 16), 16)
+		}
+	}
+	rowsPer := (w.GridRows + w.Procs - 1) / w.Procs
+	for r := p * rowsPer; r < (p+1)*rowsPer && r < w.GridRows; r++ {
+		// Clear a whole row with chunked writes.
+		for col := 0; col < w.GridCols; col += 64 {
+			c.Write(w.cell(r, col), 64*4)
+		}
+	}
+	c.Barrier(0)
+
+	for {
+		// Pop one wire from the central queue.
+		var wire int
+		c.Acquire(lrQueueLock)
+		c.Read(w.queue.At(0), 8)
+		if w.popCount >= w.Wires {
+			c.Release(lrQueueLock)
+			return
+		}
+		wire = w.popCount
+		w.popCount++
+		c.Write(w.queue.At(0), 8)
+		c.Read(w.queue.Elem(1+wire, 16), 16)
+		c.Release(lrQueueLock)
+
+		// Evaluate three candidate rows over the span, then route through
+		// the cheapest (chosen pseudo-randomly; the cost values are not
+		// materialized, only the access pattern matters).
+		row := 1 + rng.Intn(w.GridRows-2)
+		col0 := rng.Intn(w.GridCols - w.SpanLen)
+		for dr := -1; dr <= 1; dr++ {
+			for k := 0; k < w.SpanLen; k += 4 {
+				c.Read(w.cell(row+dr, col0+k), 16)
+			}
+		}
+		best := row + rng.Intn(3) - 1
+		c.Acquire(w.rowLock(best))
+		for k := 0; k < w.SpanLen; k += 2 {
+			c.Update(w.cell(best, col0+k), 8)
+		}
+		c.Release(w.rowLock(best))
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// Pthor models the SPLASH distributed-time logic simulator (paper §5.2.5):
+// logic elements, wires between them, and per-processor work queues, all
+// lock-protected. Each processor has a set of pages it modifies (its own
+// elements, output wires and queue) that are frequently read by other
+// processors — the producer/consumer pattern that makes invalidation
+// protocols reload entire pages over and over (the paper calls out EI's
+// data volume as particularly high, and LI's message count exceeds LU's
+// because LI takes more access misses). Barriers appear only for the
+// (rare) deadlock-recovery phases.
+type Pthor struct {
+	Procs       int
+	ElemsPerPrc int
+	Evals       int // element evaluations per processor
+	Phases      int // deadlock-recovery episodes (barrier pairs)
+	Seed        int64
+
+	elements Region // per-processor element blocks, 32 bytes each
+	wires    Region // one output wire per element, 16 bytes, owner-stored
+	queues   Region // per-processor queue: 16-byte header + entries
+	space    mem.Addr
+	qBytes   int
+}
+
+// NewPthor returns the workload at the given scale (scales evaluations).
+func NewPthor(procs int, scale float64, seed int64) *Pthor {
+	w := &Pthor{
+		Procs:       procs,
+		ElemsPerPrc: 96,
+		Evals:       int(500 * scale),
+		Phases:      2,
+		Seed:        seed,
+	}
+	total := procs * w.ElemsPerPrc
+	w.qBytes = 16 + 8*64
+	var s Space
+	w.elements = s.AllocArray(total, 32)
+	w.wires = s.AllocArray(total, 16)
+	w.queues = s.AllocArray(procs, w.qBytes)
+	w.space = s.Used()
+	return w
+}
+
+// Name implements Program.
+func (w *Pthor) Name() string { return "pthor" }
+
+// Config implements Program.
+func (w *Pthor) Config() Config {
+	return Config{
+		NumProcs:    w.Procs,
+		SpaceSize:   w.space,
+		NumLocks:    w.Procs, // one lock per work queue
+		NumBarriers: 1,
+	}
+}
+
+// elem returns the address of owner's k-th element.
+func (w *Pthor) elem(owner, k int) mem.Addr {
+	return w.elements.Elem(owner*w.ElemsPerPrc+k, 32)
+}
+
+// wire returns the address of the output wire of owner's k-th element;
+// wires are stored grouped by owner, so a processor's outputs share pages.
+func (w *Pthor) wire(owner, k int) mem.Addr {
+	return w.wires.Elem(owner*w.ElemsPerPrc+k, 16)
+}
+
+// Proc implements Program.
+func (w *Pthor) Proc(c *Ctx) {
+	p := c.Proc()
+	rng := rand.New(rand.NewSource(splitRNG(w.Seed, int64(p))))
+
+	// Partitioned initialization and the fork barrier.
+	for k := 0; k < w.ElemsPerPrc; k++ {
+		c.Write(w.elem(p, k), 32)
+		c.Write(w.wire(p, k), 16)
+	}
+	c.Write(w.queues.Elem(p, w.qBytes), 16)
+	c.Barrier(0)
+
+	evalsPerPhase := w.Evals / w.Phases
+	for phase := 0; phase < w.Phases; phase++ {
+		for ev := 0; ev < evalsPerPhase; ev++ {
+			// Pop an event for one of our elements from our queue.
+			k := rng.Intn(w.ElemsPerPrc)
+			c.Acquire(p)
+			c.Read(w.queues.Elem(p, w.qBytes), 16)
+			c.Write(w.queues.Elem(p, w.qBytes), 16)
+			c.Release(p)
+
+			// Evaluate the element: read its state and its two input
+			// wires — usually outputs of elements owned by other
+			// processors (the cross-processor reads that hammer
+			// invalidation protocols).
+			c.Read(w.elem(p, k), 32)
+			for in := 0; in < 2; in++ {
+				src := rng.Intn(w.Procs - 1)
+				if src >= p {
+					src++
+				}
+				c.Read(w.wire(src, rng.Intn(w.ElemsPerPrc)), 16)
+			}
+
+			// Write the element's new state and its output wire (pages
+			// this processor owns and others read).
+			c.Write(w.elem(p, k), 32)
+			c.Write(w.wire(p, k), 16)
+
+			// Schedule downstream events on one or two other processors'
+			// queues (producer side of the queues).
+			fanout := 1 + rng.Intn(2)
+			for f := 0; f < fanout; f++ {
+				tgt := rng.Intn(w.Procs - 1)
+				if tgt >= p {
+					tgt++
+				}
+				c.Acquire(tgt)
+				c.Read(w.queues.Elem(tgt, w.qBytes), 16)
+				c.Write(w.queues.Elem(tgt, w.qBytes)+16+mem.Addr(8*rng.Intn(64)), 8)
+				c.Write(w.queues.Elem(tgt, w.qBytes), 16)
+				c.Release(tgt)
+			}
+		}
+		// Deadlock recovery: all queues drained, everyone synchronizes.
+		c.Barrier(0)
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Names lists the five workloads in the paper's presentation order.
+var Names = []string{"locusroute", "cholesky", "mp3d", "water", "pthor"}
+
+// New constructs a workload by name. procs is the processor count (the
+// paper used 16), scale multiplies the workload size (1.0 is this
+// repository's standard configuration), and seed fixes the pseudo-random
+// structure.
+func New(name string, procs int, scale float64, seed int64) (Program, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("workload: processor count %d must be positive", procs)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("workload: scale %g must be positive", scale)
+	}
+	switch name {
+	case "locusroute":
+		return NewLocusRoute(procs, scale, seed), nil
+	case "cholesky":
+		return NewCholesky(procs, scale, seed), nil
+	case "mp3d":
+		return NewMP3D(procs, scale, seed), nil
+	case "water":
+		return NewWater(procs, scale, seed), nil
+	case "pthor":
+		return NewPthor(procs, scale, seed), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q (want one of %v)", name, Names)
+	}
+}
+
+type cacheKey struct {
+	name  string
+	procs int
+	scale float64
+	seed  int64
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*trace.Trace{}
+)
+
+// GenerateCached generates the named workload's trace, memoizing the
+// result: the simulator replays one trace against many (protocol, page
+// size) combinations, exactly as the paper generated each application's
+// trace once.
+func GenerateCached(name string, procs int, scale float64, seed int64) (*trace.Trace, error) {
+	key := cacheKey{name, procs, scale, seed}
+	cacheMu.Lock()
+	t, ok := cache[key]
+	cacheMu.Unlock()
+	if ok {
+		return t, nil
+	}
+	prog, err := New(name, procs, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	t, err = Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	cache[key] = t
+	cacheMu.Unlock()
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Region is a named extent of the shared address space.
+type Region struct {
+	Base mem.Addr
+	Size mem.Addr
+}
+
+// At returns the address off bytes into the region, panicking on overflow
+// (a workload bug).
+func (r Region) At(off mem.Addr) mem.Addr {
+	if off < 0 || off >= r.Size {
+		panic(fmt.Sprintf("workload: offset %d outside region of %d bytes", off, r.Size))
+	}
+	return r.Base + off
+}
+
+// Elem returns the address of element i of an array of stride-byte
+// elements starting at the region base.
+func (r Region) Elem(i int, stride int) mem.Addr {
+	return r.At(mem.Addr(i) * mem.Addr(stride))
+}
+
+// Space is a bump allocator for laying out a workload's shared data
+// structures. Allocations are aligned so that logically distinct
+// structures never share a smallest-granularity (512-byte) page unless a
+// workload deliberately co-locates them.
+type Space struct {
+	next mem.Addr
+}
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the region.
+func (s *Space) Alloc(size mem.Addr, align mem.Addr) Region {
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("workload: alignment %d is not a positive power of two", align))
+	}
+	base := (s.next + align - 1) &^ (align - 1)
+	s.next = base + size
+	return Region{Base: base, Size: size}
+}
+
+// AllocArray reserves count elements of stride bytes, page-aligned to the
+// smallest simulated page size so arrays start on page boundaries.
+func (s *Space) AllocArray(count, stride int) Region {
+	return s.Alloc(mem.Addr(count)*mem.Addr(stride), 512)
+}
+
+// Used returns the total bytes allocated so far.
+func (s *Space) Used() mem.Addr { return s.next }
+
+// splitRNG returns a deterministic 64-bit mix of seed and lane, for giving
+// each processor (or structure) an independent reproducible random stream.
+func splitRNG(seed int64, lane int64) int64 {
+	z := uint64(seed) + uint64(lane)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// Water models the SPLASH N-body molecular dynamics simulation (paper
+// §5.2.4): barrier-separated timesteps; each molecule's force is computed
+// from neighbors within a spherical cutoff (reads of other processors'
+// molecule positions), inter-molecule force contributions are accumulated
+// under per-molecule locks, and a global running sum is lock-protected.
+// Of the five programs it communicates least: positions are stable within
+// a step, and most writes are to a processor's own molecules. Lazy
+// protocols' data advantage here comes from moving diffs instead of whole
+// pages on read misses (§5.2.4).
+type Water struct {
+	Procs     int
+	Molecules int
+	Steps     int
+	Window    int // half-width of the cutoff neighborhood, in molecules
+	MolLocks  int
+	Seed      int64
+
+	positions Region // Molecules x 24 bytes
+	forces    Region // Molecules x 24 bytes
+	velo      Region // Molecules x 24 bytes, only owner-written
+	sum       Region // global running sum
+	space     mem.Addr
+}
+
+// NewWater returns the workload at the given scale (scales molecules and
+// steps).
+func NewWater(procs int, scale float64, seed int64) *Water {
+	w := &Water{
+		Procs:     procs,
+		Molecules: int(512 * scale),
+		Steps:     3,
+		Window:    5,
+		MolLocks:  32,
+		Seed:      seed,
+	}
+	// The original's per-molecule record is large (positions and five
+	// higher-order derivatives, ~680 bytes); 256-byte strides keep the
+	// number of molecules sharing even a 512-byte page small, which is
+	// what bounds the concurrent-last-modifier sets on the lock-updated
+	// force array.
+	var s Space
+	w.positions = s.AllocArray(w.Molecules, 256)
+	w.forces = s.AllocArray(w.Molecules, 256)
+	w.velo = s.AllocArray(w.Molecules, 256)
+	w.sum = s.AllocArray(1, 8)
+	w.space = s.Used()
+	return w
+}
+
+// Name implements Program.
+func (w *Water) Name() string { return "water" }
+
+// Config implements Program.
+func (w *Water) Config() Config {
+	return Config{
+		NumProcs:    w.Procs,
+		SpaceSize:   w.space,
+		NumLocks:    1 + w.MolLocks,
+		NumBarriers: 2,
+	}
+}
+
+const waSumLock = 0
+
+func (w *Water) molLock(i int) int { return 1 + i%w.MolLocks }
+
+// Proc implements Program.
+func (w *Water) Proc(c *Ctx) {
+	p := c.Proc()
+	rng := rand.New(rand.NewSource(splitRNG(w.Seed, int64(p))))
+
+	perProc := (w.Molecules + w.Procs - 1) / w.Procs
+	lo := p * perProc
+	hi := lo + perProc
+	if hi > w.Molecules {
+		hi = w.Molecules
+	}
+
+	// Partitioned initialization and the fork barrier.
+	for i := lo; i < hi; i++ {
+		c.Write(w.positions.Elem(i, 256), 24)
+		c.Write(w.forces.Elem(i, 256), 24)
+		c.Write(w.velo.Elem(i, 256), 24)
+	}
+	if p == 0 {
+		c.Write(w.sum.At(0), 8)
+	}
+	c.Barrier(0)
+
+	for step := 0; step < w.Steps; step++ {
+		// Force phase: for each owned molecule, read neighbors within the
+		// cutoff window; roughly half the pairs interact, adding a
+		// lock-protected contribution to the neighbor's force sum.
+		for i := lo; i < hi; i++ {
+			c.Read(w.positions.Elem(i, 256), 24)
+			for d := 1; d <= w.Window; d++ {
+				j := (i + d) % w.Molecules
+				c.Read(w.positions.Elem(j, 256), 24)
+				if rng.Intn(2) == 0 {
+					c.Acquire(w.molLock(j))
+					c.Update(w.forces.Elem(j, 256), 24)
+					c.Release(w.molLock(j))
+				}
+			}
+			c.Update(w.forces.Elem(i, 256), 24)
+		}
+		c.Barrier(1)
+		// Update phase: integrate owned molecules and fold the local
+		// potential into the global running sum.
+		for i := lo; i < hi; i++ {
+			c.Read(w.forces.Elem(i, 256), 24)
+			c.Write(w.positions.Elem(i, 256), 24)
+			c.Write(w.velo.Elem(i, 256), 24)
+		}
+		c.Acquire(waSumLock)
+		c.Update(w.sum.At(0), 8)
+		c.Release(waSumLock)
+		c.Barrier(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Package repro is a Go reproduction of "Lazy Release Consistency for
+// Software Distributed Shared Memory" (Keleher, Cox, Zwaenepoel, ISCA
+// 1992).
+//
+// It provides two complementary artifacts:
+//
+//   - A trace-driven protocol simulator reproducing the paper's
+//     evaluation: four release-consistency protocols — lazy invalidate
+//     (LI), lazy update (LU), and the Munin-style eager invalidate (EI)
+//     and eager update (EU) — plus an Ivy-style sequentially consistent
+//     baseline (SC), replayed over synthetic 16-processor traces of the
+//     five SPLASH programs the paper used, across page sizes 512..8192.
+//     See Simulate and GenerateTrace.
+//
+//   - A live DSM runtime implementing lazy release consistency end to
+//     end (the implementation the paper's §7 promises): goroutine-backed
+//     nodes exchanging write notices, twins and diffs over a simulated
+//     reliable FIFO interconnect. See NewDSM.
+//
+// The package re-exports the internal building blocks' primary types via
+// aliases, so downstream code can use the library without reaching into
+// internal packages.
+package repro
+
+import (
+	"repro/internal/dsm"
+	"repro/internal/mem"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Identifier and configuration aliases.
+type (
+	// ProcID identifies a processor.
+	ProcID = mem.ProcID
+	// Addr is a byte offset into the shared address space.
+	Addr = mem.Addr
+	// LockID identifies an exclusive lock.
+	LockID = mem.LockID
+	// BarrierID identifies a barrier.
+	BarrierID = mem.BarrierID
+	// Trace is a globally-ordered shared-memory execution trace.
+	Trace = trace.Trace
+	// TraceEvent is one trace record.
+	TraceEvent = trace.Event
+	// Options toggles protocol ablations (piggybacking, diffs,
+	// multiple-writer).
+	Options = proto.Options
+	// Stats is a protocol engine's accumulated metrics.
+	Stats = proto.Stats
+	// Result is one (workload, protocol, page size) sweep point.
+	Result = sim.Result
+	// DSM is a live lazy-release-consistency shared memory instance.
+	DSM = dsm.System
+	// DSMConfig configures a live DSM instance.
+	DSMConfig = dsm.Config
+	// Node is one live DSM processor handle.
+	Node = dsm.Node
+	// LatencyModel estimates communication time from message/byte counts.
+	LatencyModel = simnet.LatencyModel
+)
+
+// Live DSM data-movement modes.
+const (
+	// LazyInvalidate is the LI protocol (§4.3.2).
+	LazyInvalidate = dsm.LazyInvalidate
+	// LazyUpdate is the LU protocol (§4.3.2).
+	LazyUpdate = dsm.LazyUpdate
+)
+
+// Protocols lists the four protocols of the paper's evaluation.
+var Protocols = sim.ProtocolNames
+
+// AllProtocols additionally includes the SC (Ivy) baseline.
+var AllProtocols = sim.AllProtocolNames
+
+// Workloads lists the five SPLASH-like workload generators.
+var Workloads = workload.Names
+
+// PaperPageSizes lists the page sizes the paper sweeps (bytes).
+var PaperPageSizes = mem.PaperPageSizes
+
+// PaperProcs is the processor count of the paper's traces.
+const PaperProcs = 16
+
+// GenerateTrace produces (and memoizes) the named workload's execution
+// trace: a legal, globally-ordered, page-size-independent event sequence
+// with the SPLASH program's documented sharing structure. scale 1.0 is the
+// repository's standard size; the paper's qualitative results hold at any
+// scale.
+func GenerateTrace(name string, procs int, scale float64, seed int64) (*Trace, error) {
+	return workload.GenerateCached(name, procs, scale, seed)
+}
+
+// Simulate replays a trace against one protocol at one page size and
+// returns the message/data statistics.
+func Simulate(t *Trace, protocol string, pageSize int, opts Options) (*Stats, error) {
+	return sim.Run(t, protocol, pageSize, opts)
+}
+
+// Sweep replays a trace against every (protocol, page size) combination —
+// the computation behind each of the paper's figures — running the points
+// in parallel.
+func Sweep(t *Trace, protocols []string, pageSizes []int, opts Options) ([]Result, error) {
+	return sim.Sweep(t, protocols, pageSizes, opts)
+}
+
+// Series extracts one protocol's metric ("messages" or "data") from sweep
+// results in the given page-size order.
+func Series(results []Result, protocol string, pageSizes []int, metric string) ([]int64, error) {
+	return sim.Series(results, protocol, pageSizes, metric)
+}
+
+// NewDSM starts a live lazy-release-consistency DSM.
+func NewDSM(cfg DSMConfig) (*DSM, error) {
+	return dsm.New(cfg)
+}

@@ -1,0 +1,103 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeSimulation(t *testing.T) {
+	tr, err := repro.GenerateTrace("water", 8, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := repro.Simulate(tr, "LI", 1024, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalMessages() <= 0 {
+		t.Fatal("no messages simulated")
+	}
+	results, err := repro.Sweep(tr, repro.Protocols, []int{512, 4096}, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(repro.Protocols)*2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	series, err := repro.Series(results, "EU", []int{4096, 512}, "data")
+	if err != nil || len(series) != 2 {
+		t.Fatalf("series %v err %v", series, err)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if len(repro.Protocols) != 4 || len(repro.AllProtocols) != 5 {
+		t.Error("protocol lists wrong")
+	}
+	if len(repro.Workloads) != 5 {
+		t.Error("workload list wrong")
+	}
+	if len(repro.PaperPageSizes) != 5 || repro.PaperProcs != 16 {
+		t.Error("paper constants wrong")
+	}
+}
+
+func TestFacadeDSM(t *testing.T) {
+	d, err := repro.NewDSM(repro.DSMConfig{
+		Procs: 4, SpaceSize: 16 * 1024, PageSize: 1024, Mode: repro.LazyUpdate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := d.Node(i)
+			for k := 0; k < 5; k++ {
+				if errs[i] = n.Acquire(0); errs[i] != nil {
+					return
+				}
+				v, err := n.ReadUint64(0)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if errs[i] = n.WriteUint64(0, v+1); errs[i] != nil {
+					return
+				}
+				if errs[i] = n.Release(0); errs[i] != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	n := d.Node(0)
+	if err := n.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.ReadUint64(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 20 {
+		t.Fatalf("counter = %d, want 20", v)
+	}
+	if err := n.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.NetStats().Messages == 0 {
+		t.Error("no interconnect traffic")
+	}
+}
