@@ -7,6 +7,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/dsm"
 	"repro/internal/mem"
 	"repro/internal/page"
 	"repro/internal/proto"
@@ -244,6 +245,38 @@ func BenchmarkRuntimeMigratoryCounter(b *testing.B) {
 		})
 	}
 }
+
+// benchRuntimeWorkload runs one SPLASH workload end to end on the live DSM
+// runtime per iteration — the full life of an execution: node startup,
+// concurrent program body, closing barrier, image read-out — in both
+// data-movement modes, reporting interconnect traffic per run.
+func benchRuntimeWorkload(b *testing.B, app string) {
+	for _, mode := range []dsm.Mode{dsm.LazyInvalidate, dsm.LazyUpdate} {
+		b.Run(mode.String(), func(b *testing.B) {
+			prog, err := workload.New(app, 4, 0.05, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res *workload.RuntimeResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = workload.RunOnRuntime(prog, workload.RuntimeConfig{PageSize: 1024, Mode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.Net.Messages), "msgs/run")
+			b.ReportMetric(float64(res.Net.Bytes)/1024, "kB/run")
+		})
+	}
+}
+
+func BenchmarkRuntimeLocusRoute(b *testing.B) { benchRuntimeWorkload(b, "locusroute") }
+func BenchmarkRuntimeCholesky(b *testing.B)   { benchRuntimeWorkload(b, "cholesky") }
+func BenchmarkRuntimeMP3D(b *testing.B)       { benchRuntimeWorkload(b, "mp3d") }
+func BenchmarkRuntimeWater(b *testing.B)      { benchRuntimeWorkload(b, "water") }
+func BenchmarkRuntimePthor(b *testing.B)      { benchRuntimeWorkload(b, "pthor") }
 
 // BenchmarkRuntimeBarrier measures a live all-write-then-barrier round.
 func BenchmarkRuntimeBarrier(b *testing.B) {

@@ -1,79 +1,187 @@
-// Command lrcrun runs demonstration programs on the live lazy-release-
-// consistency DSM runtime (the implementation the paper's §7 promises)
-// and reports the interconnect traffic and estimated communication time.
+// Command lrcrun runs programs on the live lazy-release-consistency DSM
+// runtime (the implementation the paper's §7 promises) and reports the
+// interconnect traffic and estimated communication time.
+//
+// It runs either a small demonstration pattern (-demo) or one of the five
+// SPLASH-structure workloads (-app). Workloads execute on genuinely
+// concurrent nodes; the final shared-memory image is checked against the
+// lockstep sequential reference, and the runtime's interconnect totals are
+// printed next to the trace simulator's counts for the same program at the
+// same page size.
 //
 // Examples:
 //
 //	lrcrun -demo counter -mode LU -procs 8
 //	lrcrun -demo stencil -procs 4 -gc 2
-//	lrcrun -demo queue -iters 200
+//	lrcrun -app locusroute -mode LU -procs 8 -scale 0.25
+//	lrcrun -app all -pagesize 1024
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"sync"
 
 	"repro"
+	"repro/internal/dsm"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func main() {
-	var (
-		demo  = flag.String("demo", "counter", "demo program: counter, stencil, queue")
-		mode  = flag.String("mode", "LI", "protocol mode: LI or LU")
-		procs = flag.Int("procs", 8, "number of DSM nodes")
-		iters = flag.Int("iters", 100, "iterations per node")
-		gc    = flag.Int("gc", 0, "garbage-collect every N barriers (0 = off)")
-	)
-	flag.Parse()
-
-	m := repro.LazyInvalidate
-	if *mode == "LU" {
-		m = repro.LazyUpdate
-	} else if *mode != "LI" {
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "lrcrun:", err)
+		os.Exit(1)
 	}
-	d, err := repro.NewDSM(repro.DSMConfig{
-		Procs:           *procs,
-		SpaceSize:       1 << 20,
-		PageSize:        4096,
-		Mode:            m,
-		GCEveryBarriers: *gc,
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lrcrun", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		demo     = fs.String("demo", "", "demo program: counter, stencil, queue")
+		app      = fs.String("app", "", "workload to run on the runtime ("+strings.Join(workload.Names, ", ")+") or \"all\"")
+		mode     = fs.String("mode", "LI", "protocol mode: LI or LU")
+		procs    = fs.Int("procs", 8, "number of DSM nodes")
+		iters    = fs.Int("iters", 100, "iterations per node (demos)")
+		scale    = fs.Float64("scale", 0.1, "workload scale factor (-app)")
+		seed     = fs.Int64("seed", 42, "workload random seed (-app)")
+		pageSize = fs.Int("pagesize", 4096, "consistency page size in bytes")
+		gc       = fs.Int("gc", 0, "garbage-collect every N barriers (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := dsm.LazyInvalidate
+	switch *mode {
+	case "LI":
+	case "LU":
+		m = dsm.LazyUpdate
+	default:
+		return fmt.Errorf("unknown mode %q (want LI or LU)", *mode)
+	}
+
+	switch {
+	case *app != "" && *demo != "":
+		return fmt.Errorf("-demo and -app are mutually exclusive")
+	case *app == "all":
+		for _, name := range workload.Names {
+			if err := runWorkload(out, name, *procs, *scale, *seed, m, *pageSize, *gc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *app != "":
+		return runWorkload(out, *app, *procs, *scale, *seed, m, *pageSize, *gc)
+	default:
+		if *demo == "" {
+			*demo = "counter"
+		}
+		return runDemo(out, *demo, m, *procs, *iters, *pageSize, *gc)
+	}
+}
+
+// runWorkload executes a SPLASH workload on the live runtime, verifies its
+// final memory image against the lockstep reference, and reports the
+// interconnect totals next to the simulator's counts for the same trace.
+func runWorkload(out io.Writer, name string, procs int, scale float64, seed int64, m dsm.Mode, pageSize, gc int) error {
+	prog, err := workload.New(name, procs, scale, seed)
+	if err != nil {
+		return err
+	}
+	ref, err := workload.ExecuteCached(name, procs, scale, seed)
+	if err != nil {
+		return err
+	}
+	res, err := workload.RunOnRuntime(prog, workload.RuntimeConfig{
+		PageSize: pageSize, Mode: m, GCEveryBarriers: gc,
 	})
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	verdict := "matches sequential reference"
+	if !bytes.Equal(res.Image, ref.Image) {
+		verdict = "DIVERGES from sequential reference (consistency violation!)"
+	}
+	st, err := sim.Run(ref.Trace, m.String(), pageSize, proto.Options{})
+	if err != nil {
+		return err
+	}
+	c := ref.Trace.Count()
+	fmt.Fprintf(out, "== %s: %d procs, scale %g, mode %s, page %d ==\n", name, procs, scale, m, pageSize)
+	fmt.Fprintf(out, "trace: %d events (%d reads, %d writes, %d acquires, %d barrier arrivals)\n",
+		len(ref.Trace.Events), c.Reads, c.Writes, c.Acquires, c.BarrierArrivals)
+	fmt.Fprintf(out, "image: %d bytes, %s\n", len(res.Image), verdict)
+	fmt.Fprintf(out, "%-12s%14s%14s\n", "", "messages", "bytes")
+	fmt.Fprintf(out, "%-12s%14d%14d   (live interconnect, incl. read-out; est. wire time %v)\n",
+		"runtime", res.Net.Messages, res.Net.Bytes, res.Elapsed)
+	fmt.Fprintf(out, "%-12s%14d%14d   (trace replay, %s)\n",
+		"simulator", st.TotalMessages(), st.TotalBytes(), m)
+	var misses, diffs, intervals int64
+	for _, ns := range res.Nodes {
+		misses += ns.AccessMisses
+		diffs += ns.DiffsApplied
+		intervals += ns.IntervalsCreated
+	}
+	fmt.Fprintf(out, "nodes: %d access misses, %d diffs applied, %d intervals\n\n", misses, diffs, intervals)
+	if !bytes.Equal(res.Image, ref.Image) {
+		return fmt.Errorf("%s: runtime image diverges from sequential reference", name)
+	}
+	return nil
+}
+
+func runDemo(out io.Writer, demo string, m dsm.Mode, procs, iters, pageSize, gc int) error {
+	d, err := repro.NewDSM(repro.DSMConfig{
+		Procs:           procs,
+		SpaceSize:       1 << 20,
+		PageSize:        pageSize,
+		Mode:            m,
+		GCEveryBarriers: gc,
+	})
+	if err != nil {
+		return err
 	}
 	defer d.Close()
 
-	var run func(d *repro.DSM, iters int) error
-	switch *demo {
+	var body func(out io.Writer, d *repro.DSM, iters int) error
+	switch demo {
 	case "counter":
-		run = runCounter
+		body = runCounter
 	case "stencil":
-		run = runStencil
+		body = runStencil
 	case "queue":
-		run = runQueue
+		body = runQueue
 	default:
-		fatal(fmt.Errorf("unknown demo %q", *demo))
+		return fmt.Errorf("unknown demo %q", demo)
 	}
-	if err := run(d, *iters); err != nil {
-		fatal(err)
+	if err := body(out, d, iters); err != nil {
+		return err
 	}
 	st := d.NetStats()
-	fmt.Printf("demo=%s mode=%s procs=%d iters=%d\n", *demo, *mode, *procs, *iters)
-	fmt.Printf("interconnect: %d messages, %d bytes, estimated serial wire time %v\n",
+	fmt.Fprintf(out, "demo=%s mode=%s procs=%d iters=%d\n", demo, m, procs, iters)
+	fmt.Fprintf(out, "interconnect: %d messages, %d bytes, estimated serial wire time %v\n",
 		st.Messages, st.Bytes, d.EstimateTime())
 	for i := 0; i < d.NumProcs(); i++ {
 		ns := d.Node(i).Stats()
-		fmt.Printf("  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d\n",
+		fmt.Fprintf(out, "  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d\n",
 			i, ns.AccessMisses, ns.ColdMisses, ns.DiffsApplied, ns.IntervalsCreated, ns.GCRuns)
 	}
+	return nil
 }
 
 // runCounter is the migratory-data pattern of the paper's Figures 3 and 4:
 // every node repeatedly locks, increments, unlocks one shared counter.
-func runCounter(d *repro.DSM, iters int) error {
+func runCounter(out io.Writer, d *repro.DSM, iters int) error {
 	errs := parallel(d, func(n *repro.Node, id int) error {
 		for k := 0; k < iters; k++ {
 			if err := n.Acquire(0); err != nil {
@@ -110,14 +218,14 @@ func runCounter(d *repro.DSM, iters int) error {
 	if v != want {
 		return fmt.Errorf("counter = %d, want %d (consistency violation!)", v, want)
 	}
-	fmt.Printf("counter reached %d as required\n", v)
+	fmt.Fprintf(out, "counter reached %d as required\n", v)
 	return nil
 }
 
 // runStencil is a barrier-per-step grid relaxation (the barrier-heavy
 // category of §5.3): each node owns a band of a grid, reads its
 // neighbors' boundary rows, and synchronizes with barriers.
-func runStencil(d *repro.DSM, iters int) error {
+func runStencil(out io.Writer, d *repro.DSM, iters int) error {
 	const rowBytes = 512
 	procs := d.NumProcs()
 	return parallel(d, func(n *repro.Node, id int) error {
@@ -145,7 +253,7 @@ func runStencil(d *repro.DSM, iters int) error {
 
 // runQueue is the migratory task-queue pattern of LocusRoute/Cholesky: a
 // lock-protected shared queue head with per-task data updates.
-func runQueue(d *repro.DSM, iters int) error {
+func runQueue(out io.Writer, d *repro.DSM, iters int) error {
 	total := d.NumProcs() * iters
 	err := parallel(d, func(n *repro.Node, id int) error {
 		for {
@@ -175,7 +283,7 @@ func runQueue(d *repro.DSM, iters int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("queue drained %d tasks\n", total)
+	fmt.Fprintf(out, "queue drained %d tasks\n", total)
 	return nil
 }
 
@@ -196,9 +304,4 @@ func parallel(d *repro.DSM, f func(n *repro.Node, id int) error) error {
 		}
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lrcrun:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDemoCounter(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "counter", "-procs", "2", "-iters", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"counter reached 10", "interconnect:", "node 0:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunDemoQueueLU(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "queue", "-mode", "LU", "-procs", "2", "-iters", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "queue drained 10 tasks") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunWorkloadOnRuntime(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-app", "locusroute", "-procs", "4", "-scale", "0.05",
+		"-pagesize", "1024", "-mode", "LU"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"== locusroute", "matches sequential reference",
+		"runtime", "simulator", "access misses",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "DIVERGES") {
+		t.Errorf("image diverged:\n%s", got)
+	}
+}
+
+func TestRunWorkloadWithGC(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-app", "mp3d", "-procs", "4", "-scale", "0.05",
+		"-pagesize", "1024", "-gc", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "matches sequential reference") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "XX"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-demo", "bogus"}, &out); err == nil {
+		t.Error("unknown demo accepted")
+	}
+	if err := run([]string{"-app", "bogus"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-app", "water", "-demo", "counter"}, &out); err == nil {
+		t.Error("-app with -demo accepted")
+	}
+}

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,26 +28,40 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "lrcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lrcsim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		app       = flag.String("app", "locusroute", "workload name ("+strings.Join(workload.Names, ", ")+") or \"all\"")
-		traceFile = flag.String("trace", "", "replay a saved trace file instead of generating a workload")
-		procs     = flag.Int("procs", 16, "number of processors (the paper used 16)")
-		scale     = flag.Float64("scale", 1.0, "workload scale factor")
-		seed      = flag.Int64("seed", 42, "workload random seed")
-		protocols = flag.String("protocols", "LI,LU,EI,EU", "comma-separated protocols (LI, LU, EI, EU, SC)")
-		sizes     = flag.String("pagesizes", "8192,4096,2048,1024,512", "comma-separated page sizes in bytes")
-		format    = flag.String("format", "table", "output format: table or csv")
-		noPiggy   = flag.Bool("no-piggyback", false, "ablation: send write notices in separate messages")
-		noDiffs   = flag.Bool("no-diffs", false, "ablation: ship whole pages instead of diffs")
-		exclusive = flag.Bool("exclusive-writer", false, "ablation: disable the multiple-writer protocol")
+		app       = fs.String("app", "locusroute", "workload name ("+strings.Join(workload.Names, ", ")+") or \"all\"")
+		traceFile = fs.String("trace", "", "replay a saved trace file instead of generating a workload")
+		procs     = fs.Int("procs", 16, "number of processors (the paper used 16)")
+		scale     = fs.Float64("scale", 1.0, "workload scale factor")
+		seed      = fs.Int64("seed", 42, "workload random seed")
+		protocols = fs.String("protocols", "LI,LU,EI,EU", "comma-separated protocols (LI, LU, EI, EU, SC)")
+		sizes     = fs.String("pagesizes", "8192,4096,2048,1024,512", "comma-separated page sizes in bytes")
+		format    = fs.String("format", "table", "output format: table or csv")
+		noPiggy   = fs.Bool("no-piggyback", false, "ablation: send write notices in separate messages")
+		noDiffs   = fs.Bool("no-diffs", false, "ablation: ship whole pages instead of diffs")
+		exclusive = fs.Bool("exclusive-writer", false, "ablation: disable the multiple-writer protocol")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	opts := proto.Options{NoPiggyback: *noPiggy, NoDiffs: *noDiffs, ExclusiveWriter: *exclusive}
 	protoList := splitList(*protocols)
 	pageSizes, err := parseSizes(*sizes)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var traces []*trace.Trace
@@ -53,26 +69,26 @@ func main() {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		t, err := trace.ReadFrom(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		traces = append(traces, t)
 	case *app == "all":
 		for _, name := range workload.Names {
 			t, err := workload.GenerateCached(name, *procs, *scale, *seed)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			traces = append(traces, t)
 		}
 	default:
 		t, err := workload.GenerateCached(*app, *procs, *scale, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		traces = append(traces, t)
 	}
@@ -80,15 +96,20 @@ func main() {
 	for _, t := range traces {
 		results, err := sim.Sweep(t, protoList, pageSizes, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		switch *format {
 		case "csv":
-			printCSV(t, results)
+			printCSV(out, t, results)
+		case "table":
+			if err := printTables(out, t, results, protoList, pageSizes); err != nil {
+				return err
+			}
 		default:
-			printTables(t, results, protoList, pageSizes)
+			return fmt.Errorf("unknown format %q (want table or csv)", *format)
 		}
 	}
+	return nil
 }
 
 func splitList(s string) []string {
@@ -113,51 +134,47 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func printTables(t *trace.Trace, results []sim.Result, protocols []string, pageSizes []int) {
+func printTables(out io.Writer, t *trace.Trace, results []sim.Result, protocols []string, pageSizes []int) error {
 	c := t.Count()
-	fmt.Printf("== %s: %d procs, %d events (%d reads, %d writes, %d acquires, %d releases, %d barrier arrivals), %d KB shared ==\n",
+	fmt.Fprintf(out, "== %s: %d procs, %d events (%d reads, %d writes, %d acquires, %d releases, %d barrier arrivals), %d KB shared ==\n",
 		t.Name, t.NumProcs, len(t.Events), c.Reads, c.Writes, c.Acquires, c.Releases, c.BarrierArrivals, t.SpaceSize/1024)
 	for _, metric := range []string{"messages", "data"} {
 		unit := ""
 		if metric == "data" {
 			unit = " (kbytes)"
 		}
-		fmt.Printf("\n%s%s\n", strings.ToUpper(metric[:1])+metric[1:], unit)
-		fmt.Printf("%-10s", "page")
+		fmt.Fprintf(out, "\n%s%s\n", strings.ToUpper(metric[:1])+metric[1:], unit)
+		fmt.Fprintf(out, "%-10s", "page")
 		for _, p := range protocols {
-			fmt.Printf("%12s", p)
+			fmt.Fprintf(out, "%12s", p)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		for _, ps := range pageSizes {
-			fmt.Printf("%-10d", ps)
+			fmt.Fprintf(out, "%-10d", ps)
 			for _, p := range protocols {
 				series, err := sim.Series(results, p, []int{ps}, metric)
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				v := series[0]
 				if metric == "data" {
 					v /= 1024
 				}
-				fmt.Printf("%12d", v)
+				fmt.Fprintf(out, "%12d", v)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
+	return nil
 }
 
-func printCSV(t *trace.Trace, results []sim.Result) {
-	fmt.Println("workload,protocol,pagesize,messages,databytes,misses,diffs,pages,notices")
+func printCSV(out io.Writer, t *trace.Trace, results []sim.Result) {
+	fmt.Fprintln(out, "workload,protocol,pagesize,messages,databytes,misses,diffs,pages,notices")
 	for _, r := range results {
 		s := r.Stats
-		fmt.Printf("%s,%s,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(out, "%s,%s,%d,%d,%d,%d,%d,%d,%d\n",
 			t.Name, r.Protocol, r.PageSize, r.Messages(), r.DataBytes(),
 			s.AccessMisses, s.DiffsSent, s.PagesSent, s.WriteNoticesSent)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lrcsim:", err)
-	os.Exit(1)
 }

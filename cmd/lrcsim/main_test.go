@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTableOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-app", "water", "-procs", "4", "-scale", "0.05",
+		"-protocols", "LI,LU", "-pagesizes", "2048,512"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"== water", "Messages", "Data (kbytes)", "2048", "512", "LI", "LU"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-app", "pthor", "-procs", "4", "-scale", "0.05",
+		"-protocols", "SC", "-pagesizes", "1024", "-format", "csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "workload,protocol,pagesize,messages") {
+		t.Fatalf("missing csv header:\n%s", got)
+	}
+	if !strings.Contains(got, "pthor,SC,1024,") {
+		t.Errorf("missing csv row:\n%s", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "bogus", "-procs", "4", "-scale", "0.05"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-app", "water", "-procs", "4", "-scale", "0.05", "-pagesizes", "abc"}, &out); err == nil {
+		t.Error("bad page size accepted")
+	}
+	if err := run([]string{"-app", "water", "-procs", "4", "-scale", "0.05", "-format", "xml"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-app", "water", "-procs", "4", "-scale", "0.05", "-protocols", "ZZ"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/trace"
@@ -18,69 +20,79 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "lrctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lrctrace", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		app   = flag.String("app", "", "workload to generate (locusroute, cholesky, mp3d, water, pthor)")
-		in    = flag.String("in", "", "read a saved trace instead of generating")
-		out   = flag.String("o", "", "write the trace to this file")
-		procs = flag.Int("procs", 16, "number of processors")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		seed  = flag.Int64("seed", 42, "workload random seed")
-		dump  = flag.Bool("dump", false, "print every event")
-		stats = flag.Bool("stats", true, "print the trace's event mix")
+		app   = fs.String("app", "", "workload to generate (locusroute, cholesky, mp3d, water, pthor)")
+		in    = fs.String("in", "", "read a saved trace instead of generating")
+		outF  = fs.String("o", "", "write the trace to this file")
+		procs = fs.Int("procs", 16, "number of processors")
+		scale = fs.Float64("scale", 1.0, "workload scale factor")
+		seed  = fs.Int64("seed", 42, "workload random seed")
+		dump  = fs.Bool("dump", false, "print every event")
+		stats = fs.Bool("stats", true, "print the trace's event mix")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var t *trace.Trace
 	switch {
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		t, err = trace.ReadFrom(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	case *app != "":
 		var err error
 		t, err = workload.GenerateCached(*app, *procs, *scale, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("one of -app or -in is required"))
+		return fmt.Errorf("one of -app or -in is required")
 	}
 
 	if *stats {
 		c := t.Count()
-		fmt.Printf("trace %s: %d procs, %d locks, %d barriers, %d KB shared, %d events\n",
+		fmt.Fprintf(out, "trace %s: %d procs, %d locks, %d barriers, %d KB shared, %d events\n",
 			t.Name, t.NumProcs, t.NumLocks, t.NumBarriers, t.SpaceSize/1024, len(t.Events))
-		fmt.Printf("  reads %d, writes %d, acquires %d, releases %d, barrier arrivals %d\n",
+		fmt.Fprintf(out, "  reads %d, writes %d, acquires %d, releases %d, barrier arrivals %d\n",
 			c.Reads, c.Writes, c.Acquires, c.Releases, c.BarrierArrivals)
 	}
 	if *dump {
 		for _, e := range t.Events {
-			fmt.Println(e)
+			fmt.Fprintln(out, e)
 		}
 	}
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *outF != "" {
+		f, err := os.Create(*outF)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		n, err := t.WriteTo(f)
 		if err == nil {
 			err = f.Close()
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %d bytes to %s\n", n, *out)
+		fmt.Fprintf(out, "wrote %d bytes to %s\n", n, *outF)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lrctrace:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenerateAndStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "water", "-procs", "4", "-scale", "0.05"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"trace water", "4 procs", "reads ", "barrier arrivals"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSaveAndReload(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "w.lrct")
+	var out strings.Builder
+	if err := run([]string{"-app", "pthor", "-procs", "4", "-scale", "0.05", "-o", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote ") {
+		t.Fatalf("no write confirmation:\n%s", out.String())
+	}
+	if fi, err := os.Stat(file); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-in", file, "-dump"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace pthor") {
+		t.Errorf("reload output:\n%.200s", out.String())
+	}
+	if !strings.Contains(out.String(), "p0 ") {
+		t.Error("dump printed no events")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no -app/-in accepted")
+	}
+	if err := run([]string{"-app", "bogus"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.lrct"}, &out); err == nil {
+		t.Error("missing input file accepted")
+	}
+	if err := run([]string{"-nonsense"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -122,7 +122,7 @@ func (n *Node) register(seq uint64) chan *wire.Msg {
 func (n *Node) await(seq uint64, ch chan *wire.Msg) (*wire.Msg, error) {
 	m, ok := <-ch
 	if !ok || m == nil {
-		return nil, fmt.Errorf("dsm: node %d: network closed awaiting seq %d", n.id, seq)
+		return nil, fmt.Errorf("dsm: node %d: awaiting seq %d: %w", n.id, seq, simnet.ErrClosed)
 	}
 	return m, nil
 }
@@ -148,13 +148,17 @@ func (n *Node) handlerLoop() {
 	for {
 		f, ok := n.ep.Recv()
 		if !ok {
-			// Unblock any waiters.
+			// Unblock any waiters, including a master parked collecting
+			// barrier arrivals or GC readiness (this loop is the only
+			// sender on those channels).
 			n.waiterMu.Lock()
 			for seq, ch := range n.waiters {
 				close(ch)
 				delete(n.waiters, seq)
 			}
 			n.waiterMu.Unlock()
+			close(n.barCh)
+			close(n.gcCh)
 			return
 		}
 		m, err := wire.Decode(f.Payload)

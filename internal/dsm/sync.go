@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/page"
+	"repro/internal/simnet"
 	"repro/internal/vc"
 	"repro/internal/wire"
 )
@@ -152,7 +153,7 @@ func (n *Node) Barrier(b mem.BarrierID) error {
 		for len(arrivals) < n.sys.cfg.Procs-1 {
 			m, ok := <-n.barCh
 			if !ok || m == nil {
-				return fmt.Errorf("dsm: master: network closed during barrier %d", b)
+				return fmt.Errorf("dsm: master: barrier %d: %w", b, simnet.ErrClosed)
 			}
 			if mem.BarrierID(m.A) != b {
 				return fmt.Errorf("dsm: master: arrival for barrier %d during barrier %d", m.A, b)
@@ -253,7 +254,7 @@ func (n *Node) runGC(b mem.BarrierID) error {
 		for len(readies) < n.sys.cfg.Procs-1 {
 			m, ok := <-n.gcCh
 			if !ok || m == nil {
-				return fmt.Errorf("dsm: master: network closed during GC round")
+				return fmt.Errorf("dsm: master: GC round: %w", simnet.ErrClosed)
 			}
 			if mem.BarrierID(m.A) != b {
 				return fmt.Errorf("dsm: master: GC ready for barrier %d during %d", m.A, b)

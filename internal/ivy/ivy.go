@@ -63,6 +63,13 @@ func NewEngine(layout *mem.Layout, n int) *Engine {
 // Name implements proto.Protocol.
 func (e *Engine) Name() string { return "SC" }
 
+// PageStatus reports whether processor p holds a current copy of the page
+// containing addr (read-only and owned copies are both current under SC).
+func (e *Engine) PageStatus(p mem.ProcID, addr mem.Addr) (valid, present bool) {
+	st := e.status[p][e.layout.PageOf(addr)]
+	return st != psNoCopy, st != psNoCopy
+}
+
 // Stats implements proto.Protocol.
 func (e *Engine) Stats() *proto.Stats { return &e.stats }
 

@@ -54,7 +54,12 @@ func Replay(t *trace.Trace, p proto.Protocol) error {
 		switch e.Kind {
 		case trace.Read:
 			p.Read(e.Proc, e.Addr, int(e.Size))
-		case trace.Write:
+		case trace.Write, trace.SetVal:
+			p.Write(e.Proc, e.Addr, int(e.Size))
+		case trace.Update, trace.AddVal:
+			// Read-modify-writes cost a protocol exactly a read plus a
+			// write of the same range.
+			p.Read(e.Proc, e.Addr, int(e.Size))
 			p.Write(e.Proc, e.Addr, int(e.Size))
 		case trace.Acquire:
 			p.Acquire(e.Proc, mem.LockID(e.Sync))

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/proto"
+	"repro/internal/trace"
+)
+
+// pageStater is implemented by protocol engines that can report whether a
+// processor holds a current copy of a page (core.Engine, eager.Engine and
+// ivy.Engine all do).
+type pageStater interface {
+	PageStatus(p mem.ProcID, addr mem.Addr) (valid, present bool)
+}
+
+// valuePlane tracks, alongside a protocol replay, the memory values each
+// processor's cached pages would hold. The truth image applies every write
+// in trace order (the trace is one total order, so truth is what any
+// correct protocol delivers on a fetch); a processor's copy of a page is
+// refreshed from truth exactly when the engine takes a miss on it, and is
+// written through by the processor's own writes — the twin model. Between
+// refreshes a copy goes stale precisely where remote writes landed, so
+// comparing the bytes a processor actually reads against truth detects
+// missing or late invalidations.
+type valuePlane struct {
+	layout *mem.Layout
+	truth  []byte
+	copies [][][]byte // [proc][page], nil until first refresh
+}
+
+func newValuePlane(layout *mem.Layout, procs int) *valuePlane {
+	vp := &valuePlane{
+		layout: layout,
+		truth:  make([]byte, layout.SpaceSize()),
+		copies: make([][][]byte, procs),
+	}
+	for i := range vp.copies {
+		vp.copies[i] = make([][]byte, layout.NumPages())
+	}
+	return vp
+}
+
+// refresh overwrites p's copy of pg with the current truth (a fetch).
+func (vp *valuePlane) refresh(p mem.ProcID, pg mem.PageID) {
+	c := vp.copies[p][pg]
+	if c == nil {
+		c = make([]byte, vp.layout.PageSize())
+		vp.copies[p][pg] = c
+	}
+	copy(c, vp.truth[vp.layout.Base(pg):])
+}
+
+// checkRead verifies that the bytes p reads are current in its copies.
+func (vp *valuePlane) checkRead(p mem.ProcID, addr mem.Addr, size int) error {
+	var err error
+	vp.layout.SplitRange(addr, size, func(pg mem.PageID, off, n int) {
+		if err != nil {
+			return
+		}
+		c := vp.copies[p][pg]
+		if c == nil {
+			err = fmt.Errorf("p%d reads page %d with no copy materialized", p, pg)
+			return
+		}
+		base := vp.layout.Base(pg)
+		if !bytes.Equal(c[off:off+n], vp.truth[base+mem.Addr(off):base+mem.Addr(off+n)]) {
+			err = fmt.Errorf("p%d reads stale bytes at [%d,%d)", p, base+mem.Addr(off), base+mem.Addr(off)+mem.Addr(n))
+		}
+	})
+	return err
+}
+
+// applyWrite applies e's value semantics to truth and writes it through to
+// p's own copy.
+func (vp *valuePlane) applyWrite(e trace.Event) {
+	trace.ApplyEvent(vp.truth, e)
+	vp.layout.SplitRange(e.Addr, int(e.Size), func(pg mem.PageID, off, n int) {
+		c := vp.copies[e.Proc][pg]
+		if c == nil {
+			return
+		}
+		base := vp.layout.Base(pg)
+		copy(c[off:off+n], vp.truth[base+mem.Addr(off):base+mem.Addr(off+n)])
+	})
+}
+
+// ReplayImage replays t against protocol name at pageSize while running a
+// value plane beside the engine, and returns the final memory image
+// (t.SpaceSize bytes). checkReads additionally asserts — the trace must
+// then be free of read races — that every byte a processor reads is
+// current in its cached copy: the engine must have invalidated and
+// re-fetched wherever a happened-before-ordered remote write landed.
+// checkReads is sound only for protocols whose every data movement is an
+// access-miss fetch (LI and SC): LU and EU push updates at synchronization
+// points, and EI's false-sharing ack-merge hands a cacher's buffered
+// modifications to the releaser — movements this plane cannot observe.
+// The lazy protocols' full value paths are exercised for real on the live
+// runtime (workload.RunOnRuntime) instead.
+func ReplayImage(t *trace.Trace, name string, pageSize int, opts proto.Options, checkReads bool) ([]byte, error) {
+	layout, err := mem.NewLayout(t.SpaceSize, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewProtocol(name, layout, t.NumProcs, opts)
+	if err != nil {
+		return nil, err
+	}
+	var ps pageStater
+	if checkReads {
+		var ok bool
+		ps, ok = eng.(pageStater)
+		if !ok {
+			return nil, fmt.Errorf("sim: protocol %s does not expose page status", name)
+		}
+	}
+	vp := newValuePlane(layout, t.NumProcs)
+
+	// touch refreshes every accessed page on which the engine just took a
+	// miss (it was not current before the engine call).
+	touch := func(p mem.ProcID, addr mem.Addr, size int, wasValid map[mem.PageID]bool) {
+		for _, pg := range layout.PagesOf(addr, size) {
+			if !wasValid[pg] {
+				vp.refresh(p, pg)
+			}
+		}
+	}
+	validity := func(p mem.ProcID, addr mem.Addr, size int) map[mem.PageID]bool {
+		if ps == nil {
+			return nil
+		}
+		m := make(map[mem.PageID]bool)
+		for _, pg := range layout.PagesOf(addr, size) {
+			valid, _ := ps.PageStatus(p, layout.Base(pg))
+			m[pg] = valid
+		}
+		return m
+	}
+
+	pending := make(map[int32][]mem.ProcID)
+	for i, e := range t.Events {
+		doRead := e.Kind == trace.Read || e.Kind == trace.Update || e.Kind == trace.AddVal
+		doWrite := e.Kind == trace.Write || e.Kind == trace.SetVal ||
+			e.Kind == trace.Update || e.Kind == trace.AddVal
+		if doRead || doWrite {
+			was := validity(e.Proc, e.Addr, int(e.Size))
+			if doRead {
+				eng.Read(e.Proc, e.Addr, int(e.Size))
+			}
+			if doWrite {
+				eng.Write(e.Proc, e.Addr, int(e.Size))
+			}
+			if ps != nil {
+				touch(e.Proc, e.Addr, int(e.Size), was)
+				if doRead {
+					if err := vp.checkRead(e.Proc, e.Addr, int(e.Size)); err != nil {
+						return nil, fmt.Errorf("sim: %s event %d (%s): %w", name, i, e, err)
+					}
+				}
+			}
+			if doWrite {
+				vp.applyWrite(e)
+			}
+			continue
+		}
+		switch e.Kind {
+		case trace.Acquire:
+			eng.Acquire(e.Proc, mem.LockID(e.Sync))
+		case trace.Release:
+			eng.Release(e.Proc, mem.LockID(e.Sync))
+		case trace.Barrier:
+			arr := append(pending[e.Sync], e.Proc)
+			if len(arr) == t.NumProcs {
+				eng.Barrier(arr, mem.BarrierID(e.Sync))
+				delete(pending, e.Sync)
+			} else {
+				pending[e.Sync] = arr
+			}
+		default:
+			return nil, fmt.Errorf("sim: event %d has invalid kind %d", i, e.Kind)
+		}
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("sim: trace ended with %d incomplete barrier episodes", len(pending))
+	}
+	return vp.truth[:t.SpaceSize], nil
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/binary"
+
+	"repro/internal/mem"
+)
+
+// Value semantics. A trace is a total order over one legal interleaving of
+// the application, so the final memory image it denotes is a pure function
+// of the event sequence. Every execution backend — the lockstep trace
+// generator, the trace replayer, and the live DSM runtime — applies the
+// same deterministic semantics:
+//
+//   - Write stores Fill(a) at every byte a of the range (a pure function
+//     of the absolute address, so any set of properly-synchronized writers
+//     commutes);
+//   - Update increments every byte of the range by one (wrapping), so
+//     lost or double-applied diffs change the image;
+//   - SetVal stores an explicit little-endian uint64;
+//   - AddVal adds Val to the little-endian uint64 at Addr (a fetch-and-add
+//     — the shared task-queue cursor of the queue-based workloads).
+//
+// Because every cross-processor pair of conflicting operations either
+// commutes (fill-writes with fill-writes, adds with adds) or is ordered by
+// the program's own synchronization, the final image is independent of the
+// legal interleaving — which is exactly what makes differential testing
+// between the lockstep scheduler and the genuinely concurrent runtime
+// possible.
+
+// Fill returns the canonical byte a Write event stores at address a.
+func Fill(a mem.Addr) byte {
+	z := uint64(a)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	z ^= z >> 29
+	z *= 0x94d049bb133111eb
+	return byte(z >> 56)
+}
+
+// FillRange fills buf with the canonical write pattern for the range
+// starting at addr, i.e. buf[i] = Fill(addr+i).
+func FillRange(buf []byte, addr mem.Addr) {
+	for i := range buf {
+		buf[i] = Fill(addr + mem.Addr(i))
+	}
+}
+
+// ApplyEvent applies e's value semantics to the flat memory image img
+// (indexed by absolute address). Synchronization events and Reads leave the
+// image unchanged. It returns the uint64 an AddVal observed before adding
+// (zero for every other kind).
+func ApplyEvent(img []byte, e Event) uint64 {
+	switch e.Kind {
+	case Write:
+		FillRange(img[e.Addr:e.Addr+mem.Addr(e.Size)], e.Addr)
+	case Update:
+		for a := e.Addr; a < e.Addr+mem.Addr(e.Size); a++ {
+			img[a]++
+		}
+	case SetVal:
+		binary.LittleEndian.PutUint64(img[e.Addr:], e.Val)
+	case AddVal:
+		old := binary.LittleEndian.Uint64(img[e.Addr:])
+		binary.LittleEndian.PutUint64(img[e.Addr:], old+e.Val)
+		return old
+	}
+	return 0
+}
+
+// Image replays the trace's value semantics in order and returns the final
+// shared-memory image (SpaceSize bytes, initially zero). Differential tests
+// compare it against the images produced by live executions of the same
+// program: for a properly-synchronized program every legal execution must
+// converge to this image.
+func (t *Trace) Image() []byte {
+	img := make([]byte, t.SpaceSize)
+	for _, e := range t.Events {
+		ApplyEvent(img, e)
+	}
+	return img
+}

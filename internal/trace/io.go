@@ -24,11 +24,17 @@ import (
 // Each record is packed little-endian:
 //
 //	kind uint8, proc uint8 (pad to keep records self-describing),
-//	sync int32, addr int64, size int32
+//	sync int32, addr int64, size int32, val uint64
+//
+// Version 2 added the value-carrying event kinds (Update, SetVal, AddVal)
+// and the val operand; version-1 traces predate the value semantics and
+// are not readable.
 const (
 	traceMagic   = 0x4c524354 // "LRCT"
-	traceVersion = 1
+	traceVersion = 2
 )
+
+const recordBytes = 26
 
 // WriteTo serializes the trace in the package's binary format.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
@@ -59,13 +65,14 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := put(uint64(len(t.Events))); err != nil {
 		return n, fmt.Errorf("trace: writing event count: %w", err)
 	}
-	var rec [18]byte
+	var rec [recordBytes]byte
 	for _, e := range t.Events {
 		rec[0] = byte(e.Kind)
 		rec[1] = byte(e.Proc)
 		binary.LittleEndian.PutUint32(rec[2:], uint32(e.Sync))
 		binary.LittleEndian.PutUint64(rec[6:], uint64(e.Addr))
 		binary.LittleEndian.PutUint32(rec[14:], uint32(e.Size))
+		binary.LittleEndian.PutUint64(rec[18:], e.Val)
 		if _, err := bw.Write(rec[:]); err != nil {
 			return n, fmt.Errorf("trace: writing event: %w", err)
 		}
@@ -120,7 +127,7 @@ func ReadFrom(r io.Reader) (*Trace, error) {
 		Name:        string(name),
 		Events:      make([]Event, count),
 	}
-	var rec [18]byte
+	var rec [recordBytes]byte
 	for i := range t.Events {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
@@ -131,6 +138,7 @@ func ReadFrom(r io.Reader) (*Trace, error) {
 			Sync: int32(binary.LittleEndian.Uint32(rec[2:])),
 			Addr: mem.Addr(binary.LittleEndian.Uint64(rec[6:])),
 			Size: int32(binary.LittleEndian.Uint32(rec[14:])),
+			Val:  binary.LittleEndian.Uint64(rec[18:]),
 		}
 	}
 	if err := t.Validate(); err != nil {

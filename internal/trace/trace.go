@@ -33,6 +33,17 @@ const (
 	// processor arrives. A barrier episode consists of one Barrier event
 	// per processor with the same Sync id; the last arrival releases all.
 	Barrier
+	// Update is a read-modify-write of [Addr, Addr+Size): every byte in the
+	// range is incremented by one (wrapping). Protocol engines treat it as
+	// a Read followed by a Write; the value semantics make lost or
+	// double-applied modifications visible in the replayed memory image.
+	Update
+	// SetVal stores Val at Addr as a little-endian uint64 (Size is 8).
+	SetVal
+	// AddVal is a fetch-and-add: the little-endian uint64 at Addr is
+	// incremented by Val (Size is 8). Protocol engines treat it as a Read
+	// followed by a Write.
+	AddVal
 	numKinds
 )
 
@@ -49,6 +60,12 @@ func (k Kind) String() string {
 		return "release"
 	case Barrier:
 		return "barrier"
+	case Update:
+		return "update"
+	case SetVal:
+		return "setval"
+	case AddVal:
+		return "addval"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -61,18 +78,23 @@ func (k Kind) Valid() bool { return k < numKinds }
 type Event struct {
 	Kind Kind
 	Proc mem.ProcID
-	// Addr and Size describe the byte range of a Read or Write.
+	// Addr and Size describe the byte range of an ordinary access (Read,
+	// Write, Update, SetVal, AddVal).
 	Addr mem.Addr
 	Size int32
 	// Sync is the lock id (Acquire/Release) or barrier id (Barrier).
 	Sync int32
+	// Val is the explicit operand of a SetVal or AddVal event.
+	Val uint64
 }
 
 // String renders the event for diagnostics.
 func (e Event) String() string {
 	switch e.Kind {
-	case Read, Write:
+	case Read, Write, Update:
 		return fmt.Sprintf("p%d %s [%d,%d)", e.Proc, e.Kind, e.Addr, e.Addr+mem.Addr(e.Size))
+	case SetVal, AddVal:
+		return fmt.Sprintf("p%d %s [%d,%d) val %d", e.Proc, e.Kind, e.Addr, e.Addr+mem.Addr(e.Size), e.Val)
 	case Acquire, Release:
 		return fmt.Sprintf("p%d %s lock%d", e.Proc, e.Kind, e.Sync)
 	case Barrier:
@@ -110,7 +132,12 @@ func (t *Trace) Count() Counts {
 		switch e.Kind {
 		case Read:
 			c.Reads++
-		case Write:
+		case Write, SetVal:
+			c.Writes++
+		case Update, AddVal:
+			// Read-modify-writes count as one read plus one write, exactly
+			// what they cost a protocol engine.
+			c.Reads++
 			c.Writes++
 		case Acquire:
 			c.Acquires++
@@ -146,9 +173,12 @@ func (t *Trace) Validate() error {
 			return fmt.Errorf("trace: event %d: processor %d out of range [0,%d)", i, e.Proc, t.NumProcs)
 		}
 		switch e.Kind {
-		case Read, Write:
+		case Read, Write, Update, SetVal, AddVal:
 			if e.Size <= 0 {
 				return fmt.Errorf("trace: event %d: access size %d must be positive", i, e.Size)
+			}
+			if (e.Kind == SetVal || e.Kind == AddVal) && e.Size != 8 {
+				return fmt.Errorf("trace: event %d: %s size %d, want 8", i, e.Kind, e.Size)
 			}
 			if e.Addr < 0 || e.Addr+mem.Addr(e.Size) > t.SpaceSize {
 				return fmt.Errorf("trace: event %d: access [%d,%d) outside space [0,%d)", i, e.Addr, e.Addr+mem.Addr(e.Size), t.SpaceSize)

@@ -19,13 +19,17 @@ func validTrace() *Trace {
 		Name:        "t",
 		Events: []Event{
 			{Kind: Write, Proc: 0, Addr: 0, Size: 8},
+			{Kind: SetVal, Proc: 0, Addr: 8, Size: 8, Val: 41},
 			{Kind: Barrier, Proc: 0, Sync: 0},
 			{Kind: Barrier, Proc: 1, Sync: 0},
 			{Kind: Acquire, Proc: 0, Sync: 1},
 			{Kind: Read, Proc: 0, Addr: 100, Size: 4},
+			{Kind: Update, Proc: 0, Addr: 200, Size: 4},
+			{Kind: AddVal, Proc: 0, Addr: 8, Size: 8, Val: 1},
 			{Kind: Release, Proc: 0, Sync: 1},
 			{Kind: Acquire, Proc: 1, Sync: 1},
 			{Kind: Write, Proc: 1, Addr: 100, Size: 4},
+			{Kind: AddVal, Proc: 1, Addr: 8, Size: 8, Val: 2},
 			{Kind: Release, Proc: 1, Sync: 1},
 		},
 	}
@@ -77,9 +81,72 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestCount(t *testing.T) {
+	// Update and AddVal each count as a read plus a write; SetVal as a
+	// write.
 	c := validTrace().Count()
-	if c.Reads != 1 || c.Writes != 2 || c.Acquires != 2 || c.Releases != 2 || c.BarrierArrivals != 2 {
+	if c.Reads != 4 || c.Writes != 6 || c.Acquires != 2 || c.Releases != 2 || c.BarrierArrivals != 2 {
 		t.Errorf("Count = %+v", c)
+	}
+}
+
+func TestValidateRejectsBadValSize(t *testing.T) {
+	for _, k := range []Kind{SetVal, AddVal} {
+		tr := validTrace()
+		tr.Events = []Event{{Kind: k, Proc: 0, Addr: 0, Size: 4, Val: 1}}
+		if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "want 8") {
+			t.Errorf("%s with size 4: err = %v", k, err)
+		}
+	}
+}
+
+func TestImageSemantics(t *testing.T) {
+	tr := validTrace()
+	img := tr.Image()
+	if len(img) != int(tr.SpaceSize) {
+		t.Fatalf("image is %d bytes, want %d", len(img), tr.SpaceSize)
+	}
+	// Write fills with the canonical pattern.
+	for i := 0; i < 8; i++ {
+		if img[i] != Fill(mem.Addr(i)) {
+			t.Errorf("img[%d] = %#x, want fill %#x", i, img[i], Fill(mem.Addr(i)))
+		}
+	}
+	// SetVal 41 then AddVal 1 and 2 leave 44 at address 8.
+	var got uint64
+	for i := 7; i >= 0; i-- {
+		got = got<<8 | uint64(img[8+i])
+	}
+	if got != 44 {
+		t.Errorf("counter at 8 = %d, want 44", got)
+	}
+	// One update incremented bytes [200,204) from zero.
+	for a := 200; a < 204; a++ {
+		if img[a] != 1 {
+			t.Errorf("img[%d] = %d, want 1", a, img[a])
+		}
+	}
+	// Reads and synchronization leave no trace in the image.
+	if img[100] != Fill(100) {
+		t.Errorf("img[100] = %#x, want fill", img[100])
+	}
+}
+
+func TestFillRangeMatchesFill(t *testing.T) {
+	buf := make([]byte, 32)
+	FillRange(buf, 100)
+	for i, b := range buf {
+		if b != Fill(mem.Addr(100 + i)) {
+			t.Fatalf("FillRange[%d] = %#x, want %#x", i, b, Fill(mem.Addr(100+i)))
+		}
+	}
+	// The pattern must actually vary with the address (a constant fill
+	// would mask misdirected diffs).
+	distinct := map[byte]bool{}
+	for _, b := range buf {
+		distinct[b] = true
+	}
+	if len(distinct) < 8 {
+		t.Errorf("fill pattern has only %d distinct bytes in 32", len(distinct))
 	}
 }
 

@@ -26,7 +26,6 @@ type Cholesky struct {
 	// affected[j] lists the later columns column j updates (fixed sparse
 	// structure, chosen at construction).
 	affected [][]int
-	popCount int
 }
 
 // NewCholesky returns the workload at the given scale (scales the number
@@ -75,13 +74,13 @@ const chQueueLock = 0
 func (w *Cholesky) colLock(j int) int { return 1 + j%w.ColLocks }
 
 // Proc implements Program.
-func (w *Cholesky) Proc(c *Ctx) {
+func (w *Cholesky) Proc(c Ctx) {
 	p := c.Proc()
 
 	// Partitioned initialization of the matrix; processor 0 sets up the
 	// queue. One barrier models the original's fork ordering.
 	if p == 0 {
-		c.Write(w.queue.At(0), 8)
+		c.WriteUint64(w.queue.At(0), 0)
 	}
 	colsPer := (w.Cols + w.Procs - 1) / w.Procs
 	for j := p * colsPer; j < (p+1)*colsPer && j < w.Cols; j++ {
@@ -92,17 +91,16 @@ func (w *Cholesky) Proc(c *Ctx) {
 	c.Barrier(0)
 
 	for {
-		// Pop the next column task.
-		var j int
+		// Pop the next column task: a fetch-and-add on the shared cursor
+		// under the queue lock. The column's work is entirely determined
+		// by j (the sparse structure is fixed at construction), so the
+		// final matrix image is independent of which processor pops it.
 		c.Acquire(chQueueLock)
-		c.Read(w.queue.At(0), 8)
-		if w.popCount >= w.Cols {
+		j := int(c.FetchAddUint64(w.queue.At(0), 1))
+		if j >= w.Cols {
 			c.Release(chQueueLock)
 			return
 		}
-		j = w.popCount
-		w.popCount++
-		c.Write(w.queue.At(0), 8)
 		c.Release(chQueueLock)
 
 		// Numeric factorization of column j: read it whole, write the

@@ -1,20 +1,37 @@
-// Package workload generates the traces of the paper's evaluation. The
-// original study traced five SPLASH programs on 16 processors with the
+// Package workload defines the five SPLASH-structure programs of the
+// paper's evaluation (§5.3) and executes them on interchangeable backends.
+// The original study traced five SPLASH programs on 16 processors with the
 // Tango simulator; those traces are not available, so this package
 // re-creates each program's *sharing and synchronization structure* (as
-// documented in the paper's §5.3) as a deterministic synthetic program and
-// executes it on a miniature lockstep scheduler that serializes all shared
-// accesses into one legal, globally-ordered trace.
+// documented in the paper's §5.2) as a deterministic synthetic program.
 //
-// Each "processor" is a goroutine running the program body against a Ctx;
-// the scheduler resumes exactly one processor at a time (round-robin among
-// runnable processors), parks processors that block on held locks or
-// barriers, and emits events in the order operations are granted — so lock
-// nesting and barrier episodes in the trace are correct by construction.
-// Given a fixed seed, generation is fully deterministic.
+// A Program's per-processor body runs against the abstract access
+// interface Ctx, which has two backends:
+//
+//   - the lockstep trace generator (Execute/Generate in this file): every
+//     "processor" is a goroutine resumed one at a time by a miniature
+//     scheduler that serializes all shared accesses into one legal,
+//     globally-ordered trace for the protocol simulator (internal/sim),
+//     while materializing the value semantics of package trace into a flat
+//     reference memory image;
+//
+//   - the live DSM runtime adapter (RunOnRuntime in runtime.go): every
+//     processor is a genuinely concurrent goroutine driving a dsm.Node,
+//     with locks and barriers mapped to the runtime's synchronization
+//     operations and ordinary accesses moving real bytes through the lazy
+//     release consistency protocol.
+//
+// Both backends apply identical deterministic value semantics
+// (trace.ApplyEvent), and the programs are written so that every pair of
+// conflicting operations either commutes or is ordered by the program's
+// own synchronization — so the final shared-memory image is independent of
+// the interleaving, and the two backends (plus a replay of the generated
+// trace) must converge to byte-identical images. The differential tests
+// rely on exactly that.
 package workload
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/mem"
@@ -29,6 +46,46 @@ type Config struct {
 	NumBarriers int
 }
 
+// Ctx is the abstract per-processor access interface a Program's body runs
+// against. Methods block until the backend grants the operation, exactly
+// like the real DSM API; value-returning operations observe the backend's
+// shared memory under the value semantics of package trace.
+type Ctx interface {
+	// Proc returns this processor's id, 0..NumProcs-1.
+	Proc() int
+	// NumProcs returns the number of processors in the execution.
+	NumProcs() int
+	// Read performs an ordinary shared read of [addr, addr+size).
+	Read(addr mem.Addr, size int)
+	// Write performs an ordinary shared write of [addr, addr+size),
+	// storing the canonical fill pattern (trace.Fill).
+	Write(addr mem.Addr, size int)
+	// Update performs a read-modify-write of [addr, addr+size),
+	// incrementing every byte by one.
+	Update(addr mem.Addr, size int)
+	// WriteUint64 stores v at addr as a little-endian uint64.
+	WriteUint64(addr mem.Addr, v uint64)
+	// ReadUint64 loads the little-endian uint64 at addr.
+	ReadUint64(addr mem.Addr) uint64
+	// FetchAddUint64 atomically (under the caller's synchronization — the
+	// caller must hold a lock ordering all mutations of addr) adds delta
+	// to the little-endian uint64 at addr and returns the previous value.
+	FetchAddUint64(addr mem.Addr, delta uint64) uint64
+	// Acquire blocks until lock l is granted to this processor.
+	Acquire(l int)
+	// Release releases lock l, which the processor must hold.
+	Release(l int)
+	// Barrier blocks until every processor has arrived at barrier b.
+	Barrier(b int)
+}
+
+// Locked runs body while holding lock l.
+func Locked(c Ctx, l int, body func()) {
+	c.Acquire(l)
+	body()
+	c.Release(l)
+}
+
 // Program is a synthetic shared-memory application.
 type Program interface {
 	// Name identifies the workload ("locusroute", ...).
@@ -37,9 +94,19 @@ type Program interface {
 	// processor starts.
 	Config() Config
 	// Proc is the per-processor body; it runs concurrently on
-	// Config().NumProcs scheduler-controlled goroutines and must perform
-	// every shared access through ctx.
-	Proc(ctx *Ctx)
+	// Config().NumProcs backend-controlled goroutines and must perform
+	// every shared access through ctx. Bodies must not share mutable Go
+	// state across processors: the runtime backend runs them genuinely
+	// concurrently.
+	Proc(ctx Ctx)
+}
+
+// Result is a lockstep execution's outcome: the validated trace and the
+// final shared-memory image it denotes (the sequential reference of the
+// differential tests).
+type Result struct {
+	Trace *trace.Trace
+	Image []byte
 }
 
 type opKind uint8
@@ -47,6 +114,10 @@ type opKind uint8
 const (
 	opRead opKind = iota
 	opWrite
+	opUpdate
+	opSet64
+	opGet64
+	opAdd64
 	opAcquire
 	opRelease
 	opBarrier
@@ -59,79 +130,80 @@ type yieldMsg struct {
 	addr mem.Addr
 	size int32
 	sync int32
+	val  uint64
 }
 
-// Ctx is a processor's handle for performing shared-memory and
-// synchronization operations during trace generation. Methods block until
-// the scheduler grants the operation, exactly like the real DSM API.
-type Ctx struct {
+// genCtx is the lockstep backend's Ctx: operations are handed to the
+// scheduler and block until granted; replies carry observed values.
+type genCtx struct {
 	proc int
 	g    *generator
 }
 
-// Proc returns this processor's id, 0..NumProcs-1.
-func (c *Ctx) Proc() int { return c.proc }
+func (c *genCtx) Proc() int     { return c.proc }
+func (c *genCtx) NumProcs() int { return c.g.cfg.NumProcs }
 
-// NumProcs returns the number of processors in the execution.
-func (c *Ctx) NumProcs() int { return c.g.cfg.NumProcs }
-
-func (c *Ctx) op(k opKind, addr mem.Addr, size int32, sync int32) {
-	c.g.yield <- yieldMsg{proc: c.proc, kind: k, addr: addr, size: size, sync: sync}
-	<-c.g.resume[c.proc]
+func (c *genCtx) op(k opKind, addr mem.Addr, size int32, sync int32, val uint64) uint64 {
+	c.g.yield <- yieldMsg{proc: c.proc, kind: k, addr: addr, size: size, sync: sync, val: val}
+	return <-c.g.resume[c.proc]
 }
 
-// Read performs an ordinary shared read of [addr, addr+size).
-func (c *Ctx) Read(addr mem.Addr, size int) { c.op(opRead, addr, int32(size), 0) }
-
-// Write performs an ordinary shared write of [addr, addr+size).
-func (c *Ctx) Write(addr mem.Addr, size int) { c.op(opWrite, addr, int32(size), 0) }
-
-// Update performs a read-modify-write of [addr, addr+size).
-func (c *Ctx) Update(addr mem.Addr, size int) {
-	c.Read(addr, size)
-	c.Write(addr, size)
+func (c *genCtx) Read(addr mem.Addr, size int)   { c.op(opRead, addr, int32(size), 0, 0) }
+func (c *genCtx) Write(addr mem.Addr, size int)  { c.op(opWrite, addr, int32(size), 0, 0) }
+func (c *genCtx) Update(addr mem.Addr, size int) { c.op(opUpdate, addr, int32(size), 0, 0) }
+func (c *genCtx) WriteUint64(addr mem.Addr, v uint64) {
+	c.op(opSet64, addr, 8, 0, v)
 }
-
-// Acquire blocks until lock l is granted to this processor.
-func (c *Ctx) Acquire(l int) { c.op(opAcquire, 0, 0, int32(l)) }
-
-// Release releases lock l, which the processor must hold.
-func (c *Ctx) Release(l int) { c.op(opRelease, 0, 0, int32(l)) }
-
-// Barrier blocks until every processor has arrived at barrier b.
-func (c *Ctx) Barrier(b int) { c.op(opBarrier, 0, 0, int32(b)) }
-
-// Locked runs body while holding lock l.
-func (c *Ctx) Locked(l int, body func()) {
-	c.Acquire(l)
-	body()
-	c.Release(l)
+func (c *genCtx) ReadUint64(addr mem.Addr) uint64 {
+	return c.op(opGet64, addr, 8, 0, 0)
 }
+func (c *genCtx) FetchAddUint64(addr mem.Addr, delta uint64) uint64 {
+	return c.op(opAdd64, addr, 8, 0, delta)
+}
+func (c *genCtx) Acquire(l int) { c.op(opAcquire, 0, 0, int32(l), 0) }
+func (c *genCtx) Release(l int) { c.op(opRelease, 0, 0, int32(l), 0) }
+func (c *genCtx) Barrier(b int) { c.op(opBarrier, 0, 0, int32(b), 0) }
 
 type generator struct {
 	cfg    Config
-	resume []chan struct{}
+	resume []chan uint64
 	yield  chan yieldMsg
 }
 
 // Generate executes the program on the lockstep scheduler and returns the
 // resulting validated trace.
 func Generate(p Program) (*trace.Trace, error) {
+	r, err := Execute(p)
+	if err != nil {
+		return nil, err
+	}
+	return r.Trace, nil
+}
+
+// Execute runs the program on the lockstep scheduler, returning both the
+// validated trace and the reference memory image. The scheduler resumes
+// exactly one processor at a time (round-robin among runnable processors),
+// parks processors that block on held locks or barriers, and emits events
+// — applying their value semantics to the image — in the order operations
+// are granted, so lock nesting and barrier episodes in the trace are
+// correct by construction. Given a fixed seed, execution is fully
+// deterministic.
+func Execute(p Program) (*Result, error) {
 	cfg := p.Config()
 	if cfg.NumProcs <= 0 || cfg.NumProcs > 64 {
 		return nil, fmt.Errorf("workload %s: processor count %d outside [1,64]", p.Name(), cfg.NumProcs)
 	}
 	g := &generator{
 		cfg:    cfg,
-		resume: make([]chan struct{}, cfg.NumProcs),
+		resume: make([]chan uint64, cfg.NumProcs),
 		yield:  make(chan yieldMsg),
 	}
 	for i := range g.resume {
-		g.resume[i] = make(chan struct{})
+		g.resume[i] = make(chan uint64)
 	}
 	for i := 0; i < cfg.NumProcs; i++ {
 		go func(id int) {
-			ctx := &Ctx{proc: id, g: g}
+			ctx := &genCtx{proc: id, g: g}
 			<-g.resume[id] // wait for first scheduling slot
 			p.Proc(ctx)
 			g.yield <- yieldMsg{proc: id, kind: opDone}
@@ -145,6 +217,14 @@ func Generate(p Program) (*trace.Trace, error) {
 		NumBarriers: cfg.NumBarriers,
 		Name:        p.Name(),
 	}
+	image := make([]byte, cfg.SpaceSize)
+
+	// emit appends the event and applies its value semantics to the image,
+	// returning the value observed (AddVal's previous value).
+	emit := func(e trace.Event) uint64 {
+		t.Events = append(t.Events, e)
+		return trace.ApplyEvent(image, e)
+	}
 
 	const (
 		stRunnable = iota
@@ -152,9 +232,10 @@ func Generate(p Program) (*trace.Trace, error) {
 		stDone
 	)
 	state := make([]int, cfg.NumProcs)
-	lockHolder := make(map[int32]int)   // lock -> holder
-	lockQueue := make(map[int32][]int)  // lock -> FIFO waiters
-	barWaiters := make(map[int32][]int) // barrier -> arrived & parked
+	reply := make([]uint64, cfg.NumProcs) // value delivered on next resume
+	lockHolder := make(map[int32]int)     // lock -> holder
+	lockQueue := make(map[int32][]int)    // lock -> FIFO waiters
+	barWaiters := make(map[int32][]int)   // barrier -> arrived & parked
 	active := cfg.NumProcs
 
 	// The resumed processor runs until its next yield; operations are
@@ -174,39 +255,59 @@ func Generate(p Program) (*trace.Trace, error) {
 			return nil, fmt.Errorf("workload %s: deadlock: %d processors active but none runnable", p.Name(), active)
 		}
 		next = (picked + 1) % cfg.NumProcs
-		g.resume[picked] <- struct{}{}
+		g.resume[picked] <- reply[picked]
+		reply[picked] = 0
 		y := <-g.yield
 		if y.proc != picked {
 			return nil, fmt.Errorf("workload %s: scheduler resumed p%d but p%d yielded", p.Name(), picked, y.proc)
 		}
+		if y.kind <= opAdd64 {
+			// Bounds-check ordinary accesses before touching the image, so
+			// a workload bug surfaces as a descriptive error rather than a
+			// slice panic.
+			if y.size <= 0 || y.addr < 0 || y.addr+mem.Addr(y.size) > cfg.SpaceSize {
+				return nil, fmt.Errorf("workload %s: p%d access [%d,%d) outside space [0,%d)",
+					p.Name(), y.proc, y.addr, y.addr+mem.Addr(y.size), cfg.SpaceSize)
+			}
+		}
 		switch y.kind {
 		case opRead:
-			t.Events = append(t.Events, trace.Event{Kind: trace.Read, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: y.size})
+			emit(trace.Event{Kind: trace.Read, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: y.size})
 		case opWrite:
-			t.Events = append(t.Events, trace.Event{Kind: trace.Write, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: y.size})
+			emit(trace.Event{Kind: trace.Write, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: y.size})
+		case opUpdate:
+			emit(trace.Event{Kind: trace.Update, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: y.size})
+		case opSet64:
+			emit(trace.Event{Kind: trace.SetVal, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: 8, Val: y.val})
+		case opGet64:
+			emit(trace.Event{Kind: trace.Read, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: 8})
+			// The value is delivered on the proc's next scheduling slot.
+			reply[y.proc] = binary.LittleEndian.Uint64(image[y.addr:])
+		case opAdd64:
+			reply[y.proc] = emit(trace.Event{Kind: trace.AddVal, Proc: mem.ProcID(y.proc), Addr: y.addr, Size: 8, Val: y.val})
 		case opAcquire:
 			if _, held := lockHolder[y.sync]; held {
 				lockQueue[y.sync] = append(lockQueue[y.sync], y.proc)
 				state[y.proc] = stBlocked
 			} else {
 				lockHolder[y.sync] = y.proc
-				t.Events = append(t.Events, trace.Event{Kind: trace.Acquire, Proc: mem.ProcID(y.proc), Sync: y.sync})
+				emit(trace.Event{Kind: trace.Acquire, Proc: mem.ProcID(y.proc), Sync: y.sync})
 			}
 		case opRelease:
 			if h, held := lockHolder[y.sync]; !held || h != y.proc {
 				return nil, fmt.Errorf("workload %s: p%d releases lock %d it does not hold", p.Name(), y.proc, y.sync)
 			}
-			t.Events = append(t.Events, trace.Event{Kind: trace.Release, Proc: mem.ProcID(y.proc), Sync: y.sync})
+			emit(trace.Event{Kind: trace.Release, Proc: mem.ProcID(y.proc), Sync: y.sync})
 			delete(lockHolder, y.sync)
 			if q := lockQueue[y.sync]; len(q) > 0 {
 				w := q[0]
 				lockQueue[y.sync] = q[1:]
 				lockHolder[y.sync] = w
-				t.Events = append(t.Events, trace.Event{Kind: trace.Acquire, Proc: mem.ProcID(w), Sync: y.sync})
+				emit(trace.Event{Kind: trace.Acquire, Proc: mem.ProcID(w), Sync: y.sync})
 				state[w] = stRunnable
 			}
 		case opBarrier:
-			t.Events = append(t.Events, trace.Event{Kind: trace.Barrier, Proc: mem.ProcID(y.proc), Sync: y.sync})
+			emit(trace.Event{Kind: trace.Barrier, Proc: mem.ProcID(y.proc), Sync: y.sync})
 			arr := append(barWaiters[y.sync], y.proc)
 			if len(arr) == cfg.NumProcs {
 				for _, w := range arr {
@@ -225,5 +326,5 @@ func Generate(p Program) (*trace.Trace, error) {
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("workload %s: generated invalid trace: %w", p.Name(), err)
 	}
-	return t, nil
+	return &Result{Trace: t, Image: image}, nil
 }

@@ -29,10 +29,6 @@ type LocusRoute struct {
 	queue Region // head counter + wire descriptors
 	grid  Region // GridRows x GridCols x 4-byte cost cells
 	space mem.Addr
-	// popCount is the shared pop cursor, mirrored app-side; it is only
-	// touched while holding the queue lock, and the lockstep scheduler
-	// runs one processor at a time, so this is race-free.
-	popCount int
 }
 
 // lrRowLocks is the number of locks hashing the grid rows; the paper's
@@ -80,15 +76,14 @@ func (w *LocusRoute) cell(row, col int) mem.Addr {
 }
 
 // Proc implements Program.
-func (w *LocusRoute) Proc(c *Ctx) {
+func (w *LocusRoute) Proc(c Ctx) {
 	p := c.Proc()
-	rng := rand.New(rand.NewSource(splitRNG(w.Seed, int64(p))))
 
 	// Initialization: processor 0 sets up the task queue; the grid is
 	// zero-initialized in partitioned fashion (each processor clears a
 	// band of rows), as the original does.
 	if p == 0 {
-		c.Write(w.queue.At(0), 8) // head
+		c.WriteUint64(w.queue.At(0), 0) // head cursor
 		for i := 0; i < w.Wires; i++ {
 			c.Write(w.queue.Elem(1+i, 16), 16)
 		}
@@ -103,23 +98,26 @@ func (w *LocusRoute) Proc(c *Ctx) {
 	c.Barrier(0)
 
 	for {
-		// Pop one wire from the central queue.
-		var wire int
+		// Pop one wire from the central queue: a fetch-and-add on the
+		// shared head cursor under the queue lock, so the cursor itself
+		// lives in DSM memory and the pop order is whatever the lock
+		// grants.
 		c.Acquire(lrQueueLock)
-		c.Read(w.queue.At(0), 8)
-		if w.popCount >= w.Wires {
+		wire := int(c.FetchAddUint64(w.queue.At(0), 1))
+		if wire >= w.Wires {
 			c.Release(lrQueueLock)
 			return
 		}
-		wire = w.popCount
-		w.popCount++
-		c.Write(w.queue.At(0), 8)
 		c.Read(w.queue.Elem(1+wire, 16), 16)
 		c.Release(lrQueueLock)
 
 		// Evaluate three candidate rows over the span, then route through
-		// the cheapest (chosen pseudo-randomly; the cost values are not
-		// materialized, only the access pattern matters).
+		// the cheapest. The route is derived from the wire id, not the
+		// popping processor, so the work a wire performs — and therefore
+		// the final cost-grid image — is independent of which processor
+		// happens to pop it (the cost values are not materialized, only
+		// the access pattern and the update counts matter).
+		rng := rand.New(rand.NewSource(splitRNG(w.Seed, int64(1+wire))))
 		row := 1 + rng.Intn(w.GridRows-2)
 		col0 := rng.Intn(w.GridCols - w.SpanLen)
 		for dr := -1; dr <= 1; dr++ {

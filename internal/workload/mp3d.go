@@ -60,7 +60,7 @@ func (w *MP3D) Config() Config {
 }
 
 // Proc implements Program.
-func (w *MP3D) Proc(c *Ctx) {
+func (w *MP3D) Proc(c Ctx) {
 	p := c.Proc()
 	rng := rand.New(rand.NewSource(splitRNG(w.Seed, int64(p))))
 

@@ -73,7 +73,7 @@ func (w *Pthor) wire(owner, k int) mem.Addr {
 }
 
 // Proc implements Program.
-func (w *Pthor) Proc(c *Ctx) {
+func (w *Pthor) Proc(c Ctx) {
 	p := c.Proc()
 	rng := rand.New(rand.NewSource(splitRNG(w.Seed, int64(p))))
 

@@ -46,31 +46,43 @@ type cacheKey struct {
 
 var (
 	cacheMu sync.Mutex
-	cache   = map[cacheKey]*trace.Trace{}
+	cache   = map[cacheKey]*Result{}
 )
 
-// GenerateCached generates the named workload's trace, memoizing the
-// result: the simulator replays one trace against many (protocol, page
+// ExecuteCached runs the named workload on the lockstep backend, memoizing
+// the result: the simulator replays one trace against many (protocol, page
 // size) combinations, exactly as the paper generated each application's
-// trace once.
-func GenerateCached(name string, procs int, scale float64, seed int64) (*trace.Trace, error) {
+// trace once, and the differential tests compare many runtime executions
+// against one reference image. Callers must not mutate the returned
+// Result.
+func ExecuteCached(name string, procs int, scale float64, seed int64) (*Result, error) {
 	key := cacheKey{name, procs, scale, seed}
 	cacheMu.Lock()
-	t, ok := cache[key]
+	r, ok := cache[key]
 	cacheMu.Unlock()
 	if ok {
-		return t, nil
+		return r, nil
 	}
 	prog, err := New(name, procs, scale, seed)
 	if err != nil {
 		return nil, err
 	}
-	t, err = Generate(prog)
+	r, err = Execute(prog)
 	if err != nil {
 		return nil, err
 	}
 	cacheMu.Lock()
-	cache[key] = t
+	cache[key] = r
 	cacheMu.Unlock()
-	return t, nil
+	return r, nil
+}
+
+// GenerateCached generates the named workload's trace, memoized (see
+// ExecuteCached).
+func GenerateCached(name string, procs int, scale float64, seed int64) (*trace.Trace, error) {
+	r, err := ExecuteCached(name, procs, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return r.Trace, nil
 }

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dsm"
+	"repro/internal/mem"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// RuntimeConfig configures a workload execution on the live DSM runtime.
+type RuntimeConfig struct {
+	// PageSize is the consistency granularity (default 4096).
+	PageSize int
+	// Mode selects LI or LU data movement.
+	Mode dsm.Mode
+	// GCEveryBarriers enables the runtime's barrier-time garbage
+	// collection every k-th episode (0 disables).
+	GCEveryBarriers int
+	// Latency configures the interconnect time model (zero value uses the
+	// runtime default).
+	Latency simnet.LatencyModel
+}
+
+// RuntimeResult is a completed runtime execution.
+type RuntimeResult struct {
+	// Name is the workload's name.
+	Name string
+	// Image is the final shared-memory image (Config().SpaceSize bytes),
+	// read out by node 0 after a closing barrier — for a properly-
+	// synchronized program it must equal the lockstep reference image.
+	Image []byte
+	// Net is the interconnect's global message/byte totals, including the
+	// closing barrier and the image read-out.
+	Net simnet.Stats
+	// Elapsed is the interconnect time model's estimate for the traffic.
+	Elapsed time.Duration
+	// Nodes holds each node's protocol counters.
+	Nodes []dsm.Stats
+}
+
+// nodeErr carries a DSM error out of a Program body through panic; the
+// runtime driver recovers it. Ctx has no error returns (program bodies are
+// written against an infallible shared memory), and DSM operations only
+// fail when the interconnect shuts down.
+type nodeErr struct{ err error }
+
+// nodeCtx adapts one dsm.Node to the Ctx interface. It is driven by
+// exactly one goroutine.
+type nodeCtx struct {
+	n     *dsm.Node
+	procs int
+	buf   []byte
+}
+
+func (c *nodeCtx) Proc() int     { return int(c.n.ID()) }
+func (c *nodeCtx) NumProcs() int { return c.procs }
+
+func (c *nodeCtx) check(err error) {
+	if err != nil {
+		panic(nodeErr{err})
+	}
+}
+
+func (c *nodeCtx) scratch(size int) []byte {
+	if cap(c.buf) < size {
+		c.buf = make([]byte, size)
+	}
+	return c.buf[:size]
+}
+
+func (c *nodeCtx) Read(addr mem.Addr, size int) {
+	c.check(c.n.Read(c.scratch(size), addr))
+}
+
+func (c *nodeCtx) Write(addr mem.Addr, size int) {
+	b := c.scratch(size)
+	trace.FillRange(b, addr)
+	c.check(c.n.Write(addr, b))
+}
+
+func (c *nodeCtx) Update(addr mem.Addr, size int) {
+	b := c.scratch(size)
+	c.check(c.n.Read(b, addr))
+	for i := range b {
+		b[i]++
+	}
+	c.check(c.n.Write(addr, b))
+}
+
+func (c *nodeCtx) WriteUint64(addr mem.Addr, v uint64) {
+	c.check(c.n.WriteUint64(addr, v))
+}
+
+func (c *nodeCtx) ReadUint64(addr mem.Addr) uint64 {
+	v, err := c.n.ReadUint64(addr)
+	c.check(err)
+	return v
+}
+
+func (c *nodeCtx) FetchAddUint64(addr mem.Addr, delta uint64) uint64 {
+	v := c.ReadUint64(addr)
+	c.WriteUint64(addr, v+delta)
+	return v
+}
+
+func (c *nodeCtx) Acquire(l int) { c.check(c.n.Acquire(mem.LockID(l))) }
+func (c *nodeCtx) Release(l int) { c.check(c.n.Release(mem.LockID(l))) }
+func (c *nodeCtx) Barrier(b int) { c.check(c.n.Barrier(mem.BarrierID(b))) }
+
+// RunOnRuntime executes the program on the live DSM runtime: one genuinely
+// concurrent goroutine per processor, each driving its own dsm.Node, with
+// locks and barriers mapped to the runtime's synchronization operations.
+// After every body returns, the nodes run one closing barrier (id
+// Config().NumBarriers, outside the program's range) so node 0's vector
+// clock covers every interval, and node 0 reads the whole space out as the
+// final image.
+func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
+	cfg := p.Config()
+	if rc.PageSize == 0 {
+		rc.PageSize = 4096
+	}
+	sys, err := dsm.New(dsm.Config{
+		Procs:           cfg.NumProcs,
+		SpaceSize:       cfg.SpaceSize,
+		PageSize:        rc.PageSize,
+		Mode:            rc.Mode,
+		GCEveryBarriers: rc.GCEveryBarriers,
+		Latency:         rc.Latency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	res := &RuntimeResult{Name: p.Name()}
+	finalBarrier := mem.BarrierID(cfg.NumBarriers)
+	errs := make([]error, cfg.NumProcs)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.NumProcs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := &nodeCtx{n: sys.Node(id), procs: cfg.NumProcs}
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						ne, ok := r.(nodeErr)
+						if !ok {
+							panic(r) // workload bug, not a DSM failure
+						}
+						err = ne.err
+					}
+				}()
+				p.Proc(ctx)
+				// Closing barrier: every node's modifications become
+				// visible to node 0 before the image read-out.
+				return ctx.n.Barrier(finalBarrier)
+			}()
+			if err != nil {
+				errs[id] = err
+				// Unblock peers stuck in protocol operations.
+				sys.Close()
+				return
+			}
+			if id == 0 {
+				img := make([]byte, cfg.SpaceSize)
+				if err := ctx.n.Read(img, 0); err != nil {
+					errs[id] = err
+					sys.Close()
+					return
+				}
+				res.Image = img
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Prefer a root-cause error over the secondary "network closed"
+	// failures the shutdown induces on the other nodes.
+	failed, first := -1, -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == -1 {
+			first = i
+		}
+		if failed == -1 && !errors.Is(err, simnet.ErrClosed) {
+			failed = i
+		}
+	}
+	if failed == -1 {
+		failed = first
+	}
+	if failed != -1 {
+		return nil, fmt.Errorf("workload %s on runtime (%s): node %d: %w", p.Name(), rc.Mode, failed, errs[failed])
+	}
+	res.Net = sys.NetStats()
+	res.Elapsed = sys.EstimateTime()
+	for i := 0; i < cfg.NumProcs; i++ {
+		res.Nodes = append(res.Nodes, sys.Node(i).Stats())
+	}
+	return res, nil
+}

@@ -73,7 +73,7 @@ const waSumLock = 0
 func (w *Water) molLock(i int) int { return 1 + i%w.MolLocks }
 
 // Proc implements Program.
-func (w *Water) Proc(c *Ctx) {
+func (w *Water) Proc(c Ctx) {
 	p := c.Proc()
 	rng := rand.New(rand.NewSource(splitRNG(w.Seed, int64(p))))
 
@@ -110,7 +110,12 @@ func (w *Water) Proc(c *Ctx) {
 					c.Release(w.molLock(j))
 				}
 			}
+			// The owner's own contribution takes the molecule lock too (as
+			// the original does): neighbors may be accumulating into the
+			// same force record concurrently.
+			c.Acquire(w.molLock(i))
 			c.Update(w.forces.Elem(i, 256), 24)
+			c.Release(w.molLock(i))
 		}
 		c.Barrier(1)
 		// Update phase: integrate owned molecules and fold the local

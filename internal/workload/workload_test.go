@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"encoding/binary"
 	"reflect"
 	"testing"
 
@@ -38,8 +39,10 @@ func TestAllWorkloadsGenerateValidTraces(t *testing.T) {
 		if tr.NumProcs != testProcs {
 			t.Errorf("%s: NumProcs = %d", name, tr.NumProcs)
 		}
-		if len(tr.Events) < 1000 {
-			t.Errorf("%s: only %d events", name, len(tr.Events))
+		c := tr.Count()
+		ops := c.Reads + c.Writes + c.Acquires + c.Releases + c.BarrierArrivals
+		if ops < 1000 {
+			t.Errorf("%s: only %d operations", name, ops)
 		}
 	}
 }
@@ -177,9 +180,9 @@ func (c *contended) Name() string { return "contended" }
 func (c *contended) Config() Config {
 	return Config{NumProcs: c.procs, SpaceSize: 4096, NumLocks: 1, NumBarriers: 1}
 }
-func (c *contended) Proc(ctx *Ctx) {
+func (c *contended) Proc(ctx Ctx) {
 	for i := 0; i < c.iters; i++ {
-		ctx.Locked(0, func() {
+		Locked(ctx, 0, func() {
 			ctx.Update(0, 8)
 		})
 	}
@@ -195,7 +198,7 @@ func (b *barrierHeavy) Name() string { return "barrierheavy" }
 func (b *barrierHeavy) Config() Config {
 	return Config{NumProcs: b.procs, SpaceSize: 4096, NumLocks: 1, NumBarriers: 1}
 }
-func (b *barrierHeavy) Proc(ctx *Ctx) {
+func (b *barrierHeavy) Proc(ctx Ctx) {
 	for i := 0; i < b.rounds; i++ {
 		ctx.Write(mem.Addr(ctx.Proc()*64), 8)
 		ctx.Barrier(0)
@@ -214,13 +217,31 @@ func TestRepeatedBarrierEpisodes(t *testing.T) {
 }
 
 func TestCtxHelpers(t *testing.T) {
-	tr, err := Generate(&helperProg{})
+	r, err := Execute(&helperProg{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := tr.Count()
-	if c.Reads != 2 || c.Writes != 2 { // Update = read+write, plus one each
+	c := r.Trace.Count()
+	if c.Reads != 5 || c.Writes != 4 { // Update/AddVal = read+write each
 		t.Errorf("helper counts: %+v", c)
+	}
+	// The image reflects the value semantics: the update incremented bytes
+	// [0,8), the fill write landed at [16,24), and the counter at 32 holds
+	// its two fetch-add deltas.
+	img := r.Image
+	if img[0] != 1 {
+		t.Errorf("img[0] = %d after one update, want 1", img[0])
+	}
+	for i := 16; i < 24; i++ {
+		if img[i] != trace.Fill(mem.Addr(i)) {
+			t.Errorf("img[%d] = %#x, want fill %#x", i, img[i], trace.Fill(mem.Addr(i)))
+		}
+	}
+	if got := binary.LittleEndian.Uint64(img[32:]); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if !reflect.DeepEqual(r.Trace.Image(), img) {
+		t.Error("trace value replay diverges from execution image")
 	}
 }
 
@@ -230,13 +251,22 @@ func (h *helperProg) Name() string { return "helper" }
 func (h *helperProg) Config() Config {
 	return Config{NumProcs: 1, SpaceSize: 4096, NumLocks: 1, NumBarriers: 1}
 }
-func (h *helperProg) Proc(ctx *Ctx) {
+func (h *helperProg) Proc(ctx Ctx) {
 	if ctx.NumProcs() != 1 || ctx.Proc() != 0 {
 		panic("ctx identity wrong")
 	}
 	ctx.Update(0, 8)
 	ctx.Read(8, 8)
 	ctx.Write(16, 8)
+	if got := ctx.FetchAddUint64(32, 3); got != 0 {
+		panic("fetch-add did not start at zero")
+	}
+	if got := ctx.FetchAddUint64(32, 4); got != 3 {
+		panic("fetch-add lost the first delta")
+	}
+	if got := ctx.ReadUint64(32); got != 7 {
+		panic("read-back of counter wrong")
+	}
 }
 
 func TestSpaceAllocator(t *testing.T) {

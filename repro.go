@@ -57,10 +57,19 @@ type (
 	DSM = dsm.System
 	// DSMConfig configures a live DSM instance.
 	DSMConfig = dsm.Config
+	// DSMMode selects the runtime's data-movement policy (LI or LU).
+	DSMMode = dsm.Mode
 	// Node is one live DSM processor handle.
 	Node = dsm.Node
 	// LatencyModel estimates communication time from message/byte counts.
 	LatencyModel = simnet.LatencyModel
+	// WorkloadResult is a lockstep workload execution: the trace plus the
+	// reference memory image.
+	WorkloadResult = workload.Result
+	// RuntimeConfig configures a workload execution on the live runtime.
+	RuntimeConfig = workload.RuntimeConfig
+	// RuntimeResult is a completed workload execution on the live runtime.
+	RuntimeResult = workload.RuntimeResult
 )
 
 // Live DSM data-movement modes.
@@ -117,4 +126,23 @@ func Series(results []Result, protocol string, pageSizes []int, metric string) (
 // NewDSM starts a live lazy-release-consistency DSM.
 func NewDSM(cfg DSMConfig) (*DSM, error) {
 	return dsm.New(cfg)
+}
+
+// ExecuteWorkload runs the named workload on the lockstep backend,
+// returning (and memoizing) its trace and sequential-reference memory
+// image.
+func ExecuteWorkload(name string, procs int, scale float64, seed int64) (*WorkloadResult, error) {
+	return workload.ExecuteCached(name, procs, scale, seed)
+}
+
+// RunWorkloadOnRuntime executes the named workload on the live DSM runtime
+// — genuinely concurrent nodes under LI or LU — and returns the final
+// memory image and traffic totals. For a properly-synchronized workload
+// the image equals ExecuteWorkload's reference image.
+func RunWorkloadOnRuntime(name string, procs int, scale float64, seed int64, cfg RuntimeConfig) (*RuntimeResult, error) {
+	prog, err := workload.New(name, procs, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return workload.RunOnRuntime(prog, cfg)
 }

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -99,5 +100,27 @@ func TestFacadeDSM(t *testing.T) {
 	}
 	if d.NetStats().Messages == 0 {
 		t.Error("no interconnect traffic")
+	}
+}
+
+func TestFacadeWorkloadRuntime(t *testing.T) {
+	ref, err := repro.ExecuteWorkload("cholesky", 4, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Trace == nil || len(ref.Image) == 0 {
+		t.Fatal("reference execution incomplete")
+	}
+	res, err := repro.RunWorkloadOnRuntime("cholesky", 4, 0.05, 7, repro.RuntimeConfig{
+		PageSize: 1024, Mode: repro.LazyUpdate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Image, ref.Image) {
+		t.Error("runtime image diverges from sequential reference")
+	}
+	if _, err := repro.RunWorkloadOnRuntime("bogus", 4, 1, 7, repro.RuntimeConfig{}); err == nil {
+		t.Error("unknown workload accepted")
 	}
 }
