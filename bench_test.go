@@ -195,13 +195,12 @@ func BenchmarkAblationIvy(b *testing.B) {
 // --- live runtime benches ---
 
 // BenchmarkRuntimeMigratoryCounter drives the Figure 3/4 pattern through
-// the live DSM in both modes, reporting interconnect traffic per
-// critical section.
+// the live DSM under every protocol engine, reporting interconnect
+// traffic per critical section — the live counterpart of the paper's
+// migratory-data comparison.
 func BenchmarkRuntimeMigratoryCounter(b *testing.B) {
-	for _, mode := range []repro.DSMConfig{
-		{Procs: 4, SpaceSize: 64 * 1024, PageSize: 1024, Mode: repro.LazyInvalidate},
-		{Procs: 4, SpaceSize: 64 * 1024, PageSize: 1024, Mode: repro.LazyUpdate},
-	} {
+	for _, m := range repro.DSMModes {
+		mode := repro.DSMConfig{Procs: 4, SpaceSize: 64 * 1024, PageSize: 1024, Mode: m}
 		b.Run(mode.Mode.String(), func(b *testing.B) {
 			d, err := repro.NewDSM(mode)
 			if err != nil {
@@ -248,10 +247,10 @@ func BenchmarkRuntimeMigratoryCounter(b *testing.B) {
 
 // benchRuntimeWorkload runs one SPLASH workload end to end on the live DSM
 // runtime per iteration — the full life of an execution: node startup,
-// concurrent program body, closing barrier, image read-out — in both
-// data-movement modes, reporting interconnect traffic per run.
+// concurrent program body, closing barrier, image read-out — under every
+// protocol engine, reporting interconnect traffic per run.
 func benchRuntimeWorkload(b *testing.B, app string) {
-	for _, mode := range []dsm.Mode{dsm.LazyInvalidate, dsm.LazyUpdate} {
+	for _, mode := range dsm.Modes {
 		b.Run(mode.String(), func(b *testing.B) {
 			prog, err := workload.New(app, 4, 0.05, benchSeed)
 			if err != nil {

@@ -1,19 +1,21 @@
-// Command lrcrun runs programs on the live lazy-release-consistency DSM
-// runtime (the implementation the paper's §7 promises) and reports the
-// interconnect traffic and estimated communication time.
+// Command lrcrun runs programs on the live DSM runtime (the
+// implementation the paper's §7 promises) under any of the five
+// protocols of the paper's evaluation — LI, LU, EI, EU or SC — and
+// reports the interconnect traffic and estimated communication time.
 //
 // It runs either a small demonstration pattern (-demo) or one of the five
 // SPLASH-structure workloads (-app). Workloads execute on genuinely
 // concurrent nodes; the final shared-memory image is checked against the
 // lockstep sequential reference, and the runtime's interconnect totals are
 // printed next to the trace simulator's counts for the same program at the
-// same page size.
+// same page size and protocol.
 //
 // Examples:
 //
 //	lrcrun -demo counter -mode LU -procs 8
 //	lrcrun -demo stencil -procs 4 -gc 2
-//	lrcrun -app locusroute -mode LU -procs 8 -scale 0.25
+//	lrcrun -app locusroute -mode EU -procs 8 -scale 0.25
+//	lrcrun -app mp3d -mode SC
 //	lrcrun -app all -pagesize 1024
 package main
 
@@ -50,7 +52,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		demo     = fs.String("demo", "", "demo program: counter, stencil, queue")
 		app      = fs.String("app", "", "workload to run on the runtime ("+strings.Join(workload.Names, ", ")+") or \"all\"")
-		mode     = fs.String("mode", "LI", "protocol mode: LI or LU")
+		mode     = fs.String("mode", "LI", "protocol mode: "+dsm.ModeNames())
 		procs    = fs.Int("procs", 8, "number of DSM nodes")
 		iters    = fs.Int("iters", 100, "iterations per node (demos)")
 		scale    = fs.Float64("scale", 0.1, "workload scale factor (-app)")
@@ -62,13 +64,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	m := dsm.LazyInvalidate
-	switch *mode {
-	case "LI":
-	case "LU":
-		m = dsm.LazyUpdate
-	default:
-		return fmt.Errorf("unknown mode %q (want LI or LU)", *mode)
+	m, err := dsm.ParseMode(*mode)
+	if err != nil {
+		return err
 	}
 
 	switch {
@@ -127,13 +125,17 @@ func runWorkload(out io.Writer, name string, procs int, scale float64, seed int6
 		"runtime", res.Net.Messages, res.Net.Bytes, res.Elapsed)
 	fmt.Fprintf(out, "%-12s%14d%14d   (trace replay, %s)\n",
 		"simulator", st.TotalMessages(), st.TotalBytes(), m)
-	var misses, diffs, intervals int64
+	var misses, diffs, updates, intervals, invals, moves int64
 	for _, ns := range res.Nodes {
 		misses += ns.AccessMisses
 		diffs += ns.DiffsApplied
+		updates += ns.UpdatesReceived
 		intervals += ns.IntervalsCreated
+		invals += ns.InvalsReceived
+		moves += ns.OwnershipMoves
 	}
-	fmt.Fprintf(out, "nodes: %d access misses, %d diffs applied, %d intervals\n\n", misses, diffs, intervals)
+	fmt.Fprintf(out, "nodes: %d access misses, %d diffs applied, %d updates, %d intervals, %d invalidations, %d ownership moves\n\n",
+		misses, diffs, updates, intervals, invals, moves)
 	if !bytes.Equal(res.Image, ref.Image) {
 		return fmt.Errorf("%s: runtime image diverges from sequential reference", name)
 	}
@@ -173,8 +175,8 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, iters, pageSize, gc 
 		st.Messages, st.Bytes, d.EstimateTime())
 	for i := 0; i < d.NumProcs(); i++ {
 		ns := d.Node(i).Stats()
-		fmt.Fprintf(out, "  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d\n",
-			i, ns.AccessMisses, ns.ColdMisses, ns.DiffsApplied, ns.IntervalsCreated, ns.GCRuns)
+		fmt.Fprintf(out, "  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d, invals %d, updates %d\n",
+			i, ns.AccessMisses, ns.ColdMisses, ns.DiffsApplied, ns.IntervalsCreated, ns.GCRuns, ns.InvalsReceived, ns.UpdatesReceived)
 	}
 	return nil
 }

@@ -61,10 +61,45 @@ func TestRunWorkloadWithGC(t *testing.T) {
 	}
 }
 
+// TestRunWorkloadSC runs a workload live under the SC baseline and checks
+// that live interconnect totals are reported next to the simulator's.
+func TestRunWorkloadSC(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-app", "mp3d", "-mode", "SC", "-procs", "4", "-scale", "0.05",
+		"-pagesize", "1024"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"mode SC", "matches sequential reference",
+		"runtime", "simulator", "ownership moves",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunDemoEagerModes smokes the demo programs under the eager engines.
+func TestRunDemoEagerModes(t *testing.T) {
+	for _, mode := range []string{"EI", "EU"} {
+		var out strings.Builder
+		if err := run([]string{"-demo", "counter", "-mode", mode, "-procs", "3", "-iters", "5"}, &out); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !strings.Contains(out.String(), "counter reached 15") {
+			t.Errorf("%s output:\n%s", mode, out.String())
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-mode", "XX"}, &out); err == nil {
 		t.Error("unknown mode accepted")
+	} else if !strings.Contains(err.Error(), "LI, LU, EI, EU, SC") {
+		t.Errorf("mode error %v does not enumerate the supported set", err)
 	}
 	if err := run([]string{"-demo", "bogus"}, &out); err == nil {
 		t.Error("unknown demo accepted")

@@ -1,58 +1,127 @@
-// Package dsm is a live software distributed shared memory runtime
-// implementing lazy release consistency — the implementation the paper's
-// §7 names as further work. Each node is driven by one application
-// goroutine and one message-handler goroutine; nodes exchange real bytes
-// (twins, diffs, write notices, vector clocks) over a simulated reliable
+// Package dsm is a live software distributed shared memory runtime. Each
+// node is driven by one application goroutine and one message-handler
+// goroutine; nodes exchange real bytes (twins, diffs, write notices,
+// vector clocks, invalidations, page ships) over a simulated reliable
 // FIFO interconnect (internal/simnet) using the wire format of
 // internal/wire.
 //
-// Two data-movement modes are provided, mirroring §4.3.2: LazyInvalidate
-// (LI — write notices invalidate cached pages at acquire time, diffs are
-// fetched at the next access miss) and LazyUpdate (LU — cached pages are
-// brought up to date at acquire time). Ordinary accesses are performed
-// through an explicit Read/Write API rather than VM page protection: Go's
-// runtime owns the process signal handling and heap, so access *detection*
-// is by API call, which leaves the consistency protocol — the object of
-// study — unchanged (see DESIGN.md, substitutions).
+// The consistency policy is pluggable: a protocol engine (see engine.go)
+// owns page state, data movement and the consistency payload of
+// synchronization messages, so the whole protocol matrix of the paper's
+// evaluation runs live:
 //
-// Differences from the trace-driven simulator (internal/core), chosen for
-// correctness and simplicity over exact Table 1 message counts:
+//   - LI / LU — lazy release consistency (§4): write notices ride lock
+//     grants and barrier messages; LI invalidates at acquire and fetches
+//     diffs at the next access miss, LU brings cached copies up to date
+//     at acquire time. See lazyEngine.
+//   - EI / EU — eager release consistency in the style of Munin's
+//     write-shared protocol (§3): modifications are buffered until a
+//     release or barrier and then pushed to every other cacher of each
+//     dirty page — invalidations (EI) or diffs (EU) — before the release
+//     completes. See eagerEngine.
+//   - SC — a sequentially consistent Ivy-style baseline (§6): single
+//     writer, write-invalidate, whole-page shipping with distributed
+//     ownership transfer through each page's static home. See scEngine.
 //
-//   - diffs are fetched from their *creators* (who always retain them
-//     until garbage collection) rather than from hb-maximal modifiers;
-//   - interval records on the wire carry their vector timestamps.
+// Ordinary accesses are performed through an explicit Read/Write API
+// rather than VM page protection: Go's runtime owns the process signal
+// handling and heap, so access *detection* is by API call, which leaves
+// the consistency protocol — the object of study — unchanged (see
+// DESIGN.md, substitutions).
+//
+// Differences from the trace-driven simulator (internal/core et al.),
+// chosen for correctness and simplicity over exact Table 1 message
+// counts:
+//
+//   - lazy diffs are fetched from their *creators* (who always retain
+//     them until garbage collection) rather than from hb-maximal
+//     modifiers, and interval records on the wire carry their vector
+//     timestamps;
+//   - eager flushes issue one message exchange per (page, cacher) rather
+//     than merging all traffic to one destination into a single message.
 //
 // The simulator remains the artifact that reproduces the paper's counts;
-// this runtime is the artifact that proves the protocol moves the right
+// this runtime is the artifact that proves each protocol moves the right
 // bytes: its tests check that properly-synchronized programs observe
-// exactly the values release consistency promises.
+// exactly the values the consistency model promises.
 package dsm
 
 import (
-	"time"
-
+	"errors"
 	"fmt"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/mem"
 	"repro/internal/simnet"
 )
 
-// Mode selects the lazy data-movement policy (§4.3.2).
+// Mode selects the consistency protocol a System runs.
 type Mode int
 
 const (
-	// LazyInvalidate is the LI protocol.
+	// LazyInvalidate is the LI protocol (§4.3.2).
 	LazyInvalidate Mode = iota
-	// LazyUpdate is the LU protocol.
+	// LazyUpdate is the LU protocol (§4.3.2).
 	LazyUpdate
+	// EagerInvalidate is the EI protocol (§3, Munin write-shared with
+	// release-time invalidations).
+	EagerInvalidate
+	// EagerUpdate is the EU protocol (§3, release-time diff propagation).
+	EagerUpdate
+	// SeqConsistent is the SC baseline (§6, Ivy-style single-writer
+	// write-invalidate).
+	SeqConsistent
 )
 
-// String returns the mode's protocol name.
+// Modes lists every supported mode in the paper's presentation order.
+// It is the single source of truth for mode parsing, validation and
+// flag documentation.
+var Modes = []Mode{LazyInvalidate, LazyUpdate, EagerInvalidate, EagerUpdate, SeqConsistent}
+
+var modeNames = map[Mode]string{
+	LazyInvalidate:  "LI",
+	LazyUpdate:      "LU",
+	EagerInvalidate: "EI",
+	EagerUpdate:     "EU",
+	SeqConsistent:   "SC",
+}
+
+// String returns the mode's protocol name, matching the trace simulator's
+// protocol naming (sim.Run accepts the same strings).
 func (m Mode) String() string {
-	if m == LazyUpdate {
-		return "LU"
+	if s, ok := modeNames[m]; ok {
+		return s
 	}
-	return "LI"
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Valid reports whether m names a supported protocol.
+func (m Mode) Valid() bool {
+	_, ok := modeNames[m]
+	return ok
+}
+
+// ModeNames returns the supported protocol names, comma-separated, for
+// error messages and flag help.
+func ModeNames() string {
+	names := make([]string, len(Modes))
+	for i, m := range Modes {
+		names[i] = m.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseMode maps a protocol name ("LI", "LU", "EI", "EU", "SC") to its
+// Mode. The error enumerates the supported set.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes {
+		if modeNames[m] == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("dsm: unknown mode %q (supported: %s)", s, ModeNames())
 }
 
 // Config describes a DSM instance.
@@ -63,12 +132,13 @@ type Config struct {
 	SpaceSize mem.Addr
 	// PageSize is the consistency granularity (a power of two).
 	PageSize int
-	// Mode selects LI or LU.
+	// Mode selects the consistency protocol (LI, LU, EI, EU or SC).
 	Mode Mode
 	// GCEveryBarriers enables interval/diff garbage collection every k-th
 	// barrier episode (0 disables GC). GC validates every cached page,
 	// then discards the diffs of intervals covered by the barrier's
-	// merged clock, bounding memory (TreadMarks-style).
+	// merged clock, bounding memory (TreadMarks-style). Only the lazy
+	// protocols retain diffs; the eager and SC engines ignore it.
 	GCEveryBarriers int
 	// Latency configures the interconnect's time model (zero value uses
 	// simnet.DefaultLatency).
@@ -82,6 +152,10 @@ type System struct {
 	layout *mem.Layout
 	net    *simnet.Network
 	nodes  []*Node
+
+	handlers  sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New builds and starts a DSM. Callers drive each node from exactly one
@@ -90,6 +164,9 @@ type System struct {
 func New(cfg Config) (*System, error) {
 	if cfg.Procs <= 0 || cfg.Procs > 64 {
 		return nil, fmt.Errorf("dsm: processor count %d outside [1,64]", cfg.Procs)
+	}
+	if !cfg.Mode.Valid() {
+		return nil, fmt.Errorf("dsm: unknown mode %d (supported: %s)", int(cfg.Mode), ModeNames())
 	}
 	layout, err := mem.NewLayout(cfg.SpaceSize, cfg.PageSize)
 	if err != nil {
@@ -109,7 +186,11 @@ func New(cfg Config) (*System, error) {
 		s.nodes[i] = newNode(s, mem.ProcID(i))
 	}
 	for _, n := range s.nodes {
-		go n.handlerLoop()
+		s.handlers.Add(1)
+		go func(n *Node) {
+			defer s.handlers.Done()
+			n.handlerLoop()
+		}(n)
 	}
 	return s, nil
 }
@@ -119,6 +200,9 @@ func (s *System) Node(i int) *Node { return s.nodes[i] }
 
 // NumProcs returns the node count.
 func (s *System) NumProcs() int { return s.cfg.Procs }
+
+// Mode returns the protocol the system runs.
+func (s *System) Mode() Mode { return s.cfg.Mode }
 
 // Layout returns the address-space layout.
 func (s *System) Layout() *mem.Layout { return s.layout }
@@ -131,12 +215,26 @@ func (s *System) EstimateTime() time.Duration {
 	return s.net.EstimateTime()
 }
 
-// Close shuts the interconnect down. Nodes blocked in protocol operations
-// return errors.
-func (s *System) Close() { s.net.Close() }
+// Close shuts the interconnect down and surfaces any protocol send error
+// the handler goroutines recorded while the system ran (a lock grant or
+// protocol response that could not be delivered would otherwise strand
+// its requester silently). Nodes blocked in protocol operations return
+// errors. Close is idempotent; every call returns the same error.
+func (s *System) Close() error {
+	s.closeOnce.Do(func() {
+		s.net.Close()
+		s.handlers.Wait()
+		var errs []error
+		for _, n := range s.nodes {
+			errs = append(errs, n.takeErrs()...)
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
+}
 
-// home returns the home node of a page (static distribution, as in the
-// simulator's directory).
+// home returns the home node of a page: the static directory entry for
+// the eager and SC engines, and the cold-copy server for the lazy ones.
 func (s *System) home(pg mem.PageID) mem.ProcID {
 	return mem.ProcID(int(pg) % s.cfg.Procs)
 }

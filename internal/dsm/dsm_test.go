@@ -14,18 +14,32 @@ func newSys(t *testing.T, procs int, mode Mode) *System {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.Close)
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
 	return s
 }
 
+// bothModes runs f under the two lazy protocols (for LRC-specific
+// machinery: intervals, diffs, write notices, GC).
 func bothModes(t *testing.T, f func(t *testing.T, mode Mode)) {
 	for _, mode := range []Mode{LazyInvalidate, LazyUpdate} {
 		t.Run(mode.String(), func(t *testing.T) { f(t, mode) })
 	}
 }
 
+// allModes runs f under every live protocol engine: properly-synchronized
+// programs must behave identically under all five.
+func allModes(t *testing.T, f func(t *testing.T, mode Mode)) {
+	for _, mode := range Modes {
+		t.Run(mode.String(), func(t *testing.T) { f(t, mode) })
+	}
+}
+
 func TestSingleNodeRoundTrip(t *testing.T) {
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		s := newSys(t, 1, mode)
 		n := s.Node(0)
 		if err := n.WriteUint64(100, 0xdeadbeef); err != nil {
@@ -42,7 +56,7 @@ func TestSingleNodeRoundTrip(t *testing.T) {
 }
 
 func TestValuePropagatesThroughLock(t *testing.T) {
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		s := newSys(t, 4, mode)
 		p0, p3 := s.Node(0), s.Node(3)
 		if err := p0.Acquire(1); err != nil {
@@ -73,7 +87,7 @@ func TestValuePropagatesThroughLock(t *testing.T) {
 func TestTransitivePropagation(t *testing.T) {
 	// The paper's §1 "preceding in the transitive sense": p0's write under
 	// l1 must be visible to p2, which synchronized only through l2 via p1.
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		s := newSys(t, 3, mode)
 		p0, p1, p2 := s.Node(0), s.Node(1), s.Node(2)
 
@@ -109,7 +123,7 @@ func must(t *testing.T, err error) {
 }
 
 func TestBarrierPropagatesWrites(t *testing.T) {
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		s := newSys(t, 4, mode)
 		var wg sync.WaitGroup
 		errs := make([]error, 4)
@@ -154,7 +168,7 @@ func TestMultipleWritersFalseSharing(t *testing.T) {
 	// Two nodes write disjoint halves of the SAME page concurrently; after
 	// a barrier both halves must be visible everywhere (§4.3.1's diff
 	// merge).
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		s := newSys(t, 2, mode)
 		var wg sync.WaitGroup
 		errs := make([]error, 2)
@@ -199,7 +213,7 @@ func TestMigratoryCounter(t *testing.T) {
 	// The paper's Figure 3/4 pattern: every node repeatedly locks,
 	// increments a shared counter, unlocks. The final value proves every
 	// increment saw its predecessor.
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		const procs, iters = 8, 25
 		s := newSys(t, procs, mode)
 		var wg sync.WaitGroup
@@ -252,7 +266,7 @@ func TestMigratoryCounter(t *testing.T) {
 func TestLaterWriterWinsThroughLockChain(t *testing.T) {
 	// Sequential writers to the same location through one lock: the last
 	// value must win at a third node (diffs applied in hb order, §4.3.3).
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		s := newSys(t, 3, mode)
 		for round := 0; round < 5; round++ {
 			w := s.Node(round % 2)
@@ -396,7 +410,7 @@ func TestColdReadAfterGC(t *testing.T) {
 func TestLockContentionQueues(t *testing.T) {
 	// Many nodes race for one lock simultaneously; every critical section
 	// must be atomic.
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		const procs, iters = 6, 10
 		s := newSys(t, procs, mode)
 		var wg sync.WaitGroup
@@ -512,7 +526,7 @@ func TestStatsAndClock(t *testing.T) {
 }
 
 func TestWriteSpanningPages(t *testing.T) {
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		s := newSys(t, 2, mode)
 		p0, p1 := s.Node(0), s.Node(1)
 		data := make([]byte, 3000) // spans three 1K pages

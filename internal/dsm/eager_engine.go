@@ -1,0 +1,454 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/page"
+	"repro/internal/vc"
+	"repro/internal/wire"
+)
+
+// eagerEngine implements eager release consistency in the style of
+// Munin's write-shared protocol (paper §3): a processor buffers its
+// modifications as twins until a release or barrier, then pushes them to
+// every other cacher of each dirty page — invalidations (EI) or diffs
+// (EU) — and blocks until all are acknowledged. Each page has a static
+// directory at its home tracking the owner (the last flusher) and the
+// copyset; access misses ship the whole page from the owner through the
+// home.
+//
+// The home serializes all directory transactions for a page under a
+// per-page mutex and sends every message of a transaction while holding
+// it. simnet's FIFO order then guarantees a cacher observes a page ship
+// before any invalidation or update that follows it; the only remaining
+// race — an invalidation arriving at a requester whose fetch response
+// has been delivered but not yet installed — is closed by a per-page
+// generation counter: the install is abandoned and the fetch retried
+// whenever the generation moved while the request was in flight.
+type eagerEngine struct {
+	n      *Node
+	update bool // EU: push diffs; EI: push invalidations
+
+	// Guarded by n.mu.
+	pages []*eagerPage
+	twins map[mem.PageID]*page.Twin
+	gen   []uint64 // per-page invalidation generation (fetch-race guard)
+	// inflight maps a flush request's Seq to the flushed diff, so the
+	// handler can apply the home's reconciliation (write-backs, base
+	// data) synchronously on receipt — before any later directory
+	// message for the same page can arrive.
+	inflight map[uint64]flushState
+
+	dir []eagerDir // directory entries; used only for pages homed here
+}
+
+type eagerPage struct {
+	data  []byte
+	valid bool
+}
+
+type flushState struct {
+	pg   mem.PageID
+	diff *page.Diff
+}
+
+// eagerDir is one page's directory entry at its home.
+type eagerDir struct {
+	mu      sync.Mutex
+	owner   mem.ProcID
+	copyset uint64
+}
+
+func newEagerEngine(n *Node, update bool) *eagerEngine {
+	e := &eagerEngine{
+		n:        n,
+		update:   update,
+		pages:    make([]*eagerPage, n.sys.layout.NumPages()),
+		twins:    make(map[mem.PageID]*page.Twin),
+		gen:      make([]uint64, n.sys.layout.NumPages()),
+		inflight: make(map[uint64]flushState),
+		dir:      make([]eagerDir, n.sys.layout.NumPages()),
+	}
+	for pg := range e.dir {
+		e.dir[pg].owner = n.sys.home(mem.PageID(pg))
+	}
+	return e
+}
+
+func (e *eagerEngine) clock() vc.VC { return vc.New(e.n.sys.cfg.Procs) }
+
+// --- accesses ---
+
+// ensureValid obtains a valid copy of pg, fetching it from the owner
+// through the home's directory on a miss. All misses go through the
+// message path, including the home's own (loopback is free), so the
+// directory transaction order is the single source of truth.
+func (e *eagerEngine) ensureValid(pg mem.PageID) error {
+	n := e.n
+	for {
+		n.mu.Lock()
+		pc := e.pages[pg]
+		if pc != nil && pc.valid {
+			n.mu.Unlock()
+			return nil
+		}
+		n.stats.AccessMisses++
+		if pc == nil {
+			n.stats.ColdMisses++
+		}
+		g := e.gen[pg]
+		n.mu.Unlock()
+
+		resp, err := n.rpc(n.sys.home(pg), &wire.Msg{
+			Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
+		})
+		if err != nil {
+			return err
+		}
+
+		n.mu.Lock()
+		if e.gen[pg] != g {
+			// Invalidated (or updated past us) while the fetch was in
+			// flight: the data in hand may already be stale. Retry.
+			n.mu.Unlock()
+			continue
+		}
+		if pc == nil {
+			pc = &eagerPage{}
+			e.pages[pg] = pc
+		}
+		pc.data = resp.Data
+		pc.valid = true
+		n.stats.PagesFetched++
+		n.mu.Unlock()
+		return nil
+	}
+}
+
+func (e *eagerEngine) readPage(pg mem.PageID, off int, dst []byte) error {
+	if err := e.ensureValid(pg); err != nil {
+		return err
+	}
+	e.n.mu.Lock()
+	copy(dst, e.pages[pg].data[off:off+len(dst)])
+	e.n.mu.Unlock()
+	return nil
+}
+
+func (e *eagerEngine) writePage(pg mem.PageID, off int, src []byte) error {
+	if err := e.ensureValid(pg); err != nil {
+		return err
+	}
+	e.n.mu.Lock()
+	pc := e.pages[pg]
+	if _, ok := e.twins[pg]; !ok {
+		e.twins[pg] = page.NewTwin(pc.data)
+	}
+	copy(pc.data[off:off+len(src)], src)
+	e.n.mu.Unlock()
+	return nil
+}
+
+// --- flush: the release/barrier-time propagation of §3 ---
+
+// flush commits this node's buffered modifications and pushes them
+// through each dirty page's home to every other cacher, blocking until
+// the home has invalidated (EI) or updated (EU) them all. Called from
+// the application goroutine without mu.
+func (e *eagerEngine) flush() error {
+	n := e.n
+	n.mu.Lock()
+	dirty := make([]flushState, 0, len(e.twins))
+	for pg, tw := range e.twins {
+		d, err := page.MakeDiff(tw, e.pages[pg].data)
+		if err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		delete(e.twins, pg)
+		if d.Empty() {
+			continue
+		}
+		dirty = append(dirty, flushState{pg: pg, diff: d})
+	}
+	n.stats.FlushedPages += int64(len(dirty))
+	n.mu.Unlock()
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].pg < dirty[j].pg })
+
+	for _, fs := range dirty {
+		req := &wire.Msg{Kind: wire.KFlushReq, Seq: n.nextSeq(), A: int32(fs.pg), B: int32(n.id)}
+		if e.update {
+			req.Diffs = []wire.DiffRec{{Page: fs.pg, Diff: fs.diff}}
+		}
+		n.mu.Lock()
+		e.inflight[req.Seq] = fs
+		n.mu.Unlock()
+		// The handler applies the KFlushDone payload (write-backs, base
+		// data) before delivering it here; by then this node's copy is
+		// the page's authoritative state.
+		if _, err := n.rpc(n.sys.home(fs.pg), req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- lock and barrier hooks: flush at every release point ---
+
+func (e *eagerEngine) acquireStartLocked(req *wire.Msg) {}
+func (e *eagerEngine) grantLocked(req, grant *wire.Msg) {}
+func (e *eagerEngine) onGrant(grant *wire.Msg) error    { return nil }
+func (e *eagerEngine) preRelease() error                { return e.flush() }
+func (e *eagerEngine) releaseLocked()                   {}
+
+func (e *eagerEngine) preBarrier() error                 { return e.flush() }
+func (e *eagerEngine) barrierEntryLocked()               {}
+func (e *eagerEngine) arriveLocked(arrive *wire.Msg)     {}
+func (e *eagerEngine) masterAbsorbLocked(m *wire.Msg)    {}
+func (e *eagerEngine) exitLocked(m, exit *wire.Msg)      {}
+func (e *eagerEngine) onExit(exit *wire.Msg) error       { return nil }
+func (e *eagerEngine) postBarrier(b mem.BarrierID) error { return nil }
+
+// --- handler side ---
+
+func (e *eagerEngine) handle(m *wire.Msg, src mem.ProcID) bool {
+	switch m.Kind {
+	case wire.KPageReq:
+		go e.servePageReq(m)
+	case wire.KFlushReq:
+		go e.serveFlushReq(m)
+	case wire.KFetch:
+		e.serveFetch(m, src)
+	case wire.KInval:
+		e.applyInval(m, src)
+	case wire.KUpdate:
+		e.applyUpdate(m, src)
+	case wire.KFlushDone:
+		// Intercepted response: apply the home's reconciliation on the
+		// handler goroutine so it is in place before any later
+		// directory message for the page arrives, then wake the
+		// flushing application goroutine.
+		e.applyFlushDone(m)
+		e.n.deliverResponse(m)
+	default:
+		return false
+	}
+	return true
+}
+
+// committedLocked returns a copy of this node's committed contents of
+// pg: the twin if the current critical section is mid-write, the page
+// data otherwise. Caller holds mu; the page must be present.
+func (e *eagerEngine) committedLocked(pg mem.PageID) []byte {
+	if tw := e.twins[pg]; tw != nil {
+		return append([]byte(nil), tw.Data()...)
+	}
+	return append([]byte(nil), e.pages[pg].data...)
+}
+
+// ownerData obtains the committed contents of pg from its current owner
+// via Node.fetchFromOwner (see there for the loopback ordering rule).
+func (e *eagerEngine) ownerData(d *eagerDir, pg mem.PageID) ([]byte, error) {
+	return e.n.fetchFromOwner(d.owner, pg)
+}
+
+// servePageReq runs the home's miss transaction on its own goroutine:
+// owner data travels home -> requester, and the requester joins the
+// copyset. The directory lock is held across the reply send so any
+// later invalidation or update follows the page ship in FIFO order.
+func (e *eagerEngine) servePageReq(m *wire.Msg) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	requester := mem.ProcID(m.B)
+	d := &e.dir[pg]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := e.ownerData(d, pg)
+	if err != nil {
+		n.noteErr(fmt.Sprintf("page %d owner fetch", pg), err)
+		return
+	}
+	d.copyset |= 1 << uint(requester)
+	resp := &wire.Msg{Kind: wire.KPageResp, Seq: m.Seq, A: m.A, Data: data}
+	n.noteErr(fmt.Sprintf("page response to %d", requester), n.send(requester, resp))
+}
+
+// serveFlushReq runs the home's release transaction for one dirty page:
+// every other copyset member is invalidated (EI, their own buffered
+// modifications riding back on the acks) or updated (EU), the flusher
+// becomes the owner, and the reply carries the reconciliation the
+// flusher must apply. The directory lock is held across all of it.
+func (e *eagerEngine) serveFlushReq(m *wire.Msg) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	flusher := mem.ProcID(m.B)
+	d := &e.dir[pg]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	done := &wire.Msg{Kind: wire.KFlushDone, Seq: m.Seq, A: m.A}
+	if d.copyset&(1<<uint(flusher)) == 0 {
+		// A concurrent flush of the same page invalidated the flusher
+		// after it snapshotted its modifications (EI false sharing).
+		// Ship the current owner's data as a base; the flusher re-applies
+		// its own diff on top and the concurrent writes survive.
+		base, err := e.ownerData(d, pg)
+		if err != nil {
+			n.noteErr(fmt.Sprintf("flush %d base fetch", pg), err)
+			return
+		}
+		done.Data = base
+	}
+
+	others := d.copyset &^ (1 << uint(flusher))
+	for q := 0; others != 0; q++ {
+		bit := uint64(1) << uint(q)
+		if others&bit == 0 {
+			continue
+		}
+		others &^= bit
+		if e.update {
+			req := &wire.Msg{Kind: wire.KUpdate, Seq: n.nextSeq(), A: m.A, Diffs: m.Diffs}
+			if _, err := n.rpc(mem.ProcID(q), req); err != nil {
+				n.noteErr(fmt.Sprintf("update of page %d at %d", pg, q), err)
+				return
+			}
+		} else {
+			req := &wire.Msg{Kind: wire.KInval, Seq: n.nextSeq(), A: m.A}
+			ack, err := n.rpc(mem.ProcID(q), req)
+			if err != nil {
+				n.noteErr(fmt.Sprintf("invalidation of page %d at %d", pg, q), err)
+				return
+			}
+			// The invalidated cacher's own buffered modifications ride
+			// the ack back to the new owner.
+			done.Diffs = append(done.Diffs, ack.Diffs...)
+			d.copyset &^= bit
+		}
+	}
+	if d.owner != flusher {
+		d.owner = flusher
+		n.mu.Lock()
+		n.stats.OwnershipMoves++
+		n.mu.Unlock()
+	}
+	d.copyset |= 1 << uint(flusher)
+	n.noteErr(fmt.Sprintf("flush done to %d", flusher), n.send(flusher, done))
+}
+
+// serveFetch answers the home's request for this owner's committed page
+// contents. Runs inline on the handler goroutine (it never blocks).
+func (e *eagerEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	n.mu.Lock()
+	var data []byte
+	switch {
+	case e.pages[pg] == nil && n.sys.home(pg) == n.id:
+		// We are the page's initial owner and nobody ever wrote it: the
+		// committed state is the zero page.
+		data = make([]byte, n.sys.layout.PageSize())
+	case e.pages[pg] == nil:
+		n.mu.Unlock()
+		panic(fmt.Sprintf("dsm: node %d: fetch of page %d it never held", n.id, pg))
+	default:
+		data = e.committedLocked(pg)
+	}
+	n.mu.Unlock()
+	resp := &wire.Msg{Kind: wire.KFetchResp, Seq: m.Seq, A: m.A, Data: data}
+	n.noteErr(fmt.Sprintf("fetch response to %d", src), n.send(src, resp))
+}
+
+// applyInval drops this node's copy (EI). If a critical section has
+// buffered modifications to the page, their diff rides the ack back to
+// the home — this node is no longer responsible for flushing them.
+func (e *eagerEngine) applyInval(m *wire.Msg, src mem.ProcID) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	ack := &wire.Msg{Kind: wire.KInvalAck, Seq: m.Seq, A: m.A}
+	n.mu.Lock()
+	e.gen[pg]++
+	if pc := e.pages[pg]; pc != nil {
+		if tw := e.twins[pg]; tw != nil {
+			d, err := page.MakeDiff(tw, pc.data)
+			if err == nil && !d.Empty() {
+				ack.Diffs = append(ack.Diffs, wire.DiffRec{Page: pg, Diff: d})
+			}
+			delete(e.twins, pg)
+		}
+		pc.valid = false
+	}
+	n.stats.InvalsReceived++
+	n.mu.Unlock()
+	n.noteErr(fmt.Sprintf("inval ack to %d", src), n.send(src, ack))
+}
+
+// applyUpdate applies a releaser's diff to this node's copy (EU). The
+// diff also lands on the twin, if one exists, so a concurrent critical
+// section's own eventual diff carries only its own modifications.
+func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	n.mu.Lock()
+	pc := e.pages[pg]
+	if pc == nil || !pc.valid {
+		// Mid-fetch (in the copyset but nothing installed yet): the
+		// in-flight fetch will be retried and served post-update data.
+		e.gen[pg]++
+	} else {
+		for _, rec := range m.Diffs {
+			if err := rec.Diff.Apply(pc.data); err != nil {
+				n.mu.Unlock()
+				panic(fmt.Sprintf("dsm: node %d: update of page %d: %v", n.id, pg, err))
+			}
+			if tw := e.twins[pg]; tw != nil {
+				// Land the diff on the twin too, so a concurrent critical
+				// section's own eventual diff carries only its own
+				// modifications (the update's words must not re-register
+				// as ours).
+				patched := append([]byte(nil), tw.Data()...)
+				if err := rec.Diff.Apply(patched); err != nil {
+					n.mu.Unlock()
+					panic(fmt.Sprintf("dsm: node %d: update of page %d twin: %v", n.id, pg, err))
+				}
+				e.twins[pg] = page.NewTwin(patched)
+			}
+			n.stats.UpdatesReceived++
+		}
+	}
+	n.mu.Unlock()
+	ack := &wire.Msg{Kind: wire.KUpdateAck, Seq: m.Seq, A: m.A}
+	n.noteErr(fmt.Sprintf("update ack to %d", src), n.send(src, ack))
+}
+
+// applyFlushDone installs the home's reconciliation at the flusher: an
+// optional fresh base (when a concurrent flush had invalidated this
+// node's copy), this node's own flushed diff on top, then any
+// write-backs recovered from invalidated cachers.
+func (e *eagerEngine) applyFlushDone(m *wire.Msg) {
+	n := e.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fs, ok := e.inflight[m.Seq]
+	if !ok {
+		panic(fmt.Sprintf("dsm: node %d: flush done for unknown seq %d", n.id, m.Seq))
+	}
+	delete(e.inflight, m.Seq)
+	pc := e.pages[fs.pg]
+	if m.Data != nil {
+		copy(pc.data, m.Data)
+		if err := fs.diff.Apply(pc.data); err != nil {
+			panic(fmt.Sprintf("dsm: node %d: reapplying flushed diff to page %d: %v", n.id, fs.pg, err))
+		}
+	}
+	for _, rec := range m.Diffs {
+		if err := rec.Diff.Apply(pc.data); err != nil {
+			panic(fmt.Sprintf("dsm: node %d: write-back to page %d: %v", n.id, fs.pg, err))
+		}
+		n.stats.WriteBacks++
+	}
+	pc.valid = true
+}

@@ -1,0 +1,97 @@
+package dsm
+
+import (
+	"repro/internal/mem"
+	"repro/internal/vc"
+	"repro/internal/wire"
+)
+
+// engine is a node's pluggable consistency policy. The Node owns the
+// protocol-independent machinery — message plumbing, the distributed
+// lock state machine, the barrier rendezvous — and delegates everything
+// the paper varies between protocols to its engine: page state and data
+// movement, the consistency payload of lock grants and barrier messages,
+// and release/barrier-time propagation.
+//
+// Locking conventions: methods suffixed Locked are called with the
+// node's mu held; all others are called without it and take it as
+// needed. Methods without a goroutine note run on the node's single
+// application goroutine; handle (and the work it spawns) runs on the
+// handler goroutine.
+type engine interface {
+	// readPage copies len(dst) bytes out of page pg at off, first making
+	// the local copy current enough for the protocol's guarantees.
+	readPage(pg mem.PageID, off int, dst []byte) error
+	// writePage copies src into page pg at off, first obtaining whatever
+	// access the protocol requires (a twin under the multiple-writer
+	// protocols, exclusive ownership under SC).
+	writePage(pg mem.PageID, off int, src []byte) error
+
+	// acquireStartLocked runs as an Acquire begins: the lazy engines
+	// close the current interval and stamp the request with their vector
+	// clock so the grant can carry exactly the missing write notices.
+	acquireStartLocked(req *wire.Msg)
+	// grantLocked fills the consistency payload of a lock grant built
+	// for req (write notices and piggybacked diffs under the lazy
+	// protocols; nothing under EI/EU/SC, §3: "no consistency-related
+	// operations occur on an acquire"). Called from the application or
+	// handler goroutine, whichever releases the lock to a waiter.
+	grantLocked(req, grant *wire.Msg)
+	// onGrant absorbs a received grant's consistency payload.
+	onGrant(grant *wire.Msg) error
+	// preRelease runs before a release takes effect: the eager engines
+	// push buffered modifications to every other cacher and block for
+	// acknowledgments here.
+	preRelease() error
+	// releaseLocked runs under mu as the release takes effect (the lazy
+	// engines close the interval the critical section wrote).
+	releaseLocked()
+
+	// preBarrier runs before the barrier arrival (the eager flush
+	// point, like preRelease).
+	preBarrier() error
+	// barrierEntryLocked runs under mu as the barrier begins on every
+	// node, master included.
+	barrierEntryLocked()
+	// arriveLocked fills a non-master node's arrival payload.
+	arriveLocked(arrive *wire.Msg)
+	// masterAbsorbLocked absorbs one arrival's payload at the master.
+	masterAbsorbLocked(m *wire.Msg)
+	// exitLocked fills the exit payload answering arrival m.
+	exitLocked(m, exit *wire.Msg)
+	// onExit absorbs the exit payload at a non-master node.
+	onExit(exit *wire.Msg) error
+	// postBarrier completes the episode after the rendezvous: the lazy
+	// engines invalidate or update noticed pages and run the configured
+	// garbage-collection epoch.
+	postBarrier(b mem.BarrierID) error
+
+	// handle processes an engine-specific message, returning false if
+	// the kind is not one of the engine's. It must not block the handler
+	// loop: work that waits for responses (the home-side directory
+	// transactions of the eager and SC engines) is spawned onto its own
+	// goroutine.
+	handle(m *wire.Msg, src mem.ProcID) bool
+
+	// clock returns the node's vector time (zero for engines that do not
+	// track causality).
+	clock() vc.VC
+}
+
+// fetchFromOwner obtains a page's contents from its current owner on
+// behalf of a home-directory transaction (the eager and SC engines; the
+// caller holds the page's directory lock).
+//
+// The fetch always travels as a KFetch message, even when the home is
+// itself the owner: a previous transaction's grant to this node may
+// still be queued at its handler, and a direct in-memory read would
+// jump ahead of it and serve pre-grant data. The loopback message
+// queues behind every in-flight install, so the handler answers with
+// the page in directory order (loopback costs no simulated traffic).
+func (n *Node) fetchFromOwner(owner mem.ProcID, pg mem.PageID) ([]byte, error) {
+	resp, err := n.rpc(owner, &wire.Msg{Kind: wire.KFetch, Seq: n.nextSeq(), A: int32(pg)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}

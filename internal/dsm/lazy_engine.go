@@ -1,0 +1,612 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/page"
+	"repro/internal/simnet"
+	"repro/internal/vc"
+	"repro/internal/wire"
+)
+
+// lazyEngine implements lazy release consistency (§4): intervals, twins,
+// diffs and vector clocks. Write notices ride lock grants and barrier
+// messages; diffs are fetched from their creators at access misses (LI)
+// or acquire time (LU).
+type lazyEngine struct {
+	n      *Node
+	update bool // LU: bring cached copies up to date at acquire time
+
+	// All fields below are guarded by n.mu.
+	v         vc.VC
+	log       *core.Log
+	pages     []*pageCopy
+	twins     map[mem.PageID]*page.Twin
+	diffs     map[core.IntervalID]map[mem.PageID]*page.Diff
+	lastEpoch vc.VC
+	episodes  int
+	// fresh accumulates the interval records learned during the current
+	// barrier rendezvous, for postBarrier's invalidation step.
+	fresh []wire.IntervalRec
+}
+
+// pageCopy is a node's local copy of one page.
+type pageCopy struct {
+	data    []byte
+	valid   bool
+	applied vc.VC // modifications reflected in data
+}
+
+func newLazyEngine(n *Node, update bool) *lazyEngine {
+	return &lazyEngine{
+		n:         n,
+		update:    update,
+		v:         vc.New(n.sys.cfg.Procs),
+		log:       core.NewLog(n.sys.cfg.Procs),
+		pages:     make([]*pageCopy, n.sys.layout.NumPages()),
+		twins:     make(map[mem.PageID]*page.Twin),
+		diffs:     make(map[core.IntervalID]map[mem.PageID]*page.Diff),
+		lastEpoch: vc.New(n.sys.cfg.Procs),
+	}
+}
+
+func (e *lazyEngine) clock() vc.VC {
+	e.n.mu.Lock()
+	defer e.n.mu.Unlock()
+	return e.v.Clone()
+}
+
+// --- interval management ---
+
+// closeIntervalLocked ends the current interval: diffs are created from
+// the twins (eager diffing) and retained in the diff store; the interval
+// record with its write notices enters the log. Caller holds mu.
+func (e *lazyEngine) closeIntervalLocked() {
+	n := e.n
+	if len(e.twins) == 0 {
+		return
+	}
+	pages := make([]mem.PageID, 0, len(e.twins))
+	for pg := range e.twins {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	idx := e.v.Tick(int(n.id))
+	id := core.IntervalID{Proc: n.id, Index: idx}
+	byPage := make(map[mem.PageID]*page.Diff, len(pages))
+	for _, pg := range pages {
+		d, err := page.MakeDiff(e.twins[pg], e.pages[pg].data)
+		if err != nil {
+			panic(fmt.Sprintf("dsm: node %d: diffing page %d: %v", n.id, pg, err))
+		}
+		byPage[pg] = d
+		// The local copy now reflects this interval: keep the applied
+		// clock faithful so page-home responses advertise the right
+		// coverage and GC validation sees own pages as current.
+		e.pages[pg].applied[n.id] = idx
+	}
+	e.diffs[id] = byPage
+	e.log.Append(&core.Interval{
+		ID:    id,
+		VC:    e.v.Clone(),
+		Pages: pages,
+		Mods:  make([]*page.RangeSet, len(pages)),
+	})
+	n.stats.IntervalsCreated++
+	e.twins = make(map[mem.PageID]*page.Twin)
+}
+
+// absorbIntervalsLocked merges received interval records into the log,
+// skipping already-known ones, and returns the genuinely new records.
+// Caller holds mu.
+func (e *lazyEngine) absorbIntervalsLocked(recs []wire.IntervalRec) []wire.IntervalRec {
+	// Per-processor index order is required by the log.
+	sorted := make([]wire.IntervalRec, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Proc != sorted[j].Proc {
+			return sorted[i].Proc < sorted[j].Proc
+		}
+		return sorted[i].Index < sorted[j].Index
+	})
+	var fresh []wire.IntervalRec
+	for _, rec := range sorted {
+		if e.v.Covers(int(rec.Proc), rec.Index) {
+			continue // already known
+		}
+		e.log.Append(&core.Interval{
+			ID:    core.IntervalID{Proc: rec.Proc, Index: rec.Index},
+			VC:    rec.VC.Clone(),
+			Pages: rec.Pages,
+			Mods:  make([]*page.RangeSet, len(rec.Pages)),
+		})
+		// Track per-processor high-water mark in our clock only after the
+		// merge below; Covers uses e.v, so advance it per record to keep
+		// the dedupe correct for consecutive indices.
+		if e.v[rec.Proc] != rec.Index-1 {
+			panic(fmt.Sprintf("dsm: node %d: interval gap for p%d: have %d, got %d",
+				e.n.id, rec.Proc, e.v[rec.Proc], rec.Index))
+		}
+		e.v[rec.Proc] = rec.Index
+		fresh = append(fresh, rec)
+	}
+	return fresh
+}
+
+// intervalsSinceLocked collects wire records for every known interval
+// (r, k) with k > floor[r]. Caller holds mu.
+func (e *lazyEngine) intervalsSinceLocked(floor vc.VC) []wire.IntervalRec {
+	var recs []wire.IntervalRec
+	e.log.NoticesBetween(floor, e.v, func(iv *core.Interval) {
+		recs = append(recs, wire.IntervalRec{
+			Proc:  iv.ID.Proc,
+			Index: iv.ID.Index,
+			VC:    iv.VC,
+			Pages: iv.Pages,
+		})
+	})
+	return recs
+}
+
+// invalidateForLocked applies LI semantics for freshly learned intervals:
+// cached valid copies of noticed pages become invalid (data retained as
+// the diff target). It returns the set of affected cached pages (used by
+// LU to revalidate immediately). Caller holds mu.
+func (e *lazyEngine) invalidateForLocked(fresh []wire.IntervalRec) []mem.PageID {
+	var affected []mem.PageID
+	seen := make(map[mem.PageID]bool)
+	for _, rec := range fresh {
+		for _, pg := range rec.Pages {
+			if seen[pg] {
+				continue
+			}
+			seen[pg] = true
+			if pc := e.pages[pg]; pc != nil && pc.valid {
+				pc.valid = false
+				affected = append(affected, pg)
+			}
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	return affected
+}
+
+// --- data movement ---
+
+// validate brings page pg's local copy up to date: a cold copy is fetched
+// from the page's home, then every outstanding diff is collected (from the
+// local store or its creator) and applied in happened-before order
+// (§4.3.3). Callers must NOT hold mu.
+func (e *lazyEngine) validate(pg mem.PageID) error {
+	n := e.n
+	n.mu.Lock()
+	pc := e.pages[pg]
+	if pc != nil && pc.valid {
+		n.mu.Unlock()
+		return nil
+	}
+	n.stats.AccessMisses++
+	if pc == nil {
+		n.stats.ColdMisses++
+		home := n.sys.home(pg)
+		if home == n.id {
+			pc = &pageCopy{data: make([]byte, n.sys.layout.PageSize()), applied: vc.New(n.sys.cfg.Procs)}
+			e.pages[pg] = pc
+		} else {
+			n.mu.Unlock()
+			resp, err := n.rpc(home, &wire.Msg{
+				Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
+			})
+			if err != nil {
+				return err
+			}
+			n.mu.Lock()
+			applied := resp.VC
+			if applied == nil {
+				applied = vc.New(n.sys.cfg.Procs)
+			}
+			pc = &pageCopy{data: resp.Data, applied: applied.Clone()}
+			e.pages[pg] = pc
+			n.stats.PagesFetched++
+		}
+	}
+
+	// Outstanding modifications, grouped by creator for any diffs we do
+	// not already retain.
+	out := e.log.Outstanding(pg, pc.applied, e.v, n.id)
+	missing := make(map[mem.ProcID][]wire.Want)
+	for _, id := range out {
+		if _, ok := e.diffs[id][pg]; ok {
+			continue
+		}
+		missing[id.Proc] = append(missing[id.Proc], wire.Want{Page: pg, Proc: id.Proc, Index: id.Index})
+	}
+	n.mu.Unlock()
+
+	if len(missing) > 0 {
+		creators := make([]mem.ProcID, 0, len(missing))
+		for c := range missing {
+			creators = append(creators, c)
+		}
+		sort.Slice(creators, func(i, j int) bool { return creators[i] < creators[j] })
+		for _, c := range creators {
+			resp, err := n.rpc(c, &wire.Msg{
+				Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), Wants: missing[c],
+			})
+			if err != nil {
+				return err
+			}
+			n.mu.Lock()
+			for _, rec := range resp.Diffs {
+				id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
+				if e.diffs[id] == nil {
+					e.diffs[id] = make(map[mem.PageID]*page.Diff)
+				}
+				e.diffs[id][rec.Page] = rec.Diff
+				n.stats.DiffsFetched++
+			}
+			n.mu.Unlock()
+		}
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Apply in a linear extension of happened-before: interval clock sums
+	// strictly increase along hb1 chains, and concurrent intervals touch
+	// disjoint words in properly-labeled programs.
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := clockSum(e.log.Get(out[i]).VC), clockSum(e.log.Get(out[j]).VC)
+		if si != sj {
+			return si < sj
+		}
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Index < out[j].Index
+	})
+	for _, id := range out {
+		d := e.diffs[id][pg]
+		if d == nil {
+			return fmt.Errorf("dsm: node %d: diff %v for page %d unavailable", n.id, id, pg)
+		}
+		if err := d.Apply(pc.data); err != nil {
+			return err
+		}
+		n.stats.DiffsApplied++
+	}
+	pc.valid = true
+	pc.applied = e.v.Clone()
+	return nil
+}
+
+func clockSum(v vc.VC) int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x)
+	}
+	return s
+}
+
+// revalidate runs validate over a list of pages (LU's acquire/barrier-time
+// update step).
+func (e *lazyEngine) revalidate(pages []mem.PageID) error {
+	for _, pg := range pages {
+		if err := e.validate(pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- engine interface: accesses ---
+
+func (e *lazyEngine) readPage(pg mem.PageID, off int, dst []byte) error {
+	if err := e.validate(pg); err != nil {
+		return err
+	}
+	e.n.mu.Lock()
+	copy(dst, e.pages[pg].data[off:off+len(dst)])
+	e.n.mu.Unlock()
+	return nil
+}
+
+func (e *lazyEngine) writePage(pg mem.PageID, off int, src []byte) error {
+	if err := e.validate(pg); err != nil {
+		return err
+	}
+	e.n.mu.Lock()
+	pc := e.pages[pg]
+	if _, ok := e.twins[pg]; !ok {
+		e.twins[pg] = page.NewTwin(pc.data)
+	}
+	copy(pc.data[off:off+len(src)], src)
+	e.n.mu.Unlock()
+	return nil
+}
+
+// --- engine interface: locks ---
+
+func (e *lazyEngine) acquireStartLocked(req *wire.Msg) {
+	e.closeIntervalLocked()
+	req.VC = e.v.Clone()
+}
+
+func (e *lazyEngine) grantLocked(req, grant *wire.Msg) {
+	recs := e.intervalsSinceLocked(req.VC)
+	grant.VC = e.v.Clone()
+	grant.Intervals = recs
+	if e.update {
+		// Piggyback every retained diff for the noticed intervals — the
+		// releaser supplies what it has (Figure 4's "l and x in a single
+		// message"); the acquirer fetches any remainder from creators.
+		for _, rec := range recs {
+			id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
+			byPage := e.diffs[id]
+			pages := make([]mem.PageID, 0, len(byPage))
+			for pg := range byPage {
+				pages = append(pages, pg)
+			}
+			sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+			for _, pg := range pages {
+				grant.Diffs = append(grant.Diffs, wire.DiffRec{
+					Page: pg, Proc: id.Proc, Index: id.Index, Diff: byPage[pg],
+				})
+			}
+		}
+	}
+}
+
+func (e *lazyEngine) onGrant(grant *wire.Msg) error {
+	n := e.n
+	n.mu.Lock()
+	fresh := e.absorbIntervalsLocked(grant.Intervals)
+	// Piggybacked diffs (LU grants) enter the retained-diff store; the
+	// revalidation below then fetches only what is still missing.
+	for _, rec := range grant.Diffs {
+		id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
+		if e.diffs[id] == nil {
+			e.diffs[id] = make(map[mem.PageID]*page.Diff)
+		}
+		if _, ok := e.diffs[id][rec.Page]; !ok {
+			e.diffs[id][rec.Page] = rec.Diff
+		}
+	}
+	affected := e.invalidateForLocked(fresh)
+	n.mu.Unlock()
+
+	if e.update {
+		return e.revalidate(affected)
+	}
+	return nil
+}
+
+func (e *lazyEngine) preRelease() error { return nil }
+
+func (e *lazyEngine) releaseLocked() { e.closeIntervalLocked() }
+
+// --- engine interface: barriers ---
+
+func (e *lazyEngine) preBarrier() error { return nil }
+
+func (e *lazyEngine) barrierEntryLocked() {
+	e.closeIntervalLocked()
+	e.fresh = nil
+}
+
+func (e *lazyEngine) arriveLocked(arrive *wire.Msg) {
+	arrive.VC = e.v.Clone()
+	arrive.Intervals = e.intervalsSinceLocked(e.lastEpoch)
+}
+
+func (e *lazyEngine) masterAbsorbLocked(m *wire.Msg) {
+	e.fresh = append(e.fresh, e.absorbIntervalsLocked(m.Intervals)...)
+}
+
+func (e *lazyEngine) exitLocked(m, exit *wire.Msg) {
+	exit.VC = e.v.Clone()
+	exit.Intervals = e.intervalsSinceLocked(m.VC)
+}
+
+func (e *lazyEngine) onExit(exit *wire.Msg) error {
+	e.n.mu.Lock()
+	e.fresh = e.absorbIntervalsLocked(exit.Intervals)
+	e.n.mu.Unlock()
+	return nil
+}
+
+func (e *lazyEngine) postBarrier(b mem.BarrierID) error {
+	n := e.n
+	n.mu.Lock()
+	affected := e.invalidateForLocked(e.fresh)
+	e.fresh = nil
+	e.lastEpoch = e.v.Clone()
+	e.episodes++
+	gcDue := n.sys.cfg.GCEveryBarriers > 0 && e.episodes%n.sys.cfg.GCEveryBarriers == 0
+	n.mu.Unlock()
+
+	if e.update {
+		if err := e.revalidate(affected); err != nil {
+			return err
+		}
+	}
+	if gcDue {
+		return e.runGC(b)
+	}
+	return nil
+}
+
+// runGC is the barrier-time garbage collection epoch: every node brings
+// each page it caches fully up to the epoch (and, as a page's home,
+// materializes pages with modification history so later cold misses can
+// be served without pre-epoch diffs), confirms readiness through the
+// master, then discards the diffs of every interval the epoch clock
+// covers. Interval records are retained (they are small); diff payloads
+// are the memory that matters.
+//
+// The barrier rendezvous that precedes runGC is what pushes every write
+// notice to every node — the master absorbs all arrivals before building
+// exits, so each home's log lists every pre-epoch modifier of its pages.
+// Validation must therefore leave every copy this node serves — its own
+// caches and its homed pages — with an applied clock that dominates the
+// epoch: any copy served with a smaller clock would send a later
+// requester to a creator for diffs the epoch discarded (the creator
+// panics on such requests, by design). checkGCInvariant enforces
+// this before any diff is dropped, turning a would-be remote panic into
+// a local descriptive error.
+func (e *lazyEngine) runGC(b mem.BarrierID) error {
+	n := e.n
+	n.mu.Lock()
+	epoch := e.lastEpoch.Clone()
+	var toValidate []mem.PageID
+	for pg := range e.pages {
+		pgid := mem.PageID(pg)
+		pc := e.pages[pg]
+		switch {
+		case pc != nil && !pc.valid:
+			toValidate = append(toValidate, pgid)
+		case pc == nil && n.sys.home(pgid) == n.id && len(e.log.ModifiersOf(pgid)) > 0:
+			// A home that never touched its page materializes it now:
+			// after the discard no one could reconstruct it from diffs.
+			toValidate = append(toValidate, pgid)
+		case pc != nil && pc.valid && !pc.applied.Dominates(epoch):
+			// Valid but stamped before the epoch: force a refresh so the
+			// advertised clock covers the epoch. Without the
+			// invalidation validate would return immediately and leave
+			// the stale stamp in place.
+			pc.valid = false
+			toValidate = append(toValidate, pgid)
+		}
+	}
+	n.mu.Unlock()
+
+	if err := e.revalidate(toValidate); err != nil {
+		return err
+	}
+	if err := e.checkGCInvariant(epoch); err != nil {
+		return err
+	}
+
+	// Readiness round through the master, so no node truncates while
+	// another still needs pre-epoch diffs.
+	const master = mem.ProcID(0)
+	if n.id == master {
+		readies := make([]*wire.Msg, 0, n.sys.cfg.Procs-1)
+		for len(readies) < n.sys.cfg.Procs-1 {
+			m, ok := <-n.gcCh
+			if !ok || m == nil {
+				return fmt.Errorf("dsm: master: GC round: %w", simnet.ErrClosed)
+			}
+			if mem.BarrierID(m.A) != b {
+				return fmt.Errorf("dsm: master: GC ready for barrier %d during %d", m.A, b)
+			}
+			readies = append(readies, m)
+		}
+		for _, m := range readies {
+			done := &wire.Msg{Kind: wire.KGCDone, Seq: m.Seq, A: int32(b)}
+			if err := n.send(mem.ProcID(m.B), done); err != nil {
+				return err
+			}
+		}
+	} else {
+		ready := &wire.Msg{Kind: wire.KGCReady, Seq: n.nextSeq(), A: int32(b), B: int32(n.id)}
+		if _, err := n.rpc(master, ready); err != nil {
+			return err
+		}
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range e.diffs {
+		if epoch.Covers(int(id.Proc), id.Index) {
+			n.stats.DiffsDiscarded += int64(len(e.diffs[id]))
+			delete(e.diffs, id)
+		}
+	}
+	n.stats.GCRuns++
+	return nil
+}
+
+// checkGCInvariant verifies, before this node signals GC
+// readiness, that every copy it can later be asked to serve covers the
+// epoch: its cached copies are valid with dominating clocks, and every
+// page it homes with modification history is materialized. A violation
+// means a later cold miss would chase discarded diffs.
+func (e *lazyEngine) checkGCInvariant(epoch vc.VC) error {
+	n := e.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for pg := range e.pages {
+		pgid := mem.PageID(pg)
+		pc := e.pages[pg]
+		if pc == nil {
+			if n.sys.home(pgid) == n.id && len(e.log.ModifiersOf(pgid)) > 0 {
+				return fmt.Errorf("dsm: node %d: GC invariant: homed page %d has modification history but no materialized copy", n.id, pgid)
+			}
+			continue
+		}
+		if !pc.valid || !pc.applied.Dominates(epoch) {
+			return fmt.Errorf("dsm: node %d: GC invariant: page %d copy not validated through the epoch (valid=%t applied=%v epoch=%v)",
+				n.id, pgid, pc.valid, pc.applied, epoch)
+		}
+	}
+	return nil
+}
+
+// --- engine interface: handler-side requests ---
+
+func (e *lazyEngine) handle(m *wire.Msg, src mem.ProcID) bool {
+	switch m.Kind {
+	case wire.KDiffReq:
+		e.handleDiffReq(m, src)
+	case wire.KPageReq:
+		e.handlePageReq(m)
+	default:
+		return false
+	}
+	return true
+}
+
+func (e *lazyEngine) handleDiffReq(m *wire.Msg, src mem.ProcID) {
+	n := e.n
+	n.mu.Lock()
+	resp := &wire.Msg{Kind: wire.KDiffResp, Seq: m.Seq}
+	for _, w := range m.Wants {
+		id := core.IntervalID{Proc: w.Proc, Index: w.Index}
+		d := e.diffs[id][w.Page]
+		if d == nil {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("dsm: node %d: asked for diff %v page %d it does not hold", n.id, id, w.Page))
+		}
+		resp.Diffs = append(resp.Diffs, wire.DiffRec{Page: w.Page, Proc: w.Proc, Index: w.Index, Diff: d})
+	}
+	n.mu.Unlock()
+	n.noteErr(fmt.Sprintf("diff response to %d", src), n.send(src, resp))
+}
+
+func (e *lazyEngine) handlePageReq(m *wire.Msg) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	requester := mem.ProcID(m.B)
+	n.mu.Lock()
+	resp := &wire.Msg{Kind: wire.KPageResp, Seq: m.Seq, A: m.A}
+	pc := e.pages[pg]
+	switch {
+	case pc == nil:
+		// Never materialized here: the committed state is the zero page.
+		resp.Data = make([]byte, n.sys.layout.PageSize())
+		resp.VC = vc.New(n.sys.cfg.Procs)
+	case e.twins[pg] != nil:
+		// Uncommitted writes in the current interval must not leak: the
+		// twin holds the committed contents.
+		resp.Data = append([]byte(nil), e.twins[pg].Data()...)
+		resp.VC = pc.applied.Clone()
+	default:
+		resp.Data = append([]byte(nil), pc.data...)
+		resp.VC = pc.applied.Clone()
+	}
+	n.mu.Unlock()
+	n.noteErr(fmt.Sprintf("page response to %d", requester), n.send(requester, resp))
+}

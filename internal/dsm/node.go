@@ -1,20 +1,21 @@
 package dsm
 
 import (
+	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/core"
 	"repro/internal/mem"
-	"repro/internal/page"
 	"repro/internal/simnet"
 	"repro/internal/vc"
 	"repro/internal/wire"
 )
 
-// Stats counts a node's protocol events.
+// Stats counts a node's protocol events. Which counters move depends on
+// the engine: the lazy protocols create intervals and move diffs, the
+// eager ones flush at releases, SC ships whole pages and transfers
+// ownership.
 type Stats struct {
 	AccessMisses     int64
 	ColdMisses       int64
@@ -24,13 +25,22 @@ type Stats struct {
 	PagesFetched     int64
 	GCRuns           int64
 	DiffsDiscarded   int64
-}
 
-// pageCopy is a node's local copy of one page.
-type pageCopy struct {
-	data    []byte
-	valid   bool
-	applied vc.VC // modifications reflected in data
+	// FlushedPages counts dirty pages pushed at eager release/barrier
+	// flush points.
+	FlushedPages int64
+	// InvalsReceived counts invalidations applied to this node's copies
+	// (EI and SC).
+	InvalsReceived int64
+	// UpdatesReceived counts release-time diffs applied to this node's
+	// copies (EU).
+	UpdatesReceived int64
+	// WriteBacks counts EI false-sharing diffs this node's flushes
+	// recovered from invalidated cachers.
+	WriteBacks int64
+	// OwnershipMoves counts directory owner changes processed at this
+	// node as a page home (eager and SC).
+	OwnershipMoves int64
 }
 
 // lockLocal is a node's view of one lock.
@@ -48,17 +58,12 @@ type Node struct {
 	sys *System
 	id  mem.ProcID
 	ep  *simnet.Endpoint
+	e   engine
 
-	mu        sync.Mutex
-	v         vc.VC
-	log       *core.Log
-	pages     []*pageCopy
-	twins     map[mem.PageID]*page.Twin
-	diffs     map[core.IntervalID]map[mem.PageID]*page.Diff
-	lastEpoch vc.VC
-	episodes  int
-	locks     map[mem.LockID]*lockLocal
-	mgrLast   map[mem.LockID]mem.ProcID // manager-side last holder
+	mu      sync.Mutex
+	locks   map[mem.LockID]*lockLocal
+	mgrLast map[mem.LockID]mem.ProcID // manager-side last holder
+	stats   Stats
 
 	// Barrier master state: arrivals delivered by the handler.
 	barCh chan *wire.Msg
@@ -68,26 +73,32 @@ type Node struct {
 	waiterMu sync.Mutex
 	waiters  map[uint64]chan *wire.Msg
 
-	stats Stats
+	errMu sync.Mutex
+	errs  []error
 }
 
 func newNode(s *System, id mem.ProcID) *Node {
-	return &Node{
-		sys:       s,
-		id:        id,
-		ep:        s.net.Endpoint(int(id)),
-		v:         vc.New(s.cfg.Procs),
-		log:       core.NewLog(s.cfg.Procs),
-		pages:     make([]*pageCopy, s.layout.NumPages()),
-		twins:     make(map[mem.PageID]*page.Twin),
-		diffs:     make(map[core.IntervalID]map[mem.PageID]*page.Diff),
-		lastEpoch: vc.New(s.cfg.Procs),
-		locks:     make(map[mem.LockID]*lockLocal),
-		mgrLast:   make(map[mem.LockID]mem.ProcID),
-		barCh:     make(chan *wire.Msg, s.cfg.Procs),
-		gcCh:      make(chan *wire.Msg, s.cfg.Procs),
-		waiters:   make(map[uint64]chan *wire.Msg),
+	n := &Node{
+		sys:     s,
+		id:      id,
+		ep:      s.net.Endpoint(int(id)),
+		locks:   make(map[mem.LockID]*lockLocal),
+		mgrLast: make(map[mem.LockID]mem.ProcID),
+		barCh:   make(chan *wire.Msg, s.cfg.Procs),
+		gcCh:    make(chan *wire.Msg, s.cfg.Procs),
+		waiters: make(map[uint64]chan *wire.Msg),
 	}
+	switch s.cfg.Mode {
+	case LazyInvalidate, LazyUpdate:
+		n.e = newLazyEngine(n, s.cfg.Mode == LazyUpdate)
+	case EagerInvalidate, EagerUpdate:
+		n.e = newEagerEngine(n, s.cfg.Mode == EagerUpdate)
+	case SeqConsistent:
+		n.e = newSCEngine(n)
+	default:
+		panic(fmt.Sprintf("dsm: node %d: unvalidated mode %d", id, s.cfg.Mode))
+	}
+	return n
 }
 
 // ID returns the node's processor id.
@@ -100,11 +111,30 @@ func (n *Node) Stats() Stats {
 	return n.stats
 }
 
-// Clock returns a copy of the node's current vector clock.
+// Clock returns a copy of the node's current vector clock (all zero
+// entries under the eager and SC engines, which do not track causality).
 func (n *Node) Clock() vc.VC {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.v.Clone()
+	return n.e.clock()
+}
+
+// noteErr records a handler-side protocol error so System.Close can
+// surface it instead of letting it vanish (a dropped lock grant strands
+// its requester). Expected shutdown errors are not recorded.
+func (n *Node) noteErr(op string, err error) {
+	if err == nil || errors.Is(err, simnet.ErrClosed) {
+		return
+	}
+	n.errMu.Lock()
+	n.errs = append(n.errs, fmt.Errorf("dsm: node %d: %s: %w", n.id, op, err))
+	n.errMu.Unlock()
+}
+
+func (n *Node) takeErrs() []error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	errs := n.errs
+	n.errs = nil
+	return errs
 }
 
 // --- request/response plumbing ---
@@ -143,6 +173,23 @@ func (n *Node) rpc(dst mem.ProcID, m *wire.Msg) (*wire.Msg, error) {
 	return n.await(m.Seq, ch)
 }
 
+// deliverResponse hands a response message to the requester parked in
+// rpc. Engines that intercept their responses in handle (the eager
+// engine applies flush results on the handler goroutine to keep the
+// home's directory transaction ordering) call this after processing.
+func (n *Node) deliverResponse(m *wire.Msg) {
+	n.waiterMu.Lock()
+	ch, ok := n.waiters[m.Seq]
+	if ok {
+		delete(n.waiters, m.Seq)
+	}
+	n.waiterMu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("dsm: node %d: unexpected response seq %d kind %v", n.id, m.Seq, m.Kind))
+	}
+	ch <- m
+}
+
 // handlerLoop dispatches incoming frames until the network closes.
 func (n *Node) handlerLoop() {
 	for {
@@ -165,274 +212,23 @@ func (n *Node) handlerLoop() {
 		if err != nil {
 			panic(fmt.Sprintf("dsm: node %d: undecodable frame from %d: %v", n.id, f.Src, err))
 		}
-		switch m.Kind {
-		case wire.KLockGrant, wire.KDiffResp, wire.KPageResp, wire.KBarrierExit, wire.KGCDone:
-			n.waiterMu.Lock()
-			ch, ok := n.waiters[m.Seq]
-			if ok {
-				delete(n.waiters, m.Seq)
-			}
-			n.waiterMu.Unlock()
-			if !ok {
-				panic(fmt.Sprintf("dsm: node %d: unexpected response seq %d kind %v", n.id, m.Seq, m.Kind))
-			}
-			ch <- m
-		case wire.KLockReq:
+		switch {
+		case n.e.handle(m, mem.ProcID(f.Src)):
+			// Engine-specific request (or an intercepted response).
+		case m.Kind.IsResponse():
+			n.deliverResponse(m)
+		case m.Kind == wire.KLockReq:
 			n.handleLockReq(m)
-		case wire.KLockFwd:
+		case m.Kind == wire.KLockFwd:
 			n.handleLockFwd(m)
-		case wire.KDiffReq:
-			n.handleDiffReq(m, mem.ProcID(f.Src))
-		case wire.KPageReq:
-			n.handlePageReq(m)
-		case wire.KBarrierArrive:
+		case m.Kind == wire.KBarrierArrive:
 			n.barCh <- m
-		case wire.KGCReady:
+		case m.Kind == wire.KGCReady:
 			n.gcCh <- m
 		default:
 			panic(fmt.Sprintf("dsm: node %d: unhandled message kind %v", n.id, m.Kind))
 		}
 	}
-}
-
-// --- interval management ---
-
-// closeIntervalLocked ends the current interval: diffs are created from
-// the twins (eager diffing) and retained in the diff store; the interval
-// record with its write notices enters the log. Caller holds mu.
-func (n *Node) closeIntervalLocked() {
-	if len(n.twins) == 0 {
-		return
-	}
-	pages := make([]mem.PageID, 0, len(n.twins))
-	for pg := range n.twins {
-		pages = append(pages, pg)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	idx := n.v.Tick(int(n.id))
-	id := core.IntervalID{Proc: n.id, Index: idx}
-	byPage := make(map[mem.PageID]*page.Diff, len(pages))
-	for _, pg := range pages {
-		d, err := page.MakeDiff(n.twins[pg], n.pages[pg].data)
-		if err != nil {
-			panic(fmt.Sprintf("dsm: node %d: diffing page %d: %v", n.id, pg, err))
-		}
-		byPage[pg] = d
-		// The local copy now reflects this interval: keep the applied
-		// clock faithful so page-home responses advertise the right
-		// coverage and GC validation sees own pages as current.
-		n.pages[pg].applied[n.id] = idx
-	}
-	n.diffs[id] = byPage
-	n.log.Append(&core.Interval{
-		ID:    id,
-		VC:    n.v.Clone(),
-		Pages: pages,
-		Mods:  make([]*page.RangeSet, len(pages)),
-	})
-	n.stats.IntervalsCreated++
-	n.twins = make(map[mem.PageID]*page.Twin)
-}
-
-// absorbIntervalsLocked merges received interval records into the log,
-// skipping already-known ones, and returns the genuinely new records.
-// Caller holds mu.
-func (n *Node) absorbIntervalsLocked(recs []wire.IntervalRec) []wire.IntervalRec {
-	// Per-processor index order is required by the log.
-	sorted := make([]wire.IntervalRec, len(recs))
-	copy(sorted, recs)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Proc != sorted[j].Proc {
-			return sorted[i].Proc < sorted[j].Proc
-		}
-		return sorted[i].Index < sorted[j].Index
-	})
-	var fresh []wire.IntervalRec
-	for _, rec := range sorted {
-		if n.v.Covers(int(rec.Proc), rec.Index) {
-			continue // already known
-		}
-		n.log.Append(&core.Interval{
-			ID:    core.IntervalID{Proc: rec.Proc, Index: rec.Index},
-			VC:    rec.VC.Clone(),
-			Pages: rec.Pages,
-			Mods:  make([]*page.RangeSet, len(rec.Pages)),
-		})
-		// Track per-processor high-water mark in our clock only after the
-		// merge below; Covers uses n.v, so advance it per record to keep
-		// the dedupe correct for consecutive indices.
-		if n.v[rec.Proc] != rec.Index-1 {
-			panic(fmt.Sprintf("dsm: node %d: interval gap for p%d: have %d, got %d",
-				n.id, rec.Proc, n.v[rec.Proc], rec.Index))
-		}
-		n.v[rec.Proc] = rec.Index
-		fresh = append(fresh, rec)
-	}
-	return fresh
-}
-
-// intervalsSinceLocked collects wire records for every known interval
-// (r, k) with k > floor[r]. Caller holds mu.
-func (n *Node) intervalsSinceLocked(floor vc.VC) []wire.IntervalRec {
-	var recs []wire.IntervalRec
-	n.log.NoticesBetween(floor, n.v, func(iv *core.Interval) {
-		recs = append(recs, wire.IntervalRec{
-			Proc:  iv.ID.Proc,
-			Index: iv.ID.Index,
-			VC:    iv.VC,
-			Pages: iv.Pages,
-		})
-	})
-	return recs
-}
-
-// invalidateForLocked applies LI semantics for freshly learned intervals:
-// cached valid copies of noticed pages become invalid (data retained as
-// the diff target). It returns the set of affected cached pages (used by
-// LU to revalidate immediately). Caller holds mu.
-func (n *Node) invalidateForLocked(fresh []wire.IntervalRec) []mem.PageID {
-	var affected []mem.PageID
-	seen := make(map[mem.PageID]bool)
-	for _, rec := range fresh {
-		for _, pg := range rec.Pages {
-			if seen[pg] {
-				continue
-			}
-			seen[pg] = true
-			if pc := n.pages[pg]; pc != nil && pc.valid {
-				pc.valid = false
-				affected = append(affected, pg)
-			}
-		}
-	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-	return affected
-}
-
-// --- data movement ---
-
-// validate brings page pg's local copy up to date: a cold copy is fetched
-// from the page's home, then every outstanding diff is collected (from the
-// local store or its creator) and applied in happened-before order
-// (§4.3.3). Callers must NOT hold mu.
-func (n *Node) validate(pg mem.PageID) error {
-	n.mu.Lock()
-	pc := n.pages[pg]
-	if pc != nil && pc.valid {
-		n.mu.Unlock()
-		return nil
-	}
-	n.stats.AccessMisses++
-	if pc == nil {
-		n.stats.ColdMisses++
-		home := n.sys.home(pg)
-		if home == n.id {
-			pc = &pageCopy{data: make([]byte, n.sys.layout.PageSize()), applied: vc.New(n.sys.cfg.Procs)}
-			n.pages[pg] = pc
-		} else {
-			n.mu.Unlock()
-			resp, err := n.rpc(home, &wire.Msg{
-				Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
-			})
-			if err != nil {
-				return err
-			}
-			n.mu.Lock()
-			applied := resp.VC
-			if applied == nil {
-				applied = vc.New(n.sys.cfg.Procs)
-			}
-			pc = &pageCopy{data: resp.Data, applied: applied.Clone()}
-			n.pages[pg] = pc
-			n.stats.PagesFetched++
-		}
-	}
-
-	// Outstanding modifications, grouped by creator for any diffs we do
-	// not already retain.
-	out := n.log.Outstanding(pg, pc.applied, n.v, n.id)
-	missing := make(map[mem.ProcID][]wire.Want)
-	for _, id := range out {
-		if _, ok := n.diffs[id][pg]; ok {
-			continue
-		}
-		missing[id.Proc] = append(missing[id.Proc], wire.Want{Page: pg, Proc: id.Proc, Index: id.Index})
-	}
-	n.mu.Unlock()
-
-	if len(missing) > 0 {
-		creators := make([]mem.ProcID, 0, len(missing))
-		for c := range missing {
-			creators = append(creators, c)
-		}
-		sort.Slice(creators, func(i, j int) bool { return creators[i] < creators[j] })
-		for _, c := range creators {
-			resp, err := n.rpc(c, &wire.Msg{
-				Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), Wants: missing[c],
-			})
-			if err != nil {
-				return err
-			}
-			n.mu.Lock()
-			for _, rec := range resp.Diffs {
-				id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
-				if n.diffs[id] == nil {
-					n.diffs[id] = make(map[mem.PageID]*page.Diff)
-				}
-				n.diffs[id][rec.Page] = rec.Diff
-				n.stats.DiffsFetched++
-			}
-			n.mu.Unlock()
-		}
-	}
-
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	// Apply in a linear extension of happened-before: interval clock sums
-	// strictly increase along hb1 chains, and concurrent intervals touch
-	// disjoint words in properly-labeled programs.
-	sort.Slice(out, func(i, j int) bool {
-		si, sj := clockSum(n.log.Get(out[i]).VC), clockSum(n.log.Get(out[j]).VC)
-		if si != sj {
-			return si < sj
-		}
-		if out[i].Proc != out[j].Proc {
-			return out[i].Proc < out[j].Proc
-		}
-		return out[i].Index < out[j].Index
-	})
-	for _, id := range out {
-		d := n.diffs[id][pg]
-		if d == nil {
-			return fmt.Errorf("dsm: node %d: diff %v for page %d unavailable", n.id, id, pg)
-		}
-		if err := d.Apply(pc.data); err != nil {
-			return err
-		}
-		n.stats.DiffsApplied++
-	}
-	pc.valid = true
-	pc.applied = n.v.Clone()
-	return nil
-}
-
-func clockSum(v vc.VC) int64 {
-	var s int64
-	for _, x := range v {
-		s += int64(x)
-	}
-	return s
-}
-
-// revalidate runs validate over a list of pages (LU's acquire/barrier-time
-// update step).
-func (n *Node) revalidate(pages []mem.PageID) error {
-	for _, pg := range pages {
-		if err := n.validate(pg); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // --- application API: memory ---
@@ -449,16 +245,7 @@ func (n *Node) Write(addr mem.Addr, data []byte) error {
 		if err != nil {
 			return
 		}
-		if err = n.validate(pg); err != nil {
-			return
-		}
-		n.mu.Lock()
-		pc := n.pages[pg]
-		if _, ok := n.twins[pg]; !ok {
-			n.twins[pg] = page.NewTwin(pc.data)
-		}
-		copy(pc.data[pgOff:pgOff+count], data[off:off+count])
-		n.mu.Unlock()
+		err = n.e.writePage(pg, pgOff, data[off:off+count])
 		off += count
 	})
 	return err
@@ -476,12 +263,7 @@ func (n *Node) Read(buf []byte, addr mem.Addr) error {
 		if err != nil {
 			return
 		}
-		if err = n.validate(pg); err != nil {
-			return
-		}
-		n.mu.Lock()
-		copy(buf[off:off+count], n.pages[pg].data[pgOff:pgOff+count])
-		n.mu.Unlock()
+		err = n.e.readPage(pg, pgOff, buf[off:off+count])
 		off += count
 	})
 	return err

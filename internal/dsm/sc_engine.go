@@ -1,0 +1,302 @@
+package dsm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/vc"
+	"repro/internal/wire"
+)
+
+// scEngine implements the sequentially consistent Ivy-style baseline
+// (paper §6 related work): single writer, write-invalidate, whole-page
+// shipping. Each page has a static directory at its home tracking the
+// owner and the copyset. A read miss joins the copyset with a read-only
+// copy fetched from the owner (which downgrades to read mode); a write
+// requires exclusive ownership — the home invalidates every other copy,
+// each invalidation acknowledged, and transfers ownership to the writer.
+// Locks and barriers cost the same messages as under the RC protocols
+// but carry no consistency payload.
+//
+// Ordering: the home holds the page's directory mutex across each
+// transaction, including every send, so simnet's FIFO delivery presents
+// each node the directory's decisions in order. Page installs happen on
+// the *handler* goroutine as the grant arrives — never on the
+// application goroutine after a wakeup — so a node's page state always
+// reflects the directory-order prefix it has received, and an owner can
+// always serve a fetch. The application loops re-checking its access
+// mode: if exclusivity was revoked between grant and use, it simply
+// re-requests — Ivy's page ping-pong under contention, the behavior
+// whose cost the paper's Table 1 quantifies.
+type scEngine struct {
+	n *Node
+
+	// Guarded by n.mu.
+	pages []*scPage
+
+	dir []scDir // directory entries; used only for pages homed here
+}
+
+type scAccess uint8
+
+const (
+	scNone scAccess = iota
+	scRead
+	scWrite
+)
+
+type scPage struct {
+	data []byte
+	mode scAccess
+}
+
+// scDir is one page's directory entry at its home.
+type scDir struct {
+	mu      sync.Mutex
+	owner   mem.ProcID
+	copyset uint64
+}
+
+func newSCEngine(n *Node) *scEngine {
+	e := &scEngine{
+		n:     n,
+		pages: make([]*scPage, n.sys.layout.NumPages()),
+		dir:   make([]scDir, n.sys.layout.NumPages()),
+	}
+	for pg := range e.dir {
+		e.dir[pg].owner = n.sys.home(mem.PageID(pg))
+	}
+	return e
+}
+
+func (e *scEngine) clock() vc.VC { return vc.New(e.n.sys.cfg.Procs) }
+
+// --- accesses ---
+
+func (e *scEngine) readPage(pg mem.PageID, off int, dst []byte) error {
+	n := e.n
+	for {
+		n.mu.Lock()
+		if pc := e.pages[pg]; pc != nil && pc.mode >= scRead {
+			copy(dst, pc.data[off:off+len(dst)])
+			n.mu.Unlock()
+			return nil
+		}
+		n.stats.AccessMisses++
+		if e.pages[pg] == nil {
+			n.stats.ColdMisses++
+		}
+		n.mu.Unlock()
+
+		// The handler installs the shipped copy on receipt; a concurrent
+		// writer may have revoked it again by the time we look, in which
+		// case we re-request.
+		if _, err := n.rpc(n.sys.home(pg), &wire.Msg{
+			Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
+		}); err != nil {
+			return err
+		}
+	}
+}
+
+func (e *scEngine) writePage(pg mem.PageID, off int, src []byte) error {
+	n := e.n
+	for {
+		n.mu.Lock()
+		if pc := e.pages[pg]; pc != nil && pc.mode == scWrite {
+			copy(pc.data[off:off+len(src)], src)
+			n.mu.Unlock()
+			return nil
+		}
+		n.stats.AccessMisses++
+		if e.pages[pg] == nil {
+			n.stats.ColdMisses++
+		}
+		n.mu.Unlock()
+
+		if _, err := n.rpc(n.sys.home(pg), &wire.Msg{
+			Kind: wire.KWriteReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
+		}); err != nil {
+			return err
+		}
+	}
+}
+
+// --- lock and barrier hooks: SC needs no consistency payload ---
+
+func (e *scEngine) acquireStartLocked(req *wire.Msg) {}
+func (e *scEngine) grantLocked(req, grant *wire.Msg) {}
+func (e *scEngine) onGrant(grant *wire.Msg) error    { return nil }
+func (e *scEngine) preRelease() error                { return nil }
+func (e *scEngine) releaseLocked()                   {}
+
+func (e *scEngine) preBarrier() error                 { return nil }
+func (e *scEngine) barrierEntryLocked()               {}
+func (e *scEngine) arriveLocked(arrive *wire.Msg)     {}
+func (e *scEngine) masterAbsorbLocked(m *wire.Msg)    {}
+func (e *scEngine) exitLocked(m, exit *wire.Msg)      {}
+func (e *scEngine) onExit(exit *wire.Msg) error       { return nil }
+func (e *scEngine) postBarrier(b mem.BarrierID) error { return nil }
+
+// --- handler side ---
+
+func (e *scEngine) handle(m *wire.Msg, src mem.ProcID) bool {
+	switch m.Kind {
+	case wire.KPageReq:
+		go e.serveReadReq(m)
+	case wire.KWriteReq:
+		go e.serveWriteReq(m)
+	case wire.KFetch:
+		e.serveFetch(m, src)
+	case wire.KInval:
+		e.applyInval(m, src)
+	case wire.KPageResp:
+		// Intercepted response: install the read copy in directory
+		// order, before any later invalidation can arrive.
+		e.install(m, scRead)
+		e.n.deliverResponse(m)
+	case wire.KWriteResp:
+		e.install(m, scWrite)
+		e.n.deliverResponse(m)
+	default:
+		return false
+	}
+	return true
+}
+
+// install applies a granted copy or upgrade at the requester, on the
+// handler goroutine.
+func (e *scEngine) install(m *wire.Msg, mode scAccess) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Data != nil {
+		e.pages[pg] = &scPage{data: m.Data, mode: mode}
+		n.stats.PagesFetched++
+		return
+	}
+	// Upgrade grant: the directory saw us in the copyset, so a current
+	// read copy must be installed here (copyset membership without an
+	// installed copy only exists while our own fetch is in flight, and
+	// the application goroutine cannot fetch and upgrade concurrently).
+	pc := e.pages[pg]
+	if pc == nil {
+		panic(fmt.Sprintf("dsm: node %d: upgrade grant for page %d without a local copy", n.id, pg))
+	}
+	pc.mode = mode
+}
+
+// ownerData obtains the current contents of pg from its owner via
+// Node.fetchFromOwner (see there for the loopback ordering rule). The
+// owner downgrades its copy to read mode as it serves: it may keep
+// reading, but the next write must re-acquire exclusivity.
+func (e *scEngine) ownerData(d *scDir, pg mem.PageID) ([]byte, error) {
+	return e.n.fetchFromOwner(d.owner, pg)
+}
+
+// serveReadReq runs the home's read-miss transaction: the owner's data
+// ships to the requester, which joins the copyset.
+func (e *scEngine) serveReadReq(m *wire.Msg) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	requester := mem.ProcID(m.B)
+	d := &e.dir[pg]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := e.ownerData(d, pg)
+	if err != nil {
+		n.noteErr(fmt.Sprintf("page %d owner fetch", pg), err)
+		return
+	}
+	d.copyset |= 1 << uint(requester)
+	resp := &wire.Msg{Kind: wire.KPageResp, Seq: m.Seq, A: m.A, Data: data}
+	n.noteErr(fmt.Sprintf("page response to %d", requester), n.send(requester, resp))
+}
+
+// serveWriteReq runs the home's write-miss/upgrade transaction: data
+// ships from the owner unless the requester already holds a current
+// copy, every other copy is invalidated with acknowledgment, and
+// ownership transfers to the writer.
+func (e *scEngine) serveWriteReq(m *wire.Msg) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	requester := mem.ProcID(m.B)
+	d := &e.dir[pg]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	resp := &wire.Msg{Kind: wire.KWriteResp, Seq: m.Seq, A: m.A}
+	if d.copyset&(1<<uint(requester)) == 0 {
+		data, err := e.ownerData(d, pg)
+		if err != nil {
+			n.noteErr(fmt.Sprintf("page %d owner fetch", pg), err)
+			return
+		}
+		resp.Data = data
+	}
+	others := d.copyset &^ (1 << uint(requester))
+	for q := 0; others != 0; q++ {
+		bit := uint64(1) << uint(q)
+		if others&bit == 0 {
+			continue
+		}
+		others &^= bit
+		if _, err := n.rpc(mem.ProcID(q), &wire.Msg{Kind: wire.KInval, Seq: n.nextSeq(), A: m.A}); err != nil {
+			n.noteErr(fmt.Sprintf("invalidation of page %d at %d", pg, q), err)
+			return
+		}
+	}
+	if d.owner != requester {
+		d.owner = requester
+		n.mu.Lock()
+		n.stats.OwnershipMoves++
+		n.mu.Unlock()
+	}
+	d.copyset = 1 << uint(requester)
+
+	n.noteErr(fmt.Sprintf("write grant to %d", requester), n.send(requester, resp))
+}
+
+// serveFetch answers the home's request for this owner's page contents,
+// downgrading a writable copy to read mode. Runs inline on the handler
+// goroutine.
+func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	n.mu.Lock()
+	pc := e.pages[pg]
+	var data []byte
+	switch {
+	case pc == nil && n.sys.home(pg) == n.id:
+		// We are the page's initial owner and nobody ever wrote it: the
+		// committed state is the zero page.
+		data = make([]byte, n.sys.layout.PageSize())
+	case pc == nil:
+		n.mu.Unlock()
+		panic(fmt.Sprintf("dsm: node %d: SC fetch of page %d it never held", n.id, pg))
+	default:
+		if pc.mode == scWrite {
+			pc.mode = scRead
+		}
+		data = append([]byte(nil), pc.data...)
+	}
+	n.mu.Unlock()
+	resp := &wire.Msg{Kind: wire.KFetchResp, Seq: m.Seq, A: m.A, Data: data}
+	n.noteErr(fmt.Sprintf("fetch response to %d", src), n.send(src, resp))
+}
+
+// applyInval drops this node's copy.
+func (e *scEngine) applyInval(m *wire.Msg, src mem.ProcID) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	n.mu.Lock()
+	if pc := e.pages[pg]; pc != nil {
+		pc.mode = scNone
+	}
+	n.stats.InvalsReceived++
+	n.mu.Unlock()
+	ack := &wire.Msg{Kind: wire.KInvalAck, Seq: m.Seq, A: m.A}
+	n.noteErr(fmt.Sprintf("inval ack to %d", src), n.send(src, ack))
+}

@@ -17,7 +17,7 @@ func TestRandomizedStress(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test in -short mode")
 	}
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		const (
 			procs    = 6
 			rounds   = 8
@@ -121,7 +121,7 @@ func TestRandomizedStress(t *testing.T) {
 // labeled program on the live DSM and on a plain sequential in-memory
 // model; per Gharachorloo et al. (paper §2), results must coincide.
 func TestSequentialConsistencyForProperlyLabeled(t *testing.T) {
-	bothModes(t, func(t *testing.T, mode Mode) {
+	allModes(t, func(t *testing.T, mode Mode) {
 		const procs = 4
 		s := newSys(t, procs, mode)
 

@@ -2,17 +2,19 @@ package dsm
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/core"
 	"repro/internal/mem"
-	"repro/internal/page"
 	"repro/internal/simnet"
-	"repro/internal/vc"
 	"repro/internal/wire"
 )
 
-// --- application API: synchronization ---
+// The synchronization machinery below is protocol-independent: locks
+// migrate through a static manager to their last holder (§4.2's lock
+// transfer), barriers rendezvous through a master. What the messages
+// carry — write notices, clocks, piggybacked diffs, or nothing at all —
+// is the engine's business, hooked in at the *Locked payload methods.
+
+// --- application API: locks ---
 
 func (n *Node) lockLocalState(l mem.LockID) *lockLocal {
 	ll := n.locks[l]
@@ -23,32 +25,31 @@ func (n *Node) lockLocalState(l mem.LockID) *lockLocal {
 	return ll
 }
 
-// Acquire obtains lock l, bringing this node's view of shared memory up
-// to date with everything that happened-before the matching release
-// (§4.2): the grant message carries the releaser's clock and the write
-// notices the acquirer lacks; LU additionally revalidates the cached
-// pages they name.
+// Acquire obtains lock l and performs the engine's acquire-time
+// consistency actions: under the lazy protocols the grant message
+// carries the releaser's clock and the write notices the acquirer lacks
+// (§4.2), and LU additionally revalidates the cached pages they name;
+// the eager and SC engines move no consistency payload at acquires.
 func (n *Node) Acquire(l mem.LockID) error {
 	n.mu.Lock()
-	n.closeIntervalLocked()
 	ll := n.lockLocalState(l)
 	if ll.held {
 		n.mu.Unlock()
 		return fmt.Errorf("dsm: node %d: acquire of lock %d already held", n.id, l)
 	}
+	req := &wire.Msg{
+		Kind: wire.KLockReq,
+		Seq:  n.nextSeq(),
+		A:    int32(l),
+		B:    int32(n.id),
+	}
+	n.e.acquireStartLocked(req)
 	if ll.cached {
 		ll.held = true
 		n.mu.Unlock()
 		return nil
 	}
 	ll.acquiring = true
-	req := &wire.Msg{
-		Kind: wire.KLockReq,
-		Seq:  n.nextSeq(),
-		A:    int32(l),
-		B:    int32(n.id),
-		VC:   n.v.Clone(),
-	}
 	n.mu.Unlock()
 
 	grant, err := n.rpc(n.sys.lockMgr(l), req)
@@ -57,41 +58,38 @@ func (n *Node) Acquire(l mem.LockID) error {
 	}
 
 	n.mu.Lock()
-	fresh := n.absorbIntervalsLocked(grant.Intervals)
-	// Piggybacked diffs (LU grants) enter the retained-diff store; the
-	// revalidation below then fetches only what is still missing.
-	for _, rec := range grant.Diffs {
-		id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
-		if n.diffs[id] == nil {
-			n.diffs[id] = make(map[mem.PageID]*page.Diff)
-		}
-		if _, ok := n.diffs[id][rec.Page]; !ok {
-			n.diffs[id][rec.Page] = rec.Diff
-		}
-	}
-	affected := n.invalidateForLocked(fresh)
 	ll.held = true
 	ll.acquiring = false
 	ll.cached = true
 	n.mu.Unlock()
-
-	if n.sys.cfg.Mode == LazyUpdate {
-		return n.revalidate(affected)
-	}
-	return nil
+	return n.e.onGrant(grant)
 }
 
-// Release releases lock l. Releases are purely local (§4.2) unless a
-// forwarded request is pending, in which case the grant — clock, notices,
-// and for LU the retained diffs — goes straight to the next acquirer.
+// Release releases lock l. Under the lazy protocols releases are purely
+// local (§4.2) unless a forwarded request is pending, in which case the
+// grant — clock, notices, and for LU the retained diffs — goes straight
+// to the next acquirer. The eager engines first push the critical
+// section's modifications to every other cacher (preRelease), so the
+// next holder can never observe pre-release data.
 func (n *Node) Release(l mem.LockID) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	ll := n.lockLocalState(l)
 	if !ll.held {
+		n.mu.Unlock()
 		return fmt.Errorf("dsm: node %d: release of lock %d not held", n.id, l)
 	}
-	n.closeIntervalLocked()
+	n.mu.Unlock()
+
+	// Eager flush point: blocking message exchanges, so outside mu. The
+	// held flag cannot change concurrently (only the application
+	// goroutine mutates it).
+	if err := n.e.preRelease(); err != nil {
+		return err
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.e.releaseLocked()
 	ll.held = false
 	if ll.pending != nil {
 		req := ll.pending
@@ -102,52 +100,36 @@ func (n *Node) Release(l mem.LockID) error {
 	return nil
 }
 
-// sendGrantLocked builds and sends the lock grant for a forwarded request.
-// Caller holds mu.
+// sendGrantLocked builds and sends the lock grant for a forwarded
+// request, with the engine's consistency payload. Caller holds mu.
 func (n *Node) sendGrantLocked(req *wire.Msg) error {
-	recs := n.intervalsSinceLocked(req.VC)
 	grant := &wire.Msg{
-		Kind:      wire.KLockGrant,
-		Seq:       req.Seq,
-		A:         req.A,
-		VC:        n.v.Clone(),
-		Intervals: recs,
+		Kind: wire.KLockGrant,
+		Seq:  req.Seq,
+		A:    req.A,
 	}
-	if n.sys.cfg.Mode == LazyUpdate {
-		// Piggyback every retained diff for the noticed intervals — the
-		// releaser supplies what it has (Figure 4's "l and x in a single
-		// message"); the acquirer fetches any remainder from creators.
-		for _, rec := range recs {
-			id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
-			byPage := n.diffs[id]
-			pages := make([]mem.PageID, 0, len(byPage))
-			for pg := range byPage {
-				pages = append(pages, pg)
-			}
-			sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-			for _, pg := range pages {
-				grant.Diffs = append(grant.Diffs, wire.DiffRec{
-					Page: pg, Proc: id.Proc, Index: id.Index, Diff: byPage[pg],
-				})
-			}
-		}
-	}
+	n.e.grantLocked(req, grant)
 	return n.send(mem.ProcID(req.B), grant)
 }
 
+// --- application API: barriers ---
+
 // Barrier blocks until every node has arrived at barrier b, exchanging
-// clocks and write notices through the master (node 0) — 2(n-1) messages,
-// §4.2 — and running the configured garbage collection epoch afterwards.
+// the engine's consistency payload through the master (node 0) —
+// 2(n-1) messages, §4.2 — and running the engine's post-barrier episode
+// work (data movement, garbage collection). The eager engines flush
+// buffered modifications before arriving, so every pre-barrier write is
+// propagated before any node exits.
 func (n *Node) Barrier(b mem.BarrierID) error {
-	n.mu.Lock()
-	n.closeIntervalLocked()
-	myVC := n.v.Clone()
-	recs := n.intervalsSinceLocked(n.lastEpoch)
-	n.mu.Unlock()
+	if err := n.e.preBarrier(); err != nil {
+		return err
+	}
 
 	const master = mem.ProcID(0)
-	var fresh []wire.IntervalRec
 	if n.id == master {
+		n.mu.Lock()
+		n.e.barrierEntryLocked()
+		n.mu.Unlock()
 		// Collect the other nodes' arrivals.
 		arrivals := make([]*wire.Msg, 0, n.sys.cfg.Procs-1)
 		for len(arrivals) < n.sys.cfg.Procs-1 {
@@ -162,131 +144,42 @@ func (n *Node) Barrier(b mem.BarrierID) error {
 		}
 		n.mu.Lock()
 		for _, m := range arrivals {
-			fresh = append(fresh, n.absorbIntervalsLocked(m.Intervals)...)
+			n.e.masterAbsorbLocked(m)
 		}
-		merged := n.v.Clone()
 		n.mu.Unlock()
 		// Exit messages carry what each arriver lacks.
 		for _, m := range arrivals {
+			exit := &wire.Msg{Kind: wire.KBarrierExit, Seq: m.Seq, A: int32(b)}
 			n.mu.Lock()
-			lack := n.intervalsSinceLocked(m.VC)
+			n.e.exitLocked(m, exit)
 			n.mu.Unlock()
-			exit := &wire.Msg{
-				Kind:      wire.KBarrierExit,
-				Seq:       m.Seq,
-				A:         int32(b),
-				VC:        merged,
-				Intervals: lack,
-			}
 			if err := n.send(mem.ProcID(m.B), exit); err != nil {
 				return err
 			}
 		}
 	} else {
 		arrive := &wire.Msg{
-			Kind:      wire.KBarrierArrive,
-			Seq:       n.nextSeq(),
-			A:         int32(b),
-			B:         int32(n.id),
-			VC:        myVC,
-			Intervals: recs,
+			Kind: wire.KBarrierArrive,
+			Seq:  n.nextSeq(),
+			A:    int32(b),
+			B:    int32(n.id),
 		}
+		n.mu.Lock()
+		n.e.barrierEntryLocked()
+		n.e.arriveLocked(arrive)
+		n.mu.Unlock()
 		exit, err := n.rpc(master, arrive)
 		if err != nil {
 			return err
 		}
-		n.mu.Lock()
-		fresh = n.absorbIntervalsLocked(exit.Intervals)
-		n.mu.Unlock()
-	}
-
-	n.mu.Lock()
-	affected := n.invalidateForLocked(fresh)
-	n.lastEpoch = n.v.Clone()
-	n.episodes++
-	gcDue := n.sys.cfg.GCEveryBarriers > 0 && n.episodes%n.sys.cfg.GCEveryBarriers == 0
-	n.mu.Unlock()
-
-	if n.sys.cfg.Mode == LazyUpdate {
-		if err := n.revalidate(affected); err != nil {
+		if err := n.e.onExit(exit); err != nil {
 			return err
 		}
 	}
-	if gcDue {
-		return n.runGC(b)
-	}
-	return nil
+	return n.e.postBarrier(b)
 }
 
-// runGC is the barrier-time garbage collection epoch: every node validates
-// each page it caches (and, as a page's home, materializes pages with
-// history so later cold misses can be served), confirms readiness through
-// the master, then discards the diffs of every interval the epoch clock
-// covers. Interval records are retained (they are small); diff payloads
-// are the memory that matters.
-func (n *Node) runGC(b mem.BarrierID) error {
-	n.mu.Lock()
-	epoch := n.lastEpoch.Clone()
-	var toValidate []mem.PageID
-	for pg := range n.pages {
-		pgid := mem.PageID(pg)
-		pc := n.pages[pg]
-		switch {
-		case pc != nil && !pc.valid:
-			toValidate = append(toValidate, pgid)
-		case pc == nil && n.sys.home(pgid) == n.id && len(n.log.ModifiersOf(pgid)) > 0:
-			toValidate = append(toValidate, pgid)
-		case pc != nil && pc.valid && !pc.applied.Dominates(epoch):
-			toValidate = append(toValidate, pgid)
-		}
-	}
-	n.mu.Unlock()
-
-	if err := n.revalidate(toValidate); err != nil {
-		return err
-	}
-
-	// Readiness round through the master, so no node truncates while
-	// another still needs pre-epoch diffs.
-	const master = mem.ProcID(0)
-	if n.id == master {
-		readies := make([]*wire.Msg, 0, n.sys.cfg.Procs-1)
-		for len(readies) < n.sys.cfg.Procs-1 {
-			m, ok := <-n.gcCh
-			if !ok || m == nil {
-				return fmt.Errorf("dsm: master: GC round: %w", simnet.ErrClosed)
-			}
-			if mem.BarrierID(m.A) != b {
-				return fmt.Errorf("dsm: master: GC ready for barrier %d during %d", m.A, b)
-			}
-			readies = append(readies, m)
-		}
-		for _, m := range readies {
-			done := &wire.Msg{Kind: wire.KGCDone, Seq: m.Seq, A: int32(b)}
-			if err := n.send(mem.ProcID(m.B), done); err != nil {
-				return err
-			}
-		}
-	} else {
-		ready := &wire.Msg{Kind: wire.KGCReady, Seq: n.nextSeq(), A: int32(b), B: int32(n.id)}
-		if _, err := n.rpc(master, ready); err != nil {
-			return err
-		}
-	}
-
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for id := range n.diffs {
-		if epoch.Covers(int(id.Proc), id.Index) {
-			n.stats.DiffsDiscarded += int64(len(n.diffs[id]))
-			delete(n.diffs, id)
-		}
-	}
-	n.stats.GCRuns++
-	return nil
-}
-
-// --- handler-side request processing ---
+// --- handler-side lock processing ---
 
 func (n *Node) handleLockReq(m *wire.Msg) {
 	l := mem.LockID(m.A)
@@ -299,14 +192,12 @@ func (n *Node) handleLockReq(m *wire.Msg) {
 		// with no consistency payload.
 		grant := &wire.Msg{Kind: wire.KLockGrant, Seq: m.Seq, A: m.A}
 		n.mu.Unlock()
-		if err := n.send(requester, grant); err != nil {
-			return
-		}
+		n.noteErr(fmt.Sprintf("lock %d first grant to %d", l, requester), n.send(requester, grant))
 		return
 	}
 	n.mu.Unlock()
 	fwd := &wire.Msg{Kind: wire.KLockFwd, Seq: m.Seq, A: m.A, B: m.B, VC: m.VC}
-	_ = n.send(prev, fwd)
+	n.noteErr(fmt.Sprintf("lock %d forward to %d", l, prev), n.send(prev, fwd))
 }
 
 func (n *Node) handleLockFwd(m *wire.Msg) {
@@ -326,45 +217,5 @@ func (n *Node) handleLockFwd(m *wire.Msg) {
 	}
 	err := n.sendGrantLocked(m)
 	n.mu.Unlock()
-	_ = err
-}
-
-func (n *Node) handleDiffReq(m *wire.Msg, src mem.ProcID) {
-	n.mu.Lock()
-	resp := &wire.Msg{Kind: wire.KDiffResp, Seq: m.Seq}
-	for _, w := range m.Wants {
-		id := core.IntervalID{Proc: w.Proc, Index: w.Index}
-		d := n.diffs[id][w.Page]
-		if d == nil {
-			n.mu.Unlock()
-			panic(fmt.Sprintf("dsm: node %d: asked for diff %v page %d it does not hold", n.id, id, w.Page))
-		}
-		resp.Diffs = append(resp.Diffs, wire.DiffRec{Page: w.Page, Proc: w.Proc, Index: w.Index, Diff: d})
-	}
-	n.mu.Unlock()
-	_ = n.send(src, resp)
-}
-
-func (n *Node) handlePageReq(m *wire.Msg) {
-	pg := mem.PageID(m.A)
-	requester := mem.ProcID(m.B)
-	n.mu.Lock()
-	resp := &wire.Msg{Kind: wire.KPageResp, Seq: m.Seq, A: m.A}
-	pc := n.pages[pg]
-	switch {
-	case pc == nil:
-		// Never materialized here: the committed state is the zero page.
-		resp.Data = make([]byte, n.sys.layout.PageSize())
-		resp.VC = vc.New(n.sys.cfg.Procs)
-	case n.twins[pg] != nil:
-		// Uncommitted writes in the current interval must not leak: the
-		// twin holds the committed contents.
-		resp.Data = append([]byte(nil), n.twins[pg].Data()...)
-		resp.VC = pc.applied.Clone()
-	default:
-		resp.Data = append([]byte(nil), pc.data...)
-		resp.VC = pc.applied.Clone()
-	}
-	n.mu.Unlock()
-	_ = n.send(requester, resp)
+	n.noteErr(fmt.Sprintf("lock %d grant to %d", l, mem.ProcID(m.B)), err)
 }

@@ -53,6 +53,40 @@ const (
 	// truncation; KGCDone: master -> nodes to truncate. A = barrier id.
 	KGCReady
 	KGCDone
+
+	// Kinds below serve the eager (EI/EU) and sequentially-consistent (SC)
+	// engines, whose directories live at each page's home.
+
+	// KFetch: home -> current owner, asking for a page's committed
+	// contents on behalf of a requester. A = page id. Under SC the owner
+	// downgrades its copy to read mode as it serves.
+	KFetch
+	// KFetchResp: owner -> home with the page contents.
+	KFetchResp
+	// KInval: home -> cacher, invalidating its copy. A = page id.
+	KInval
+	// KInvalAck: cacher -> home; under EI it carries the cacher's own
+	// buffered modifications back as a diff (Munin's false-sharing
+	// write-back), so they are not lost with the invalidated copy.
+	KInvalAck
+	// KUpdate: home -> cacher with a releaser's diff (EU). A = page id.
+	KUpdate
+	// KUpdateAck: cacher -> home after applying the update.
+	KUpdateAck
+	// KFlushReq: releaser -> page home at an eager release or barrier
+	// flush point. A/B = page id, flusher; EU carries the diff.
+	KFlushReq
+	// KFlushDone: home -> releaser once every other cacher was invalidated
+	// (EI) or updated (EU): Diffs carries EI write-backs, Data carries a
+	// reconciliation base when the flusher's own copy had been invalidated
+	// by a concurrent flush of the same page.
+	KFlushDone
+	// KWriteReq: requester -> page home asking for exclusive write
+	// ownership (SC). A/B = page id, requester.
+	KWriteReq
+	// KWriteResp: home -> requester granting ownership; Data carries the
+	// page contents unless the requester already holds a current copy.
+	KWriteResp
 	kindLimit
 )
 
@@ -62,6 +96,22 @@ var kindNames = map[Kind]string{
 	KPageReq: "pagereq", KPageResp: "pageresp",
 	KBarrierArrive: "arrive", KBarrierExit: "exit",
 	KGCReady: "gcready", KGCDone: "gcdone",
+	KFetch: "fetch", KFetchResp: "fetchresp",
+	KInval: "inval", KInvalAck: "invalack",
+	KUpdate: "update", KUpdateAck: "updateack",
+	KFlushReq: "flushreq", KFlushDone: "flushdone",
+	KWriteReq: "writereq", KWriteResp: "writeresp",
+}
+
+// IsResponse reports whether the kind answers an outstanding request and
+// is routed to the requester's waiter by its Seq.
+func (k Kind) IsResponse() bool {
+	switch k {
+	case KLockGrant, KDiffResp, KPageResp, KBarrierExit, KGCDone,
+		KFetchResp, KInvalAck, KUpdateAck, KFlushDone, KWriteResp:
+		return true
+	}
+	return false
 }
 
 // String returns the kind's mnemonic.

@@ -14,10 +14,11 @@ import (
 // Differential correctness harness: every workload is executed on the
 // lockstep backend (the sequential reference: one legal interleaving on a
 // flat memory), replayed through the trace simulator's value plane, and
-// executed for real on the live DSM runtime in both data-movement modes on
-// genuinely concurrent goroutines. A properly-synchronized program must
-// observe exactly the values release consistency promises, so all final
-// shared-memory images must be byte-identical.
+// executed for real on the live DSM runtime under all five protocols —
+// LI, LU, EI, EU and SC — on genuinely concurrent goroutines. A
+// properly-synchronized program must observe exactly the values its
+// consistency model promises, so all final shared-memory images must be
+// byte-identical.
 
 func diffParams(t *testing.T) (procs int, scale float64, pageSizes []int) {
 	t.Helper()
@@ -51,7 +52,7 @@ func TestWorkloadsOnRuntimeMatchReference(t *testing.T) {
 			// currency is not asserted here (the workloads contain benign
 			// racy reads whose values they ignore); the DRF fuzz programs
 			// in internal/sim exercise those asserts.
-			for _, protoName := range []string{"LI", "LU"} {
+			for _, protoName := range sim.AllProtocolNames {
 				img, err := sim.ReplayImage(ref.Trace, protoName, pageSizes[0], proto.Options{}, false)
 				if err != nil {
 					t.Fatalf("simulator replay %s: %v", protoName, err)
@@ -61,8 +62,9 @@ func TestWorkloadsOnRuntimeMatchReference(t *testing.T) {
 				}
 			}
 
-			// Leg 3: the live runtime, LI and LU, across page sizes.
-			for _, mode := range []dsm.Mode{dsm.LazyInvalidate, dsm.LazyUpdate} {
+			// Leg 3: the live runtime under every protocol engine, across
+			// page sizes.
+			for _, mode := range dsm.Modes {
 				for _, ps := range pageSizes {
 					prog, err := New(name, procs, scale, diffSeed)
 					if err != nil {

@@ -16,7 +16,7 @@ import (
 type RuntimeConfig struct {
 	// PageSize is the consistency granularity (default 4096).
 	PageSize int
-	// Mode selects LI or LU data movement.
+	// Mode selects the consistency protocol (LI, LU, EI, EU or SC).
 	Mode dsm.Mode
 	// GCEveryBarriers enables the runtime's barrier-time garbage
 	// collection every k-th episode (0 disables).
@@ -203,6 +203,11 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 	res.Elapsed = sys.EstimateTime()
 	for i := 0; i < cfg.NumProcs; i++ {
 		res.Nodes = append(res.Nodes, sys.Node(i).Stats())
+	}
+	// Surface protocol errors the handler goroutines recorded (e.g. an
+	// undeliverable lock grant): a clean run must close cleanly.
+	if err := sys.Close(); err != nil {
+		return nil, fmt.Errorf("workload %s on runtime (%s): %w", p.Name(), rc.Mode, err)
 	}
 	return res, nil
 }

@@ -12,10 +12,12 @@
 //     five SPLASH programs the paper used, across page sizes 512..8192.
 //     See Simulate and GenerateTrace.
 //
-//   - A live DSM runtime implementing lazy release consistency end to
+//   - A live DSM runtime implementing the same protocol matrix end to
 //     end (the implementation the paper's §7 promises): goroutine-backed
-//     nodes exchanging write notices, twins and diffs over a simulated
-//     reliable FIFO interconnect. See NewDSM.
+//     nodes exchanging write notices, twins, diffs, invalidations and
+//     page ships over a simulated reliable FIFO interconnect, with the
+//     consistency policy — LI, LU, EI, EU or SC — selected per instance.
+//     See NewDSM.
 //
 // The package re-exports the internal building blocks' primary types via
 // aliases, so downstream code can use the library without reaching into
@@ -53,11 +55,13 @@ type (
 	Stats = proto.Stats
 	// Result is one (workload, protocol, page size) sweep point.
 	Result = sim.Result
-	// DSM is a live lazy-release-consistency shared memory instance.
+	// DSM is a live distributed-shared-memory instance running one of
+	// the five consistency protocols.
 	DSM = dsm.System
 	// DSMConfig configures a live DSM instance.
 	DSMConfig = dsm.Config
-	// DSMMode selects the runtime's data-movement policy (LI or LU).
+	// DSMMode selects the runtime's consistency protocol (LI, LU, EI,
+	// EU or SC).
 	DSMMode = dsm.Mode
 	// Node is one live DSM processor handle.
 	Node = dsm.Node
@@ -72,13 +76,26 @@ type (
 	RuntimeResult = workload.RuntimeResult
 )
 
-// Live DSM data-movement modes.
+// Live DSM consistency modes: the full protocol matrix of the paper's
+// evaluation runs on the runtime.
 const (
 	// LazyInvalidate is the LI protocol (§4.3.2).
 	LazyInvalidate = dsm.LazyInvalidate
 	// LazyUpdate is the LU protocol (§4.3.2).
 	LazyUpdate = dsm.LazyUpdate
+	// EagerInvalidate is the EI protocol (§3).
+	EagerInvalidate = dsm.EagerInvalidate
+	// EagerUpdate is the EU protocol (§3).
+	EagerUpdate = dsm.EagerUpdate
+	// SeqConsistent is the SC (Ivy-style) baseline (§6).
+	SeqConsistent = dsm.SeqConsistent
 )
+
+// DSMModes lists every live runtime mode (LI, LU, EI, EU, SC).
+var DSMModes = dsm.Modes
+
+// ParseDSMMode maps a protocol name to its live runtime mode.
+func ParseDSMMode(s string) (DSMMode, error) { return dsm.ParseMode(s) }
 
 // Protocols lists the four protocols of the paper's evaluation.
 var Protocols = sim.ProtocolNames
