@@ -308,6 +308,57 @@ func BenchmarkRuntimeBarrier(b *testing.B) {
 	wg.Wait()
 }
 
+// --- interconnect benches ---
+// (BenchmarkTransport{Simnet,TCP}, the raw ping-pong comparison, lives
+// in internal/transport — only that layer and dsm touch transport
+// implementations directly.)
+
+// BenchmarkRuntimeCounterTCP is BenchmarkRuntimeMigratoryCounter's hot
+// pattern on a real TCP cluster: end-to-end protocol cost over sockets.
+func BenchmarkRuntimeCounterTCP(b *testing.B) {
+	for _, m := range []repro.DSMMode{repro.LazyInvalidate, repro.SeqConsistent} {
+		b.Run(m.String(), func(b *testing.B) {
+			const procs = 4
+			trs, err := repro.NewLoopbackTCPCluster(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			systems := make([]*repro.DSM, procs)
+			for i, tr := range trs {
+				systems[i], err = repro.NewDSM(repro.DSMConfig{
+					Procs: procs, SpaceSize: 64 * 1024, PageSize: 1024, Mode: m, Transport: tr,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer systems[i].Close()
+			}
+			a := repro.NewArena(systems[0].Layout())
+			counter := repro.NewVar[uint64](a)
+			lock := a.NewLock()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < procs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					n := systems[i].Node(i)
+					for k := 0; k < b.N; k++ {
+						if err := repro.Locked(n, lock, func() error {
+							_, err := counter.Add(n, 1)
+							return err
+						}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+		})
+	}
+}
+
 // --- substrate micro-benches ---
 
 func BenchmarkDiffCreate(b *testing.B) {

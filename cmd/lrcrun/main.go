@@ -10,6 +10,13 @@
 // printed next to the trace simulator's counts for the same program at the
 // same page size and protocol.
 //
+// The interconnect is selected with -transport: "simnet" (default) runs
+// the whole cluster over the simulated in-process network, "tcp" attaches
+// this process to a real TCP cluster as one node — every participating
+// process runs the same command with the same -peers list and its own
+// -self index, and the process hosting node 0 verifies and prints the
+// result.
+//
 // Examples:
 //
 //	lrcrun -demo counter -mode LU -procs 8
@@ -17,6 +24,11 @@
 //	lrcrun -app locusroute -mode EU -procs 8 -scale 0.25
 //	lrcrun -app mp3d -mode SC
 //	lrcrun -app all -pagesize 1024
+//
+//	# a 3-process TCP cluster on one machine (run each in its own shell):
+//	lrcrun -transport tcp -peers :7070,:7071,:7072 -self 0 -app water
+//	lrcrun -transport tcp -peers :7070,:7071,:7072 -self 1 -app water
+//	lrcrun -transport tcp -peers :7070,:7071,:7072 -self 2 -app water
 package main
 
 import (
@@ -50,15 +62,18 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lrcrun", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		demo     = fs.String("demo", "", "demo program: counter, stencil, queue")
-		app      = fs.String("app", "", "workload to run on the runtime ("+strings.Join(workload.Names, ", ")+") or \"all\"")
-		mode     = fs.String("mode", "LI", "protocol mode: "+dsm.ModeNames())
-		procs    = fs.Int("procs", 8, "number of DSM nodes")
-		iters    = fs.Int("iters", 100, "iterations per node (demos)")
-		scale    = fs.Float64("scale", 0.1, "workload scale factor (-app)")
-		seed     = fs.Int64("seed", 42, "workload random seed (-app)")
-		pageSize = fs.Int("pagesize", 4096, "consistency page size in bytes")
-		gc       = fs.Int("gc", 0, "garbage-collect every N barriers (0 = off)")
+		demo      = fs.String("demo", "", "demo program: counter, stencil, queue")
+		app       = fs.String("app", "", "workload to run on the runtime ("+strings.Join(workload.Names, ", ")+") or \"all\"")
+		mode      = fs.String("mode", "LI", "protocol mode: "+dsm.ModeNames())
+		procs     = fs.Int("procs", 8, "number of DSM nodes (with -transport tcp, fixed to the peer count)")
+		iters     = fs.Int("iters", 100, "iterations per node (demos)")
+		scale     = fs.Float64("scale", 0.1, "workload scale factor (-app)")
+		seed      = fs.Int64("seed", 42, "workload random seed (-app)")
+		pageSize  = fs.Int("pagesize", 4096, "consistency page size in bytes")
+		gc        = fs.Int("gc", 0, "garbage-collect every N barriers (0 = off)")
+		transport = fs.String("transport", "simnet", "interconnect: simnet (in-process) or tcp (cross-process; requires -peers)")
+		peers     = fs.String("peers", "", "comma-separated host:port of every node, in id order (-transport tcp)")
+		self      = fs.Int("self", 0, "this process's index into -peers (-transport tcp)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,41 +84,114 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	procsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "procs" {
+			procsSet = true
+		}
+	})
+
+	// Validate the transport selection before any sockets open, so flag
+	// mistakes fail fast with a usable message.
+	var peerList []string
+	switch *transport {
+	case "simnet":
+		if *peers != "" {
+			return fmt.Errorf("-peers requires -transport tcp")
+		}
+	case "tcp":
+		peerList, err = parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		if *self < 0 || *self >= len(peerList) {
+			return fmt.Errorf("-self %d outside peer list [0,%d)", *self, len(peerList))
+		}
+		if procsSet && *procs != len(peerList) {
+			return fmt.Errorf("-procs %d conflicts with the %d-entry peer list (node count is the peer count)", *procs, len(peerList))
+		}
+		*procs = len(peerList)
+	default:
+		return fmt.Errorf("unknown transport %q (supported: simnet, tcp)", *transport)
+	}
+
+	// mkTransport opens this process's endpoint; called once the program
+	// to run is validated (nil transport selects the in-process network).
+	mkTransport := func() (repro.Transport, error) {
+		if peerList == nil {
+			return nil, nil
+		}
+		return repro.NewTCPTransport(*self, peerList)
+	}
+
 	switch {
 	case *app != "" && *demo != "":
 		return fmt.Errorf("-demo and -app are mutually exclusive")
 	case *app == "all":
+		if peerList != nil {
+			return fmt.Errorf("-app all runs one cluster per workload; start each -app separately under -transport tcp")
+		}
 		for _, name := range workload.Names {
-			if err := runWorkload(out, name, *procs, *scale, *seed, m, *pageSize, *gc); err != nil {
+			if err := runWorkload(out, name, *procs, *scale, *seed, m, *pageSize, *gc, mkTransport); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *app != "":
-		return runWorkload(out, *app, *procs, *scale, *seed, m, *pageSize, *gc)
+		return runWorkload(out, *app, *procs, *scale, *seed, m, *pageSize, *gc, mkTransport)
 	default:
 		if *demo == "" {
 			*demo = "counter"
 		}
-		return runDemo(out, *demo, m, *procs, *iters, *pageSize, *gc)
+		return runDemo(out, *demo, m, *procs, *iters, *pageSize, *gc, mkTransport)
 	}
+}
+
+// parsePeers splits and validates a -peers list.
+func parsePeers(s string) ([]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-transport tcp requires -peers host:port,host:port,...")
+	}
+	list := strings.Split(s, ",")
+	for i, p := range list {
+		list[i] = strings.TrimSpace(p)
+		if list[i] == "" {
+			return nil, fmt.Errorf("bad peer list: empty address at position %d", i)
+		}
+	}
+	return list, nil
 }
 
 // runWorkload executes a SPLASH workload on the live runtime, verifies its
 // final memory image against the lockstep reference, and reports the
 // interconnect totals next to the simulator's counts for the same trace.
-func runWorkload(out io.Writer, name string, procs int, scale float64, seed int64, m dsm.Mode, pageSize, gc int) error {
+// Under TCP only the process hosting node 0 holds the image; the others
+// report their own traffic.
+func runWorkload(out io.Writer, name string, procs int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, mkTransport func() (repro.Transport, error)) error {
 	prog, err := workload.New(name, procs, scale, seed)
 	if err != nil {
 		return err
 	}
-	ref, err := workload.ExecuteCached(name, procs, scale, seed)
+	tr, err := mkTransport()
 	if err != nil {
 		return err
 	}
-	res, err := workload.RunOnRuntime(prog, workload.RuntimeConfig{
-		PageSize: pageSize, Mode: m, GCEveryBarriers: gc,
-	})
+	rc := workload.RuntimeConfig{PageSize: pageSize, Mode: m, GCEveryBarriers: gc}
+	if tr != nil {
+		rc.Transports = []repro.Transport{tr}
+	}
+	res, err := workload.RunOnRuntime(prog, rc)
+	if err != nil {
+		return err
+	}
+	if res.Image == nil {
+		// A TCP process hosting only non-zero nodes: node 0's process
+		// verifies the image.
+		fmt.Fprintf(out, "== %s: %d procs, mode %s, page %d: this process's nodes done ==\n", name, procs, m, pageSize)
+		fmt.Fprintf(out, "%-12s%14d%14d   (this process's sends)\n", "runtime", res.Net.Messages, res.Net.Bytes)
+		return nil
+	}
+	ref, err := workload.ExecuteCached(name, procs, scale, seed)
 	if err != nil {
 		return err
 	}
@@ -142,19 +230,7 @@ func runWorkload(out io.Writer, name string, procs int, scale float64, seed int6
 	return nil
 }
 
-func runDemo(out io.Writer, demo string, m dsm.Mode, procs, iters, pageSize, gc int) error {
-	d, err := repro.NewDSM(repro.DSMConfig{
-		Procs:           procs,
-		SpaceSize:       1 << 20,
-		PageSize:        pageSize,
-		Mode:            m,
-		GCEveryBarriers: gc,
-	})
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-
+func runDemo(out io.Writer, demo string, m dsm.Mode, procs, iters, pageSize, gc int, mkTransport func() (repro.Transport, error)) error {
 	var body func(out io.Writer, d *repro.DSM, iters int) error
 	switch demo {
 	case "counter":
@@ -166,6 +242,23 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, iters, pageSize, gc 
 	default:
 		return fmt.Errorf("unknown demo %q", demo)
 	}
+	tr, err := mkTransport()
+	if err != nil {
+		return err
+	}
+	d, err := repro.NewDSM(repro.DSMConfig{
+		Procs:           procs,
+		SpaceSize:       1 << 20,
+		PageSize:        pageSize,
+		Mode:            m,
+		GCEveryBarriers: gc,
+		Transport:       tr,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
 	if err := body(out, d, iters); err != nil {
 		return err
 	}
@@ -173,55 +266,62 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, iters, pageSize, gc 
 	fmt.Fprintf(out, "demo=%s mode=%s procs=%d iters=%d\n", demo, m, procs, iters)
 	fmt.Fprintf(out, "interconnect: %d messages, %d bytes, estimated serial wire time %v\n",
 		st.Messages, st.Bytes, d.EstimateTime())
-	for i := 0; i < d.NumProcs(); i++ {
-		ns := d.Node(i).Stats()
+	for _, n := range d.Local() {
+		ns := n.Stats()
 		fmt.Fprintf(out, "  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d, invals %d, updates %d\n",
-			i, ns.AccessMisses, ns.ColdMisses, ns.DiffsApplied, ns.IntervalsCreated, ns.GCRuns, ns.InvalsReceived, ns.UpdatesReceived)
+			n.ID(), ns.AccessMisses, ns.ColdMisses, ns.DiffsApplied, ns.IntervalsCreated, ns.GCRuns, ns.InvalsReceived, ns.UpdatesReceived)
 	}
 	return nil
+}
+
+// demoSchema is the shared-state layout the demos allocate through the
+// typed façade; every process of a TCP cluster builds it identically.
+type demoSchema struct {
+	arena *repro.Arena
+	done  repro.Barrier // bodies finished; node 0 may verify
+	fin   repro.Barrier // verification served; nodes may exit
+}
+
+func newDemoSchema(d *repro.DSM) *demoSchema {
+	a := repro.NewArena(d.Layout())
+	return &demoSchema{arena: a, done: a.NewBarrier(), fin: a.NewBarrier()}
 }
 
 // runCounter is the migratory-data pattern of the paper's Figures 3 and 4:
 // every node repeatedly locks, increments, unlocks one shared counter.
 func runCounter(out io.Writer, d *repro.DSM, iters int) error {
-	errs := parallel(d, func(n *repro.Node, id int) error {
+	s := newDemoSchema(d)
+	counter := repro.NewVar[uint64](s.arena)
+	lock := s.arena.NewLock()
+	return parallel(d, func(n *repro.Node, id int) error {
 		for k := 0; k < iters; k++ {
-			if err := n.Acquire(0); err != nil {
+			if err := repro.Locked(n, lock, func() error {
+				_, err := counter.Add(n, 1)
 				return err
-			}
-			v, err := n.ReadUint64(0)
-			if err != nil {
-				return err
-			}
-			if err := n.WriteUint64(0, v+1); err != nil {
-				return err
-			}
-			if err := n.Release(0); err != nil {
+			}); err != nil {
 				return err
 			}
 		}
-		return nil
+		if err := s.done.Wait(n); err != nil {
+			return err
+		}
+		if id == 0 {
+			var v uint64
+			if err := repro.Locked(n, lock, func() error {
+				var err error
+				v, err = counter.Load(n)
+				return err
+			}); err != nil {
+				return err
+			}
+			want := uint64(d.NumProcs() * iters)
+			if v != want {
+				return fmt.Errorf("counter = %d, want %d (consistency violation!)", v, want)
+			}
+			fmt.Fprintf(out, "counter reached %d as required\n", v)
+		}
+		return s.fin.Wait(n)
 	})
-	if errs != nil {
-		return errs
-	}
-	n := d.Node(0)
-	if err := n.Acquire(0); err != nil {
-		return err
-	}
-	v, err := n.ReadUint64(0)
-	if err != nil {
-		return err
-	}
-	if err := n.Release(0); err != nil {
-		return err
-	}
-	want := uint64(d.NumProcs() * iters)
-	if v != want {
-		return fmt.Errorf("counter = %d, want %d (consistency violation!)", v, want)
-	}
-	fmt.Fprintf(out, "counter reached %d as required\n", v)
-	return nil
 }
 
 // runStencil is a barrier-per-step grid relaxation (the barrier-heavy
@@ -229,75 +329,94 @@ func runCounter(out io.Writer, d *repro.DSM, iters int) error {
 // neighbors' boundary rows, and synchronizes with barriers.
 func runStencil(out io.Writer, d *repro.DSM, iters int) error {
 	const rowBytes = 512
+	s := newDemoSchema(d)
 	procs := d.NumProcs()
+	step := s.arena.NewBarrier()
+	// One boundary row per node, padded a band apart like the original
+	// grid layout, so neighbors share pages only at band boundaries.
+	rows := repro.NewBytesArray(s.arena, procs, rowBytes, 4*rowBytes)
 	return parallel(d, func(n *repro.Node, id int) error {
-		base := repro.Addr(id * 4 * rowBytes)
 		row := make([]byte, rowBytes)
-		for step := 0; step < iters; step++ {
+		for k := 0; k < iters; k++ {
 			// Read the neighbor band's boundary row, then rewrite ours.
 			nb := (id + 1) % procs
-			if err := n.Read(row, repro.Addr(nb*4*rowBytes)); err != nil {
+			if err := rows.At(nb).Load(n, row); err != nil {
 				return err
 			}
 			for i := range row {
-				row[i] = byte(int(row[i]) + step + id)
+				row[i] = byte(int(row[i]) + k + id)
 			}
-			if err := n.Write(base, row); err != nil {
+			if err := rows.At(id).Store(n, row); err != nil {
 				return err
 			}
-			if err := n.Barrier(0); err != nil {
+			if err := step.Wait(n); err != nil {
 				return err
 			}
 		}
-		return nil
+		if err := s.done.Wait(n); err != nil {
+			return err
+		}
+		return s.fin.Wait(n)
 	})
 }
 
 // runQueue is the migratory task-queue pattern of LocusRoute/Cholesky: a
 // lock-protected shared queue head with per-task data updates.
 func runQueue(out io.Writer, d *repro.DSM, iters int) error {
+	s := newDemoSchema(d)
+	head := repro.NewVar[uint64](s.arena)
+	lock := s.arena.NewLock()
+	s.arena.PageAlign()
 	total := d.NumProcs() * iters
+	tasks := repro.NewArray[uint64](s.arena, total)
 	err := parallel(d, func(n *repro.Node, id int) error {
 		for {
-			if err := n.Acquire(0); err != nil {
+			var task uint64
+			claimed := false
+			if err := repro.Locked(n, lock, func() error {
+				v, err := head.Load(n)
+				if err != nil {
+					return err
+				}
+				if v >= uint64(total) {
+					return nil
+				}
+				task, claimed = v, true
+				return head.Store(n, v+1)
+			}); err != nil {
 				return err
 			}
-			head, err := n.ReadUint64(0)
-			if err != nil {
-				return err
-			}
-			if head >= uint64(total) {
-				return n.Release(0)
-			}
-			if err := n.WriteUint64(0, head+1); err != nil {
-				return err
-			}
-			if err := n.Release(0); err != nil {
-				return err
+			if !claimed {
+				break
 			}
 			// "Process" the task: update its slot.
-			slot := repro.Addr(4096 + 8*head)
-			if err := n.WriteUint64(slot, head*head); err != nil {
+			if err := tasks.At(int(task)).Store(n, task*task); err != nil {
 				return err
 			}
 		}
+		if err := s.done.Wait(n); err != nil {
+			return err
+		}
+		if id == 0 {
+			fmt.Fprintf(out, "queue drained %d tasks\n", total)
+		}
+		return s.fin.Wait(n)
 	})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "queue drained %d tasks\n", total)
-	return nil
+	return err
 }
 
+// parallel drives f on every node this process hosts (all of them over
+// the in-process network, this process's one under TCP).
 func parallel(d *repro.DSM, f func(n *repro.Node, id int) error) error {
+	local := d.Local()
 	var wg sync.WaitGroup
-	errs := make([]error, d.NumProcs())
-	for i := 0; i < d.NumProcs(); i++ {
+	errs := make([]error, len(local))
+	for i, n := range local {
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, n *repro.Node) {
 			defer wg.Done()
-			errs[i] = f(d.Node(i), i)
-		}(i)
+			errs[i] = f(n, int(n.ID()))
+		}(i, n)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"net"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -109,5 +111,126 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-app", "water", "-demo", "counter"}, &out); err == nil {
 		t.Error("-app with -demo accepted")
+	}
+}
+
+// TestTransportFlagErrors mirrors the -mode validation style for the
+// transport selection: every misuse fails fast, before any socket opens,
+// with a message naming the fix.
+func TestTransportFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown transport", []string{"-transport", "carrier-pigeon"}, "supported: simnet, tcp"},
+		{"tcp without peers", []string{"-transport", "tcp"}, "requires -peers"},
+		{"empty peer entry", []string{"-transport", "tcp", "-peers", "a:1,,b:2"}, "empty address at position 1"},
+		{"self out of range", []string{"-transport", "tcp", "-peers", "a:1,b:2", "-self", "5"}, "-self 5 outside peer list [0,2)"},
+		{"negative self", []string{"-transport", "tcp", "-peers", "a:1,b:2", "-self", "-1"}, "outside peer list"},
+		{"procs conflicts with peers", []string{"-transport", "tcp", "-peers", "a:1,b:2", "-procs", "5"}, "conflicts with the 2-entry peer list"},
+		{"peers without tcp", []string{"-peers", "a:1,b:2"}, "-peers requires -transport tcp"},
+		{"app all over tcp", []string{"-transport", "tcp", "-peers", "a:1,b:2", "-app", "all"}, "start each -app separately"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// reservePorts grabs n ephemeral loopback ports and releases them for
+// the cluster processes to re-bind (the window for another process to
+// steal one is negligible in a test environment).
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestTCPClusterEndToEnd runs the counter demo as a real two-process TCP
+// cluster (two run() invocations, one per node, exactly as two shells
+// would) and checks the node-0 process prints the verified result.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	addrs := reservePorts(t, 2)
+	peers := strings.Join(addrs, ",")
+	var outs [2]strings.Builder
+	var errs [2]error
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run([]string{
+				"-transport", "tcp", "-peers", peers, "-self", string(rune('0' + i)),
+				"-demo", "counter", "-mode", "LU", "-iters", "5",
+			}, &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v\noutput:\n%s", i, err, outs[i].String())
+		}
+	}
+	if got := outs[0].String(); !strings.Contains(got, "counter reached 10") {
+		t.Errorf("node 0 process output missing verification:\n%s", got)
+	}
+	for i, out := range outs {
+		if !strings.Contains(out.String(), "interconnect:") {
+			t.Errorf("process %d output missing traffic report:\n%s", i, out.String())
+		}
+	}
+}
+
+// TestTCPWorkloadEndToEnd runs a SPLASH workload as a TCP cluster inside
+// one test process; the node-0 process verifies the image against the
+// sequential reference, the other reports its own traffic.
+func TestTCPWorkloadEndToEnd(t *testing.T) {
+	addrs := reservePorts(t, 2)
+	peers := strings.Join(addrs, ",")
+	var outs [2]strings.Builder
+	var errs [2]error
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run([]string{
+				"-transport", "tcp", "-peers", peers, "-self", string(rune('0' + i)),
+				"-app", "locusroute", "-scale", "0.05", "-pagesize", "1024", "-mode", "LI",
+			}, &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v\noutput:\n%s", i, err, outs[i].String())
+		}
+	}
+	if got := outs[0].String(); !strings.Contains(got, "matches sequential reference") {
+		t.Errorf("node 0 process did not verify the image:\n%s", got)
+	}
+	if got := outs[1].String(); !strings.Contains(got, "this process's nodes done") {
+		t.Errorf("node 1 process output:\n%s", got)
 	}
 }

@@ -6,6 +6,10 @@
 // band between barriers. Garbage collection runs every other barrier,
 // demonstrating bounded diff retention over a long run.
 //
+// Molecule state lives in strided typed arrays from the façade's Arena —
+// one 64-byte record per molecule, like Water's padded molecule structs —
+// instead of hand-computed record offsets.
+//
 // Run with: go run ./examples/nbody
 package main
 
@@ -22,20 +26,37 @@ const (
 	molecules = 128
 	steps     = 10
 	window    = 3
-	recBytes  = 64 // per-molecule record: position + force + padding
-
-	posBase   = repro.Addr(0)
-	forceBase = repro.Addr(molecules * recBytes)
-	sumAddr   = repro.Addr(2 * molecules * recBytes)
-
-	sumLock  = repro.LockID(0)
-	molLock0 = repro.LockID(1)
-	molLocks = 16
+	recBytes  = 64 // per-molecule record stride: value + padding
+	molLocks  = 16
 )
 
-func posAddr(i int) repro.Addr   { return posBase + repro.Addr(i*recBytes) }
-func forceAddr(i int) repro.Addr { return forceBase + repro.Addr(i*recBytes) }
-func molLock(i int) repro.LockID { return molLock0 + repro.LockID(i%molLocks) }
+// schema is the simulation's shared layout: positions and forces as
+// padded per-molecule records, a global potential sum, and the lock
+// namespace (sum lock first, then the molecule-lock stripes).
+type schema struct {
+	pos, force repro.Array[uint64]
+	sum        repro.Var[uint64]
+	sumLock    repro.Lock
+	molLock    []repro.Lock
+	step       repro.Barrier
+}
+
+func newSchema(d *repro.DSM) *schema {
+	a := repro.NewArena(d.Layout())
+	s := &schema{
+		pos:     repro.NewStridedArray[uint64](a, molecules, recBytes),
+		force:   repro.NewStridedArray[uint64](a, molecules, recBytes),
+		sum:     repro.NewVar[uint64](a),
+		sumLock: a.NewLock(),
+		step:    a.NewBarrier(),
+	}
+	for i := 0; i < molLocks; i++ {
+		s.molLock = append(s.molLock, a.NewLock())
+	}
+	return s
+}
+
+func (s *schema) lockOf(mol int) repro.Lock { return s.molLock[mol%molLocks] }
 
 func main() {
 	d, err := repro.NewDSM(repro.DSMConfig{
@@ -49,6 +70,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer d.Close()
+	s := newSchema(d)
 
 	per := molecules / procs
 	var wg sync.WaitGroup
@@ -61,58 +83,58 @@ func main() {
 
 			// Initialize the owned band, then the fork barrier.
 			for i := lo; i < hi; i++ {
-				check(n.WriteUint64(posAddr(i), uint64(i)))
-				check(n.WriteUint64(forceAddr(i), 0))
+				check(s.pos.At(i).Store(n, uint64(i)))
+				check(s.force.At(i).Store(n, 0))
 			}
-			check(n.Barrier(0))
+			check(s.step.Wait(n))
 
 			for step := 0; step < steps; step++ {
 				// Force phase: read neighbors in the cutoff window and
 				// push contributions into their force sums under locks.
 				for i := lo; i < hi; i++ {
-					self, err := n.ReadUint64(posAddr(i))
+					self, err := s.pos.At(i).Load(n)
 					check(err)
 					for dIdx := 1; dIdx <= window; dIdx++ {
 						j := (i + dIdx) % molecules
-						pj, err := n.ReadUint64(posAddr(j))
+						pj, err := s.pos.At(j).Load(n)
 						check(err)
 						contrib := (self + pj) % 97
-						check(n.Acquire(molLock(j)))
-						f, err := n.ReadUint64(forceAddr(j))
-						check(err)
-						check(n.WriteUint64(forceAddr(j), f+contrib))
-						check(n.Release(molLock(j)))
+						check(repro.Locked(n, s.lockOf(j), func() error {
+							_, err := s.force.At(j).Add(n, contrib)
+							return err
+						}))
 					}
 				}
-				check(n.Barrier(0))
+				check(s.step.Wait(n))
 				// Update phase: integrate owned molecules; fold into the
 				// global sum.
 				var local uint64
 				for i := lo; i < hi; i++ {
-					f, err := n.ReadUint64(forceAddr(i))
+					f, err := s.force.At(i).Load(n)
 					check(err)
-					pv, err := n.ReadUint64(posAddr(i))
-					check(err)
-					check(n.WriteUint64(posAddr(i), pv+f%7))
-					check(n.WriteUint64(forceAddr(i), 0))
+					if _, err := s.pos.At(i).Add(n, f%7); err != nil {
+						check(err)
+					}
+					check(s.force.At(i).Store(n, 0))
 					local += f
 				}
-				check(n.Acquire(sumLock))
-				s, err := n.ReadUint64(sumAddr)
-				check(err)
-				check(n.WriteUint64(sumAddr, s+local))
-				check(n.Release(sumLock))
-				check(n.Barrier(0))
+				check(repro.Locked(n, s.sumLock, func() error {
+					_, err := s.sum.Add(n, local)
+					return err
+				}))
+				check(s.step.Wait(n))
 			}
 		}(p)
 	}
 	wg.Wait()
 
 	n := d.Node(0)
-	check(n.Acquire(sumLock))
-	sum, err := n.ReadUint64(sumAddr)
-	check(err)
-	check(n.Release(sumLock))
+	var sum uint64
+	check(repro.Locked(n, s.sumLock, func() error {
+		var err error
+		sum, err = s.sum.Load(n)
+		return err
+	}))
 	st := d.NetStats()
 	var gcRuns, discarded int64
 	for i := 0; i < procs; i++ {

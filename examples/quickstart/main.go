@@ -2,7 +2,10 @@
 //
 //  1. Simulate the paper's evaluation for one workload (Figure 5's
 //     LocusRoute messages series).
-//  2. Run a real program on the live lazy-release-consistency DSM.
+//  2. Run a real program on the live DSM through the typed
+//     shared-memory façade: allocate named variables and locks from an
+//     Arena instead of computing byte offsets, then drive them from
+//     concurrent nodes.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -39,7 +42,7 @@ func main() {
 		fmt.Println()
 	}
 
-	// --- 2. The live DSM runtime ---
+	// --- 2. The live DSM runtime, through the typed façade ---
 	d, err := repro.NewDSM(repro.DSMConfig{
 		Procs:     4,
 		SpaceSize: 1 << 20,
@@ -51,6 +54,13 @@ func main() {
 	}
 	defer d.Close()
 
+	// The shared schema: one counter behind one lock. Handles are plain
+	// layout descriptions — share them across every node (and, with a
+	// TCP transport, across every process building the same schema).
+	arena := repro.NewArena(d.Layout())
+	counter := repro.NewVar[uint64](arena)
+	lock := arena.NewLock()
+
 	const iters = 50
 	var wg sync.WaitGroup
 	for i := 0; i < d.NumProcs(); i++ {
@@ -59,21 +69,22 @@ func main() {
 			defer wg.Done()
 			n := d.Node(i)
 			for k := 0; k < iters; k++ {
-				check(n.Acquire(0))
-				v, err := n.ReadUint64(0)
-				check(err)
-				check(n.WriteUint64(0, v+1))
-				check(n.Release(0))
+				check(repro.Locked(n, lock, func() error {
+					_, err := counter.Add(n, 1)
+					return err
+				}))
 			}
 		}(i)
 	}
 	wg.Wait()
 
 	n := d.Node(0)
-	check(n.Acquire(0))
-	v, err := n.ReadUint64(0)
-	check(err)
-	check(n.Release(0))
+	var v uint64
+	check(repro.Locked(n, lock, func() error {
+		var err error
+		v, err = counter.Load(n)
+		return err
+	}))
 	st := d.NetStats()
 	fmt.Printf("\nlive DSM: 4 nodes × %d lock-protected increments -> counter = %d\n", iters, v)
 	fmt.Printf("interconnect: %d messages, %d bytes (%.1f msgs per critical section)\n",

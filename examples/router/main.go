@@ -6,6 +6,10 @@
 // and prints the message/data comparison — migratory, lock-heavy sharing
 // is exactly where the paper says lazy protocols shine.
 //
+// The shared state is declared through the typed façade: a Var for the
+// queue head, an Array for the cost grid, Lock handles for the queue and
+// the row-lock stripes — no hand-computed byte offsets.
+//
 // Run with: go run ./examples/router
 package main
 
@@ -24,27 +28,43 @@ const (
 	gridRows = 32
 	gridCols = 256
 	spanLen  = 16
-	cellSize = 8
-
-	queueLock = repro.LockID(0)
-	rowLock0  = repro.LockID(1)
-
-	headAddr = repro.Addr(0)
-	gridBase = repro.Addr(4096)
+	rowLocks = 7
 )
 
-func cellAddr(row, col int) repro.Addr {
-	return gridBase + repro.Addr((row*gridCols+col)*cellSize)
+// schema is the router's shared-state layout; every node sees the same
+// handles.
+type schema struct {
+	head  repro.Var[uint64]
+	grid  repro.Array[uint64]
+	queue repro.Lock
+	rows  []repro.Lock
+}
+
+func newSchema(d *repro.DSM) *schema {
+	a := repro.NewArena(d.Layout())
+	s := &schema{
+		head:  repro.NewVar[uint64](a),
+		queue: a.NewLock(),
+	}
+	for i := 0; i < rowLocks; i++ {
+		s.rows = append(s.rows, a.NewLock())
+	}
+	a.PageAlign() // keep the hot queue head off the grid's pages
+	s.grid = repro.NewArray[uint64](a, gridRows*gridCols)
+	return s
+}
+
+func (s *schema) cell(row, col int) repro.Var[uint64] {
+	return s.grid.At(row*gridCols + col)
 }
 
 func main() {
-	for _, m := range []struct{ mode repro.DSMConfig }{
-		{repro.DSMConfig{Procs: procs, SpaceSize: 1 << 20, PageSize: 2048, Mode: repro.LazyInvalidate}},
-		{repro.DSMConfig{Procs: procs, SpaceSize: 1 << 20, PageSize: 2048, Mode: repro.LazyUpdate}},
-	} {
-		msgs, bytes, routed := run(m.mode)
+	for _, mode := range []repro.DSMMode{repro.LazyInvalidate, repro.LazyUpdate} {
+		msgs, bytes, routed := run(repro.DSMConfig{
+			Procs: procs, SpaceSize: 1 << 20, PageSize: 2048, Mode: mode,
+		})
 		fmt.Printf("%s: routed %d wires, %d messages, %d KB on the interconnect\n",
-			m.mode.Mode, routed, msgs, bytes/1024)
+			mode, routed, msgs, bytes/1024)
 	}
 }
 
@@ -54,6 +74,7 @@ func run(cfg repro.DSMConfig) (msgs, bytes int64, routed uint64) {
 		log.Fatal(err)
 	}
 	defer d.Close()
+	s := newSchema(d)
 
 	var wg sync.WaitGroup
 	for i := 0; i < procs; i++ {
@@ -64,15 +85,18 @@ func run(cfg repro.DSMConfig) (msgs, bytes int64, routed uint64) {
 			rng := rand.New(rand.NewSource(int64(i) + 1))
 			for {
 				// Pop a wire from the central queue.
-				check(n.Acquire(queueLock))
-				head, err := n.ReadUint64(headAddr)
-				check(err)
-				if head >= wires {
-					check(n.Release(queueLock))
+				claimed := false
+				check(repro.Locked(n, s.queue, func() error {
+					v, err := s.head.Load(n)
+					if err != nil || v >= wires {
+						return err
+					}
+					claimed = true
+					return s.head.Store(n, v+1)
+				}))
+				if !claimed {
 					return
 				}
-				check(n.WriteUint64(headAddr, head+1))
-				check(n.Release(queueLock))
 
 				// Evaluate three candidate rows over a random span.
 				row := 1 + rng.Intn(gridRows-2)
@@ -81,7 +105,7 @@ func run(cfg repro.DSMConfig) (msgs, bytes int64, routed uint64) {
 				for dr := -1; dr <= 1; dr++ {
 					var cost uint64
 					for k := 0; k < spanLen; k++ {
-						v, err := n.ReadUint64(cellAddr(row+dr, col+k))
+						v, err := s.cell(row+dr, col+k).Load(n)
 						check(err)
 						cost += v
 					}
@@ -91,14 +115,14 @@ func run(cfg repro.DSMConfig) (msgs, bytes int64, routed uint64) {
 				}
 				// Route through the cheapest row: lock-arbitrated
 				// increments of its cost cells.
-				check(n.Acquire(rowLock0 + repro.LockID(best%7)))
-				for k := 0; k < spanLen; k++ {
-					a := cellAddr(best, col+k)
-					v, err := n.ReadUint64(a)
-					check(err)
-					check(n.WriteUint64(a, v+1))
-				}
-				check(n.Release(rowLock0 + repro.LockID(best%7)))
+				check(repro.Locked(n, s.rows[best%rowLocks], func() error {
+					for k := 0; k < spanLen; k++ {
+						if _, err := s.cell(best, col+k).Add(n, 1); err != nil {
+							return err
+						}
+					}
+					return nil
+				}))
 			}
 		}(i)
 	}
@@ -107,21 +131,19 @@ func run(cfg repro.DSMConfig) (msgs, bytes int64, routed uint64) {
 	// Verify: total cost mass equals wires x span cells. Acquiring every
 	// lock once synchronizes with each router's final release.
 	n := d.Node(0)
-	check(n.Acquire(queueLock))
-	routed, err = n.ReadUint64(headAddr)
-	check(err)
-	check(n.Release(queueLock))
-	for l := repro.LockID(0); l < 7; l++ {
-		check(n.Acquire(rowLock0 + l))
-		check(n.Release(rowLock0 + l))
+	check(repro.Locked(n, s.queue, func() error {
+		var err error
+		routed, err = s.head.Load(n)
+		return err
+	}))
+	for _, l := range s.rows {
+		check(repro.Locked(n, l, func() error { return nil }))
 	}
 	var total uint64
-	for r := 0; r < gridRows; r++ {
-		for c := 0; c < gridCols; c++ {
-			v, err := n.ReadUint64(cellAddr(r, c))
-			check(err)
-			total += v
-		}
+	for i := 0; i < s.grid.Len(); i++ {
+		v, err := s.grid.At(i).Load(n)
+		check(err)
+		total += v
 	}
 	if total != wires*spanLen {
 		log.Fatalf("%s: cost mass %d, want %d — consistency violation",

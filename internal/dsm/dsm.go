@@ -1,8 +1,8 @@
 // Package dsm is a live software distributed shared memory runtime. Each
 // node is driven by one application goroutine and one message-handler
 // goroutine; nodes exchange real bytes (twins, diffs, write notices,
-// vector clocks, invalidations, page ships) over a simulated reliable
-// FIFO interconnect (internal/simnet) using the wire format of
+// vector clocks, invalidations, page ships) over a pluggable reliable
+// FIFO interconnect (internal/transport) using the wire format of
 // internal/wire.
 //
 // The consistency policy is pluggable: a protocol engine (see engine.go)
@@ -23,11 +23,20 @@
 //     writer, write-invalidate, whole-page shipping with distributed
 //     ownership transfer through each page's static home. See scEngine.
 //
+// The interconnect is equally pluggable (Config.Transport): the default
+// is the simulated in-process network (internal/simnet, the paper's §5.1
+// assumptions), and internal/transport/tcp runs the same protocols over
+// real length-prefixed TCP streams, one endpoint per OS process. A
+// System hosts the nodes local to its transport instance; with the
+// default transport that is the whole cluster.
+//
 // Ordinary accesses are performed through an explicit Read/Write API
 // rather than VM page protection: Go's runtime owns the process signal
 // handling and heap, so access *detection* is by API call, which leaves
 // the consistency protocol — the object of study — unchanged (see
-// DESIGN.md, substitutions).
+// DESIGN.md, substitutions). The typed layer applications program
+// against (allocator, Var/Array handles, lock and barrier objects) is
+// internal/shm.
 //
 // Differences from the trace-driven simulator (internal/core et al.),
 // chosen for correctness and simplicity over exact Table 1 message
@@ -55,7 +64,23 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
+
+// Transport is the interconnect abstraction the runtime runs over; see
+// internal/transport. The in-process simnet is the default; the TCP
+// transport spans OS processes.
+type Transport = transport.Transport
+
+// TransportStats is a snapshot of interconnect traffic counters.
+type TransportStats = transport.Stats
+
+// LatencyModel estimates communication time from message/byte counts.
+type LatencyModel = transport.LatencyModel
+
+// ErrClosed is the shutdown error protocol operations wrap after the
+// interconnect closes.
+var ErrClosed = transport.ErrClosed
 
 // Mode selects the consistency protocol a System runs.
 type Mode int
@@ -140,18 +165,28 @@ type Config struct {
 	// merged clock, bounding memory (TreadMarks-style). Only the lazy
 	// protocols retain diffs; the eager and SC engines ignore it.
 	GCEveryBarriers int
-	// Latency configures the interconnect's time model (zero value uses
-	// simnet.DefaultLatency).
-	Latency simnet.LatencyModel
+	// Latency configures the interconnect's time model for EstimateTime
+	// (zero value uses transport.DefaultLatency).
+	Latency LatencyModel
+	// Transport supplies the interconnect. Nil builds the default
+	// in-process simulated network (internal/simnet) covering all Procs
+	// endpoints. A non-nil transport must span exactly Procs endpoints;
+	// the System hosts nodes for the transport's local endpoints only
+	// (one per process under internal/transport/tcp). New takes
+	// ownership either way: System.Close tears the transport down, and
+	// a failed New closes it before returning.
+	Transport Transport
 }
 
-// System is a running DSM instance: Config.Procs nodes over one
-// interconnect.
+// System is a running DSM instance: the nodes of one transport instance,
+// covering all Config.Procs endpoints when the transport is the default
+// in-process network.
 type System struct {
 	cfg    Config
 	layout *mem.Layout
-	net    *simnet.Network
-	nodes  []*Node
+	tr     Transport
+	nodes  []*Node // indexed by proc id; nil for endpoints hosted elsewhere
+	local  []*Node // the nodes this System hosts, ascending id
 
 	handlers  sync.WaitGroup
 	closeOnce sync.Once
@@ -162,30 +197,49 @@ type System struct {
 // goroutine (Node methods are not reentrant across goroutines) and must
 // Close the system when done.
 func New(cfg Config) (*System, error) {
+	// New owns cfg.Transport from the first line: every error return
+	// must close it, or a failed construction leaks the caller's
+	// listeners and connections.
+	fail := func(err error) (*System, error) {
+		if cfg.Transport != nil {
+			cfg.Transport.Close()
+		}
+		return nil, err
+	}
 	if cfg.Procs <= 0 || cfg.Procs > 64 {
-		return nil, fmt.Errorf("dsm: processor count %d outside [1,64]", cfg.Procs)
+		return fail(fmt.Errorf("dsm: processor count %d outside [1,64]", cfg.Procs))
 	}
 	if !cfg.Mode.Valid() {
-		return nil, fmt.Errorf("dsm: unknown mode %d (supported: %s)", int(cfg.Mode), ModeNames())
+		return fail(fmt.Errorf("dsm: unknown mode %d (supported: %s)", int(cfg.Mode), ModeNames()))
 	}
 	layout, err := mem.NewLayout(cfg.SpaceSize, cfg.PageSize)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	var opts []simnet.Option
-	if cfg.Latency != (simnet.LatencyModel{}) {
-		opts = append(opts, simnet.WithLatency(cfg.Latency))
+	tr := cfg.Transport
+	if tr == nil {
+		tr = simnet.New(cfg.Procs)
+	} else if n := tr.NumEndpoints(); n != cfg.Procs {
+		return fail(fmt.Errorf("dsm: transport spans %d endpoints, config wants %d", n, cfg.Procs))
 	}
 	s := &System{
 		cfg:    cfg,
 		layout: layout,
-		net:    simnet.New(cfg.Procs, opts...),
+		tr:     tr,
 		nodes:  make([]*Node, cfg.Procs),
 	}
-	for i := range s.nodes {
-		s.nodes[i] = newNode(s, mem.ProcID(i))
+	for _, id := range tr.Local() {
+		if id < 0 || id >= cfg.Procs {
+			return fail(fmt.Errorf("dsm: transport claims local endpoint %d outside [0,%d)", id, cfg.Procs))
+		}
+		n := newNode(s, mem.ProcID(id))
+		s.nodes[id] = n
+		s.local = append(s.local, n)
 	}
-	for _, n := range s.nodes {
+	if len(s.local) == 0 {
+		return fail(errors.New("dsm: transport serves no local endpoints"))
+	}
+	for _, n := range s.local {
 		s.handlers.Add(1)
 		go func(n *Node) {
 			defer s.handlers.Done()
@@ -195,10 +249,26 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Node returns node i's handle.
-func (s *System) Node(i int) *Node { return s.nodes[i] }
+// Node returns node i's handle. The node must be hosted by this System:
+// with the default in-process transport every node is, while a
+// cross-process transport hosts only its local endpoints (see Local).
+func (s *System) Node(i int) *Node {
+	n := s.nodes[i]
+	if n == nil {
+		panic(fmt.Sprintf("dsm: node %d is not hosted by this system (local nodes: %v)", i, s.tr.Local()))
+	}
+	return n
+}
 
-// NumProcs returns the node count.
+// Local returns the nodes this System hosts, in ascending id order.
+func (s *System) Local() []*Node { return s.local }
+
+// IsLocal reports whether node i is hosted by this System.
+func (s *System) IsLocal(i int) bool {
+	return i >= 0 && i < len(s.nodes) && s.nodes[i] != nil
+}
+
+// NumProcs returns the cluster-wide node count.
 func (s *System) NumProcs() int { return s.cfg.Procs }
 
 // Mode returns the protocol the system runs.
@@ -207,25 +277,40 @@ func (s *System) Mode() Mode { return s.cfg.Mode }
 // Layout returns the address-space layout.
 func (s *System) Layout() *mem.Layout { return s.layout }
 
-// NetStats returns the interconnect's global message/byte counters.
-func (s *System) NetStats() simnet.Stats { return s.net.Totals() }
+// NetStats returns the interconnect's message/byte counters for this
+// System's transport instance (the whole cluster under the default
+// in-process transport, this process's sends under TCP).
+func (s *System) NetStats() TransportStats { return s.tr.Totals() }
+
+// latency returns the configured time model, defaulting like the
+// pre-transport runtime did.
+func (s *System) latency() LatencyModel {
+	if s.cfg.Latency == (LatencyModel{}) {
+		return transport.DefaultLatency
+	}
+	return s.cfg.Latency
+}
 
 // EstimateTime applies the latency model to the traffic so far.
 func (s *System) EstimateTime() time.Duration {
-	return s.net.EstimateTime()
+	st := s.tr.Totals()
+	return s.latency().Estimate(st.Messages, st.Bytes)
 }
 
-// Close shuts the interconnect down and surfaces any protocol send error
-// the handler goroutines recorded while the system ran (a lock grant or
-// protocol response that could not be delivered would otherwise strand
-// its requester silently). Nodes blocked in protocol operations return
-// errors. Close is idempotent; every call returns the same error.
+// Close shuts the interconnect down and surfaces both any transport
+// teardown error (a dead TCP peer's broken stream) and any protocol send
+// error the handler goroutines recorded while the system ran (a lock
+// grant or protocol response that could not be delivered would otherwise
+// strand its requester silently). Nodes blocked in protocol operations
+// return errors. Close is idempotent; every call returns the same error.
 func (s *System) Close() error {
 	s.closeOnce.Do(func() {
-		s.net.Close()
-		s.handlers.Wait()
 		var errs []error
-		for _, n := range s.nodes {
+		if err := s.tr.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("dsm: transport: %w", err))
+		}
+		s.handlers.Wait()
+		for _, n := range s.local {
 			errs = append(errs, n.takeErrs()...)
 		}
 		s.closeErr = errors.Join(errs...)

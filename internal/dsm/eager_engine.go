@@ -22,7 +22,7 @@ import (
 //
 // The home serializes all directory transactions for a page under a
 // per-page mutex and sends every message of a transaction while holding
-// it. simnet's FIFO order then guarantees a cacher observes a page ship
+// it. The transport's FIFO order then guarantees a cacher observes a page ship
 // before any invalidation or update that follows it; the only remaining
 // race — an invalidation arriving at a requester whose fetch response
 // has been delivered but not yet installed — is closed by a per-page

@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"repro/internal/mem"
-	"repro/internal/simnet"
 )
 
 // TestModeValidation: dsm.New accepts exactly the supported modes, and
@@ -41,7 +40,7 @@ func TestModeValidation(t *testing.T) {
 
 // TestSendErrorsSurfaceOnClose: protocol errors recorded by the handler
 // goroutines surface through System.Close instead of vanishing; expected
-// shutdown errors (simnet closure) stay filtered.
+// shutdown errors (interconnect closure) stay filtered.
 func TestSendErrorsSurfaceOnClose(t *testing.T) {
 	s, err := New(Config{Procs: 2, SpaceSize: 4096, PageSize: 512, Mode: LazyInvalidate})
 	if err != nil {
@@ -49,7 +48,7 @@ func TestSendErrorsSurfaceOnClose(t *testing.T) {
 	}
 	n := s.Node(0)
 	n.noteErr("lock 3 grant to 1", errors.New("boom"))
-	n.noteErr("shutdown race", fmt.Errorf("wrapped: %w", simnet.ErrClosed))
+	n.noteErr("shutdown race", fmt.Errorf("wrapped: %w", ErrClosed))
 	cerr := s.Close()
 	if cerr == nil {
 		t.Fatal("Close returned nil despite a recorded protocol error")

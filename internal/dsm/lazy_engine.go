@@ -7,7 +7,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/page"
-	"repro/internal/simnet"
 	"repro/internal/vc"
 	"repro/internal/wire"
 )
@@ -497,7 +496,7 @@ func (e *lazyEngine) runGC(b mem.BarrierID) error {
 		for len(readies) < n.sys.cfg.Procs-1 {
 			m, ok := <-n.gcCh
 			if !ok || m == nil {
-				return fmt.Errorf("dsm: master: GC round: %w", simnet.ErrClosed)
+				return fmt.Errorf("dsm: master: GC round: %w", ErrClosed)
 			}
 			if mem.BarrierID(m.A) != b {
 				return fmt.Errorf("dsm: master: GC ready for barrier %d during %d", m.A, b)

@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mem"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/vc"
 	"repro/internal/wire"
 )
@@ -57,7 +57,7 @@ type lockLocal struct {
 type Node struct {
 	sys *System
 	id  mem.ProcID
-	ep  *simnet.Endpoint
+	ep  transport.Endpoint
 	e   engine
 
 	mu      sync.Mutex
@@ -81,7 +81,7 @@ func newNode(s *System, id mem.ProcID) *Node {
 	n := &Node{
 		sys:     s,
 		id:      id,
-		ep:      s.net.Endpoint(int(id)),
+		ep:      s.tr.Endpoint(int(id)),
 		locks:   make(map[mem.LockID]*lockLocal),
 		mgrLast: make(map[mem.LockID]mem.ProcID),
 		barCh:   make(chan *wire.Msg, s.cfg.Procs),
@@ -121,7 +121,7 @@ func (n *Node) Clock() vc.VC {
 // surface it instead of letting it vanish (a dropped lock grant strands
 // its requester). Expected shutdown errors are not recorded.
 func (n *Node) noteErr(op string, err error) {
-	if err == nil || errors.Is(err, simnet.ErrClosed) {
+	if err == nil || errors.Is(err, ErrClosed) {
 		return
 	}
 	n.errMu.Lock()
@@ -152,7 +152,7 @@ func (n *Node) register(seq uint64) chan *wire.Msg {
 func (n *Node) await(seq uint64, ch chan *wire.Msg) (*wire.Msg, error) {
 	m, ok := <-ch
 	if !ok || m == nil {
-		return nil, fmt.Errorf("dsm: node %d: awaiting seq %d: %w", n.id, seq, simnet.ErrClosed)
+		return nil, fmt.Errorf("dsm: node %d: awaiting seq %d: %w", n.id, seq, ErrClosed)
 	}
 	return m, nil
 }
@@ -193,7 +193,7 @@ func (n *Node) deliverResponse(m *wire.Msg) {
 // handlerLoop dispatches incoming frames until the network closes.
 func (n *Node) handlerLoop() {
 	for {
-		f, ok := n.ep.Recv()
+		src, payload, ok := n.ep.Recv()
 		if !ok {
 			// Unblock any waiters, including a master parked collecting
 			// barrier arrivals or GC readiness (this loop is the only
@@ -208,12 +208,12 @@ func (n *Node) handlerLoop() {
 			close(n.gcCh)
 			return
 		}
-		m, err := wire.Decode(f.Payload)
+		m, err := wire.Decode(payload)
 		if err != nil {
-			panic(fmt.Sprintf("dsm: node %d: undecodable frame from %d: %v", n.id, f.Src, err))
+			panic(fmt.Sprintf("dsm: node %d: undecodable frame from %d: %v", n.id, src, err))
 		}
 		switch {
-		case n.e.handle(m, mem.ProcID(f.Src)):
+		case n.e.handle(m, mem.ProcID(src)):
 			// Engine-specific request (or an intercepted response).
 		case m.Kind.IsResponse():
 			n.deliverResponse(m)

@@ -20,22 +20,45 @@ import (
 // but carry no consistency payload.
 //
 // Ordering: the home holds the page's directory mutex across each
-// transaction, including every send, so simnet's FIFO delivery presents
+// transaction, including every send, so the transport's FIFO delivery presents
 // each node the directory's decisions in order. Page installs happen on
 // the *handler* goroutine as the grant arrives — never on the
 // application goroutine after a wakeup — so a node's page state always
 // reflects the directory-order prefix it has received, and an owner can
-// always serve a fetch. The application loops re-checking its access
-// mode: if exclusivity was revoked between grant and use, it simply
-// re-requests — Ivy's page ping-pong under contention, the behavior
-// whose cost the paper's Table 1 quantifies.
+// always serve a fetch.
+//
+// The access that missed completes at install time too, on the handler
+// goroutine, while the granted copy is still current in directory order
+// — before any later invalidation or fetch can be processed. Completing
+// it on the application goroutine after the rpc wakeup instead (the
+// obvious structure) re-opens a window in which a concurrent writer's
+// revocation lands first; re-checking and re-requesting is correct but
+// livelocks into page ping-pong under contention once the transport has
+// real latency: over TCP, two writers of one page can burn millions of
+// whole-page ships making no progress. With install-time completion a
+// miss costs exactly one directory transaction — Ivy's per-access cost
+// that the paper's Table 1 quantifies.
 type scEngine struct {
 	n *Node
 
 	// Guarded by n.mu.
 	pages []*scPage
+	// pending is the application goroutine's in-flight miss, completed by
+	// install. At most one exists: each node runs one application
+	// goroutine and it blocks in rpc until the grant arrives.
+	pending *scMiss
 
 	dir []scDir // directory entries; used only for pages homed here
+}
+
+// scMiss is one blocked access: dst non-nil for a read miss, src
+// non-nil for a write miss.
+type scMiss struct {
+	pg   mem.PageID
+	off  int
+	dst  []byte
+	src  []byte
+	done bool
 }
 
 type scAccess uint8
@@ -75,51 +98,55 @@ func (e *scEngine) clock() vc.VC { return vc.New(e.n.sys.cfg.Procs) }
 // --- accesses ---
 
 func (e *scEngine) readPage(pg mem.PageID, off int, dst []byte) error {
-	n := e.n
-	for {
-		n.mu.Lock()
-		if pc := e.pages[pg]; pc != nil && pc.mode >= scRead {
-			copy(dst, pc.data[off:off+len(dst)])
-			n.mu.Unlock()
-			return nil
-		}
-		n.stats.AccessMisses++
-		if e.pages[pg] == nil {
-			n.stats.ColdMisses++
-		}
-		n.mu.Unlock()
-
-		// The handler installs the shipped copy on receipt; a concurrent
-		// writer may have revoked it again by the time we look, in which
-		// case we re-request.
-		if _, err := n.rpc(n.sys.home(pg), &wire.Msg{
-			Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
-		}); err != nil {
-			return err
-		}
-	}
+	return e.access(&scMiss{pg: pg, off: off, dst: dst}, wire.KPageReq)
 }
 
 func (e *scEngine) writePage(pg mem.PageID, off int, src []byte) error {
+	return e.access(&scMiss{pg: pg, off: off, src: src}, wire.KWriteReq)
+}
+
+// access performs one read or write: against the local copy when its
+// mode suffices, otherwise through one directory transaction at the
+// home, with the blocked access completed by install when the grant
+// arrives (see the livelock discussion on scEngine).
+func (e *scEngine) access(miss *scMiss, kind wire.Kind) error {
 	n := e.n
 	for {
 		n.mu.Lock()
-		if pc := e.pages[pg]; pc != nil && pc.mode == scWrite {
-			copy(pc.data[off:off+len(src)], src)
-			n.mu.Unlock()
-			return nil
+		if pc := e.pages[miss.pg]; pc != nil {
+			if miss.dst != nil && pc.mode >= scRead {
+				copy(miss.dst, pc.data[miss.off:miss.off+len(miss.dst)])
+				n.mu.Unlock()
+				return nil
+			}
+			if miss.src != nil && pc.mode == scWrite {
+				copy(pc.data[miss.off:miss.off+len(miss.src)], miss.src)
+				n.mu.Unlock()
+				return nil
+			}
 		}
 		n.stats.AccessMisses++
-		if e.pages[pg] == nil {
+		if e.pages[miss.pg] == nil {
 			n.stats.ColdMisses++
 		}
+		e.pending = miss
 		n.mu.Unlock()
 
-		if _, err := n.rpc(n.sys.home(pg), &wire.Msg{
-			Kind: wire.KWriteReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
-		}); err != nil {
+		_, err := n.rpc(n.sys.home(miss.pg), &wire.Msg{
+			Kind: kind, Seq: n.nextSeq(), A: int32(miss.pg), B: int32(n.id),
+		})
+		n.mu.Lock()
+		e.pending = nil
+		done := miss.done
+		n.mu.Unlock()
+		if err != nil {
 			return err
 		}
+		if done {
+			return nil
+		}
+		// Unreachable with the current grants (every response installs a
+		// sufficient copy); kept as a correct fallback.
 	}
 }
 
@@ -166,26 +193,41 @@ func (e *scEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 }
 
 // install applies a granted copy or upgrade at the requester, on the
-// handler goroutine.
+// handler goroutine, and completes the application goroutine's blocked
+// access against it while the grant is still current in directory order.
 func (e *scEngine) install(m *wire.Msg, mode scAccess) {
 	n := e.n
 	pg := mem.PageID(m.A)
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	var pc *scPage
 	if m.Data != nil {
-		e.pages[pg] = &scPage{data: m.Data, mode: mode}
+		pc = &scPage{data: m.Data, mode: mode}
+		e.pages[pg] = pc
 		n.stats.PagesFetched++
+	} else {
+		// Upgrade grant: the directory saw us in the copyset, so a current
+		// read copy must be installed here (copyset membership without an
+		// installed copy only exists while our own fetch is in flight, and
+		// the application goroutine cannot fetch and upgrade concurrently).
+		pc = e.pages[pg]
+		if pc == nil {
+			panic(fmt.Sprintf("dsm: node %d: upgrade grant for page %d without a local copy", n.id, pg))
+		}
+		pc.mode = mode
+	}
+	miss := e.pending
+	if miss == nil || miss.pg != pg || miss.done {
 		return
 	}
-	// Upgrade grant: the directory saw us in the copyset, so a current
-	// read copy must be installed here (copyset membership without an
-	// installed copy only exists while our own fetch is in flight, and
-	// the application goroutine cannot fetch and upgrade concurrently).
-	pc := e.pages[pg]
-	if pc == nil {
-		panic(fmt.Sprintf("dsm: node %d: upgrade grant for page %d without a local copy", n.id, pg))
+	switch {
+	case miss.dst != nil && pc.mode >= scRead:
+		copy(miss.dst, pc.data[miss.off:miss.off+len(miss.dst)])
+		miss.done = true
+	case miss.src != nil && pc.mode == scWrite:
+		copy(pc.data[miss.off:miss.off+len(miss.src)], miss.src)
+		miss.done = true
 	}
-	pc.mode = mode
 }
 
 // ownerData obtains the current contents of pg from its owner via

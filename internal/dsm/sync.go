@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
-	"repro/internal/simnet"
 	"repro/internal/wire"
 )
 
@@ -135,7 +134,7 @@ func (n *Node) Barrier(b mem.BarrierID) error {
 		for len(arrivals) < n.sys.cfg.Procs-1 {
 			m, ok := <-n.barCh
 			if !ok || m == nil {
-				return fmt.Errorf("dsm: master: barrier %d: %w", b, simnet.ErrClosed)
+				return fmt.Errorf("dsm: master: barrier %d: %w", b, ErrClosed)
 			}
 			if mem.BarrierID(m.A) != b {
 				return fmt.Errorf("dsm: master: arrival for barrier %d during barrier %d", m.A, b)

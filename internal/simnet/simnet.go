@@ -1,62 +1,37 @@
-// Package simnet provides the simulated interconnect for the live DSM
-// runtime: reliable, FIFO, point-to-point message channels between n
-// endpoints (the paper's §5.1 network assumptions — no broadcast or
-// multicast), with per-endpoint message and byte accounting and an
-// optional latency/bandwidth model for estimating communication time.
+// Package simnet provides the simulated in-process interconnect for the
+// live DSM runtime — the default transport.Transport implementation:
+// reliable, FIFO, point-to-point message channels between n endpoints
+// (the paper's §5.1 network assumptions — no broadcast or multicast),
+// with per-endpoint message and byte accounting. All n endpoints are
+// local to the process; internal/transport/tcp is the cross-process
+// counterpart.
 package simnet
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"repro/internal/transport"
 )
 
-// Frame is one message in flight.
-type Frame struct {
-	Src, Dst int
-	Payload  []byte
-}
-
-// LatencyModel estimates the wire time of messages: a fixed per-message
-// latency plus a bandwidth term. The defaults approximate the 1992-era
-// networks the paper targets (kernel traps, interrupts and protocol stacks
-// make software DSM messages expensive, §1).
-type LatencyModel struct {
-	// PerMessage is the fixed cost of any message.
-	PerMessage time.Duration
-	// PerKByte is the additional cost per 1024 payload bytes.
-	PerKByte time.Duration
-}
-
-// DefaultLatency is a millisecond-class software DSM message cost.
-var DefaultLatency = LatencyModel{PerMessage: time.Millisecond, PerKByte: 100 * time.Microsecond}
-
-// Cost returns the estimated time on the wire for one message of the
-// given size.
-func (m LatencyModel) Cost(bytes int) time.Duration {
-	return m.PerMessage + time.Duration(int64(m.PerKByte)*int64(bytes)/1024)
-}
-
-// Estimate returns the estimated serial wire time for a message/byte
-// total (messages do overlap in a real system; this is the upper bound
-// used in EXPERIMENTS.md when relating counts to time).
-func (m LatencyModel) Estimate(messages, bytes int64) time.Duration {
-	return time.Duration(messages)*m.PerMessage + time.Duration(bytes/1024)*m.PerKByte
-}
-
 // Stats is a snapshot of traffic counters.
-type Stats struct {
-	Messages int64
-	Bytes    int64
+type Stats = transport.Stats
+
+// ErrClosed is returned by Send after the network is closed.
+var ErrClosed = transport.ErrClosed
+
+// frame is one message in flight.
+type frame struct {
+	src     int
+	payload []byte
 }
 
-// Network connects n endpoints with reliable FIFO delivery.
+// Network connects n endpoints with reliable FIFO delivery. It
+// implements transport.Transport, serving every endpoint in-process.
 type Network struct {
-	n       int
-	queues  []chan Frame
-	latency LatencyModel
+	n      int
+	queues []chan frame
 
 	msgs  atomic.Int64
 	bytes atomic.Int64
@@ -71,17 +46,12 @@ type Network struct {
 // Option configures a Network.
 type Option func(*Network)
 
-// WithLatency sets the latency model used by EstimateTime.
-func WithLatency(m LatencyModel) Option {
-	return func(n *Network) { n.latency = m }
-}
-
 // WithQueueDepth is reserved for tests that want tiny queues; depth must
 // be positive.
 func WithQueueDepth(depth int) Option {
 	return func(n *Network) {
 		for i := range n.queues {
-			n.queues[i] = make(chan Frame, depth)
+			n.queues[i] = make(chan frame, depth)
 		}
 	}
 }
@@ -93,14 +63,13 @@ func New(n int, opts ...Option) *Network {
 	}
 	net := &Network{
 		n:         n,
-		queues:    make([]chan Frame, n),
-		latency:   DefaultLatency,
+		queues:    make([]chan frame, n),
 		sentMsgs:  make([]atomic.Int64, n),
 		sentBytes: make([]atomic.Int64, n),
 		closed:    make(chan struct{}),
 	}
 	for i := range net.queues {
-		net.queues[i] = make(chan Frame, 4096)
+		net.queues[i] = make(chan frame, 4096)
 	}
 	for _, o := range opts {
 		o(net)
@@ -111,21 +80,29 @@ func New(n int, opts ...Option) *Network {
 // NumEndpoints returns the endpoint count.
 func (net *Network) NumEndpoints() int { return net.n }
 
+// Local returns every endpoint id: the whole cluster lives in-process.
+func (net *Network) Local() []int {
+	ids := make([]int, net.n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
 // Endpoint returns endpoint i's handle.
-func (net *Network) Endpoint(i int) *Endpoint {
+func (net *Network) Endpoint(i int) transport.Endpoint {
 	if i < 0 || i >= net.n {
 		panic(fmt.Sprintf("simnet: endpoint %d outside [0,%d)", i, net.n))
 	}
 	return &Endpoint{net: net, id: i}
 }
 
-// ErrClosed is returned by Send after the network is closed.
-var ErrClosed = errors.New("simnet: network closed")
-
 // Close shuts the network down; pending and future Recv calls return
-// ok=false, future Sends fail.
-func (net *Network) Close() {
+// ok=false, future Sends fail. The in-process network has no teardown
+// failure modes, so the error is always nil.
+func (net *Network) Close() error {
 	net.closeOnce.Do(func() { close(net.closed) })
+	return nil
 }
 
 // Totals returns the global traffic counters.
@@ -136,11 +113,6 @@ func (net *Network) Totals() Stats {
 // SentBy returns endpoint i's send counters.
 func (net *Network) SentBy(i int) Stats {
 	return Stats{Messages: net.sentMsgs[i].Load(), Bytes: net.sentBytes[i].Load()}
-}
-
-// EstimateTime applies the latency model to the current totals.
-func (net *Network) EstimateTime() time.Duration {
-	return net.latency.Estimate(net.msgs.Load(), net.bytes.Load())
 }
 
 // Endpoint is one node's attachment to the network.
@@ -172,37 +144,37 @@ func (e *Endpoint) Send(dst int, payload []byte) error {
 		e.net.sentBytes[e.id].Add(int64(len(payload)))
 	}
 	select {
-	case e.net.queues[dst] <- Frame{Src: e.id, Dst: dst, Payload: payload}:
+	case e.net.queues[dst] <- frame{src: e.id, payload: payload}:
 		return nil
 	case <-e.net.closed:
 		return ErrClosed
 	}
 }
 
-// Recv blocks until a frame arrives for this endpoint or the network
+// Recv blocks until a payload arrives for this endpoint or the network
 // closes (ok=false).
-func (e *Endpoint) Recv() (Frame, bool) {
+func (e *Endpoint) Recv() (src int, payload []byte, ok bool) {
 	select {
 	case f := <-e.net.queues[e.id]:
-		return f, true
+		return f.src, f.payload, true
 	case <-e.net.closed:
 		// Drain anything already queued before reporting closure, so
 		// shutdown does not lose frames racing with Close.
 		select {
 		case f := <-e.net.queues[e.id]:
-			return f, true
+			return f.src, f.payload, true
 		default:
-			return Frame{}, false
+			return 0, nil, false
 		}
 	}
 }
 
 // TryRecv returns immediately with ok=false if nothing is queued.
-func (e *Endpoint) TryRecv() (Frame, bool) {
+func (e *Endpoint) TryRecv() (src int, payload []byte, ok bool) {
 	select {
 	case f := <-e.net.queues[e.id]:
-		return f, true
+		return f.src, f.payload, true
 	default:
-		return Frame{}, false
+		return 0, nil, false
 	}
 }

@@ -4,7 +4,12 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/transport"
 )
+
+// Network must satisfy the runtime's transport abstraction.
+var _ transport.Transport = (*Network)(nil)
 
 func TestSendRecv(t *testing.T) {
 	net := New(2)
@@ -13,12 +18,32 @@ func TestSendRecv(t *testing.T) {
 	if err := a.Send(1, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	f, ok := b.Recv()
+	src, payload, ok := b.Recv()
 	if !ok {
 		t.Fatal("Recv failed")
 	}
-	if f.Src != 0 || f.Dst != 1 || string(f.Payload) != "hello" {
-		t.Fatalf("frame = %+v", f)
+	if src != 0 || string(payload) != "hello" {
+		t.Fatalf("frame = src %d payload %q", src, payload)
+	}
+}
+
+func TestLocalCoversAllEndpoints(t *testing.T) {
+	net := New(3)
+	defer net.Close()
+	if n := net.NumEndpoints(); n != 3 {
+		t.Fatalf("NumEndpoints = %d", n)
+	}
+	local := net.Local()
+	if len(local) != 3 {
+		t.Fatalf("Local = %v, want all 3 endpoints", local)
+	}
+	for i, id := range local {
+		if id != i {
+			t.Fatalf("Local = %v, want ascending ids", local)
+		}
+		if got := net.Endpoint(id).ID(); got != id {
+			t.Fatalf("Endpoint(%d).ID() = %d", id, got)
+		}
 	}
 }
 
@@ -32,9 +57,9 @@ func TestFIFOPerSender(t *testing.T) {
 		}
 	}
 	for i := 0; i < 100; i++ {
-		f, ok := b.Recv()
-		if !ok || f.Payload[0] != byte(i) {
-			t.Fatalf("frame %d out of order: %+v ok=%v", i, f, ok)
+		_, payload, ok := b.Recv()
+		if !ok || payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order: %v ok=%v", i, payload, ok)
 		}
 	}
 }
@@ -72,7 +97,7 @@ func TestLoopbackIsFree(t *testing.T) {
 	if tot := net.Totals(); tot.Messages != 0 {
 		t.Fatalf("loopback counted: %+v", tot)
 	}
-	if f, ok := a.Recv(); !ok || string(f.Payload) != "self" {
+	if _, payload, ok := a.Recv(); !ok || string(payload) != "self" {
 		t.Fatal("loopback frame lost")
 	}
 }
@@ -89,11 +114,13 @@ func TestCloseUnblocksRecv(t *testing.T) {
 	net := New(1)
 	done := make(chan bool)
 	go func() {
-		_, ok := net.Endpoint(0).Recv()
+		_, _, ok := net.Endpoint(0).Recv()
 		done <- ok
 	}()
 	time.Sleep(10 * time.Millisecond)
-	net.Close()
+	if err := net.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
 	select {
 	case ok := <-done:
 		if ok {
@@ -105,19 +132,22 @@ func TestCloseUnblocksRecv(t *testing.T) {
 	if err := net.Endpoint(0).Send(0, nil); err != ErrClosed {
 		t.Fatalf("Send after close = %v, want ErrClosed", err)
 	}
+	if err := net.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
 }
 
 func TestTryRecv(t *testing.T) {
 	net := New(1)
 	defer net.Close()
-	e := net.Endpoint(0)
-	if _, ok := e.TryRecv(); ok {
+	e := net.Endpoint(0).(*Endpoint)
+	if _, _, ok := e.TryRecv(); ok {
 		t.Fatal("TryRecv returned a frame from an empty queue")
 	}
 	if err := e.Send(0, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if f, ok := e.TryRecv(); !ok || string(f.Payload) != "x" {
+	if _, payload, ok := e.TryRecv(); !ok || string(payload) != "x" {
 		t.Fatal("TryRecv missed a queued frame")
 	}
 }
@@ -143,38 +173,20 @@ func TestConcurrentSenders(t *testing.T) {
 	recvd := make(map[byte]int)
 	e := net.Endpoint(0)
 	for i := 0; i < 3*per; i++ {
-		f, ok := e.Recv()
+		_, payload, ok := e.Recv()
 		if !ok {
 			t.Fatal("Recv failed mid-stream")
 		}
 		// Per-sender FIFO: sequence numbers ascend within a source.
-		if int(f.Payload[1]) != recvd[f.Payload[0]] {
+		if int(payload[1]) != recvd[payload[0]] {
 			t.Fatalf("per-sender order violated: src %d got %d want %d",
-				f.Payload[0], f.Payload[1], recvd[f.Payload[0]])
+				payload[0], payload[1], recvd[payload[0]])
 		}
-		recvd[f.Payload[0]]++
+		recvd[payload[0]]++
 	}
 	wg.Wait()
 	if tot := net.Totals(); tot.Messages != 3*per {
 		t.Fatalf("totals = %+v", tot)
-	}
-}
-
-func TestLatencyModel(t *testing.T) {
-	m := LatencyModel{PerMessage: time.Millisecond, PerKByte: 100 * time.Microsecond}
-	if got := m.Cost(2048); got != time.Millisecond+200*time.Microsecond {
-		t.Errorf("Cost = %v", got)
-	}
-	if got := m.Estimate(10, 10240); got != 10*time.Millisecond+time.Millisecond {
-		t.Errorf("Estimate = %v", got)
-	}
-	net := New(2, WithLatency(m))
-	defer net.Close()
-	if err := net.Endpoint(0).Send(1, make([]byte, 1024)); err != nil {
-		t.Fatal(err)
-	}
-	if got := net.EstimateTime(); got != time.Millisecond+100*time.Microsecond {
-		t.Errorf("EstimateTime = %v", got)
 	}
 }
 

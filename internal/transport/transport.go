@@ -1,0 +1,108 @@
+// Package transport defines the interconnect abstraction beneath the
+// live DSM runtime (internal/dsm): a Transport connects the cluster's n
+// endpoints with reliable, per-sender-FIFO, point-to-point delivery of
+// opaque payloads (encoded wire.Msg frames), and accounts every message
+// and byte it moves.
+//
+// Two implementations exist:
+//
+//   - internal/simnet — the default in-process interconnect (the paper's
+//     §5.1 network assumptions: reliable FIFO channels, no broadcast),
+//     serving all n endpoints inside one process;
+//   - internal/transport/tcp — a real interconnect framing payloads over
+//     length-prefixed TCP streams with one connection per peer, serving
+//     one endpoint per OS process so a DSM cluster spans processes and
+//     machines.
+//
+// The consistency protocols never see which one they run over: dsm.System
+// consumes this interface only, so every engine (LI/LU/EI/EU/SC) works
+// identically across transports — the cross-transport differential tests
+// in internal/workload assert exactly that.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Stats is a snapshot of traffic counters: messages and payload bytes
+// sent by the endpoints a Transport instance serves. Loopback (an
+// endpoint sending to itself) is free, matching the paper's cost model
+// where local operations cost nothing.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Add accumulates other into s (for aggregating multi-instance clusters).
+func (s *Stats) Add(other Stats) {
+	s.Messages += other.Messages
+	s.Bytes += other.Bytes
+}
+
+// ErrClosed is returned by Send, and wrapped by blocked protocol
+// operations, after a transport shuts down.
+var ErrClosed = errors.New("transport: closed")
+
+// Endpoint is one node's attachment to the interconnect.
+type Endpoint interface {
+	// ID returns the endpoint's index in [0, NumEndpoints).
+	ID() int
+	// Send delivers payload to endpoint dst, reliably and in FIFO order
+	// with respect to other Sends from this endpoint to the same
+	// destination. Sending to oneself is allowed and free. Send may be
+	// called concurrently from multiple goroutines.
+	Send(dst int, payload []byte) error
+	// Recv blocks until a payload arrives for this endpoint, returning
+	// the sender's id, or until the transport closes (ok=false). Payloads
+	// already delivered when the transport closes are drained first.
+	Recv() (src int, payload []byte, ok bool)
+}
+
+// Transport connects a DSM cluster's endpoints. One instance serves the
+// endpoints local to this process: the in-process simnet serves all of
+// them, a TCP transport serves exactly one.
+type Transport interface {
+	// NumEndpoints returns the cluster size.
+	NumEndpoints() int
+	// Local returns the ids of the endpoints this instance serves in this
+	// process, in ascending order.
+	Local() []int
+	// Endpoint returns endpoint i's handle; i must be local.
+	Endpoint(i int) Endpoint
+	// Totals returns traffic counters for this instance's endpoints.
+	Totals() Stats
+	// Close shuts the transport down — pending and future Recvs return
+	// ok=false, future Sends fail with ErrClosed — and returns any
+	// teardown or connection error accumulated while it ran, so a dead
+	// peer surfaces instead of vanishing. Close is idempotent; every call
+	// returns the same error.
+	Close() error
+}
+
+// LatencyModel estimates the wire time of messages: a fixed per-message
+// latency plus a bandwidth term. The defaults approximate the 1992-era
+// networks the paper targets (kernel traps, interrupts and protocol
+// stacks make software DSM messages expensive, §1).
+type LatencyModel struct {
+	// PerMessage is the fixed cost of any message.
+	PerMessage time.Duration
+	// PerKByte is the additional cost per 1024 payload bytes.
+	PerKByte time.Duration
+}
+
+// DefaultLatency is a millisecond-class software DSM message cost.
+var DefaultLatency = LatencyModel{PerMessage: time.Millisecond, PerKByte: 100 * time.Microsecond}
+
+// Cost returns the estimated time on the wire for one message of the
+// given size.
+func (m LatencyModel) Cost(bytes int) time.Duration {
+	return m.PerMessage + time.Duration(int64(m.PerKByte)*int64(bytes)/1024)
+}
+
+// Estimate returns the estimated serial wire time for a message/byte
+// total (messages do overlap in a real system; this is the upper bound
+// used in EXPERIMENTS.md when relating counts to time).
+func (m LatencyModel) Estimate(messages, bytes int64) time.Duration {
+	return time.Duration(messages)*m.PerMessage + time.Duration(bytes/1024)*m.PerKByte
+}

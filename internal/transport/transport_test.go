@@ -1,0 +1,24 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyModel(t *testing.T) {
+	m := LatencyModel{PerMessage: time.Millisecond, PerKByte: 100 * time.Microsecond}
+	if got := m.Cost(2048); got != time.Millisecond+200*time.Microsecond {
+		t.Errorf("Cost = %v", got)
+	}
+	if got := m.Estimate(10, 10240); got != 10*time.Millisecond+time.Millisecond {
+		t.Errorf("Estimate = %v", got)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	s := Stats{Messages: 3, Bytes: 100}
+	s.Add(Stats{Messages: 2, Bytes: 50})
+	if s.Messages != 5 || s.Bytes != 150 {
+		t.Errorf("Add = %+v", s)
+	}
+}

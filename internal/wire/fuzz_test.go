@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/page"
+	"repro/internal/vc"
+)
+
+// Decode hardening: frames now arrive from real sockets (the TCP
+// transport), so every malformed prefix a peer — or anything that dials
+// the listener — can produce must fail cleanly: an error, never a panic,
+// and never an allocation sized by a hostile count.
+
+// sampleMsgs covers every payload section for seeding and table tests.
+func sampleMsgs() []*Msg {
+	diff, err := page.DiffFromRuns(
+		[]page.Run{{Off: 0, Len: 4}, {Off: 64, Len: 2}},
+		[][]byte{{1, 2, 3, 4}, {9, 9}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return []*Msg{
+		{Kind: KLockReq, Seq: 7, A: 3, B: 1},
+		{Kind: KLockGrant, Seq: 8, A: 3, VC: vc.VC{1, 2, 3, 4},
+			Intervals: []IntervalRec{
+				{Proc: 2, Index: 5, VC: vc.VC{0, 0, 5, 0}, Pages: []mem.PageID{1, 2, 9}},
+				{Proc: 0, Index: 1, VC: vc.VC{2, 0, 0, 0}, Pages: nil},
+			}},
+		{Kind: KDiffReq, Seq: 9, A: 1, Wants: []Want{{Page: 4, Proc: 1, Index: 2}}},
+		{Kind: KDiffResp, Seq: 9, Diffs: []DiffRec{{Page: 4, Proc: 1, Index: 2, Diff: diff}}},
+		{Kind: KPageResp, Seq: 10, A: 4, Data: bytes.Repeat([]byte{0xab}, 128)},
+		{Kind: KBarrierArrive, Seq: 11, A: 0, B: 2, VC: vc.VC{9, 9, 9, 9}},
+	}
+}
+
+// TestDecodeMalformed: the table of hostile and truncated inputs the
+// socket path must reject with a descriptive error.
+func TestDecodeMalformed(t *testing.T) {
+	grant := sampleMsgs()[1].Encode()
+	pageResp := sampleMsgs()[4].Encode()
+	diffResp := sampleMsgs()[3].Encode()
+
+	corrupt := func(b []byte, off int, v uint32) []byte {
+		c := append([]byte(nil), b...)
+		binary.LittleEndian.PutUint32(c[off:], v)
+		return c
+	}
+
+	cases := []struct {
+		name string
+		in   []byte
+		want string // error substring
+	}{
+		{"empty", nil, "shorter than header"},
+		{"short header", make([]byte, headerBytes-1), "shorter than header"},
+		{"kind zero", make([]byte, headerBytes), "unknown message kind"},
+		{"kind out of range", corrupt(make([]byte, headerBytes+4), 0, 999), "unknown message kind"},
+		{"truncated after header", grant[:headerBytes], "truncated"},
+		{"truncated mid-clock", grant[:headerBytes+6], "truncated"},
+		{"truncated mid-intervals", grant[:len(grant)-7], "truncated"},
+		{"trailing garbage", append(append([]byte(nil), grant...), 0xff), "trailing"},
+		// Hostile counts: each claims far more items than the frame holds.
+		{"hostile clock count", corrupt(grant, headerBytes, 1<<30), "implausible clock count"},
+		{"negative clock count", corrupt(grant, headerBytes, 0xffffffff), "implausible clock count"},
+		{"hostile interval count", corrupt(grant, headerBytes+4+4*4, 1<<24), "implausible interval count"},
+		{"hostile data count", corrupt(pageResp[:len(pageResp)-128], len(pageResp)-132, 1<<31-1), "implausible data count"},
+		{"hostile run count", corrupt(diffResp, headerBytes+4+4+12, 1<<26), "implausible run count"},
+		{"negative run offset", corrupt(diffResp, headerBytes+4+4+12+4, 0x80000000), "negative run offset"},
+		{"negative run length", corrupt(diffResp, headerBytes+4+4+12+4+4, 0x80000000), "truncated payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Decode(tc.in)
+			if err == nil {
+				t.Fatalf("decoded %v from malformed input", m.Kind)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeHostileCountAllocation: a tiny frame claiming 2^24 interval
+// pages must be rejected by the remaining-bytes bound, not by attempting
+// the allocation (this fails fast under the fuzzer's memory limits too).
+func TestDecodeHostileCountAllocation(t *testing.T) {
+	var b []byte
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint16(h[0:], uint16(KLockGrant))
+	b = append(b, h[:]...)
+	b = put32(b, 1)           // one interval
+	b = put32(b, 0)           // proc
+	b = put32(b, 0)           // index
+	b = put32(b, 0)           // clock len
+	b = put32(b, 1<<24-1)     // hostile page count
+	b = append(b, 0, 0, 0, 0) // four bytes of "pages"
+	_, err := Decode(b)
+	if err == nil || !strings.Contains(err.Error(), "implausible interval page count") {
+		t.Fatalf("err = %v, want implausible interval page count", err)
+	}
+}
+
+// TestEncodeDecodeRoundTrip: every sample survives the codec unchanged
+// at the byte level (the canonical-encoding property the fuzzer checks
+// for arbitrary accepted inputs).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		enc := m.Encode()
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		if !bytes.Equal(dec.Encode(), enc) {
+			t.Errorf("%v: re-encoding changed bytes", m.Kind)
+		}
+	}
+}
+
+// FuzzDecode: Decode must never panic, and anything it accepts must
+// re-encode into bytes Decode accepts again (a stable codec: accepted
+// input implies a canonical representation).
+func FuzzDecode(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		f.Add(m.Encode())
+	}
+	// Truncations and corruptions of a rich message as extra seeds.
+	grant := sampleMsgs()[1].Encode()
+	f.Add(grant[:headerBytes])
+	f.Add(grant[:len(grant)/2])
+	f.Add(append(append([]byte(nil), grant...), 0))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		enc := m.Encode()
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !bytes.Equal(m2.Encode(), enc) {
+			t.Fatal("encoding is not a fixed point")
+		}
+	})
+}

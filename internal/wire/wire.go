@@ -260,8 +260,31 @@ func (d *decoder) i32() int32 {
 
 func (d *decoder) count(what string, limit int32) int32 {
 	n := d.i32()
-	if d.err == nil && (n < 0 || n > limit) {
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > limit {
+		// Return 0, not n: callers size allocations by this value, and a
+		// hostile count must never reach a make().
 		d.err = fmt.Errorf("wire: implausible %s count %d", what, n)
+		return 0
+	}
+	return n
+}
+
+// countItems reads a section count and rejects any value whose items
+// could not possibly fit in the remaining bytes. Once frames arrive from
+// a real socket this is the allocation bound: a 30-byte hostile message
+// must not be able to claim 2^24 entries and make the decoder allocate
+// gigabytes before the truncation is noticed.
+func (d *decoder) countItems(what string, itemBytes int) int32 {
+	n := d.i32()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || int64(n)*int64(itemBytes) > int64(len(d.b)-d.off) {
+		d.err = fmt.Errorf("wire: implausible %s count %d for %d remaining bytes", what, n, len(d.b)-d.off)
+		return 0
 	}
 	return n
 }
@@ -295,7 +318,6 @@ func Decode(b []byte) (*Msg, error) {
 	}
 	flags := binary.LittleEndian.Uint32(b[20:])
 	d := &decoder{b: b, off: headerBytes}
-	const maxCount = 1 << 24
 	if flags&1 != 0 {
 		n := d.count("clock", 64)
 		m.VC = make(vc.VC, n)
@@ -303,7 +325,10 @@ func Decode(b []byte) (*Msg, error) {
 			m.VC[i] = d.i32()
 		}
 	}
-	nivs := d.count("interval", maxCount)
+	// Section counts are bounded by the bytes actually present (each
+	// interval is at least 16 bytes on the wire, each run 8, and so on),
+	// so hostile counts fail before any allocation sized by them.
+	nivs := d.countItems("interval", 16)
 	for i := int32(0); i < nivs && d.err == nil; i++ {
 		var iv IntervalRec
 		iv.Proc = mem.ProcID(d.i32())
@@ -313,25 +338,33 @@ func Decode(b []byte) (*Msg, error) {
 		for k := range iv.VC {
 			iv.VC[k] = d.i32()
 		}
-		pn := d.count("interval page", maxCount)
+		pn := d.countItems("interval page", 4)
 		iv.Pages = make([]mem.PageID, pn)
 		for k := range iv.Pages {
 			iv.Pages[k] = mem.PageID(d.i32())
 		}
+		if d.err != nil {
+			break
+		}
 		m.Intervals = append(m.Intervals, iv)
 	}
-	ndiffs := d.count("diff", maxCount)
+	ndiffs := d.countItems("diff", 16)
 	for i := int32(0); i < ndiffs && d.err == nil; i++ {
 		var rec DiffRec
 		rec.Page = mem.PageID(d.i32())
 		rec.Proc = mem.ProcID(d.i32())
 		rec.Index = d.i32()
-		nruns := d.count("run", maxCount)
+		nruns := d.countItems("run", 8)
 		runs := make([]page.Run, 0, nruns)
 		data := make([][]byte, 0, nruns)
 		for k := int32(0); k < nruns && d.err == nil; k++ {
 			off := d.i32()
 			length := d.i32()
+			if d.err == nil && off < 0 {
+				// A negative offset would index backwards when the diff is
+				// applied; nothing legitimate encodes one.
+				d.err = fmt.Errorf("wire: negative run offset %d", off)
+			}
 			payload := d.bytes(int(length))
 			if d.err != nil {
 				break
@@ -350,7 +383,7 @@ func Decode(b []byte) (*Msg, error) {
 			m.Diffs = append(m.Diffs, rec)
 		}
 	}
-	nwants := d.count("want", maxCount)
+	nwants := d.countItems("want", 12)
 	for i := int32(0); i < nwants && d.err == nil; i++ {
 		m.Wants = append(m.Wants, Want{
 			Page:  mem.PageID(d.i32()),
@@ -358,7 +391,7 @@ func Decode(b []byte) (*Msg, error) {
 			Index: d.i32(),
 		})
 	}
-	ndata := d.count("data", maxCount)
+	ndata := d.countItems("data", 1)
 	if ndata > 0 {
 		payload := d.bytes(int(ndata))
 		if d.err == nil {

@@ -8,8 +8,9 @@ import (
 
 	"repro/internal/dsm"
 	"repro/internal/mem"
-	"repro/internal/simnet"
+	"repro/internal/shm"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // RuntimeConfig configures a workload execution on the live DSM runtime.
@@ -23,7 +24,17 @@ type RuntimeConfig struct {
 	GCEveryBarriers int
 	// Latency configures the interconnect time model (zero value uses the
 	// runtime default).
-	Latency simnet.LatencyModel
+	Latency dsm.LatencyModel
+	// Transports supplies the interconnect. Nil runs the whole cluster
+	// over the default in-process network. Otherwise one dsm.System is
+	// built per transport instance and program bodies run on every local
+	// node of every instance — a loopback TCP cluster passes all of its
+	// transports here; a genuinely multi-process run passes just this
+	// process's. Each transport must span exactly the program's processor
+	// count, and across processes their local endpoints must partition
+	// it. The final image is read by node 0, so only the run hosting node
+	// 0 reports one.
+	Transports []dsm.Transport
 }
 
 // RuntimeResult is a completed runtime execution.
@@ -33,13 +44,15 @@ type RuntimeResult struct {
 	// Image is the final shared-memory image (Config().SpaceSize bytes),
 	// read out by node 0 after a closing barrier — for a properly-
 	// synchronized program it must equal the lockstep reference image.
+	// Nil when node 0 lives in another process (its run reports it).
 	Image []byte
-	// Net is the interconnect's global message/byte totals, including the
-	// closing barrier and the image read-out.
-	Net simnet.Stats
+	// Net is the interconnect's message/byte totals across this run's
+	// transports, including the closing barriers and the image read-out.
+	Net dsm.TransportStats
 	// Elapsed is the interconnect time model's estimate for the traffic.
 	Elapsed time.Duration
-	// Nodes holds each node's protocol counters.
+	// Nodes holds each node's protocol counters, indexed by processor id
+	// (zero-valued for processors hosted by other processes).
 	Nodes []dsm.Stats
 }
 
@@ -49,8 +62,10 @@ type RuntimeResult struct {
 // fail when the interconnect shuts down.
 type nodeErr struct{ err error }
 
-// nodeCtx adapts one dsm.Node to the Ctx interface. It is driven by
-// exactly one goroutine.
+// nodeCtx adapts one dsm.Node to the Ctx interface through the typed
+// shared-memory façade: value-carrying operations go through shm handles
+// at the trace's addresses, so the encoding lives in one place. It is
+// driven by exactly one goroutine.
 type nodeCtx struct {
 	n     *dsm.Node
 	procs int
@@ -93,93 +108,126 @@ func (c *nodeCtx) Update(addr mem.Addr, size int) {
 }
 
 func (c *nodeCtx) WriteUint64(addr mem.Addr, v uint64) {
-	c.check(c.n.WriteUint64(addr, v))
+	c.check(shm.VarAt[uint64](addr).Store(c.n, v))
 }
 
 func (c *nodeCtx) ReadUint64(addr mem.Addr) uint64 {
-	v, err := c.n.ReadUint64(addr)
+	v, err := shm.VarAt[uint64](addr).Load(c.n)
 	c.check(err)
 	return v
 }
 
 func (c *nodeCtx) FetchAddUint64(addr mem.Addr, delta uint64) uint64 {
-	v := c.ReadUint64(addr)
-	c.WriteUint64(addr, v+delta)
+	v, err := shm.VarAt[uint64](addr).Add(c.n, delta)
+	c.check(err)
 	return v
 }
 
-func (c *nodeCtx) Acquire(l int) { c.check(c.n.Acquire(mem.LockID(l))) }
-func (c *nodeCtx) Release(l int) { c.check(c.n.Release(mem.LockID(l))) }
-func (c *nodeCtx) Barrier(b int) { c.check(c.n.Barrier(mem.BarrierID(b))) }
+func (c *nodeCtx) Acquire(l int) { c.check(shm.LockAt(mem.LockID(l)).Acquire(c.n)) }
+func (c *nodeCtx) Release(l int) { c.check(shm.LockAt(mem.LockID(l)).Release(c.n)) }
+func (c *nodeCtx) Barrier(b int) { c.check(shm.BarrierAt(mem.BarrierID(b)).Wait(c.n)) }
 
 // RunOnRuntime executes the program on the live DSM runtime: one genuinely
 // concurrent goroutine per processor, each driving its own dsm.Node, with
 // locks and barriers mapped to the runtime's synchronization operations.
 // After every body returns, the nodes run one closing barrier (id
 // Config().NumBarriers, outside the program's range) so node 0's vector
-// clock covers every interval, and node 0 reads the whole space out as the
-// final image.
+// clock covers every interval, node 0 reads the whole space out as the
+// final image, and a second closing barrier holds every node alive — in
+// this process or another — until the read-out has been served.
 func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 	cfg := p.Config()
 	if rc.PageSize == 0 {
 		rc.PageSize = 4096
 	}
-	sys, err := dsm.New(dsm.Config{
-		Procs:           cfg.NumProcs,
-		SpaceSize:       cfg.SpaceSize,
-		PageSize:        rc.PageSize,
-		Mode:            rc.Mode,
-		GCEveryBarriers: rc.GCEveryBarriers,
-		Latency:         rc.Latency,
-	})
-	if err != nil {
-		return nil, err
+	transports := rc.Transports
+	if transports == nil {
+		transports = []dsm.Transport{nil} // default in-process network
+	} else if len(transports) == 0 {
+		// An accidentally-emptied slice must not "succeed" with zero
+		// systems, a nil image and no traffic.
+		return nil, fmt.Errorf("workload %s on runtime (%s): empty transport list", p.Name(), rc.Mode)
 	}
-	defer sys.Close()
+	systems := make([]*dsm.System, 0, len(transports))
+	closeAll := func() {
+		for _, sys := range systems {
+			sys.Close()
+		}
+	}
+	for i, tr := range transports {
+		sys, err := dsm.New(dsm.Config{
+			Procs:           cfg.NumProcs,
+			SpaceSize:       cfg.SpaceSize,
+			PageSize:        rc.PageSize,
+			Mode:            rc.Mode,
+			GCEveryBarriers: rc.GCEveryBarriers,
+			Latency:         rc.Latency,
+			Transport:       tr,
+		})
+		if err != nil {
+			// dsm.New closed tr; close the systems already built and the
+			// transports not yet handed over.
+			closeAll()
+			for _, rest := range transports[i+1:] {
+				if rest != nil {
+					rest.Close()
+				}
+			}
+			return nil, err
+		}
+		systems = append(systems, sys)
+	}
+	defer closeAll()
 
 	res := &RuntimeResult{Name: p.Name()}
-	finalBarrier := mem.BarrierID(cfg.NumBarriers)
+	syncBarrier := mem.BarrierID(cfg.NumBarriers)        // all writes visible
+	readoutBarrier := mem.BarrierID(cfg.NumBarriers + 1) // image read served
 	errs := make([]error, cfg.NumProcs)
 	var wg sync.WaitGroup
-	for i := 0; i < cfg.NumProcs; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			ctx := &nodeCtx{n: sys.Node(id), procs: cfg.NumProcs}
-			err := func() (err error) {
-				defer func() {
-					if r := recover(); r != nil {
-						ne, ok := r.(nodeErr)
-						if !ok {
-							panic(r) // workload bug, not a DSM failure
+	for _, sys := range systems {
+		for _, node := range sys.Local() {
+			wg.Add(1)
+			go func(node *dsm.Node) {
+				defer wg.Done()
+				id := int(node.ID())
+				ctx := &nodeCtx{n: node, procs: cfg.NumProcs}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							ne, ok := r.(nodeErr)
+							if !ok {
+								panic(r) // workload bug, not a DSM failure
+							}
+							err = ne.err
 						}
-						err = ne.err
+					}()
+					p.Proc(ctx)
+					// Closing barrier: every node's modifications become
+					// visible to node 0 before the image read-out.
+					if err := node.Barrier(syncBarrier); err != nil {
+						return err
 					}
+					if id == 0 {
+						img := make([]byte, cfg.SpaceSize)
+						if err := node.Read(img, 0); err != nil {
+							return err
+						}
+						res.Image = img
+					}
+					// Read-out barrier: peers — possibly in other
+					// processes — stay alive serving pages and diffs
+					// until node 0 has the image.
+					return node.Barrier(readoutBarrier)
 				}()
-				p.Proc(ctx)
-				// Closing barrier: every node's modifications become
-				// visible to node 0 before the image read-out.
-				return ctx.n.Barrier(finalBarrier)
-			}()
-			if err != nil {
-				errs[id] = err
-				// Unblock peers stuck in protocol operations.
-				sys.Close()
-				return
-			}
-			if id == 0 {
-				img := make([]byte, cfg.SpaceSize)
-				if err := ctx.n.Read(img, 0); err != nil {
+				if err != nil {
 					errs[id] = err
-					sys.Close()
-					return
+					closeAll() // unblock peers stuck in protocol operations
 				}
-				res.Image = img
-			}
-		}(i)
+			}(node)
+		}
 	}
 	wg.Wait()
-	// Prefer a root-cause error over the secondary "network closed"
+	// Prefer a root-cause error over the secondary "transport closed"
 	// failures the shutdown induces on the other nodes.
 	failed, first := -1, -1
 	for i, err := range errs {
@@ -189,7 +237,7 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 		if first == -1 {
 			first = i
 		}
-		if failed == -1 && !errors.Is(err, simnet.ErrClosed) {
+		if failed == -1 && !errors.Is(err, dsm.ErrClosed) {
 			failed = i
 		}
 	}
@@ -199,14 +247,28 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 	if failed != -1 {
 		return nil, fmt.Errorf("workload %s on runtime (%s): node %d: %w", p.Name(), rc.Mode, failed, errs[failed])
 	}
-	res.Net = sys.NetStats()
-	res.Elapsed = sys.EstimateTime()
-	for i := 0; i < cfg.NumProcs; i++ {
-		res.Nodes = append(res.Nodes, sys.Node(i).Stats())
+	res.Nodes = make([]dsm.Stats, cfg.NumProcs)
+	for _, sys := range systems {
+		res.Net.Add(sys.NetStats())
+		for _, node := range sys.Local() {
+			res.Nodes[node.ID()] = node.Stats()
+		}
 	}
-	// Surface protocol errors the handler goroutines recorded (e.g. an
-	// undeliverable lock grant): a clean run must close cleanly.
-	if err := sys.Close(); err != nil {
+	lat := rc.Latency
+	if lat == (dsm.LatencyModel{}) {
+		lat = transport.DefaultLatency
+	}
+	res.Elapsed = lat.Estimate(res.Net.Messages, res.Net.Bytes)
+	// Surface protocol and transport teardown errors (e.g. an
+	// undeliverable lock grant, a peer's broken stream): a clean run must
+	// close cleanly.
+	var closeErrs []error
+	for _, sys := range systems {
+		if err := sys.Close(); err != nil {
+			closeErrs = append(closeErrs, err)
+		}
+	}
+	if err := errors.Join(closeErrs...); err != nil {
 		return nil, fmt.Errorf("workload %s on runtime (%s): %w", p.Name(), rc.Mode, err)
 	}
 	return res, nil

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dsm"
+	"repro/internal/transport/tcp"
+)
+
+// Cross-transport differential harness: the same SPLASH programs that
+// run over the in-process interconnect (differential_test.go) run over
+// the real TCP transport — a full loopback cluster, one listener and one
+// dsm.System per node, every message crossing an actual socket — and
+// must still produce final images byte-identical to the sequential
+// reference under every consistency protocol. This is the acceptance
+// proof that the protocol engines never depended on the simulated
+// network's specifics.
+
+// tcpTransports builds a loopback cluster and hands it to RunOnRuntime.
+func tcpTransports(t *testing.T, procs int) []dsm.Transport {
+	t.Helper()
+	cluster, err := tcp.NewLoopbackCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dsm.Systems own and close the transports; nothing to clean up
+	// here beyond what RunOnRuntime already does.
+	trs := make([]dsm.Transport, len(cluster))
+	for i, tr := range cluster {
+		trs[i] = tr
+	}
+	return trs
+}
+
+func runOverTCP(t *testing.T, name string, mode dsm.Mode, procs int, scale float64, pageSize int) {
+	t.Helper()
+	ref, err := ExecuteCached(name, procs, scale, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := New(name, procs, scale, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOnRuntime(prog, RuntimeConfig{
+		PageSize:   pageSize,
+		Mode:       mode,
+		Transports: tcpTransports(t, procs),
+	})
+	if err != nil {
+		t.Fatalf("%s/%s over tcp: %v", name, mode, err)
+	}
+	if !bytes.Equal(res.Image, ref.Image) {
+		t.Errorf("%s/%s over tcp: image diverges from sequential reference (first diff at byte %d)",
+			name, mode, firstDiff(res.Image, ref.Image))
+	}
+	if res.Net.Messages == 0 {
+		t.Errorf("%s/%s over tcp: no messages crossed the sockets", name, mode)
+	}
+}
+
+// TestWorkloadsOverTCPTransport: all five protocols over real TCP
+// streams on one workload — the acceptance matrix's second transport
+// column — plus, for the miss-only protocols LI and SC, the full
+// workload suite.
+func TestWorkloadsOverTCPTransport(t *testing.T) {
+	const procs, scale, pageSize = 4, 0.05, 1024
+	for _, mode := range dsm.Modes {
+		t.Run("locusroute/"+mode.String(), func(t *testing.T) {
+			t.Parallel()
+			runOverTCP(t, "locusroute", mode, procs, scale, pageSize)
+		})
+	}
+	extra := Names
+	if testing.Short() {
+		extra = []string{"mp3d"}
+	}
+	for _, mode := range []dsm.Mode{dsm.LazyInvalidate, dsm.SeqConsistent} {
+		for _, name := range extra {
+			if name == "locusroute" {
+				continue // covered above
+			}
+			mode, name := mode, name
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				runOverTCP(t, name, mode, procs, scale, pageSize)
+			})
+		}
+	}
+}
+
+// TestTCPTransportWithGC exercises barrier-time garbage collection with
+// its collective gcready/gcdone round crossing real sockets.
+func TestTCPTransportWithGC(t *testing.T) {
+	ref, err := ExecuteCached("mp3d", 4, 0.05, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := New("mp3d", 4, 0.05, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOnRuntime(prog, RuntimeConfig{
+		PageSize:        1024,
+		Mode:            dsm.LazyUpdate,
+		GCEveryBarriers: 2,
+		Transports:      tcpTransports(t, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Image, ref.Image) {
+		t.Error("image with GC over tcp diverges from reference")
+	}
+}

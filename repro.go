@@ -15,9 +15,25 @@
 //   - A live DSM runtime implementing the same protocol matrix end to
 //     end (the implementation the paper's §7 promises): goroutine-backed
 //     nodes exchanging write notices, twins, diffs, invalidations and
-//     page ships over a simulated reliable FIFO interconnect, with the
-//     consistency policy — LI, LU, EI, EU or SC — selected per instance.
-//     See NewDSM.
+//     page ships over a pluggable interconnect, with the consistency
+//     policy — LI, LU, EI, EU or SC — selected per instance. See NewDSM.
+//
+// The runtime's API is redesigned at both boundaries:
+//
+//   - Below, the interconnect is a Transport (see DSMConfig.Transport):
+//     the default is a simulated in-process reliable FIFO network, and
+//     NewTCPTransport runs the same protocols over real length-prefixed
+//     TCP streams, one endpoint per OS process, so a DSM cluster spans
+//     processes and machines (NewLoopbackTCPCluster builds an in-process
+//     multi-listener cluster for tests and experiments).
+//
+//   - Above, applications program against the typed shared-memory façade
+//     instead of raw byte offsets: an Arena bump-allocates the shared
+//     space into Var[T] and Array[T] handles (uint64 and byte payloads)
+//     and hands out Lock and Barrier objects; Locked brackets a critical
+//     section. Handles are pure layout descriptions, so the same schema
+//     works from every node — and, over TCP, from every process — as
+//     long as each constructs it identically.
 //
 // The package re-exports the internal building blocks' primary types via
 // aliases, so downstream code can use the library without reaching into
@@ -28,9 +44,10 @@ import (
 	"repro/internal/dsm"
 	"repro/internal/mem"
 	"repro/internal/proto"
+	"repro/internal/shm"
 	"repro/internal/sim"
-	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/transport/tcp"
 	"repro/internal/workload"
 )
 
@@ -44,6 +61,8 @@ type (
 	LockID = mem.LockID
 	// BarrierID identifies a barrier.
 	BarrierID = mem.BarrierID
+	// Layout describes a shared address space divided into pages.
+	Layout = mem.Layout
 	// Trace is a globally-ordered shared-memory execution trace.
 	Trace = trace.Trace
 	// TraceEvent is one trace record.
@@ -65,8 +84,14 @@ type (
 	DSMMode = dsm.Mode
 	// Node is one live DSM processor handle.
 	Node = dsm.Node
+	// Transport is the runtime's pluggable interconnect: the simulated
+	// in-process network by default (DSMConfig.Transport nil), or a real
+	// TCP cluster via NewTCPTransport.
+	Transport = dsm.Transport
+	// TransportStats is a snapshot of interconnect traffic counters.
+	TransportStats = dsm.TransportStats
 	// LatencyModel estimates communication time from message/byte counts.
-	LatencyModel = simnet.LatencyModel
+	LatencyModel = dsm.LatencyModel
 	// WorkloadResult is a lockstep workload execution: the trace plus the
 	// reference memory image.
 	WorkloadResult = workload.Result
@@ -75,6 +100,56 @@ type (
 	// RuntimeResult is a completed workload execution on the live runtime.
 	RuntimeResult = workload.RuntimeResult
 )
+
+// Typed shared-memory façade aliases (package internal/shm): program
+// against named handles, not hand-computed page offsets.
+type (
+	// SharedMem is the raw node surface the typed handles drive; *Node
+	// satisfies it.
+	SharedMem = shm.Mem
+	// Arena bump-allocates a shared address space into typed handles and
+	// synchronization objects. Every node (or process) must construct
+	// the same schema in the same order.
+	Arena = shm.Arena
+	// Var is a typed handle to one shared value.
+	Var[T shm.Value] = shm.Var[T]
+	// Array is a typed handle to n shared values at a fixed stride.
+	Array[T shm.Value] = shm.Array[T]
+	// Bytes is a handle to a fixed-size raw byte region.
+	Bytes = shm.Bytes
+	// BytesArray is a handle to n raw byte regions at a fixed stride.
+	BytesArray = shm.BytesArray
+	// Lock is a first-class handle to an exclusive runtime lock.
+	Lock = shm.Lock
+	// Barrier is a first-class handle to a runtime barrier.
+	Barrier = shm.Barrier
+)
+
+// NewArena returns an empty allocator over a layout (see DSM.Layout).
+func NewArena(l *Layout) *Arena { return shm.NewArena(l) }
+
+// NewVar allocates one naturally-aligned shared value.
+func NewVar[T shm.Value](a *Arena) Var[T] { return shm.NewVar[T](a) }
+
+// NewArray allocates n densely-packed shared values.
+func NewArray[T shm.Value](a *Arena, n int) Array[T] { return shm.NewArray[T](a, n) }
+
+// NewStridedArray allocates n shared values spaced stride bytes apart
+// (pad hot elements apart to curb false sharing).
+func NewStridedArray[T shm.Value](a *Arena, n, stride int) Array[T] {
+	return shm.NewStridedArray[T](a, n, stride)
+}
+
+// NewBytes allocates one raw byte region.
+func NewBytes(a *Arena, size int) Bytes { return shm.NewBytes(a, size) }
+
+// NewBytesArray allocates n size-byte regions spaced stride bytes apart.
+func NewBytesArray(a *Arena, n, size, stride int) BytesArray {
+	return shm.NewBytesArray(a, n, size, stride)
+}
+
+// Locked runs body on m while holding l.
+func Locked(m SharedMem, l Lock, body func() error) error { return shm.Locked(m, l, body) }
 
 // Live DSM consistency modes: the full protocol matrix of the paper's
 // evaluation runs on the runtime.
@@ -140,9 +215,34 @@ func Series(results []Result, protocol string, pageSizes []int, metric string) (
 	return sim.Series(results, protocol, pageSizes, metric)
 }
 
-// NewDSM starts a live lazy-release-consistency DSM.
+// NewDSM starts a live DSM over the configured transport (the simulated
+// in-process interconnect when DSMConfig.Transport is nil).
 func NewDSM(cfg DSMConfig) (*DSM, error) {
 	return dsm.New(cfg)
+}
+
+// NewTCPTransport attaches this process to a TCP DSM cluster as endpoint
+// self of the peer list (every entry a "host:port", identical in every
+// process). Pass it in DSMConfig.Transport with Procs = len(peers); the
+// resulting DSM hosts node self only, with the remaining nodes served by
+// the peer processes.
+func NewTCPTransport(self int, peers []string) (Transport, error) {
+	return tcp.New(tcp.Config{Self: self, Peers: peers})
+}
+
+// NewLoopbackTCPCluster starts a full n-endpoint TCP cluster inside this
+// process — one listener and one transport per endpoint on ephemeral
+// 127.0.0.1 ports. Build one DSM per returned transport.
+func NewLoopbackTCPCluster(n int) ([]Transport, error) {
+	cluster, err := tcp.NewLoopbackCluster(n)
+	if err != nil {
+		return nil, err
+	}
+	trs := make([]Transport, len(cluster))
+	for i, t := range cluster {
+		trs[i] = t
+	}
+	return trs, nil
 }
 
 // ExecuteWorkload runs the named workload on the lockstep backend,
@@ -153,9 +253,11 @@ func ExecuteWorkload(name string, procs int, scale float64, seed int64) (*Worklo
 }
 
 // RunWorkloadOnRuntime executes the named workload on the live DSM runtime
-// — genuinely concurrent nodes under LI or LU — and returns the final
-// memory image and traffic totals. For a properly-synchronized workload
-// the image equals ExecuteWorkload's reference image.
+// — genuinely concurrent nodes under any of the five protocols, over the
+// in-process interconnect or the transports in cfg.Transports — and
+// returns the final memory image and traffic totals. For a
+// properly-synchronized workload the image equals ExecuteWorkload's
+// reference image.
 func RunWorkloadOnRuntime(name string, procs int, scale float64, seed int64, cfg RuntimeConfig) (*RuntimeResult, error) {
 	prog, err := workload.New(name, procs, scale, seed)
 	if err != nil {

@@ -124,3 +124,95 @@ func TestFacadeWorkloadRuntime(t *testing.T) {
 		t.Error("unknown workload accepted")
 	}
 }
+
+// TestFacadeTypedSHM drives the public typed shared-memory surface: an
+// Arena schema with Var/Array/Bytes handles, Locked critical sections
+// and a Barrier, against a live DSM.
+func TestFacadeTypedSHM(t *testing.T) {
+	d, err := repro.NewDSM(repro.DSMConfig{
+		Procs: 3, SpaceSize: 32 * 1024, PageSize: 1024, Mode: repro.EagerUpdate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	a := repro.NewArena(d.Layout())
+	total := repro.NewVar[uint64](a)
+	flags := repro.NewArray[byte](a, 3)
+	blob := repro.NewBytes(a, 16)
+	lock := a.NewLock()
+	done := a.NewBarrier()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := d.Node(i)
+			errs[i] = repro.Locked(n, lock, func() error {
+				if _, err := total.Add(n, uint64(i+1)); err != nil {
+					return err
+				}
+				return flags.At(i).Store(n, 1)
+			})
+			if errs[i] != nil {
+				return
+			}
+			if i == 0 {
+				errs[i] = blob.Store(n, []byte("hello, shm"))
+				if errs[i] != nil {
+					return
+				}
+			}
+			errs[i] = done.Wait(n)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+
+	n := d.Node(1)
+	if v, err := total.Load(n); err != nil || v != 1+2+3 {
+		t.Errorf("total = %d, %v", v, err)
+	}
+	for i := 0; i < 3; i++ {
+		if v, err := flags.At(i).Load(n); err != nil || v != 1 {
+			t.Errorf("flag %d = %d, %v", i, v, err)
+		}
+	}
+	buf := make([]byte, 10)
+	if err := blob.Load(n, buf); err != nil || string(buf) != "hello, shm" {
+		t.Errorf("blob = %q, %v", buf, err)
+	}
+}
+
+// TestFacadeTCPTransport runs a workload through the public TCP cluster
+// constructor — the full redesigned surface end to end: typed handles
+// above, real sockets below.
+func TestFacadeTCPTransport(t *testing.T) {
+	trs, err := repro.NewLoopbackTCPCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := repro.ExecuteWorkload("water", 3, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.RunWorkloadOnRuntime("water", 3, 0.05, 7, repro.RuntimeConfig{
+		PageSize: 1024, Mode: repro.LazyInvalidate, Transports: trs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Image, ref.Image) {
+		t.Error("runtime image over TCP diverges from sequential reference")
+	}
+	if res.Net.Messages == 0 {
+		t.Error("no traffic crossed the TCP cluster")
+	}
+}
