@@ -248,25 +248,86 @@ func BenchmarkRuntimeMigratoryCounter(b *testing.B) {
 // benchRuntimeWorkload runs one SPLASH workload end to end on the live DSM
 // runtime per iteration — the full life of an execution: node startup,
 // concurrent program body, closing barrier, image read-out — under every
-// protocol engine, reporting interconnect traffic per run.
+// protocol engine and node shape (gpn=1: one goroutine per node; gpn=2:
+// two logical processors multiplexed onto each of two nodes; gpn=4: the
+// whole program on one oversubscribed node), reporting interconnect
+// traffic per run.
 func benchRuntimeWorkload(b *testing.B, app string) {
 	for _, mode := range dsm.Modes {
-		b.Run(mode.String(), func(b *testing.B) {
-			prog, err := workload.New(app, 4, 0.05, benchSeed)
-			if err != nil {
-				b.Fatal(err)
-			}
-			var res *workload.RuntimeResult
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res, err = workload.RunOnRuntime(prog, workload.RuntimeConfig{PageSize: 1024, Mode: mode})
+		for _, gpn := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/gpn=%d", mode, gpn), func(b *testing.B) {
+				prog, err := workload.New(app, 4, 0.05, benchSeed)
 				if err != nil {
 					b.Fatal(err)
 				}
+				var res *workload.RuntimeResult
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err = workload.RunOnRuntime(prog, workload.RuntimeConfig{
+						PageSize: 1024, Mode: mode, GoroutinesPerNode: gpn,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(res.Net.Messages), "msgs/run")
+				b.ReportMetric(float64(res.Net.Bytes)/1024, "kB/run")
+			})
+		}
+	}
+}
+
+// BenchmarkRuntimeCounter is the concurrency headline bench: the
+// migratory-counter pattern at a fixed logical parallelism of eight
+// processors, across node shapes — gpn=1 is eight single-goroutine
+// nodes, gpn=4 two oversubscribed nodes of four goroutines, gpn=8 one
+// node. Each processor performs b.N lock-protected increments, so ns/op
+// is directly comparable across shapes; oversubscribed shapes resolve
+// most lock transfers as node-local handoffs and must show the
+// throughput gain (CI records gpn=1 vs gpn=4 in BENCH_runtime.json).
+func BenchmarkRuntimeCounter(b *testing.B) {
+	const procs = 8
+	for _, gpn := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("gpn=%d", gpn), func(b *testing.B) {
+			d, err := repro.NewDSM(repro.DSMConfig{
+				Procs:             procs / gpn,
+				SpaceSize:         64 * 1024,
+				PageSize:          1024,
+				Mode:              repro.LazyInvalidate,
+				GoroutinesPerNode: gpn,
+			})
+			if err != nil {
+				b.Fatal(err)
 			}
+			defer d.Close()
+			a := repro.NewArena(d.Layout())
+			counter := repro.NewVar[uint64](a)
+			lock := a.NewLock()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for _, n := range d.Local() {
+				for g := 0; g < gpn; g++ {
+					wg.Add(1)
+					go func(n *repro.Node) {
+						defer wg.Done()
+						for k := 0; k < b.N; k++ {
+							if err := repro.Locked(n, lock, func() error {
+								_, err := counter.Add(n, 1)
+								return err
+							}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(n)
+				}
+			}
+			wg.Wait()
 			b.StopTimer()
-			b.ReportMetric(float64(res.Net.Messages), "msgs/run")
-			b.ReportMetric(float64(res.Net.Bytes)/1024, "kB/run")
+			st := d.NetStats()
+			crit := int64(procs) * int64(b.N)
+			b.ReportMetric(float64(st.Messages)/float64(crit), "msgs/critsec")
 		})
 	}
 }

@@ -17,9 +17,17 @@
 // -self index, and the process hosting node 0 verifies and prints the
 // result.
 //
+// With -gpn k the logical processors are multiplexed onto procs/k
+// oversubscribed nodes, k concurrent application goroutines each —
+// node-local lock handoffs and two-level barriers replace most of the
+// interconnect traffic, the threads-per-node shape the concurrent node
+// core exists for.
+//
 // Examples:
 //
 //	lrcrun -demo counter -mode LU -procs 8
+//	lrcrun -demo counter -mode LI -procs 8 -gpn 4
+//	lrcrun -app water -mode LI -procs 8 -gpn 2
 //	lrcrun -demo stencil -procs 4 -gc 2
 //	lrcrun -app locusroute -mode EU -procs 8 -scale 0.25
 //	lrcrun -app mp3d -mode SC
@@ -65,7 +73,8 @@ func run(args []string, out io.Writer) error {
 		demo      = fs.String("demo", "", "demo program: counter, stencil, queue")
 		app       = fs.String("app", "", "workload to run on the runtime ("+strings.Join(workload.Names, ", ")+") or \"all\"")
 		mode      = fs.String("mode", "LI", "protocol mode: "+dsm.ModeNames())
-		procs     = fs.Int("procs", 8, "number of DSM nodes (with -transport tcp, fixed to the peer count)")
+		procs     = fs.Int("procs", 8, "number of logical processors (with -transport tcp, fixed to peer count × -gpn)")
+		gpn       = fs.Int("gpn", 1, "application goroutines per DSM node: gpn > 1 multiplexes the processors onto procs/gpn oversubscribed nodes")
 		iters     = fs.Int("iters", 100, "iterations per node (demos)")
 		scale     = fs.Float64("scale", 0.1, "workload scale factor (-app)")
 		seed      = fs.Int64("seed", 42, "workload random seed (-app)")
@@ -82,6 +91,9 @@ func run(args []string, out io.Writer) error {
 	m, err := dsm.ParseMode(*mode)
 	if err != nil {
 		return err
+	}
+	if *gpn < 1 {
+		return fmt.Errorf("-gpn %d must be at least 1", *gpn)
 	}
 
 	procsSet := false
@@ -107,10 +119,11 @@ func run(args []string, out io.Writer) error {
 		if *self < 0 || *self >= len(peerList) {
 			return fmt.Errorf("-self %d outside peer list [0,%d)", *self, len(peerList))
 		}
-		if procsSet && *procs != len(peerList) {
-			return fmt.Errorf("-procs %d conflicts with the %d-entry peer list (node count is the peer count)", *procs, len(peerList))
+		if procsSet && *procs != len(peerList)**gpn {
+			return fmt.Errorf("-procs %d conflicts with the %d-entry peer list at -gpn %d (processor count is peers × gpn)",
+				*procs, len(peerList), *gpn)
 		}
-		*procs = len(peerList)
+		*procs = len(peerList) * *gpn
 	default:
 		return fmt.Errorf("unknown transport %q (supported: simnet, tcp)", *transport)
 	}
@@ -132,18 +145,18 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-app all runs one cluster per workload; start each -app separately under -transport tcp")
 		}
 		for _, name := range workload.Names {
-			if err := runWorkload(out, name, *procs, *scale, *seed, m, *pageSize, *gc, mkTransport); err != nil {
+			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, mkTransport); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *app != "":
-		return runWorkload(out, *app, *procs, *scale, *seed, m, *pageSize, *gc, mkTransport)
+		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, mkTransport)
 	default:
 		if *demo == "" {
 			*demo = "counter"
 		}
-		return runDemo(out, *demo, m, *procs, *iters, *pageSize, *gc, mkTransport)
+		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, mkTransport)
 	}
 }
 
@@ -165,9 +178,13 @@ func parsePeers(s string) ([]string, error) {
 // runWorkload executes a SPLASH workload on the live runtime, verifies its
 // final memory image against the lockstep reference, and reports the
 // interconnect totals next to the simulator's counts for the same trace.
-// Under TCP only the process hosting node 0 holds the image; the others
-// report their own traffic.
-func runWorkload(out io.Writer, name string, procs int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, mkTransport func() (repro.Transport, error)) error {
+// With gpn > 1 the program's processors are multiplexed onto procs/gpn
+// oversubscribed nodes. Under TCP only the process hosting node 0 holds
+// the image; the others report their own traffic.
+func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, mkTransport func() (repro.Transport, error)) error {
+	if procs%gpn != 0 {
+		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
+	}
 	prog, err := workload.New(name, procs, scale, seed)
 	if err != nil {
 		return err
@@ -176,7 +193,7 @@ func runWorkload(out io.Writer, name string, procs int, scale float64, seed int6
 	if err != nil {
 		return err
 	}
-	rc := workload.RuntimeConfig{PageSize: pageSize, Mode: m, GCEveryBarriers: gc}
+	rc := workload.RuntimeConfig{PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn}
 	if tr != nil {
 		rc.Transports = []repro.Transport{tr}
 	}
@@ -204,7 +221,7 @@ func runWorkload(out io.Writer, name string, procs int, scale float64, seed int6
 		return err
 	}
 	c := ref.Trace.Count()
-	fmt.Fprintf(out, "== %s: %d procs, scale %g, mode %s, page %d ==\n", name, procs, scale, m, pageSize)
+	fmt.Fprintf(out, "== %s: %d procs on %d nodes, scale %g, mode %s, page %d ==\n", name, procs, procs/gpn, scale, m, pageSize)
 	fmt.Fprintf(out, "trace: %d events (%d reads, %d writes, %d acquires, %d barrier arrivals)\n",
 		len(ref.Trace.Events), c.Reads, c.Writes, c.Acquires, c.BarrierArrivals)
 	fmt.Fprintf(out, "image: %d bytes, %s\n", len(res.Image), verdict)
@@ -230,8 +247,8 @@ func runWorkload(out io.Writer, name string, procs int, scale float64, seed int6
 	return nil
 }
 
-func runDemo(out io.Writer, demo string, m dsm.Mode, procs, iters, pageSize, gc int, mkTransport func() (repro.Transport, error)) error {
-	var body func(out io.Writer, d *repro.DSM, iters int) error
+func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, mkTransport func() (repro.Transport, error)) error {
+	var body func(out io.Writer, d *repro.DSM, gpn, iters int) error
 	switch demo {
 	case "counter":
 		body = runCounter
@@ -242,28 +259,32 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, iters, pageSize, gc 
 	default:
 		return fmt.Errorf("unknown demo %q", demo)
 	}
+	if procs%gpn != 0 {
+		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
+	}
 	tr, err := mkTransport()
 	if err != nil {
 		return err
 	}
 	d, err := repro.NewDSM(repro.DSMConfig{
-		Procs:           procs,
-		SpaceSize:       1 << 20,
-		PageSize:        pageSize,
-		Mode:            m,
-		GCEveryBarriers: gc,
-		Transport:       tr,
+		Procs:             procs / gpn,
+		SpaceSize:         1 << 20,
+		PageSize:          pageSize,
+		Mode:              m,
+		GCEveryBarriers:   gc,
+		GoroutinesPerNode: gpn,
+		Transport:         tr,
 	})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
 
-	if err := body(out, d, iters); err != nil {
+	if err := body(out, d, gpn, iters); err != nil {
 		return err
 	}
 	st := d.NetStats()
-	fmt.Fprintf(out, "demo=%s mode=%s procs=%d iters=%d\n", demo, m, procs, iters)
+	fmt.Fprintf(out, "demo=%s mode=%s procs=%d nodes=%d gpn=%d iters=%d\n", demo, m, procs, procs/gpn, gpn, iters)
 	fmt.Fprintf(out, "interconnect: %d messages, %d bytes, estimated serial wire time %v\n",
 		st.Messages, st.Bytes, d.EstimateTime())
 	for _, n := range d.Local() {
@@ -288,12 +309,15 @@ func newDemoSchema(d *repro.DSM) *demoSchema {
 }
 
 // runCounter is the migratory-data pattern of the paper's Figures 3 and 4:
-// every node repeatedly locks, increments, unlocks one shared counter.
-func runCounter(out io.Writer, d *repro.DSM, iters int) error {
+// every processor repeatedly locks, increments, unlocks one shared
+// counter (with -gpn > 1 several processors share each node and the
+// lock mostly hands off locally).
+func runCounter(out io.Writer, d *repro.DSM, gpn, iters int) error {
 	s := newDemoSchema(d)
 	counter := repro.NewVar[uint64](s.arena)
 	lock := s.arena.NewLock()
-	return parallel(d, func(n *repro.Node, id int) error {
+	procs := d.NumProcs() * gpn
+	return parallel(d, gpn, func(n *repro.Node, id int) error {
 		for k := 0; k < iters; k++ {
 			if err := repro.Locked(n, lock, func() error {
 				_, err := counter.Add(n, 1)
@@ -314,7 +338,7 @@ func runCounter(out io.Writer, d *repro.DSM, iters int) error {
 			}); err != nil {
 				return err
 			}
-			want := uint64(d.NumProcs() * iters)
+			want := uint64(procs * iters)
 			if v != want {
 				return fmt.Errorf("counter = %d, want %d (consistency violation!)", v, want)
 			}
@@ -327,15 +351,16 @@ func runCounter(out io.Writer, d *repro.DSM, iters int) error {
 // runStencil is a barrier-per-step grid relaxation (the barrier-heavy
 // category of §5.3): each node owns a band of a grid, reads its
 // neighbors' boundary rows, and synchronizes with barriers.
-func runStencil(out io.Writer, d *repro.DSM, iters int) error {
+func runStencil(out io.Writer, d *repro.DSM, gpn, iters int) error {
 	const rowBytes = 512
 	s := newDemoSchema(d)
-	procs := d.NumProcs()
+	procs := d.NumProcs() * gpn
 	step := s.arena.NewBarrier()
-	// One boundary row per node, padded a band apart like the original
-	// grid layout, so neighbors share pages only at band boundaries.
+	// One boundary row per processor, padded a band apart like the
+	// original grid layout, so neighbors share pages only at band
+	// boundaries (and, oversubscribed, between co-located processors).
 	rows := repro.NewBytesArray(s.arena, procs, rowBytes, 4*rowBytes)
-	return parallel(d, func(n *repro.Node, id int) error {
+	return parallel(d, gpn, func(n *repro.Node, id int) error {
 		row := make([]byte, rowBytes)
 		for k := 0; k < iters; k++ {
 			// Read the neighbor band's boundary row, then rewrite ours.
@@ -362,14 +387,14 @@ func runStencil(out io.Writer, d *repro.DSM, iters int) error {
 
 // runQueue is the migratory task-queue pattern of LocusRoute/Cholesky: a
 // lock-protected shared queue head with per-task data updates.
-func runQueue(out io.Writer, d *repro.DSM, iters int) error {
+func runQueue(out io.Writer, d *repro.DSM, gpn, iters int) error {
 	s := newDemoSchema(d)
 	head := repro.NewVar[uint64](s.arena)
 	lock := s.arena.NewLock()
 	s.arena.PageAlign()
-	total := d.NumProcs() * iters
+	total := d.NumProcs() * gpn * iters
 	tasks := repro.NewArray[uint64](s.arena, total)
-	err := parallel(d, func(n *repro.Node, id int) error {
+	err := parallel(d, gpn, func(n *repro.Node, id int) error {
 		for {
 			var task uint64
 			claimed := false
@@ -405,18 +430,24 @@ func runQueue(out io.Writer, d *repro.DSM, iters int) error {
 	return err
 }
 
-// parallel drives f on every node this process hosts (all of them over
-// the in-process network, this process's one under TCP).
-func parallel(d *repro.DSM, f func(n *repro.Node, id int) error) error {
+// parallel drives f with gpn concurrent goroutines on every node this
+// process hosts (all nodes over the in-process network, this process's
+// one under TCP). The id handed to f is the cluster-unique processor
+// id: processor p runs on node p mod NumProcs, like the workload
+// runtime's oversubscribed mapping.
+func parallel(d *repro.DSM, gpn int, f func(n *repro.Node, id int) error) error {
 	local := d.Local()
+	nodes := d.NumProcs()
 	var wg sync.WaitGroup
-	errs := make([]error, len(local))
+	errs := make([]error, len(local)*gpn)
 	for i, n := range local {
-		wg.Add(1)
-		go func(i int, n *repro.Node) {
-			defer wg.Done()
-			errs[i] = f(n, int(n.ID()))
-		}(i, n)
+		for g := 0; g < gpn; g++ {
+			wg.Add(1)
+			go func(slot int, n *repro.Node, id int) {
+				defer wg.Done()
+				errs[slot] = f(n, id)
+			}(i*gpn+g, n, int(n.ID())+g*nodes)
+		}
 	}
 	wg.Wait()
 	for _, err := range errs {

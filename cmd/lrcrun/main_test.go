@@ -20,6 +20,48 @@ func TestRunDemoCounter(t *testing.T) {
 	}
 }
 
+func TestRunDemoCounterOversubscribed(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "counter", "-procs", "4", "-gpn", "2", "-iters", "5", "-mode", "SC"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"counter reached 20", "nodes=2 gpn=2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWorkloadOversubscribed(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-app", "mp3d", "-procs", "4", "-gpn", "4", "-scale", "0.05",
+		"-pagesize", "1024", "-mode", "EI"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"4 procs on 1 nodes", "matches sequential reference"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestGPNFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-demo", "counter", "-procs", "4", "-gpn", "3"},
+		{"-app", "water", "-procs", "4", "-gpn", "3"},
+		{"-demo", "counter", "-gpn", "0"},
+		{"-transport", "tcp", "-peers", ":0,:0", "-self", "0", "-procs", "5", "-gpn", "2"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
 func TestRunDemoQueueLU(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-demo", "queue", "-mode", "LU", "-procs", "2", "-iters", "5"}, &out); err != nil {

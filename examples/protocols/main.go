@@ -1,13 +1,18 @@
 // Protocols regenerates the paper's complete evaluation through the
 // public API — every figure's message and data series for all five
 // workloads, the SC baseline, and the three §4 design-choice ablations —
-// and prints a compact report. This is the library-driven equivalent of
-// cmd/lrcsim.
+// and then runs the same protocol matrix *live*: each workload executes
+// on the DSM runtime under every engine (LI/LU/EI/EU/SC), both one
+// processor per node and oversubscribed (several application goroutines
+// multiplexed per node), with the final memory image verified against
+// the sequential reference. This is the library-driven equivalent of
+// cmd/lrcsim plus cmd/lrcrun, written entirely against the repro façade.
 //
 // Run with: go run ./examples/protocols
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 
@@ -77,5 +82,42 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-28s %10d msgs %10d KB\n", abl.name, st.TotalMessages(), st.TotalBytes()/1024)
+	}
+
+	// --- the same matrix, live ---
+	//
+	// Every protocol engine moves real bytes on the runtime; the final
+	// image must match the lockstep sequential reference. The second
+	// column re-runs each engine oversubscribed: the same eight logical
+	// processors multiplexed onto two nodes, four concurrent goroutines
+	// each — lock handoffs and barrier rendezvous resolve node-locally,
+	// so the interconnect moves far fewer messages for the same program.
+	const procs, scale, seed, pageSize = 8, 0.05, 42, 1024
+	fmt.Println()
+	fmt.Println("== live runtime: all five engines, 1 and 4 goroutines per node ==")
+	fmt.Printf("%-12s %-6s %14s %16s\n", "workload", "mode", "msgs @gpn=1", "msgs @gpn=4")
+	for _, app := range repro.Workloads {
+		ref, err := repro.ExecuteWorkload(app, procs, scale, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, mode := range repro.DSMModes {
+			var msgs [2]int64
+			for i, gpn := range []int{1, 4} {
+				res, err := repro.RunWorkloadOnRuntime(app, procs, scale, seed, repro.RuntimeConfig{
+					PageSize:          pageSize,
+					Mode:              mode,
+					GoroutinesPerNode: gpn,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !bytes.Equal(res.Image, ref.Image) {
+					log.Fatalf("%s/%s gpn=%d: runtime image diverges from the sequential reference", app, mode, gpn)
+				}
+				msgs[i] = res.Net.Messages
+			}
+			fmt.Printf("%-12s %-6s %14d %16d\n", app, mode, msgs[0], msgs[1])
+		}
 	}
 }

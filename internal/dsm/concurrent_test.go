@@ -1,0 +1,335 @@
+package dsm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/transport/tcp"
+)
+
+// Concurrent-access torture tests for the sharded node core: N
+// application goroutines per node hammer disjoint and false-shared
+// pages under every protocol engine, over the in-process network and
+// over loopback TCP, and the final shared-memory images must be exactly
+// what the program's synchronization promises — run these under -race
+// to sweep the striped page state, the shard queues and the two-level
+// lock/barrier machinery.
+
+// tortureParams scales the hammering to the test mode.
+func tortureParams(t *testing.T) (iters int) {
+	t.Helper()
+	if testing.Short() {
+		return 8
+	}
+	return 25
+}
+
+// newSysGPN builds a simnet system with gpn application goroutines per
+// node declared for the barrier rendezvous.
+func newSysGPN(t *testing.T, procs, gpn int, mode Mode) *System {
+	t.Helper()
+	s, err := New(Config{
+		Procs: procs, SpaceSize: 256 * 1024, PageSize: 1024,
+		Mode: mode, GoroutinesPerNode: gpn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+// driveSlots runs body once per (node, goroutine) slot across every
+// local node of every system, genuinely concurrently, and fails the
+// test on any error. slot = nodeID*gpn + g is a cluster-unique id.
+func driveSlots(t *testing.T, systems []*System, gpn int, body func(n *Node, slot int) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for _, s := range systems {
+		for _, n := range s.Local() {
+			for g := 0; g < gpn; g++ {
+				wg.Add(1)
+				go func(n *Node, slot int) {
+					defer wg.Done()
+					if err := body(n, slot); err != nil {
+						mu.Lock()
+						if first == nil {
+							first = err
+						}
+						mu.Unlock()
+					}
+				}(n, int(n.ID())*gpn+g)
+			}
+		}
+	}
+	wg.Wait()
+	if first != nil {
+		t.Fatal(first)
+	}
+}
+
+// TestConcurrentDisjointPages: every goroutine owns a private page and
+// rewrites it each round; after each barrier every goroutine audits its
+// right neighbor's page. Independent pages must fault, install and diff
+// in parallel without bleeding into each other.
+func TestConcurrentDisjointPages(t *testing.T) {
+	const procs, gpn = 4, 4
+	iters := tortureParams(t)
+	allModes(t, func(t *testing.T, mode Mode) {
+		s := newSysGPN(t, procs, gpn, mode)
+		slots := procs * gpn
+		pageSz := s.Layout().PageSize()
+		pattern := func(slot, round int) byte { return byte(slot*31 + round*7 + 1) }
+		driveSlots(t, []*System{s}, gpn, func(n *Node, slot int) error {
+			buf := make([]byte, pageSz)
+			for k := 0; k < iters; k++ {
+				for i := range buf {
+					buf[i] = pattern(slot, k)
+				}
+				if err := n.Write(mem.Addr(slot*pageSz), buf); err != nil {
+					return err
+				}
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+				nb := (slot + 1) % slots
+				if err := n.Read(buf, mem.Addr(nb*pageSz)); err != nil {
+					return err
+				}
+				for i, b := range buf {
+					if b != pattern(nb, k) {
+						return fmt.Errorf("%s: slot %d round %d: neighbor %d byte %d = %#x, want %#x",
+							mode, slot, k, nb, i, b, pattern(nb, k))
+					}
+				}
+				if err := n.Barrier(1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// TestConcurrentFalseSharedPage: every goroutine owns one uint64 word
+// of a single shared page and bumps it each round — the multiple-writer
+// protocols must merge the concurrent same-page writes (twins + diffs),
+// SC must serialize them — and after each barrier every goroutine
+// audits the whole word array.
+func TestConcurrentFalseSharedPage(t *testing.T) {
+	const procs, gpn = 4, 4
+	iters := tortureParams(t)
+	allModes(t, func(t *testing.T, mode Mode) {
+		s := newSysGPN(t, procs, gpn, mode)
+		slots := procs * gpn
+		driveSlots(t, []*System{s}, gpn, func(n *Node, slot int) error {
+			for k := 0; k < iters; k++ {
+				if err := n.WriteUint64(mem.Addr(slot*8), uint64(slot+1)*uint64(k+1)); err != nil {
+					return err
+				}
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+				for sl := 0; sl < slots; sl++ {
+					v, err := n.ReadUint64(mem.Addr(sl * 8))
+					if err != nil {
+						return err
+					}
+					if want := uint64(sl+1) * uint64(k+1); v != want {
+						return fmt.Errorf("%s: slot %d round %d: word %d = %d, want %d",
+							mode, slot, k, sl, v, want)
+					}
+				}
+				if err := n.Barrier(1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// TestConcurrentLockedCounters: all goroutines of all nodes hammer a
+// shared counter under one lock (pure migratory data, local handoffs
+// interleaved with remote transfers) while also bumping a false-shared
+// per-slot tally under a second lock; both must come out exact.
+func TestConcurrentLockedCounters(t *testing.T) {
+	const procs, gpn = 4, 4
+	iters := tortureParams(t)
+	allModes(t, func(t *testing.T, mode Mode) {
+		s := newSysGPN(t, procs, gpn, mode)
+		slots := procs * gpn
+		const counterAddr, tallyBase = 0, 4096
+		driveSlots(t, []*System{s}, gpn, func(n *Node, slot int) error {
+			for k := 0; k < iters; k++ {
+				if err := n.Acquire(0); err != nil {
+					return err
+				}
+				v, err := n.ReadUint64(counterAddr)
+				if err != nil {
+					return err
+				}
+				if err := n.WriteUint64(counterAddr, v+1); err != nil {
+					return err
+				}
+				if err := n.Release(0); err != nil {
+					return err
+				}
+				if err := n.Acquire(1); err != nil {
+					return err
+				}
+				v, err = n.ReadUint64(mem.Addr(tallyBase + slot*8))
+				if err != nil {
+					return err
+				}
+				if err := n.WriteUint64(mem.Addr(tallyBase+slot*8), v+2); err != nil {
+					return err
+				}
+				if err := n.Release(1); err != nil {
+					return err
+				}
+			}
+			return n.Barrier(0)
+		})
+		n0 := s.Node(0)
+		v, err := n0.ReadUint64(counterAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(slots * iters); v != want {
+			t.Fatalf("%s: counter = %d, want %d", mode, v, want)
+		}
+		for sl := 0; sl < slots; sl++ {
+			v, err := n0.ReadUint64(mem.Addr(tallyBase + sl*8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(2 * iters); v != want {
+				t.Fatalf("%s: tally %d = %d, want %d", mode, sl, v, want)
+			}
+		}
+	})
+}
+
+// TestConcurrentImageIdentical: the disjoint + false-shared mix, ending
+// with a full-space read-out on node 0 that must be byte-identical to
+// the locally computed expectation under every mode — the dsm-level
+// analogue of the workload differential harness.
+func TestConcurrentImageIdentical(t *testing.T) {
+	const procs, gpn = 4, 2
+	iters := tortureParams(t)
+	var images [][]byte
+	allModes(t, func(t *testing.T, mode Mode) {
+		s := newSysGPN(t, procs, gpn, mode)
+		slots := procs * gpn
+		pageSz := s.Layout().PageSize()
+		driveSlots(t, []*System{s}, gpn, func(n *Node, slot int) error {
+			for k := 0; k < iters; k++ {
+				// Private page, then a false-shared word on page 0.
+				row := make([]byte, 64)
+				for i := range row {
+					row[i] = byte(slot ^ (k + i))
+				}
+				if err := n.Write(mem.Addr((1+slot)*pageSz), row); err != nil {
+					return err
+				}
+				if err := n.WriteUint64(mem.Addr(slot*8), uint64(slot)<<8|uint64(k)); err != nil {
+					return err
+				}
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		img := make([]byte, s.Layout().SpaceSize())
+		if err := s.Node(0).Read(img, 0); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, len(img))
+		for slot := 0; slot < slots; slot++ {
+			for i := 0; i < 64; i++ {
+				want[(1+slot)*pageSz+i] = byte(slot ^ (iters - 1 + i))
+			}
+			v := uint64(slot)<<8 | uint64(iters-1)
+			for i := 0; i < 8; i++ {
+				want[slot*8+i] = byte(v >> (8 * i))
+			}
+		}
+		if !bytes.Equal(img, want) {
+			t.Fatalf("%s: final image diverges from expectation", mode)
+		}
+		images = append(images, img)
+	})
+	for i := 1; i < len(images); i++ {
+		if !bytes.Equal(images[i], images[0]) {
+			t.Fatalf("images diverge between modes %s and %s", Modes[0], Modes[i])
+		}
+	}
+}
+
+// TestConcurrentOverTCP: the locked-counter hammer across a real
+// loopback TCP cluster — every node an independent System on its own
+// listener, gpn goroutines each — under every protocol engine.
+func TestConcurrentOverTCP(t *testing.T) {
+	const procs, gpn = 2, 3
+	iters := tortureParams(t)
+	allModes(t, func(t *testing.T, mode Mode) {
+		cluster, err := tcp.NewLoopbackCluster(procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems := make([]*System, procs)
+		for i, tr := range cluster {
+			systems[i], err = New(Config{
+				Procs: procs, SpaceSize: 64 * 1024, PageSize: 1024,
+				Mode: mode, GoroutinesPerNode: gpn, Transport: tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer systems[i].Close()
+		}
+		slots := procs * gpn
+		driveSlots(t, systems, gpn, func(n *Node, slot int) error {
+			for k := 0; k < iters; k++ {
+				if err := n.Acquire(0); err != nil {
+					return err
+				}
+				v, err := n.ReadUint64(0)
+				if err != nil {
+					return err
+				}
+				if err := n.WriteUint64(0, v+1); err != nil {
+					return err
+				}
+				if err := n.Release(0); err != nil {
+					return err
+				}
+			}
+			if err := n.Barrier(0); err != nil {
+				return err
+			}
+			if slot == 0 {
+				v, err := n.ReadUint64(0)
+				if err != nil {
+					return err
+				}
+				if want := uint64(slots * iters); v != want {
+					return fmt.Errorf("%s over tcp: counter = %d, want %d", mode, v, want)
+				}
+			}
+			// Hold every process alive until the audit read was served.
+			return n.Barrier(1)
+		})
+	})
+}

@@ -1,9 +1,18 @@
 // Package dsm is a live software distributed shared memory runtime. Each
-// node is driven by one application goroutine and one message-handler
-// goroutine; nodes exchange real bytes (twins, diffs, write notices,
-// vector clocks, invalidations, page ships) over a pluggable reliable
-// FIFO interconnect (internal/transport) using the wire format of
-// internal/wire.
+// node is driven by any number of concurrent application goroutines
+// (Config.GoroutinesPerNode sizes the barrier rendezvous) and serves
+// incoming protocol frames through a dispatch loop feeding a worker
+// pool that serializes per-page work; nodes exchange real bytes (twins,
+// diffs, write notices, vector clocks, invalidations, page ships) over
+// a pluggable reliable FIFO interconnect (internal/transport) using the
+// wire format of internal/wire.
+//
+// Node state is sharded for concurrency: per-page protocol state lives
+// under a striped lock table keyed by page id, statistics are atomic
+// counters, and the distributed lock/barrier machinery two-levels local
+// goroutines in front of the node's single protocol identity — so
+// independent pages fault, install and diff in parallel, on both the
+// application side and the handler side.
 //
 // The consistency policy is pluggable: a protocol engine (see engine.go)
 // owns page state, data movement and the consistency payload of
@@ -165,6 +174,14 @@ type Config struct {
 	// merged clock, bounding memory (TreadMarks-style). Only the lazy
 	// protocols retain diffs; the eager and SC engines ignore it.
 	GCEveryBarriers int
+	// GoroutinesPerNode is the number of application goroutines that
+	// drive each node (0 and 1 mean one). Node methods are safe for
+	// concurrent use regardless; the knob sizes Node.Barrier's local
+	// rendezvous: all GoroutinesPerNode goroutines of a node must arrive
+	// at a barrier before the node arrives at the cluster barrier, and
+	// all are released when the cluster barrier completes. Locks contend
+	// node-locally by handoff (no extra protocol traffic).
+	GoroutinesPerNode int
 	// Latency configures the interconnect's time model for EstimateTime
 	// (zero value uses transport.DefaultLatency).
 	Latency LatencyModel
@@ -193,9 +210,9 @@ type System struct {
 	closeErr  error
 }
 
-// New builds and starts a DSM. Callers drive each node from exactly one
-// goroutine (Node methods are not reentrant across goroutines) and must
-// Close the system when done.
+// New builds and starts a DSM. Node methods are safe for concurrent use
+// from multiple goroutines (set GoroutinesPerNode when more than one
+// uses barriers); callers must Close the system when done.
 func New(cfg Config) (*System, error) {
 	// New owns cfg.Transport from the first line: every error return
 	// must close it, or a failed construction leaks the caller's
@@ -208,6 +225,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Procs <= 0 || cfg.Procs > 64 {
 		return fail(fmt.Errorf("dsm: processor count %d outside [1,64]", cfg.Procs))
+	}
+	if cfg.GoroutinesPerNode < 0 || cfg.GoroutinesPerNode > 4096 {
+		return fail(fmt.Errorf("dsm: goroutines per node %d outside [0,4096]", cfg.GoroutinesPerNode))
 	}
 	if !cfg.Mode.Valid() {
 		return fail(fmt.Errorf("dsm: unknown mode %d (supported: %s)", int(cfg.Mode), ModeNames()))
@@ -240,10 +260,11 @@ func New(cfg Config) (*System, error) {
 		return fail(errors.New("dsm: transport serves no local endpoints"))
 	}
 	for _, n := range s.local {
+		n.start()
 		s.handlers.Add(1)
 		go func(n *Node) {
 			defer s.handlers.Done()
-			n.handlerLoop()
+			n.dispatchLoop()
 		}(n)
 	}
 	return s, nil

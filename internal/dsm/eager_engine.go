@@ -22,32 +22,66 @@ import (
 //
 // The home serializes all directory transactions for a page under a
 // per-page mutex and sends every message of a transaction while holding
-// it. The transport's FIFO order then guarantees a cacher observes a page ship
-// before any invalidation or update that follows it; the only remaining
-// race — an invalidation arriving at a requester whose fetch response
-// has been delivered but not yet installed — is closed by a per-page
-// generation counter: the install is abandoned and the fetch retried
-// whenever the generation moved while the request was in flight.
+// it. The transport's FIFO order plus the receiver's per-page shard
+// queue then guarantee a cacher observes a page ship before any
+// invalidation or update that follows it. Page grants are installed by
+// the shard worker as they arrive (installPage), never on the
+// application goroutine after its rpc wakeup — so installs happen in
+// directory order, are never abandoned, and the home's copyset always
+// reflects what each node actually holds (the pre-refactor design
+// installed application-side behind a generation guard; with several
+// application goroutines an abandoned install left the node a copyset
+// member holding stale data, which a later flush would promote to the
+// owner copy).
+//
+// Concurrency: page copies, twins and generations are per-page state
+// under the node's striped lock table; the dirty-page set and the
+// in-flight flush bookkeeping live under small dedicated mutexes. With
+// multiple application goroutines per node a flush point must cover not
+// only the pages its own snapshot took but also every flush another
+// local goroutine already has in flight (the twin is node-level, so a
+// concurrent flusher may be carrying this goroutine's writes): flushes
+// take a ticket on entry and a release completes only after every
+// earlier-ticketed flush has been acknowledged. Two local flushes of
+// the same page additionally serialize through a per-page slot so their
+// diffs reach the home in write order (EU cachers apply them in arrival
+// order).
 type eagerEngine struct {
 	n      *Node
 	update bool // EU: push diffs; EI: push invalidations
 
-	// Guarded by n.mu.
+	// pages[i] is guarded by n.pageLock(i).
 	pages []*eagerPage
-	twins map[mem.PageID]*page.Twin
-	gen   []uint64 // per-page invalidation generation (fetch-race guard)
-	// inflight maps a flush request's Seq to the flushed diff, so the
-	// handler can apply the home's reconciliation (write-backs, base
-	// data) synchronously on receipt — before any later directory
-	// message for the same page can arrive.
+
+	// dirtyMu guards the current critical section's dirty-page set. Leaf
+	// lock after a page stripe.
+	dirtyMu sync.Mutex
+	dirty   map[mem.PageID]struct{}
+
+	// flightMu guards the flush bookkeeping: in-flight flush payloads by
+	// request Seq (for the handler-side reconciliation), per-page flush
+	// slots, and the ticket counters ordering concurrent flush points.
+	flightMu sync.Mutex
+	flightCv *sync.Cond
 	inflight map[uint64]flushState
+	flushing map[mem.PageID]chan struct{}
+	// Ticket scheme: nextTicket numbers flush points in snapshot order;
+	// doneTickets records finished ones; lowTicket is the first ticket
+	// not yet known finished. A flush with ticket t may return once
+	// lowTicket > t (every earlier flush — which may carry this
+	// goroutine's writes — has been acknowledged).
+	nextTicket  uint64
+	lowTicket   uint64
+	doneTickets map[uint64]bool
 
 	dir []eagerDir // directory entries; used only for pages homed here
 }
 
+// eagerPage is a node's local copy of one page, guarded by its stripe.
 type eagerPage struct {
 	data  []byte
 	valid bool
+	twin  *page.Twin
 }
 
 type flushState struct {
@@ -64,14 +98,16 @@ type eagerDir struct {
 
 func newEagerEngine(n *Node, update bool) *eagerEngine {
 	e := &eagerEngine{
-		n:        n,
-		update:   update,
-		pages:    make([]*eagerPage, n.sys.layout.NumPages()),
-		twins:    make(map[mem.PageID]*page.Twin),
-		gen:      make([]uint64, n.sys.layout.NumPages()),
-		inflight: make(map[uint64]flushState),
-		dir:      make([]eagerDir, n.sys.layout.NumPages()),
+		n:           n,
+		update:      update,
+		pages:       make([]*eagerPage, n.sys.layout.NumPages()),
+		dirty:       make(map[mem.PageID]struct{}),
+		inflight:    make(map[uint64]flushState),
+		flushing:    make(map[mem.PageID]chan struct{}),
+		doneTickets: make(map[uint64]bool),
+		dir:         make([]eagerDir, n.sys.layout.NumPages()),
 	}
+	e.flightCv = sync.NewCond(&e.flightMu)
 	for pg := range e.dir {
 		e.dir[pg].owner = n.sys.home(mem.PageID(pg))
 	}
@@ -82,59 +118,97 @@ func (e *eagerEngine) clock() vc.VC { return vc.New(e.n.sys.cfg.Procs) }
 
 // --- accesses ---
 
-// ensureValid obtains a valid copy of pg, fetching it from the owner
-// through the home's directory on a miss. All misses go through the
-// message path, including the home's own (loopback is free), so the
-// directory transaction order is the single source of truth.
+// ensureValid obtains a copy of pg, fetching it from the owner through
+// the home's directory on a miss. All misses go through the message
+// path, including the home's own (loopback is free), so the directory
+// transaction order is the single source of truth. Miss service
+// serializes per page under the miss lock, and the granted page is
+// installed by the page's shard worker as the response arrives — in
+// directory order, never abandoned — so the home's copyset always
+// matches what this node actually holds. An invalidation that lands
+// directly behind the install leaves the copy invalid again; that is
+// the same staleness window an eagerly-consistent access always had
+// between validation and use, and the flush path reports it (see
+// flushOne's needBase).
 func (e *eagerEngine) ensureValid(pg mem.PageID) error {
 	n := e.n
-	for {
-		n.mu.Lock()
-		pc := e.pages[pg]
-		if pc != nil && pc.valid {
-			n.mu.Unlock()
-			return nil
-		}
-		n.stats.AccessMisses++
-		if pc == nil {
-			n.stats.ColdMisses++
-		}
-		g := e.gen[pg]
-		n.mu.Unlock()
-
-		resp, err := n.rpc(n.sys.home(pg), &wire.Msg{
-			Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
-		})
-		if err != nil {
-			return err
-		}
-
-		n.mu.Lock()
-		if e.gen[pg] != g {
-			// Invalidated (or updated past us) while the fetch was in
-			// flight: the data in hand may already be stale. Retry.
-			n.mu.Unlock()
-			continue
-		}
-		if pc == nil {
-			pc = &eagerPage{}
-			e.pages[pg] = pc
-		}
-		pc.data = resp.Data
-		pc.valid = true
-		n.stats.PagesFetched++
-		n.mu.Unlock()
+	pmu := n.pageLock(pg)
+	pmu.Lock()
+	pc := e.pages[pg]
+	if pc != nil && pc.valid {
+		pmu.Unlock()
 		return nil
 	}
+	pmu.Unlock()
+
+	mmu := n.missLock(pg)
+	mmu.Lock()
+	defer mmu.Unlock()
+
+	pmu.Lock()
+	pc = e.pages[pg]
+	if pc != nil && pc.valid {
+		pmu.Unlock()
+		return nil
+	}
+	n.stats.accessMisses.Add(1)
+	if pc == nil {
+		n.stats.coldMisses.Add(1)
+	}
+	pmu.Unlock()
+
+	// The response is intercepted in handle: by the time rpc returns,
+	// the shard worker has installed the granted page.
+	_, err := n.rpc(n.sys.home(pg), &wire.Msg{
+		Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
+	})
+	return err
+}
+
+// installPage applies a granted page at the requester, on the page's
+// shard worker, so the install happens in directory order: every
+// invalidation or update the home sent before this ship has already
+// been applied, and any sent after will be. If a concurrent local
+// critical section is mid-flight on the stale copy, its uncommitted
+// writes are lifted off and reinstated on top of the fetched data with
+// the twin rebased beneath them — the words belong to locks that
+// section holds, so no newer committed values for them can exist.
+func (e *eagerEngine) installPage(m *wire.Msg) {
+	n := e.n
+	pg := mem.PageID(m.A)
+	pmu := n.pageLock(pg)
+	pmu.Lock()
+	defer pmu.Unlock()
+	pc := e.pages[pg]
+	if pc == nil {
+		pc = &eagerPage{}
+		e.pages[pg] = pc
+	}
+	if pc.twin != nil {
+		du, err := page.MakeDiff(pc.twin, pc.data)
+		if err != nil {
+			panic(fmt.Sprintf("dsm: node %d: lifting uncommitted writes off page %d: %v", n.id, pg, err))
+		}
+		pc.twin = page.NewTwin(m.Data)
+		pc.data = m.Data
+		if err := du.Apply(pc.data); err != nil {
+			panic(fmt.Sprintf("dsm: node %d: reinstating uncommitted writes on page %d: %v", n.id, pg, err))
+		}
+	} else {
+		pc.data = m.Data
+	}
+	pc.valid = true
+	n.stats.pagesFetched.Add(1)
 }
 
 func (e *eagerEngine) readPage(pg mem.PageID, off int, dst []byte) error {
 	if err := e.ensureValid(pg); err != nil {
 		return err
 	}
-	e.n.mu.Lock()
+	pmu := e.n.pageLock(pg)
+	pmu.Lock()
 	copy(dst, e.pages[pg].data[off:off+len(dst)])
-	e.n.mu.Unlock()
+	pmu.Unlock()
 	return nil
 }
 
@@ -142,13 +216,21 @@ func (e *eagerEngine) writePage(pg mem.PageID, off int, src []byte) error {
 	if err := e.ensureValid(pg); err != nil {
 		return err
 	}
-	e.n.mu.Lock()
+	pmu := e.n.pageLock(pg)
+	pmu.Lock()
 	pc := e.pages[pg]
-	if _, ok := e.twins[pg]; !ok {
-		e.twins[pg] = page.NewTwin(pc.data)
+	created := false
+	if pc.twin == nil {
+		pc.twin = page.NewTwin(pc.data)
+		created = true
 	}
 	copy(pc.data[off:off+len(src)], src)
-	e.n.mu.Unlock()
+	pmu.Unlock()
+	if created {
+		e.dirtyMu.Lock()
+		e.dirty[pg] = struct{}{}
+		e.dirtyMu.Unlock()
+	}
 	return nil
 }
 
@@ -156,59 +238,155 @@ func (e *eagerEngine) writePage(pg mem.PageID, off int, src []byte) error {
 
 // flush commits this node's buffered modifications and pushes them
 // through each dirty page's home to every other cacher, blocking until
-// the home has invalidated (EI) or updated (EU) them all. Called from
-// the application goroutine without mu.
+// the home has invalidated (EI) or updated (EU) them all — and until
+// every flush an earlier local flush point still has in flight is
+// acknowledged too, so a release never completes while any write made
+// on this node before it is still propagating. Called from an
+// application goroutine without locks.
 func (e *eagerEngine) flush() error {
+	// Snapshot the dirty set and take a ticket atomically: every page a
+	// local goroutine dirtied before this point is either in our
+	// snapshot or owned by an earlier-ticketed flush we will wait for.
+	e.flightMu.Lock()
+	ticket := e.nextTicket
+	e.nextTicket++
+	e.dirtyMu.Lock()
+	cand := make([]mem.PageID, 0, len(e.dirty))
+	for pg := range e.dirty {
+		cand = append(cand, pg)
+	}
+	e.dirty = make(map[mem.PageID]struct{})
+	e.dirtyMu.Unlock()
+	e.flightMu.Unlock()
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+
+	err := e.flushPages(cand)
+	e.finishTicket(ticket)
+	if err != nil {
+		return err
+	}
+
+	// Wait for every earlier-ticketed flush point to finish.
+	e.flightMu.Lock()
+	for e.lowTicket <= ticket {
+		e.flightCv.Wait()
+	}
+	e.flightMu.Unlock()
+	return nil
+}
+
+// finishTicket marks a flush point done and advances the low-water mark
+// past every consecutively finished ticket.
+func (e *eagerEngine) finishTicket(t uint64) {
+	e.flightMu.Lock()
+	e.doneTickets[t] = true
+	for e.doneTickets[e.lowTicket] {
+		delete(e.doneTickets, e.lowTicket)
+		e.lowTicket++
+	}
+	e.flightCv.Broadcast()
+	e.flightMu.Unlock()
+}
+
+// flushPages diffs and pushes each candidate page, serializing per page
+// through the flush slots.
+func (e *eagerEngine) flushPages(cand []mem.PageID) error {
 	n := e.n
-	n.mu.Lock()
-	dirty := make([]flushState, 0, len(e.twins))
-	for pg, tw := range e.twins {
-		d, err := page.MakeDiff(tw, e.pages[pg].data)
+	flushed := 0
+	for _, pg := range cand {
+		pmu := n.pageLock(pg)
+		pmu.Lock()
+		pc := e.pages[pg]
+		if pc == nil || pc.twin == nil {
+			pmu.Unlock()
+			continue
+		}
+		d, err := page.MakeDiff(pc.twin, pc.data)
+		pc.twin = nil
+		pmu.Unlock()
 		if err != nil {
-			n.mu.Unlock()
 			return err
 		}
-		delete(e.twins, pg)
 		if d.Empty() {
 			continue
 		}
-		dirty = append(dirty, flushState{pg: pg, diff: d})
-	}
-	n.stats.FlushedPages += int64(len(dirty))
-	n.mu.Unlock()
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].pg < dirty[j].pg })
-
-	for _, fs := range dirty {
-		req := &wire.Msg{Kind: wire.KFlushReq, Seq: n.nextSeq(), A: int32(fs.pg), B: int32(n.id)}
-		if e.update {
-			req.Diffs = []wire.DiffRec{{Page: fs.pg, Diff: fs.diff}}
-		}
-		n.mu.Lock()
-		e.inflight[req.Seq] = fs
-		n.mu.Unlock()
-		// The handler applies the KFlushDone payload (write-backs, base
-		// data) before delivering it here; by then this node's copy is
-		// the page's authoritative state.
-		if _, err := n.rpc(n.sys.home(fs.pg), req); err != nil {
+		flushed++
+		if err := e.flushOne(flushState{pg: pg, diff: d}); err != nil {
 			return err
 		}
 	}
+	n.stats.flushedPages.Add(int64(flushed))
 	return nil
+}
+
+// flushOne pushes one page's diff through its home, claiming the page's
+// flush slot so local flushes of the same page reach the home in the
+// order their diffs were taken.
+func (e *eagerEngine) flushOne(fs flushState) error {
+	n := e.n
+	// If our copy is invalid at flush time (a critical section may keep
+	// writing through an invalidation, exactly as in the single-threaded
+	// engine), the reconciliation must carry a base: becoming owner with
+	// stale data would silently revert other processors' committed
+	// words. Shard-ordered installs keep the home's copyset equal to
+	// what we actually hold, so the home's own check covers this too —
+	// the explicit flag (a non-empty Data section on KFlushReq) is
+	// defense in depth at one byte of cost.
+	pmu := n.pageLock(fs.pg)
+	pmu.Lock()
+	pc := e.pages[fs.pg]
+	needBase := pc == nil || !pc.valid
+	pmu.Unlock()
+	for {
+		e.flightMu.Lock()
+		if ch := e.flushing[fs.pg]; ch != nil {
+			e.flightMu.Unlock()
+			select {
+			case <-ch:
+			case <-n.closedCh:
+				return fmt.Errorf("dsm: node %d: flush of page %d: %w", n.id, fs.pg, ErrClosed)
+			}
+			continue
+		}
+		slot := make(chan struct{})
+		e.flushing[fs.pg] = slot
+		req := &wire.Msg{Kind: wire.KFlushReq, Seq: n.nextSeq(), A: int32(fs.pg), B: int32(n.id)}
+		e.inflight[req.Seq] = fs
+		e.flightMu.Unlock()
+		if needBase {
+			req.Data = []byte{1}
+		}
+		if e.update {
+			req.Diffs = []wire.DiffRec{{Page: fs.pg, Diff: fs.diff}}
+		}
+		// The shard worker applies the KFlushDone payload (write-backs,
+		// base data) before delivering it here; by then this node's copy
+		// is the page's authoritative state.
+		_, err := n.rpc(n.sys.home(fs.pg), req)
+		e.flightMu.Lock()
+		delete(e.flushing, fs.pg)
+		if err != nil {
+			delete(e.inflight, req.Seq)
+		}
+		e.flightMu.Unlock()
+		close(slot)
+		return err
+	}
 }
 
 // --- lock and barrier hooks: flush at every release point ---
 
-func (e *eagerEngine) acquireStartLocked(req *wire.Msg) {}
-func (e *eagerEngine) grantLocked(req, grant *wire.Msg) {}
-func (e *eagerEngine) onGrant(grant *wire.Msg) error    { return nil }
-func (e *eagerEngine) preRelease() error                { return e.flush() }
-func (e *eagerEngine) releaseLocked()                   {}
+func (e *eagerEngine) acquireStart(req *wire.Msg)    {}
+func (e *eagerEngine) grant(req, grant *wire.Msg)    {}
+func (e *eagerEngine) onGrant(grant *wire.Msg) error { return nil }
+func (e *eagerEngine) preRelease() error             { return e.flush() }
+func (e *eagerEngine) release()                      {}
 
 func (e *eagerEngine) preBarrier() error                 { return e.flush() }
-func (e *eagerEngine) barrierEntryLocked()               {}
-func (e *eagerEngine) arriveLocked(arrive *wire.Msg)     {}
-func (e *eagerEngine) masterAbsorbLocked(m *wire.Msg)    {}
-func (e *eagerEngine) exitLocked(m, exit *wire.Msg)      {}
+func (e *eagerEngine) barrierEntry()                     {}
+func (e *eagerEngine) arrive(arrive *wire.Msg)           {}
+func (e *eagerEngine) masterAbsorb(m *wire.Msg)          {}
+func (e *eagerEngine) exit(m, exit *wire.Msg)            {}
 func (e *eagerEngine) onExit(exit *wire.Msg) error       { return nil }
 func (e *eagerEngine) postBarrier(b mem.BarrierID) error { return nil }
 
@@ -226,9 +404,15 @@ func (e *eagerEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 		e.applyInval(m, src)
 	case wire.KUpdate:
 		e.applyUpdate(m, src)
+	case wire.KPageResp:
+		// Intercepted response: install the granted page on the page's
+		// shard worker, in directory order, then wake the faulting
+		// application goroutine.
+		e.installPage(m)
+		e.n.deliverResponse(m)
 	case wire.KFlushDone:
 		// Intercepted response: apply the home's reconciliation on the
-		// handler goroutine so it is in place before any later
+		// page's shard worker so it is in place before any later
 		// directory message for the page arrives, then wake the
 		// flushing application goroutine.
 		e.applyFlushDone(m)
@@ -240,13 +424,14 @@ func (e *eagerEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 }
 
 // committedLocked returns a copy of this node's committed contents of
-// pg: the twin if the current critical section is mid-write, the page
-// data otherwise. Caller holds mu; the page must be present.
+// pg: the twin if a critical section is mid-write, the page data
+// otherwise. Caller holds the page stripe; the page must be present.
 func (e *eagerEngine) committedLocked(pg mem.PageID) []byte {
-	if tw := e.twins[pg]; tw != nil {
-		return append([]byte(nil), tw.Data()...)
+	pc := e.pages[pg]
+	if pc.twin != nil {
+		return append([]byte(nil), pc.twin.Data()...)
 	}
-	return append([]byte(nil), e.pages[pg].data...)
+	return append([]byte(nil), pc.data...)
 }
 
 // ownerData obtains the committed contents of pg from its current owner
@@ -290,11 +475,15 @@ func (e *eagerEngine) serveFlushReq(m *wire.Msg) {
 	defer d.mu.Unlock()
 
 	done := &wire.Msg{Kind: wire.KFlushDone, Seq: m.Seq, A: m.A}
-	if d.copyset&(1<<uint(flusher)) == 0 {
-		// A concurrent flush of the same page invalidated the flusher
-		// after it snapshotted its modifications (EI false sharing).
-		// Ship the current owner's data as a base; the flusher re-applies
-		// its own diff on top and the concurrent writes survive.
+	if d.copyset&(1<<uint(flusher)) == 0 || len(m.Data) > 0 {
+		// The flusher's copy cannot be trusted as the new owner copy:
+		// either a concurrent flush of the same page invalidated it after
+		// it snapshotted its modifications (EI false sharing, it dropped
+		// out of the copyset), or the flusher itself reported the copy
+		// invalid (a co-located goroutine's fetch joined the copyset but
+		// its install was abandoned). Ship the current owner's data as a
+		// base; the flusher re-applies its own diff on top and every
+		// committed word survives.
 		base, err := e.ownerData(d, pg)
 		if err != nil {
 			n.noteErr(fmt.Sprintf("flush %d base fetch", pg), err)
@@ -331,20 +520,19 @@ func (e *eagerEngine) serveFlushReq(m *wire.Msg) {
 	}
 	if d.owner != flusher {
 		d.owner = flusher
-		n.mu.Lock()
-		n.stats.OwnershipMoves++
-		n.mu.Unlock()
+		n.stats.ownershipMoves.Add(1)
 	}
 	d.copyset |= 1 << uint(flusher)
 	n.noteErr(fmt.Sprintf("flush done to %d", flusher), n.send(flusher, done))
 }
 
 // serveFetch answers the home's request for this owner's committed page
-// contents. Runs inline on the handler goroutine (it never blocks).
+// contents. Runs inline on the page's shard worker (it never blocks).
 func (e *eagerEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
-	n.mu.Lock()
+	pmu := n.pageLock(pg)
+	pmu.Lock()
 	var data []byte
 	switch {
 	case e.pages[pg] == nil && n.sys.home(pg) == n.id:
@@ -352,12 +540,12 @@ func (e *eagerEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 		// committed state is the zero page.
 		data = make([]byte, n.sys.layout.PageSize())
 	case e.pages[pg] == nil:
-		n.mu.Unlock()
+		pmu.Unlock()
 		panic(fmt.Sprintf("dsm: node %d: fetch of page %d it never held", n.id, pg))
 	default:
 		data = e.committedLocked(pg)
 	}
-	n.mu.Unlock()
+	pmu.Unlock()
 	resp := &wire.Msg{Kind: wire.KFetchResp, Seq: m.Seq, A: m.A, Data: data}
 	n.noteErr(fmt.Sprintf("fetch response to %d", src), n.send(src, resp))
 }
@@ -369,20 +557,20 @@ func (e *eagerEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
 	ack := &wire.Msg{Kind: wire.KInvalAck, Seq: m.Seq, A: m.A}
-	n.mu.Lock()
-	e.gen[pg]++
+	pmu := n.pageLock(pg)
+	pmu.Lock()
 	if pc := e.pages[pg]; pc != nil {
-		if tw := e.twins[pg]; tw != nil {
-			d, err := page.MakeDiff(tw, pc.data)
+		if pc.twin != nil {
+			d, err := page.MakeDiff(pc.twin, pc.data)
 			if err == nil && !d.Empty() {
 				ack.Diffs = append(ack.Diffs, wire.DiffRec{Page: pg, Diff: d})
 			}
-			delete(e.twins, pg)
+			pc.twin = nil
 		}
 		pc.valid = false
 	}
-	n.stats.InvalsReceived++
-	n.mu.Unlock()
+	pmu.Unlock()
+	n.stats.invalsReceived.Add(1)
 	n.noteErr(fmt.Sprintf("inval ack to %d", src), n.send(src, ack))
 }
 
@@ -392,34 +580,35 @@ func (e *eagerEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
-	n.mu.Lock()
+	pmu := n.pageLock(pg)
+	pmu.Lock()
 	pc := e.pages[pg]
 	if pc == nil || !pc.valid {
-		// Mid-fetch (in the copyset but nothing installed yet): the
-		// in-flight fetch will be retried and served post-update data.
-		e.gen[pg]++
+		// Unreachable with shard-ordered installs (an EU copy in the
+		// copyset is always installed before the home can send it an
+		// update); tolerated defensively — the ack still flows.
 	} else {
 		for _, rec := range m.Diffs {
 			if err := rec.Diff.Apply(pc.data); err != nil {
-				n.mu.Unlock()
+				pmu.Unlock()
 				panic(fmt.Sprintf("dsm: node %d: update of page %d: %v", n.id, pg, err))
 			}
-			if tw := e.twins[pg]; tw != nil {
+			if pc.twin != nil {
 				// Land the diff on the twin too, so a concurrent critical
 				// section's own eventual diff carries only its own
 				// modifications (the update's words must not re-register
 				// as ours).
-				patched := append([]byte(nil), tw.Data()...)
+				patched := append([]byte(nil), pc.twin.Data()...)
 				if err := rec.Diff.Apply(patched); err != nil {
-					n.mu.Unlock()
+					pmu.Unlock()
 					panic(fmt.Sprintf("dsm: node %d: update of page %d twin: %v", n.id, pg, err))
 				}
-				e.twins[pg] = page.NewTwin(patched)
+				pc.twin = page.NewTwin(patched)
 			}
-			n.stats.UpdatesReceived++
+			n.stats.updatesReceived.Add(1)
 		}
 	}
-	n.mu.Unlock()
+	pmu.Unlock()
 	ack := &wire.Msg{Kind: wire.KUpdateAck, Seq: m.Seq, A: m.A}
 	n.noteErr(fmt.Sprintf("update ack to %d", src), n.send(src, ack))
 }
@@ -428,27 +617,77 @@ func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
 // optional fresh base (when a concurrent flush had invalidated this
 // node's copy), this node's own flushed diff on top, then any
 // write-backs recovered from invalidated cachers.
+//
+// With multiple application goroutines another critical section may
+// already have a fresh twin for the page when the reconciliation lands.
+// Its uncommitted writes live only in pc.data, so they are lifted off
+// as a diff first, the reconciliation builds the new committed state,
+// and the uncommitted writes are reinstated on top with the twin
+// rebased beneath them — otherwise a base copy would erase them, and
+// write-backs would later re-register as that critical section's own
+// modifications.
 func (e *eagerEngine) applyFlushDone(m *wire.Msg) {
 	n := e.n
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	e.flightMu.Lock()
 	fs, ok := e.inflight[m.Seq]
 	if !ok {
+		e.flightMu.Unlock()
 		panic(fmt.Sprintf("dsm: node %d: flush done for unknown seq %d", n.id, m.Seq))
 	}
 	delete(e.inflight, m.Seq)
+	e.flightMu.Unlock()
+
+	pmu := n.pageLock(fs.pg)
+	pmu.Lock()
+	defer pmu.Unlock()
 	pc := e.pages[fs.pg]
-	if m.Data != nil {
-		copy(pc.data, m.Data)
-		if err := fs.diff.Apply(pc.data); err != nil {
-			panic(fmt.Sprintf("dsm: node %d: reapplying flushed diff to page %d: %v", n.id, fs.pg, err))
+
+	fail := func(what string, err error) {
+		panic(fmt.Sprintf("dsm: node %d: %s page %d: %v", n.id, what, fs.pg, err))
+	}
+	var uncommitted *page.Diff
+	committed := pc.data
+	if pc.twin != nil {
+		// A concurrent critical section started after our flush snapshot:
+		// its writes sit in pc.data, its twin holds the committed state
+		// they started from (which already includes our flushed writes).
+		du, err := page.MakeDiff(pc.twin, pc.data)
+		if err != nil {
+			fail("lifting uncommitted writes off", err)
 		}
+		uncommitted = du
+		committed = append([]byte(nil), pc.twin.Data()...)
+	}
+	if m.Data != nil {
+		copy(committed, m.Data)
+	}
+	// Reassert the flushed diff unconditionally, not just over a fresh
+	// base: our flush transaction is the latest directory event for
+	// these words, but the local copy may have been replaced while the
+	// flush was in flight — a co-located goroutine, invalidated by an
+	// unrelated flush of the same page, can refetch and install
+	// directory-older owner data that predates our (EI: never shipped)
+	// modifications. Everything processed before this KFlushDone is
+	// directory-ordered before our transaction, so putting our words
+	// back is always correct — and without it they would be silently
+	// lost.
+	if err := fs.diff.Apply(committed); err != nil {
+		fail("reapplying flushed diff to", err)
 	}
 	for _, rec := range m.Diffs {
-		if err := rec.Diff.Apply(pc.data); err != nil {
-			panic(fmt.Sprintf("dsm: node %d: write-back to page %d: %v", n.id, fs.pg, err))
+		if err := rec.Diff.Apply(committed); err != nil {
+			fail("write-back to", err)
 		}
-		n.stats.WriteBacks++
+		n.stats.writeBacks.Add(1)
+	}
+	if pc.twin != nil {
+		copy(pc.data, committed)
+		if uncommitted != nil {
+			if err := uncommitted.Apply(pc.data); err != nil {
+				fail("reinstating uncommitted writes on", err)
+			}
+		}
+		pc.twin = page.NewTwin(committed)
 	}
 	pc.valid = true
 }

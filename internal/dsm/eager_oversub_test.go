@@ -1,0 +1,69 @@
+package dsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestFalseSharedLockedCountersOversubscribed is the distilled mp3d
+// counter pattern that once broke EI at gpn>1: four locks guard four
+// uint64 words on ONE page, every goroutine of every node randomly
+// picks a lock and increments its word, with barrier rounds mixed in.
+// Early-committed neighbor words riding flushes, invalidation
+// write-backs and reconciliation bases all hit the same page while
+// other local goroutines are mid-critical-section; every word must
+// still count exactly.
+func TestFalseSharedLockedCountersOversubscribed(t *testing.T) {
+	const procs, gpn, locks = 2, 4, 4
+	rounds := 3
+	iters := tortureParams(t)
+	allModes(t, func(t *testing.T, mode Mode) {
+		s := newSysGPN(t, procs, gpn, mode)
+		slots := procs * gpn
+		var want [locks]uint64
+		got := make([][locks]uint64, slots)
+		driveSlots(t, []*System{s}, gpn, func(n *Node, slot int) error {
+			rng := rand.New(rand.NewSource(int64(slot)*7919 + 17))
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < iters; k++ {
+					l := mem.LockID(rng.Intn(locks))
+					if err := n.Acquire(l); err != nil {
+						return err
+					}
+					v, err := n.ReadUint64(mem.Addr(int(l) * 8))
+					if err != nil {
+						return err
+					}
+					if err := n.WriteUint64(mem.Addr(int(l)*8), v+1); err != nil {
+						return err
+					}
+					if err := n.Release(l); err != nil {
+						return err
+					}
+					got[slot][l]++
+				}
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		for _, g := range got {
+			for l := range want {
+				want[l] += g[l]
+			}
+		}
+		n0 := s.Node(0)
+		for l := 0; l < locks; l++ {
+			v, err := n0.ReadUint64(mem.Addr(l * 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != want[l] {
+				t.Errorf("%s: counter %d = %d, want %d (%+d)", mode, l, v, want[l], int64(v)-int64(want[l]))
+			}
+		}
+	})
+}

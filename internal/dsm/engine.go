@@ -13,11 +13,26 @@ import (
 // movement, the consistency payload of lock grants and barrier messages,
 // and release/barrier-time propagation.
 //
-// Locking conventions: methods suffixed Locked are called with the
-// node's mu held; all others are called without it and take it as
-// needed. Methods without a goroutine note run on the node's single
-// application goroutine; handle (and the work it spawns) runs on the
-// handler goroutine.
+// Concurrency contract (the shard-aware contract replacing the old
+// single-mutex *Locked convention):
+//
+//   - Per-page state lives under the node's striped lock table
+//     (Node.pageLock); engines take the stripe for exactly the page they
+//     touch and never hold it across a blocking operation, so
+//     independent pages fault, install and diff in parallel.
+//   - Miss service — the blocking protocol transaction that brings a
+//     page current — serializes per page under Node.missLock; handler
+//     work never takes a miss lock, so it can always drain.
+//   - Engine-global synchronization state (the lazy engine's vector
+//     clock, interval log and diff store) lives under an engine-private
+//     mutex ordered after lockMu and before the page stripes.
+//   - Every method may be called from multiple application goroutines
+//     concurrently. acquireStart, grant and release are called with the
+//     node's lockMu held (grant also from a lock shard worker); barrier
+//     hooks are called by the barrier leader goroutine only; handle runs
+//     on a shard worker with per-page arrival order guaranteed.
+//   - Statistics tick through the node's atomic counters from any
+//     goroutine.
 type engine interface {
 	// readPage copies len(dst) bytes out of page pg at off, first making
 	// the local copy current enough for the protocol's guarantees.
@@ -27,50 +42,55 @@ type engine interface {
 	// protocols, exclusive ownership under SC).
 	writePage(pg mem.PageID, off int, src []byte) error
 
-	// acquireStartLocked runs as an Acquire begins: the lazy engines
-	// close the current interval and stamp the request with their vector
-	// clock so the grant can carry exactly the missing write notices.
-	acquireStartLocked(req *wire.Msg)
-	// grantLocked fills the consistency payload of a lock grant built
-	// for req (write notices and piggybacked diffs under the lazy
-	// protocols; nothing under EI/EU/SC, §3: "no consistency-related
-	// operations occur on an acquire"). Called from the application or
-	// handler goroutine, whichever releases the lock to a waiter.
-	grantLocked(req, grant *wire.Msg)
+	// acquireStart runs as an Acquire begins (lockMu held): the lazy
+	// engines close the current interval and stamp the request with their
+	// vector clock so the grant can carry exactly the missing write
+	// notices.
+	acquireStart(req *wire.Msg)
+	// grant fills the consistency payload of a lock grant built for req
+	// (write notices and piggybacked diffs under the lazy protocols;
+	// nothing under EI/EU/SC, §3: "no consistency-related operations
+	// occur on an acquire"). Called with lockMu held, from the
+	// application goroutine or a lock shard worker, whichever releases
+	// the lock to a waiter.
+	grant(req, grant *wire.Msg)
 	// onGrant absorbs a received grant's consistency payload.
 	onGrant(grant *wire.Msg) error
 	// preRelease runs before a release takes effect: the eager engines
 	// push buffered modifications to every other cacher and block for
 	// acknowledgments here.
 	preRelease() error
-	// releaseLocked runs under mu as the release takes effect (the lazy
+	// release runs (lockMu held) as the release takes effect (the lazy
 	// engines close the interval the critical section wrote).
-	releaseLocked()
+	release()
 
 	// preBarrier runs before the barrier arrival (the eager flush
 	// point, like preRelease).
 	preBarrier() error
-	// barrierEntryLocked runs under mu as the barrier begins on every
-	// node, master included.
-	barrierEntryLocked()
-	// arriveLocked fills a non-master node's arrival payload.
-	arriveLocked(arrive *wire.Msg)
-	// masterAbsorbLocked absorbs one arrival's payload at the master.
-	masterAbsorbLocked(m *wire.Msg)
-	// exitLocked fills the exit payload answering arrival m.
-	exitLocked(m, exit *wire.Msg)
+	// barrierEntry runs as the node-level barrier begins on every node,
+	// master included (called by the barrier leader goroutine).
+	barrierEntry()
+	// arrive fills a non-master node's arrival payload.
+	arrive(arrive *wire.Msg)
+	// masterAbsorb absorbs one arrival's payload at the master.
+	masterAbsorb(m *wire.Msg)
+	// exit fills the exit payload answering arrival m.
+	exit(m, exit *wire.Msg)
 	// onExit absorbs the exit payload at a non-master node.
 	onExit(exit *wire.Msg) error
 	// postBarrier completes the episode after the rendezvous: the lazy
 	// engines invalidate or update noticed pages and run the configured
-	// garbage-collection epoch.
+	// garbage-collection epoch. Runs once per node, on the barrier
+	// leader, while the node's other application goroutines are still
+	// parked in the local rendezvous.
 	postBarrier(b mem.BarrierID) error
 
 	// handle processes an engine-specific message, returning false if
-	// the kind is not one of the engine's. It must not block the handler
-	// loop: work that waits for responses (the home-side directory
-	// transactions of the eager and SC engines) is spawned onto its own
-	// goroutine.
+	// the kind is not one of the engine's. It runs on the shard worker
+	// serializing the message's page (directory-order installs happen
+	// here) and must not block the worker: work that waits for responses
+	// (the home-side directory transactions of the eager and SC engines)
+	// is spawned onto its own goroutine.
 	handle(m *wire.Msg, src mem.ProcID) bool
 
 	// clock returns the node's vector time (zero for engines that do not
@@ -84,10 +104,11 @@ type engine interface {
 //
 // The fetch always travels as a KFetch message, even when the home is
 // itself the owner: a previous transaction's grant to this node may
-// still be queued at its handler, and a direct in-memory read would
-// jump ahead of it and serve pre-grant data. The loopback message
-// queues behind every in-flight install, so the handler answers with
-// the page in directory order (loopback costs no simulated traffic).
+// still be queued on the page's shard, and a direct in-memory read
+// would jump ahead of it and serve pre-grant data. The loopback message
+// queues behind every in-flight install, so the shard worker answers
+// with the page in directory order (loopback costs no simulated
+// traffic).
 func (n *Node) fetchFromOwner(owner mem.ProcID, pg mem.PageID) ([]byte, error) {
 	resp, err := n.rpc(owner, &wire.Msg{Kind: wire.KFetch, Seq: n.nextSeq(), A: int32(pg)})
 	if err != nil {

@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -15,28 +16,52 @@ import (
 // diffs and vector clocks. Write notices ride lock grants and barrier
 // messages; diffs are fetched from their creators at access misses (LI)
 // or acquire time (LU).
+//
+// Concurrency: page copies and their twins are per-page state under the
+// node's striped lock table, so independent pages are read, written and
+// validated in parallel; the interval machinery — vector clock, interval
+// log, retained-diff store — stays under one engine mutex (mu), taken
+// only at synchronization points and when a validation plans or applies
+// outstanding diffs. Which pages the current interval dirtied is
+// tracked in a dirty set (twin creation registers the page) so closing
+// an interval does not need to sweep every page. A per-page generation
+// counter closes the plan/apply race: if fresh write notices for the
+// page land while a validation is fetching diffs, the apply step
+// observes the bumped generation and replans.
+//
+// Lock order: node.lockMu < e.mu < node.pageMu stripe < e.dirtyMu.
 type lazyEngine struct {
 	n      *Node
 	update bool // LU: bring cached copies up to date at acquire time
 
-	// All fields below are guarded by n.mu.
+	// mu guards the interval machinery below.
+	mu        sync.Mutex
 	v         vc.VC
 	log       *core.Log
-	pages     []*pageCopy
-	twins     map[mem.PageID]*page.Twin
 	diffs     map[core.IntervalID]map[mem.PageID]*page.Diff
 	lastEpoch vc.VC
 	episodes  int
 	// fresh accumulates the interval records learned during the current
 	// barrier rendezvous, for postBarrier's invalidation step.
 	fresh []wire.IntervalRec
+
+	// dirtyMu guards the current interval's dirty-page set (pages with a
+	// live twin). Leaf lock: taken with a page stripe or e.mu held,
+	// never the other way around.
+	dirtyMu sync.Mutex
+	dirty   map[mem.PageID]struct{}
+
+	// pages[i] is guarded by n.pageLock(i).
+	pages []*lazyPage
 }
 
-// pageCopy is a node's local copy of one page.
-type pageCopy struct {
+// lazyPage is a node's local copy of one page, guarded by its stripe.
+type lazyPage struct {
 	data    []byte
 	valid   bool
-	applied vc.VC // modifications reflected in data
+	applied vc.VC      // modifications reflected in data
+	twin    *page.Twin // present while the current interval has writes
+	gen     uint64     // bumped whenever fresh notices target this page
 }
 
 func newLazyEngine(n *Node, update bool) *lazyEngine {
@@ -45,47 +70,78 @@ func newLazyEngine(n *Node, update bool) *lazyEngine {
 		update:    update,
 		v:         vc.New(n.sys.cfg.Procs),
 		log:       core.NewLog(n.sys.cfg.Procs),
-		pages:     make([]*pageCopy, n.sys.layout.NumPages()),
-		twins:     make(map[mem.PageID]*page.Twin),
 		diffs:     make(map[core.IntervalID]map[mem.PageID]*page.Diff),
 		lastEpoch: vc.New(n.sys.cfg.Procs),
+		dirty:     make(map[mem.PageID]struct{}),
+		pages:     make([]*lazyPage, n.sys.layout.NumPages()),
 	}
 }
 
 func (e *lazyEngine) clock() vc.VC {
-	e.n.mu.Lock()
-	defer e.n.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.v.Clone()
 }
 
 // --- interval management ---
 
 // closeIntervalLocked ends the current interval: diffs are created from
-// the twins (eager diffing) and retained in the diff store; the interval
-// record with its write notices enters the log. Caller holds mu.
+// the twins of every dirtied page (eager diffing) and retained in the
+// diff store; the interval record with its write notices enters the
+// log. Caller holds e.mu. With multiple application goroutines the
+// node's interval contains every local goroutine's writes since the
+// last synchronization point — the node is one processor to the
+// protocol, exactly as a multi-threaded processor is to the paper's
+// model.
 func (e *lazyEngine) closeIntervalLocked() {
 	n := e.n
-	if len(e.twins) == 0 {
+	e.dirtyMu.Lock()
+	if len(e.dirty) == 0 {
+		e.dirtyMu.Unlock()
 		return
 	}
-	pages := make([]mem.PageID, 0, len(e.twins))
-	for pg := range e.twins {
-		pages = append(pages, pg)
+	cand := make([]mem.PageID, 0, len(e.dirty))
+	for pg := range e.dirty {
+		cand = append(cand, pg)
 	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	idx := e.v.Tick(int(n.id))
-	id := core.IntervalID{Proc: n.id, Index: idx}
-	byPage := make(map[mem.PageID]*page.Diff, len(pages))
-	for _, pg := range pages {
-		d, err := page.MakeDiff(e.twins[pg], e.pages[pg].data)
+	e.dirty = make(map[mem.PageID]struct{})
+	e.dirtyMu.Unlock()
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+
+	byPage := make(map[mem.PageID]*page.Diff, len(cand))
+	pages := make([]mem.PageID, 0, len(cand))
+	for _, pg := range cand {
+		pmu := n.pageLock(pg)
+		pmu.Lock()
+		pc := e.pages[pg]
+		if pc == nil || pc.twin == nil {
+			pmu.Unlock()
+			continue
+		}
+		d, err := page.MakeDiff(pc.twin, pc.data)
+		pc.twin = nil
+		pmu.Unlock()
 		if err != nil {
 			panic(fmt.Sprintf("dsm: node %d: diffing page %d: %v", n.id, pg, err))
 		}
 		byPage[pg] = d
+		pages = append(pages, pg)
+	}
+	if len(pages) == 0 {
+		return
+	}
+	idx := e.v.Tick(int(n.id))
+	id := core.IntervalID{Proc: n.id, Index: idx}
+	for _, pg := range pages {
 		// The local copy now reflects this interval: keep the applied
 		// clock faithful so page-home responses advertise the right
 		// coverage and GC validation sees own pages as current.
-		e.pages[pg].applied[n.id] = idx
+		pmu := n.pageLock(pg)
+		pmu.Lock()
+		if pc := e.pages[pg]; pc != nil && pc.applied[n.id] < idx {
+			pc.applied[n.id] = idx
+		}
+		pmu.Unlock()
 	}
 	e.diffs[id] = byPage
 	e.log.Append(&core.Interval{
@@ -94,13 +150,12 @@ func (e *lazyEngine) closeIntervalLocked() {
 		Pages: pages,
 		Mods:  make([]*page.RangeSet, len(pages)),
 	})
-	n.stats.IntervalsCreated++
-	e.twins = make(map[mem.PageID]*page.Twin)
+	n.stats.intervalsCreated.Add(1)
 }
 
 // absorbIntervalsLocked merges received interval records into the log,
 // skipping already-known ones, and returns the genuinely new records.
-// Caller holds mu.
+// Caller holds e.mu.
 func (e *lazyEngine) absorbIntervalsLocked(recs []wire.IntervalRec) []wire.IntervalRec {
 	// Per-processor index order is required by the log.
 	sorted := make([]wire.IntervalRec, len(recs))
@@ -136,7 +191,7 @@ func (e *lazyEngine) absorbIntervalsLocked(recs []wire.IntervalRec) []wire.Inter
 }
 
 // intervalsSinceLocked collects wire records for every known interval
-// (r, k) with k > floor[r]. Caller holds mu.
+// (r, k) with k > floor[r]. Caller holds e.mu.
 func (e *lazyEngine) intervalsSinceLocked(floor vc.VC) []wire.IntervalRec {
 	var recs []wire.IntervalRec
 	e.log.NoticesBetween(floor, e.v, func(iv *core.Interval) {
@@ -152,8 +207,10 @@ func (e *lazyEngine) intervalsSinceLocked(floor vc.VC) []wire.IntervalRec {
 
 // invalidateForLocked applies LI semantics for freshly learned intervals:
 // cached valid copies of noticed pages become invalid (data retained as
-// the diff target). It returns the set of affected cached pages (used by
-// LU to revalidate immediately). Caller holds mu.
+// the diff target), and every materialized copy's generation is bumped
+// so an in-flight validation replans against the now-larger log. It
+// returns the set of affected cached pages (used by LU to revalidate
+// immediately). Caller holds e.mu.
 func (e *lazyEngine) invalidateForLocked(fresh []wire.IntervalRec) []mem.PageID {
 	var affected []mem.PageID
 	seen := make(map[mem.PageID]bool)
@@ -163,10 +220,16 @@ func (e *lazyEngine) invalidateForLocked(fresh []wire.IntervalRec) []mem.PageID 
 				continue
 			}
 			seen[pg] = true
-			if pc := e.pages[pg]; pc != nil && pc.valid {
-				pc.valid = false
-				affected = append(affected, pg)
+			pmu := e.n.pageLock(pg)
+			pmu.Lock()
+			if pc := e.pages[pg]; pc != nil {
+				pc.gen++
+				if pc.valid {
+					pc.valid = false
+					affected = append(affected, pg)
+				}
 			}
+			pmu.Unlock()
 		}
 	}
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
@@ -175,110 +238,193 @@ func (e *lazyEngine) invalidateForLocked(fresh []wire.IntervalRec) []mem.PageID 
 
 // --- data movement ---
 
-// validate brings page pg's local copy up to date: a cold copy is fetched
-// from the page's home, then every outstanding diff is collected (from the
-// local store or its creator) and applied in happened-before order
-// (§4.3.3). Callers must NOT hold mu.
+// validate brings page pg's local copy up to date: a cold copy is
+// fetched from the page's home, then every outstanding diff is collected
+// (from the local store or its creator) and applied in happened-before
+// order (§4.3.3). Miss service serializes per page under the miss lock;
+// concurrent faulting goroutines coalesce onto one transaction. Callers
+// must hold no engine or stripe locks.
 func (e *lazyEngine) validate(pg mem.PageID) error {
 	n := e.n
-	n.mu.Lock()
-	pc := e.pages[pg]
-	if pc != nil && pc.valid {
-		n.mu.Unlock()
+	pmu := n.pageLock(pg)
+	pmu.Lock()
+	if pc := e.pages[pg]; pc != nil && pc.valid {
+		pmu.Unlock()
 		return nil
 	}
-	n.stats.AccessMisses++
-	if pc == nil {
-		n.stats.ColdMisses++
-		home := n.sys.home(pg)
-		if home == n.id {
-			pc = &pageCopy{data: make([]byte, n.sys.layout.PageSize()), applied: vc.New(n.sys.cfg.Procs)}
-			e.pages[pg] = pc
-		} else {
-			n.mu.Unlock()
-			resp, err := n.rpc(home, &wire.Msg{
-				Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
-			})
-			if err != nil {
-				return err
-			}
-			n.mu.Lock()
-			applied := resp.VC
-			if applied == nil {
-				applied = vc.New(n.sys.cfg.Procs)
-			}
-			pc = &pageCopy{data: resp.Data, applied: applied.Clone()}
-			e.pages[pg] = pc
-			n.stats.PagesFetched++
-		}
-	}
+	pmu.Unlock()
 
-	// Outstanding modifications, grouped by creator for any diffs we do
-	// not already retain.
-	out := e.log.Outstanding(pg, pc.applied, e.v, n.id)
-	missing := make(map[mem.ProcID][]wire.Want)
-	for _, id := range out {
-		if _, ok := e.diffs[id][pg]; ok {
+	mmu := n.missLock(pg)
+	mmu.Lock()
+	defer mmu.Unlock()
+
+	pmu.Lock()
+	if pc := e.pages[pg]; pc != nil && pc.valid {
+		pmu.Unlock()
+		return nil
+	}
+	pmu.Unlock()
+	// One application access, one miss — the replan loop below may run
+	// several plan/apply rounds for it.
+	n.stats.accessMisses.Add(1)
+
+	for {
+		pmu.Lock()
+		pc := e.pages[pg]
+		if pc != nil && pc.valid {
+			pmu.Unlock()
+			return nil
+		}
+		cold := pc == nil
+		pmu.Unlock()
+
+		if cold {
+			n.stats.coldMisses.Add(1)
+			if home := n.sys.home(pg); home == n.id {
+				pmu.Lock()
+				if e.pages[pg] == nil {
+					e.pages[pg] = &lazyPage{
+						data:    make([]byte, n.sys.layout.PageSize()),
+						applied: vc.New(n.sys.cfg.Procs),
+					}
+				}
+				pmu.Unlock()
+			} else {
+				resp, err := n.rpc(home, &wire.Msg{
+					Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
+				})
+				if err != nil {
+					return err
+				}
+				applied := resp.VC
+				if applied == nil {
+					applied = vc.New(n.sys.cfg.Procs)
+				}
+				pmu.Lock()
+				if e.pages[pg] == nil {
+					e.pages[pg] = &lazyPage{data: resp.Data, applied: applied.Clone()}
+				}
+				pmu.Unlock()
+				n.stats.pagesFetched.Add(1)
+			}
+		}
+
+		// Plan: what is outstanding between the copy's applied clock and
+		// the node's current knowledge?
+		e.mu.Lock()
+		pmu.Lock()
+		pc = e.pages[pg]
+		appliedSnap := pc.applied.Clone()
+		genSnap := pc.gen
+		pmu.Unlock()
+		vSnap := e.v.Clone()
+		out := e.log.Outstanding(pg, appliedSnap, e.v, n.id)
+		// Apply in a linear extension of happened-before: interval clock
+		// sums strictly increase along hb1 chains, and concurrent
+		// intervals touch disjoint words in properly-labeled programs.
+		sort.Slice(out, func(i, j int) bool {
+			si, sj := clockSum(e.log.Get(out[i]).VC), clockSum(e.log.Get(out[j]).VC)
+			if si != sj {
+				return si < sj
+			}
+			if out[i].Proc != out[j].Proc {
+				return out[i].Proc < out[j].Proc
+			}
+			return out[i].Index < out[j].Index
+		})
+		missing := make(map[mem.ProcID][]wire.Want)
+		for _, id := range out {
+			if _, ok := e.diffs[id][pg]; ok {
+				continue
+			}
+			missing[id.Proc] = append(missing[id.Proc], wire.Want{Page: pg, Proc: id.Proc, Index: id.Index})
+		}
+		e.mu.Unlock()
+
+		// Fetch missing diffs from their creators (no locks held).
+		if len(missing) > 0 {
+			creators := make([]mem.ProcID, 0, len(missing))
+			for c := range missing {
+				creators = append(creators, c)
+			}
+			sort.Slice(creators, func(i, j int) bool { return creators[i] < creators[j] })
+			for _, c := range creators {
+				resp, err := n.rpc(c, &wire.Msg{
+					Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), Wants: missing[c],
+				})
+				if err != nil {
+					return err
+				}
+				e.mu.Lock()
+				for _, rec := range resp.Diffs {
+					id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
+					if e.diffs[id] == nil {
+						e.diffs[id] = make(map[mem.PageID]*page.Diff)
+					}
+					e.diffs[id][rec.Page] = rec.Diff
+					n.stats.diffsFetched.Add(1)
+				}
+				e.mu.Unlock()
+			}
+		}
+
+		// Apply. If fresh notices for this page landed while we were
+		// fetching (generation moved), the plan is stale: replan.
+		e.mu.Lock()
+		steps := make([]*page.Diff, len(out))
+		for i, id := range out {
+			steps[i] = e.diffs[id][pg]
+			if steps[i] == nil {
+				e.mu.Unlock()
+				return fmt.Errorf("dsm: node %d: diff %v for page %d unavailable", n.id, id, pg)
+			}
+		}
+		e.mu.Unlock()
+
+		pmu.Lock()
+		pc = e.pages[pg]
+		if pc.gen != genSnap {
+			pmu.Unlock()
 			continue
 		}
-		missing[id.Proc] = append(missing[id.Proc], wire.Want{Page: pg, Proc: id.Proc, Index: id.Index})
-	}
-	n.mu.Unlock()
-
-	if len(missing) > 0 {
-		creators := make([]mem.ProcID, 0, len(missing))
-		for c := range missing {
-			creators = append(creators, c)
+		// A concurrent local critical section may hold a live twin for
+		// this page (it kept writing through the invalidation, which is
+		// impossible at one goroutine per node: acquireStart's
+		// closeInterval would have consumed the twin first). The remote
+		// diffs must land on the twin too, or the section's eventual
+		// interval would re-register the remote words as its own — and a
+		// concurrent re-write by their true owner (reacquiring its lock
+		// through the cached local fast path, so it never learns of our
+		// interval) could then be reverted by the mis-attributed copy.
+		// The twin patch also keeps handlePageReq's committed view
+		// consistent with the applied clock stamped below. Proper
+		// programs guarantee the remote diffs and the section's own
+		// uncommitted words are disjoint.
+		var patched []byte
+		if pc.twin != nil && len(steps) > 0 {
+			patched = append([]byte(nil), pc.twin.Data()...)
 		}
-		sort.Slice(creators, func(i, j int) bool { return creators[i] < creators[j] })
-		for _, c := range creators {
-			resp, err := n.rpc(c, &wire.Msg{
-				Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), Wants: missing[c],
-			})
-			if err != nil {
+		for _, d := range steps {
+			if err := d.Apply(pc.data); err != nil {
+				pmu.Unlock()
 				return err
 			}
-			n.mu.Lock()
-			for _, rec := range resp.Diffs {
-				id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
-				if e.diffs[id] == nil {
-					e.diffs[id] = make(map[mem.PageID]*page.Diff)
+			if patched != nil {
+				if err := d.Apply(patched); err != nil {
+					pmu.Unlock()
+					return err
 				}
-				e.diffs[id][rec.Page] = rec.Diff
-				n.stats.DiffsFetched++
 			}
-			n.mu.Unlock()
+			n.stats.diffsApplied.Add(1)
 		}
+		if patched != nil {
+			pc.twin = page.NewTwin(patched)
+		}
+		pc.valid = true
+		pc.applied.Max(vSnap)
+		pmu.Unlock()
+		return nil
 	}
-
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	// Apply in a linear extension of happened-before: interval clock sums
-	// strictly increase along hb1 chains, and concurrent intervals touch
-	// disjoint words in properly-labeled programs.
-	sort.Slice(out, func(i, j int) bool {
-		si, sj := clockSum(e.log.Get(out[i]).VC), clockSum(e.log.Get(out[j]).VC)
-		if si != sj {
-			return si < sj
-		}
-		if out[i].Proc != out[j].Proc {
-			return out[i].Proc < out[j].Proc
-		}
-		return out[i].Index < out[j].Index
-	})
-	for _, id := range out {
-		d := e.diffs[id][pg]
-		if d == nil {
-			return fmt.Errorf("dsm: node %d: diff %v for page %d unavailable", n.id, id, pg)
-		}
-		if err := d.Apply(pc.data); err != nil {
-			return err
-		}
-		n.stats.DiffsApplied++
-	}
-	pc.valid = true
-	pc.applied = e.v.Clone()
-	return nil
 }
 
 func clockSum(v vc.VC) int64 {
@@ -306,9 +452,10 @@ func (e *lazyEngine) readPage(pg mem.PageID, off int, dst []byte) error {
 	if err := e.validate(pg); err != nil {
 		return err
 	}
-	e.n.mu.Lock()
+	pmu := e.n.pageLock(pg)
+	pmu.Lock()
 	copy(dst, e.pages[pg].data[off:off+len(dst)])
-	e.n.mu.Unlock()
+	pmu.Unlock()
 	return nil
 }
 
@@ -316,24 +463,36 @@ func (e *lazyEngine) writePage(pg mem.PageID, off int, src []byte) error {
 	if err := e.validate(pg); err != nil {
 		return err
 	}
-	e.n.mu.Lock()
+	pmu := e.n.pageLock(pg)
+	pmu.Lock()
 	pc := e.pages[pg]
-	if _, ok := e.twins[pg]; !ok {
-		e.twins[pg] = page.NewTwin(pc.data)
+	created := false
+	if pc.twin == nil {
+		pc.twin = page.NewTwin(pc.data)
+		created = true
 	}
 	copy(pc.data[off:off+len(src)], src)
-	e.n.mu.Unlock()
+	pmu.Unlock()
+	if created {
+		e.dirtyMu.Lock()
+		e.dirty[pg] = struct{}{}
+		e.dirtyMu.Unlock()
+	}
 	return nil
 }
 
 // --- engine interface: locks ---
 
-func (e *lazyEngine) acquireStartLocked(req *wire.Msg) {
+func (e *lazyEngine) acquireStart(req *wire.Msg) {
+	e.mu.Lock()
 	e.closeIntervalLocked()
 	req.VC = e.v.Clone()
+	e.mu.Unlock()
 }
 
-func (e *lazyEngine) grantLocked(req, grant *wire.Msg) {
+func (e *lazyEngine) grant(req, grant *wire.Msg) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	recs := e.intervalsSinceLocked(req.VC)
 	grant.VC = e.v.Clone()
 	grant.Intervals = recs
@@ -359,8 +518,7 @@ func (e *lazyEngine) grantLocked(req, grant *wire.Msg) {
 }
 
 func (e *lazyEngine) onGrant(grant *wire.Msg) error {
-	n := e.n
-	n.mu.Lock()
+	e.mu.Lock()
 	fresh := e.absorbIntervalsLocked(grant.Intervals)
 	// Piggybacked diffs (LU grants) enter the retained-diff store; the
 	// revalidation below then fetches only what is still missing.
@@ -374,7 +532,7 @@ func (e *lazyEngine) onGrant(grant *wire.Msg) error {
 		}
 	}
 	affected := e.invalidateForLocked(fresh)
-	n.mu.Unlock()
+	e.mu.Unlock()
 
 	if e.update {
 		return e.revalidate(affected)
@@ -384,47 +542,59 @@ func (e *lazyEngine) onGrant(grant *wire.Msg) error {
 
 func (e *lazyEngine) preRelease() error { return nil }
 
-func (e *lazyEngine) releaseLocked() { e.closeIntervalLocked() }
+func (e *lazyEngine) release() {
+	e.mu.Lock()
+	e.closeIntervalLocked()
+	e.mu.Unlock()
+}
 
 // --- engine interface: barriers ---
 
 func (e *lazyEngine) preBarrier() error { return nil }
 
-func (e *lazyEngine) barrierEntryLocked() {
+func (e *lazyEngine) barrierEntry() {
+	e.mu.Lock()
 	e.closeIntervalLocked()
 	e.fresh = nil
+	e.mu.Unlock()
 }
 
-func (e *lazyEngine) arriveLocked(arrive *wire.Msg) {
+func (e *lazyEngine) arrive(arrive *wire.Msg) {
+	e.mu.Lock()
 	arrive.VC = e.v.Clone()
 	arrive.Intervals = e.intervalsSinceLocked(e.lastEpoch)
+	e.mu.Unlock()
 }
 
-func (e *lazyEngine) masterAbsorbLocked(m *wire.Msg) {
+func (e *lazyEngine) masterAbsorb(m *wire.Msg) {
+	e.mu.Lock()
 	e.fresh = append(e.fresh, e.absorbIntervalsLocked(m.Intervals)...)
+	e.mu.Unlock()
 }
 
-func (e *lazyEngine) exitLocked(m, exit *wire.Msg) {
+func (e *lazyEngine) exit(m, exit *wire.Msg) {
+	e.mu.Lock()
 	exit.VC = e.v.Clone()
 	exit.Intervals = e.intervalsSinceLocked(m.VC)
+	e.mu.Unlock()
 }
 
 func (e *lazyEngine) onExit(exit *wire.Msg) error {
-	e.n.mu.Lock()
+	e.mu.Lock()
 	e.fresh = e.absorbIntervalsLocked(exit.Intervals)
-	e.n.mu.Unlock()
+	e.mu.Unlock()
 	return nil
 }
 
 func (e *lazyEngine) postBarrier(b mem.BarrierID) error {
 	n := e.n
-	n.mu.Lock()
+	e.mu.Lock()
 	affected := e.invalidateForLocked(e.fresh)
 	e.fresh = nil
 	e.lastEpoch = e.v.Clone()
 	e.episodes++
 	gcDue := n.sys.cfg.GCEveryBarriers > 0 && e.episodes%n.sys.cfg.GCEveryBarriers == 0
-	n.mu.Unlock()
+	e.mu.Unlock()
 
 	if e.update {
 		if err := e.revalidate(affected); err != nil {
@@ -445,6 +615,10 @@ func (e *lazyEngine) postBarrier(b mem.BarrierID) error {
 // covers. Interval records are retained (they are small); diff payloads
 // are the memory that matters.
 //
+// runGC runs on the barrier leader while the node's other application
+// goroutines are parked in the local barrier rendezvous, so the only
+// concurrent page activity is handler-side serving.
+//
 // The barrier rendezvous that precedes runGC is what pushes every write
 // notice to every node — the master absorbs all arrivals before building
 // exits, so each home's log lists every pre-epoch modifier of its pages.
@@ -457,11 +631,13 @@ func (e *lazyEngine) postBarrier(b mem.BarrierID) error {
 // a local descriptive error.
 func (e *lazyEngine) runGC(b mem.BarrierID) error {
 	n := e.n
-	n.mu.Lock()
+	e.mu.Lock()
 	epoch := e.lastEpoch.Clone()
 	var toValidate []mem.PageID
 	for pg := range e.pages {
 		pgid := mem.PageID(pg)
+		pmu := n.pageLock(pgid)
+		pmu.Lock()
 		pc := e.pages[pg]
 		switch {
 		case pc != nil && !pc.valid:
@@ -476,10 +652,12 @@ func (e *lazyEngine) runGC(b mem.BarrierID) error {
 			// invalidation validate would return immediately and leave
 			// the stale stamp in place.
 			pc.valid = false
+			pc.gen++
 			toValidate = append(toValidate, pgid)
 		}
+		pmu.Unlock()
 	}
-	n.mu.Unlock()
+	e.mu.Unlock()
 
 	if err := e.revalidate(toValidate); err != nil {
 		return err
@@ -516,15 +694,15 @@ func (e *lazyEngine) runGC(b mem.BarrierID) error {
 		}
 	}
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for id := range e.diffs {
 		if epoch.Covers(int(id.Proc), id.Index) {
-			n.stats.DiffsDiscarded += int64(len(e.diffs[id]))
+			n.stats.diffsDiscarded.Add(int64(len(e.diffs[id])))
 			delete(e.diffs, id)
 		}
 	}
-	n.stats.GCRuns++
+	n.stats.gcRuns.Add(1)
 	return nil
 }
 
@@ -535,21 +713,28 @@ func (e *lazyEngine) runGC(b mem.BarrierID) error {
 // means a later cold miss would chase discarded diffs.
 func (e *lazyEngine) checkGCInvariant(epoch vc.VC) error {
 	n := e.n
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for pg := range e.pages {
 		pgid := mem.PageID(pg)
+		pmu := n.pageLock(pgid)
+		pmu.Lock()
 		pc := e.pages[pg]
 		if pc == nil {
 			if n.sys.home(pgid) == n.id && len(e.log.ModifiersOf(pgid)) > 0 {
+				pmu.Unlock()
 				return fmt.Errorf("dsm: node %d: GC invariant: homed page %d has modification history but no materialized copy", n.id, pgid)
 			}
+			pmu.Unlock()
 			continue
 		}
 		if !pc.valid || !pc.applied.Dominates(epoch) {
-			return fmt.Errorf("dsm: node %d: GC invariant: page %d copy not validated through the epoch (valid=%t applied=%v epoch=%v)",
+			err := fmt.Errorf("dsm: node %d: GC invariant: page %d copy not validated through the epoch (valid=%t applied=%v epoch=%v)",
 				n.id, pgid, pc.valid, pc.applied, epoch)
+			pmu.Unlock()
+			return err
 		}
+		pmu.Unlock()
 	}
 	return nil
 }
@@ -570,18 +755,18 @@ func (e *lazyEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 
 func (e *lazyEngine) handleDiffReq(m *wire.Msg, src mem.ProcID) {
 	n := e.n
-	n.mu.Lock()
+	e.mu.Lock()
 	resp := &wire.Msg{Kind: wire.KDiffResp, Seq: m.Seq}
 	for _, w := range m.Wants {
 		id := core.IntervalID{Proc: w.Proc, Index: w.Index}
 		d := e.diffs[id][w.Page]
 		if d == nil {
-			n.mu.Unlock()
+			e.mu.Unlock()
 			panic(fmt.Sprintf("dsm: node %d: asked for diff %v page %d it does not hold", n.id, id, w.Page))
 		}
 		resp.Diffs = append(resp.Diffs, wire.DiffRec{Page: w.Page, Proc: w.Proc, Index: w.Index, Diff: d})
 	}
-	n.mu.Unlock()
+	e.mu.Unlock()
 	n.noteErr(fmt.Sprintf("diff response to %d", src), n.send(src, resp))
 }
 
@@ -589,7 +774,8 @@ func (e *lazyEngine) handlePageReq(m *wire.Msg) {
 	n := e.n
 	pg := mem.PageID(m.A)
 	requester := mem.ProcID(m.B)
-	n.mu.Lock()
+	pmu := n.pageLock(pg)
+	pmu.Lock()
 	resp := &wire.Msg{Kind: wire.KPageResp, Seq: m.Seq, A: m.A}
 	pc := e.pages[pg]
 	switch {
@@ -597,15 +783,15 @@ func (e *lazyEngine) handlePageReq(m *wire.Msg) {
 		// Never materialized here: the committed state is the zero page.
 		resp.Data = make([]byte, n.sys.layout.PageSize())
 		resp.VC = vc.New(n.sys.cfg.Procs)
-	case e.twins[pg] != nil:
+	case pc.twin != nil:
 		// Uncommitted writes in the current interval must not leak: the
 		// twin holds the committed contents.
-		resp.Data = append([]byte(nil), e.twins[pg].Data()...)
+		resp.Data = append([]byte(nil), pc.twin.Data()...)
 		resp.VC = pc.applied.Clone()
 	default:
 		resp.Data = append([]byte(nil), pc.data...)
 		resp.VC = pc.applied.Clone()
 	}
-	n.mu.Unlock()
+	pmu.Unlock()
 	n.noteErr(fmt.Sprintf("page response to %d", requester), n.send(requester, resp))
 }

@@ -12,6 +12,24 @@ import (
 	"repro/internal/wire"
 )
 
+// Sharding parameters of the node core. Page state is striped across
+// pageShards mutexes keyed by page id, so independent pages fault,
+// install and diff in parallel; incoming frames are dispatched onto
+// handlerWorkers serialized queues keyed the same way, so all protocol
+// work for one page is processed in arrival order while different pages
+// proceed concurrently.
+const (
+	// pageShards is the stripe count of the per-page state lock table.
+	pageShards = 64
+	// handlerWorkers is the size of the per-node handler worker pool;
+	// each worker owns one FIFO queue of dispatched frames.
+	handlerWorkers = 8
+	// workerQueueCap bounds each worker queue; a full queue backpressures
+	// the dispatch loop (and through it the transport), exactly like the
+	// old single handler goroutine falling behind.
+	workerQueueCap = 1024
+)
+
 // Stats counts a node's protocol events. Which counters move depends on
 // the engine: the lazy protocols create intervals and move diffs, the
 // eager ones flush at releases, SC ships whole pages and transfers
@@ -43,31 +61,115 @@ type Stats struct {
 	OwnershipMoves int64
 }
 
+// nodeStats is the node's live counter cell: every field is an atomic,
+// so counters tick from any goroutine — application, shard worker or
+// directory transaction — without touching any page shard lock, and a
+// Stats snapshot never contends with (or tears against) an in-flight
+// page transaction.
+type nodeStats struct {
+	accessMisses     atomic.Int64
+	coldMisses       atomic.Int64
+	diffsApplied     atomic.Int64
+	diffsFetched     atomic.Int64
+	intervalsCreated atomic.Int64
+	pagesFetched     atomic.Int64
+	gcRuns           atomic.Int64
+	diffsDiscarded   atomic.Int64
+	flushedPages     atomic.Int64
+	invalsReceived   atomic.Int64
+	updatesReceived  atomic.Int64
+	writeBacks       atomic.Int64
+	ownershipMoves   atomic.Int64
+}
+
+func (s *nodeStats) snapshot() Stats {
+	return Stats{
+		AccessMisses:     s.accessMisses.Load(),
+		ColdMisses:       s.coldMisses.Load(),
+		DiffsApplied:     s.diffsApplied.Load(),
+		DiffsFetched:     s.diffsFetched.Load(),
+		IntervalsCreated: s.intervalsCreated.Load(),
+		PagesFetched:     s.pagesFetched.Load(),
+		GCRuns:           s.gcRuns.Load(),
+		DiffsDiscarded:   s.diffsDiscarded.Load(),
+		FlushedPages:     s.flushedPages.Load(),
+		InvalsReceived:   s.invalsReceived.Load(),
+		UpdatesReceived:  s.updatesReceived.Load(),
+		WriteBacks:       s.writeBacks.Load(),
+		OwnershipMoves:   s.ownershipMoves.Load(),
+	}
+}
+
 // lockLocal is a node's view of one lock.
 type lockLocal struct {
-	held      bool      // the application currently holds it
+	held      bool      // some local goroutine currently holds it
 	acquiring bool      // a grant is in flight to us (we are next holder)
 	cached    bool      // we were the last holder; reacquisition is local
 	pending   *wire.Msg // a forwarded request awaiting our release
+	// waiters are local goroutines parked until the holder releases: a
+	// node-level handoff queue over the single distributed lock identity,
+	// so N application goroutines can contend for the same lock without
+	// extra protocol traffic (a local handoff is the cached-reacquire
+	// fast path of §4.2).
+	waiters []chan struct{}
 }
 
-// Node is one DSM processor. All exported methods must be called from a
-// single application goroutine; the node's handler goroutine serves
-// incoming protocol requests concurrently.
+// barEpisode is one local barrier rendezvous: with GoroutinesPerNode=k,
+// the k-th arriver becomes the leader, performs the cluster barrier
+// (engine hooks, master exchange, post-barrier episode work) on behalf
+// of the node, and releases the others.
+type barEpisode struct {
+	id      mem.BarrierID
+	arrived int
+	done    chan struct{}
+	err     error
+}
+
+// inFrame is one decoded incoming frame queued for a handler worker.
+type inFrame struct {
+	m   *wire.Msg
+	src mem.ProcID
+}
+
+// Node is one DSM processor. All exported methods are safe for
+// concurrent use by multiple application goroutines (size the local
+// rendezvous with Config.GoroutinesPerNode when more than one goroutine
+// uses barriers); incoming protocol frames are served concurrently by a
+// dispatch loop feeding a worker pool that serializes per-page work.
 type Node struct {
 	sys *System
 	id  mem.ProcID
 	ep  transport.Endpoint
 	e   engine
 
-	mu      sync.Mutex
+	// pageMu is the striped page-state lock table: pageLock(pg) guards
+	// the engine's per-page state (copy bytes, validity, twin, applied
+	// clock, generation) and is never held across a blocking operation.
+	pageMu [pageShards]sync.Mutex
+	// missMu serializes miss service per page stripe: the holder may
+	// block in RPCs while bringing the page current, so concurrent
+	// faulting goroutines on the same page coalesce onto one protocol
+	// transaction instead of racing fetches. Handler-side work never
+	// takes a miss lock.
+	missMu [pageShards]sync.Mutex
+
+	// lockMu guards the distributed-lock local state machine and the
+	// manager-side last-holder table. Engine payload hooks called under
+	// it take only engine sync state (lock order: lockMu before engine
+	// mutexes, never the reverse).
+	lockMu  sync.Mutex
 	locks   map[mem.LockID]*lockLocal
 	mgrLast map[mem.LockID]mem.ProcID // manager-side last holder
-	stats   Stats
 
-	// Barrier master state: arrivals delivered by the handler.
+	stats nodeStats
+
+	// Barrier master state: arrivals delivered by the dispatch loop.
 	barCh chan *wire.Msg
 	gcCh  chan *wire.Msg
+
+	// barMu guards the local two-level barrier episode.
+	barMu sync.Mutex
+	bar   *barEpisode
 
 	seqCtr   atomic.Uint64
 	waiterMu sync.Mutex
@@ -75,18 +177,30 @@ type Node struct {
 
 	errMu sync.Mutex
 	errs  []error
+
+	// queues feed the handler worker pool; closed (by the dispatch loop)
+	// on shutdown. closedCh unblocks local waiters — lock queues and
+	// barrier rendezvous — when the transport goes away.
+	queues   []chan inFrame
+	workerWG sync.WaitGroup
+	closedCh chan struct{}
 }
 
 func newNode(s *System, id mem.ProcID) *Node {
 	n := &Node{
-		sys:     s,
-		id:      id,
-		ep:      s.tr.Endpoint(int(id)),
-		locks:   make(map[mem.LockID]*lockLocal),
-		mgrLast: make(map[mem.LockID]mem.ProcID),
-		barCh:   make(chan *wire.Msg, s.cfg.Procs),
-		gcCh:    make(chan *wire.Msg, s.cfg.Procs),
-		waiters: make(map[uint64]chan *wire.Msg),
+		sys:      s,
+		id:       id,
+		ep:       s.tr.Endpoint(int(id)),
+		locks:    make(map[mem.LockID]*lockLocal),
+		mgrLast:  make(map[mem.LockID]mem.ProcID),
+		barCh:    make(chan *wire.Msg, s.cfg.Procs),
+		gcCh:     make(chan *wire.Msg, s.cfg.Procs),
+		waiters:  make(map[uint64]chan *wire.Msg),
+		queues:   make([]chan inFrame, handlerWorkers),
+		closedCh: make(chan struct{}),
+	}
+	for i := range n.queues {
+		n.queues[i] = make(chan inFrame, workerQueueCap)
 	}
 	switch s.cfg.Mode {
 	case LazyInvalidate, LazyUpdate:
@@ -101,15 +215,24 @@ func newNode(s *System, id mem.ProcID) *Node {
 	return n
 }
 
+// pageLock returns the stripe guarding page pg's state.
+func (n *Node) pageLock(pg mem.PageID) *sync.Mutex {
+	return &n.pageMu[uint32(pg)%pageShards]
+}
+
+// missLock returns the stripe serializing miss service for page pg.
+func (n *Node) missLock(pg mem.PageID) *sync.Mutex {
+	return &n.missMu[uint32(pg)%pageShards]
+}
+
 // ID returns the node's processor id.
 func (n *Node) ID() mem.ProcID { return n.id }
 
-// Stats returns a snapshot of the node's protocol counters.
-func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
-}
+// Stats returns a snapshot of the node's protocol counters. Counters
+// are atomics: the snapshot never blocks protocol work, and each field
+// is internally consistent (the set as a whole is a moment-in-time read
+// of monotone counters, not a transaction).
+func (n *Node) Stats() Stats { return n.stats.snapshot() }
 
 // Clock returns a copy of the node's current vector clock (all zero
 // entries under the eager and SC engines, which do not track causality).
@@ -162,6 +285,7 @@ func (n *Node) send(dst mem.ProcID, m *wire.Msg) error {
 }
 
 // rpc sends m to dst and blocks for the response with the same Seq.
+// Any number of goroutines may have rpcs outstanding concurrently.
 func (n *Node) rpc(dst mem.ProcID, m *wire.Msg) (*wire.Msg, error) {
 	ch := n.register(m.Seq)
 	if err := n.send(dst, m); err != nil {
@@ -174,9 +298,9 @@ func (n *Node) rpc(dst mem.ProcID, m *wire.Msg) (*wire.Msg, error) {
 }
 
 // deliverResponse hands a response message to the requester parked in
-// rpc. Engines that intercept their responses in handle (the eager
-// engine applies flush results on the handler goroutine to keep the
-// home's directory transaction ordering) call this after processing.
+// rpc. Engines that intercept their responses in handle (installs and
+// flush reconciliations apply on the page's shard queue to stay in
+// directory order) call this after processing.
 func (n *Node) deliverResponse(m *wire.Msg) {
 	n.waiterMu.Lock()
 	ch, ok := n.waiters[m.Seq]
@@ -190,50 +314,109 @@ func (n *Node) deliverResponse(m *wire.Msg) {
 	ch <- m
 }
 
-// handlerLoop dispatches incoming frames until the network closes.
-func (n *Node) handlerLoop() {
+// dispatchKey maps a frame to its serialization domain: page-keyed
+// kinds serialize per page (the directory-order invariant: a page ship
+// and the invalidation that follows it in transport FIFO order are
+// processed in that order), lock kinds per lock, and diff traffic —
+// immutable payloads with no ordering dependence — by sequence number
+// for load spreading.
+func dispatchKey(m *wire.Msg) uint32 {
+	switch m.Kind {
+	case wire.KLockReq, wire.KLockFwd, wire.KLockGrant:
+		// Separate namespace from pages so lock i and page i do not
+		// needlessly serialize.
+		return uint32(m.A)*2 + 1
+	case wire.KDiffReq, wire.KDiffResp:
+		return uint32(m.Seq)
+	default:
+		return uint32(m.A) * 2
+	}
+}
+
+// dispatchLoop receives frames until the transport closes, decoding and
+// fanning them out to the worker pool. Barrier arrivals and the
+// collective-exchange responses are handled inline (they only park on
+// rendezvous channels or wake rpc waiters).
+func (n *Node) dispatchLoop() {
 	for {
 		src, payload, ok := n.ep.Recv()
 		if !ok {
-			// Unblock any waiters, including a master parked collecting
-			// barrier arrivals or GC readiness (this loop is the only
-			// sender on those channels).
-			n.waiterMu.Lock()
-			for seq, ch := range n.waiters {
-				close(ch)
-				delete(n.waiters, seq)
-			}
-			n.waiterMu.Unlock()
-			close(n.barCh)
-			close(n.gcCh)
+			n.shutdown()
 			return
 		}
 		m, err := wire.Decode(payload)
 		if err != nil {
 			panic(fmt.Sprintf("dsm: node %d: undecodable frame from %d: %v", n.id, src, err))
 		}
-		switch {
-		case n.e.handle(m, mem.ProcID(src)):
-			// Engine-specific request (or an intercepted response).
-		case m.Kind.IsResponse():
-			n.deliverResponse(m)
-		case m.Kind == wire.KLockReq:
-			n.handleLockReq(m)
-		case m.Kind == wire.KLockFwd:
-			n.handleLockFwd(m)
-		case m.Kind == wire.KBarrierArrive:
+		switch m.Kind {
+		case wire.KBarrierArrive:
 			n.barCh <- m
-		case m.Kind == wire.KGCReady:
+		case wire.KGCReady:
 			n.gcCh <- m
+		case wire.KBarrierExit, wire.KGCDone:
+			n.deliverResponse(m)
 		default:
-			panic(fmt.Sprintf("dsm: node %d: unhandled message kind %v", n.id, m.Kind))
+			n.queues[dispatchKey(m)%handlerWorkers] <- inFrame{m: m, src: mem.ProcID(src)}
 		}
 	}
 }
 
+// worker drains one serialized frame queue.
+func (n *Node) worker(q chan inFrame) {
+	defer n.workerWG.Done()
+	for f := range q {
+		n.process(f.m, f.src)
+	}
+}
+
+// process handles one dispatched frame on its shard worker.
+func (n *Node) process(m *wire.Msg, src mem.ProcID) {
+	switch {
+	case n.e.handle(m, src):
+		// Engine-specific request (or an intercepted response).
+	case m.Kind.IsResponse():
+		n.deliverResponse(m)
+	case m.Kind == wire.KLockReq:
+		n.handleLockReq(m)
+	case m.Kind == wire.KLockFwd:
+		n.handleLockFwd(m)
+	default:
+		panic(fmt.Sprintf("dsm: node %d: unhandled message kind %v", n.id, m.Kind))
+	}
+}
+
+// start launches the node's worker pool (the dispatch loop is started
+// by the System, which tracks it for Close).
+func (n *Node) start() {
+	for _, q := range n.queues {
+		n.workerWG.Add(1)
+		go n.worker(q)
+	}
+}
+
+// shutdown runs on the dispatch loop when the transport closes: drain
+// and stop the workers, then unblock every parked goroutine — rpc
+// waiters, a master collecting arrivals, local lock and barrier queues.
+func (n *Node) shutdown() {
+	for _, q := range n.queues {
+		close(q)
+	}
+	n.workerWG.Wait()
+	close(n.closedCh)
+	n.waiterMu.Lock()
+	for seq, ch := range n.waiters {
+		close(ch)
+		delete(n.waiters, seq)
+	}
+	n.waiterMu.Unlock()
+	close(n.barCh)
+	close(n.gcCh)
+}
+
 // --- application API: memory ---
 
-// Write copies data into the shared address space at addr.
+// Write copies data into the shared address space at addr. Safe for
+// concurrent use; writes to distinct pages proceed in parallel.
 func (n *Node) Write(addr mem.Addr, data []byte) error {
 	lay := n.sys.layout
 	if addr < 0 || addr+mem.Addr(len(data)) > lay.SpaceSize() {
@@ -251,7 +434,9 @@ func (n *Node) Write(addr mem.Addr, data []byte) error {
 	return err
 }
 
-// Read copies len(buf) bytes of the shared address space at addr into buf.
+// Read copies len(buf) bytes of the shared address space at addr into
+// buf. Safe for concurrent use; reads of distinct pages proceed in
+// parallel.
 func (n *Node) Read(buf []byte, addr mem.Addr) error {
 	lay := n.sys.layout
 	if addr < 0 || addr+mem.Addr(len(buf)) > lay.SpaceSize() {

@@ -20,33 +20,39 @@ import (
 // but carry no consistency payload.
 //
 // Ordering: the home holds the page's directory mutex across each
-// transaction, including every send, so the transport's FIFO delivery presents
-// each node the directory's decisions in order. Page installs happen on
-// the *handler* goroutine as the grant arrives — never on the
-// application goroutine after a wakeup — so a node's page state always
-// reflects the directory-order prefix it has received, and an owner can
-// always serve a fetch.
+// transaction, including every send, so the transport's FIFO delivery
+// plus the receiver's per-page shard queue present each node the
+// directory's decisions in order. Page installs happen on the page's
+// *shard worker* as the grant arrives — never on the application
+// goroutine after a wakeup — so a node's page state always reflects the
+// directory-order prefix it has received, and an owner can always serve
+// a fetch.
 //
-// The access that missed completes at install time too, on the handler
-// goroutine, while the granted copy is still current in directory order
-// — before any later invalidation or fetch can be processed. Completing
-// it on the application goroutine after the rpc wakeup instead (the
-// obvious structure) re-opens a window in which a concurrent writer's
-// revocation lands first; re-checking and re-requesting is correct but
-// livelocks into page ping-pong under contention once the transport has
-// real latency: over TCP, two writers of one page can burn millions of
-// whole-page ships making no progress. With install-time completion a
-// miss costs exactly one directory transaction — Ivy's per-access cost
-// that the paper's Table 1 quantifies.
+// The access that missed completes at install time too, on the shard
+// worker, while the granted copy is still current in directory order —
+// before any later invalidation or fetch for that page can be
+// processed. Completing it on the application goroutine after the rpc
+// wakeup instead (the obvious structure) re-opens a window in which a
+// concurrent writer's revocation lands first; re-checking and
+// re-requesting is correct but livelocks into page ping-pong under
+// contention once the transport has real latency: over TCP, two writers
+// of one page can burn millions of whole-page ships making no progress.
+// With install-time completion a miss costs exactly one directory
+// transaction — Ivy's per-access cost that the paper's Table 1
+// quantifies.
+//
+// Concurrency: page copies and the per-page pending-miss slot are
+// guarded by the node's striped lock table; miss service serializes per
+// page under the miss lock, so at most one miss per page is in flight
+// per node and concurrent faulting goroutines coalesce behind it.
 type scEngine struct {
 	n *Node
 
-	// Guarded by n.mu.
-	pages []*scPage
-	// pending is the application goroutine's in-flight miss, completed by
-	// install. At most one exists: each node runs one application
-	// goroutine and it blocks in rpc until the grant arrives.
-	pending *scMiss
+	// pages[i] and pending[i] are guarded by n.pageLock(i). pending[i]
+	// is the one in-flight miss for page i (the miss lock admits at most
+	// one), completed by install on the page's shard worker.
+	pages   []*scPage
+	pending []*scMiss
 
 	dir []scDir // directory entries; used only for pages homed here
 }
@@ -83,9 +89,10 @@ type scDir struct {
 
 func newSCEngine(n *Node) *scEngine {
 	e := &scEngine{
-		n:     n,
-		pages: make([]*scPage, n.sys.layout.NumPages()),
-		dir:   make([]scDir, n.sys.layout.NumPages()),
+		n:       n,
+		pages:   make([]*scPage, n.sys.layout.NumPages()),
+		pending: make([]*scMiss, n.sys.layout.NumPages()),
+		dir:     make([]scDir, n.sys.layout.NumPages()),
 	}
 	for pg := range e.dir {
 		e.dir[pg].owner = n.sys.home(mem.PageID(pg))
@@ -105,40 +112,62 @@ func (e *scEngine) writePage(pg mem.PageID, off int, src []byte) error {
 	return e.access(&scMiss{pg: pg, off: off, src: src}, wire.KWriteReq)
 }
 
+// tryLocal attempts the access against the local copy; caller holds the
+// page stripe.
+func (e *scEngine) tryLocal(miss *scMiss) bool {
+	pc := e.pages[miss.pg]
+	if pc == nil {
+		return false
+	}
+	if miss.dst != nil && pc.mode >= scRead {
+		copy(miss.dst, pc.data[miss.off:miss.off+len(miss.dst)])
+		return true
+	}
+	if miss.src != nil && pc.mode == scWrite {
+		copy(pc.data[miss.off:miss.off+len(miss.src)], miss.src)
+		return true
+	}
+	return false
+}
+
 // access performs one read or write: against the local copy when its
 // mode suffices, otherwise through one directory transaction at the
 // home, with the blocked access completed by install when the grant
 // arrives (see the livelock discussion on scEngine).
 func (e *scEngine) access(miss *scMiss, kind wire.Kind) error {
 	n := e.n
+	pmu := n.pageLock(miss.pg)
+	pmu.Lock()
+	if e.tryLocal(miss) {
+		pmu.Unlock()
+		return nil
+	}
+	pmu.Unlock()
+
+	mmu := n.missLock(miss.pg)
+	mmu.Lock()
+	defer mmu.Unlock()
+
 	for {
-		n.mu.Lock()
-		if pc := e.pages[miss.pg]; pc != nil {
-			if miss.dst != nil && pc.mode >= scRead {
-				copy(miss.dst, pc.data[miss.off:miss.off+len(miss.dst)])
-				n.mu.Unlock()
-				return nil
-			}
-			if miss.src != nil && pc.mode == scWrite {
-				copy(pc.data[miss.off:miss.off+len(miss.src)], miss.src)
-				n.mu.Unlock()
-				return nil
-			}
+		pmu.Lock()
+		if e.tryLocal(miss) {
+			pmu.Unlock()
+			return nil
 		}
-		n.stats.AccessMisses++
+		n.stats.accessMisses.Add(1)
 		if e.pages[miss.pg] == nil {
-			n.stats.ColdMisses++
+			n.stats.coldMisses.Add(1)
 		}
-		e.pending = miss
-		n.mu.Unlock()
+		e.pending[miss.pg] = miss
+		pmu.Unlock()
 
 		_, err := n.rpc(n.sys.home(miss.pg), &wire.Msg{
 			Kind: kind, Seq: n.nextSeq(), A: int32(miss.pg), B: int32(n.id),
 		})
-		n.mu.Lock()
-		e.pending = nil
+		pmu.Lock()
+		e.pending[miss.pg] = nil
 		done := miss.done
-		n.mu.Unlock()
+		pmu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -152,17 +181,17 @@ func (e *scEngine) access(miss *scMiss, kind wire.Kind) error {
 
 // --- lock and barrier hooks: SC needs no consistency payload ---
 
-func (e *scEngine) acquireStartLocked(req *wire.Msg) {}
-func (e *scEngine) grantLocked(req, grant *wire.Msg) {}
-func (e *scEngine) onGrant(grant *wire.Msg) error    { return nil }
-func (e *scEngine) preRelease() error                { return nil }
-func (e *scEngine) releaseLocked()                   {}
+func (e *scEngine) acquireStart(req *wire.Msg)    {}
+func (e *scEngine) grant(req, grant *wire.Msg)    {}
+func (e *scEngine) onGrant(grant *wire.Msg) error { return nil }
+func (e *scEngine) preRelease() error             { return nil }
+func (e *scEngine) release()                      {}
 
 func (e *scEngine) preBarrier() error                 { return nil }
-func (e *scEngine) barrierEntryLocked()               {}
-func (e *scEngine) arriveLocked(arrive *wire.Msg)     {}
-func (e *scEngine) masterAbsorbLocked(m *wire.Msg)    {}
-func (e *scEngine) exitLocked(m, exit *wire.Msg)      {}
+func (e *scEngine) barrierEntry()                     {}
+func (e *scEngine) arrive(arrive *wire.Msg)           {}
+func (e *scEngine) masterAbsorb(m *wire.Msg)          {}
+func (e *scEngine) exit(m, exit *wire.Msg)            {}
 func (e *scEngine) onExit(exit *wire.Msg) error       { return nil }
 func (e *scEngine) postBarrier(b mem.BarrierID) error { return nil }
 
@@ -179,8 +208,9 @@ func (e *scEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 	case wire.KInval:
 		e.applyInval(m, src)
 	case wire.KPageResp:
-		// Intercepted response: install the read copy in directory
-		// order, before any later invalidation can arrive.
+		// Intercepted response: install the read copy on the page's
+		// shard worker, in directory order, before any later
+		// invalidation can be processed.
 		e.install(m, scRead)
 		e.n.deliverResponse(m)
 	case wire.KWriteResp:
@@ -193,31 +223,32 @@ func (e *scEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 }
 
 // install applies a granted copy or upgrade at the requester, on the
-// handler goroutine, and completes the application goroutine's blocked
-// access against it while the grant is still current in directory order.
+// page's shard worker, and completes the blocked access against it
+// while the grant is still current in directory order.
 func (e *scEngine) install(m *wire.Msg, mode scAccess) {
 	n := e.n
 	pg := mem.PageID(m.A)
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	pmu := n.pageLock(pg)
+	pmu.Lock()
+	defer pmu.Unlock()
 	var pc *scPage
 	if m.Data != nil {
 		pc = &scPage{data: m.Data, mode: mode}
 		e.pages[pg] = pc
-		n.stats.PagesFetched++
+		n.stats.pagesFetched.Add(1)
 	} else {
 		// Upgrade grant: the directory saw us in the copyset, so a current
 		// read copy must be installed here (copyset membership without an
 		// installed copy only exists while our own fetch is in flight, and
-		// the application goroutine cannot fetch and upgrade concurrently).
+		// the miss lock admits one miss per page at a time).
 		pc = e.pages[pg]
 		if pc == nil {
 			panic(fmt.Sprintf("dsm: node %d: upgrade grant for page %d without a local copy", n.id, pg))
 		}
 		pc.mode = mode
 	}
-	miss := e.pending
-	if miss == nil || miss.pg != pg || miss.done {
+	miss := e.pending[pg]
+	if miss == nil || miss.done {
 		return
 	}
 	switch {
@@ -292,9 +323,7 @@ func (e *scEngine) serveWriteReq(m *wire.Msg) {
 	}
 	if d.owner != requester {
 		d.owner = requester
-		n.mu.Lock()
-		n.stats.OwnershipMoves++
-		n.mu.Unlock()
+		n.stats.ownershipMoves.Add(1)
 	}
 	d.copyset = 1 << uint(requester)
 
@@ -302,12 +331,13 @@ func (e *scEngine) serveWriteReq(m *wire.Msg) {
 }
 
 // serveFetch answers the home's request for this owner's page contents,
-// downgrading a writable copy to read mode. Runs inline on the handler
-// goroutine.
+// downgrading a writable copy to read mode. Runs inline on the page's
+// shard worker.
 func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
-	n.mu.Lock()
+	pmu := n.pageLock(pg)
+	pmu.Lock()
 	pc := e.pages[pg]
 	var data []byte
 	switch {
@@ -316,7 +346,7 @@ func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 		// committed state is the zero page.
 		data = make([]byte, n.sys.layout.PageSize())
 	case pc == nil:
-		n.mu.Unlock()
+		pmu.Unlock()
 		panic(fmt.Sprintf("dsm: node %d: SC fetch of page %d it never held", n.id, pg))
 	default:
 		if pc.mode == scWrite {
@@ -324,7 +354,7 @@ func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 		}
 		data = append([]byte(nil), pc.data...)
 	}
-	n.mu.Unlock()
+	pmu.Unlock()
 	resp := &wire.Msg{Kind: wire.KFetchResp, Seq: m.Seq, A: m.A, Data: data}
 	n.noteErr(fmt.Sprintf("fetch response to %d", src), n.send(src, resp))
 }
@@ -333,12 +363,13 @@ func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 func (e *scEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
-	n.mu.Lock()
+	pmu := n.pageLock(pg)
+	pmu.Lock()
 	if pc := e.pages[pg]; pc != nil {
 		pc.mode = scNone
 	}
-	n.stats.InvalsReceived++
-	n.mu.Unlock()
+	pmu.Unlock()
+	n.stats.invalsReceived.Add(1)
 	ack := &wire.Msg{Kind: wire.KInvalAck, Seq: m.Seq, A: m.A}
 	n.noteErr(fmt.Sprintf("inval ack to %d", src), n.send(src, ack))
 }

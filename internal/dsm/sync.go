@@ -11,10 +11,19 @@ import (
 // migrate through a static manager to their last holder (§4.2's lock
 // transfer), barriers rendezvous through a master. What the messages
 // carry — write notices, clocks, piggybacked diffs, or nothing at all —
-// is the engine's business, hooked in at the *Locked payload methods.
+// is the engine's business, hooked in at the engine payload methods.
+//
+// With Config.GoroutinesPerNode > 1 both primitives are two-level: the
+// node presents one identity to the distributed protocol, and local
+// goroutines rendezvous in front of it. Lock contention between local
+// goroutines resolves by local handoff (the cached-reacquire fast path
+// of §4.2 — no protocol traffic); a barrier's last local arriver runs
+// the cluster exchange on behalf of the node and releases the rest.
 
 // --- application API: locks ---
 
+// lockLocalState returns (creating if needed) lock l's local record.
+// Caller holds lockMu.
 func (n *Node) lockLocalState(l mem.LockID) *lockLocal {
 	ll := n.locks[l]
 	if ll == nil {
@@ -29,39 +38,67 @@ func (n *Node) lockLocalState(l mem.LockID) *lockLocal {
 // carries the releaser's clock and the write notices the acquirer lacks
 // (§4.2), and LU additionally revalidates the cached pages they name;
 // the eager and SC engines move no consistency payload at acquires.
+//
+// Any number of goroutines on the node may contend for the same lock:
+// while one holds it the others park on a local queue and are handed
+// the lock at release without touching the interconnect. A goroutine
+// must not re-acquire a lock it already holds (self-deadlock, exactly
+// as with a real mutex).
 func (n *Node) Acquire(l mem.LockID) error {
-	n.mu.Lock()
-	ll := n.lockLocalState(l)
-	if ll.held {
-		n.mu.Unlock()
-		return fmt.Errorf("dsm: node %d: acquire of lock %d already held", n.id, l)
-	}
-	req := &wire.Msg{
-		Kind: wire.KLockReq,
-		Seq:  n.nextSeq(),
-		A:    int32(l),
-		B:    int32(n.id),
-	}
-	n.e.acquireStartLocked(req)
-	if ll.cached {
-		ll.held = true
-		n.mu.Unlock()
-		return nil
-	}
-	ll.acquiring = true
-	n.mu.Unlock()
+	for {
+		n.lockMu.Lock()
+		ll := n.lockLocalState(l)
+		if !ll.held && !ll.acquiring {
+			req := &wire.Msg{
+				Kind: wire.KLockReq,
+				Seq:  n.nextSeq(),
+				A:    int32(l),
+				B:    int32(n.id),
+			}
+			// The acquire-time engine hook runs on every successful
+			// acquisition path, local handoffs included: under the lazy
+			// protocols an acquire delimits the current interval.
+			n.e.acquireStart(req)
+			if ll.cached {
+				ll.held = true
+				n.lockMu.Unlock()
+				return nil
+			}
+			ll.acquiring = true
+			n.lockMu.Unlock()
 
-	grant, err := n.rpc(n.sys.lockMgr(l), req)
-	if err != nil {
-		return err
-	}
+			grant, err := n.rpc(n.sys.lockMgr(l), req)
+			if err != nil {
+				n.lockMu.Lock()
+				ll.acquiring = false
+				// Wake parked goroutines so they observe the failure (or
+				// retry) instead of waiting for a release that never comes.
+				for _, ch := range ll.waiters {
+					close(ch)
+				}
+				ll.waiters = nil
+				n.lockMu.Unlock()
+				return err
+			}
 
-	n.mu.Lock()
-	ll.held = true
-	ll.acquiring = false
-	ll.cached = true
-	n.mu.Unlock()
-	return n.e.onGrant(grant)
+			n.lockMu.Lock()
+			ll.held = true
+			ll.acquiring = false
+			ll.cached = true
+			n.lockMu.Unlock()
+			return n.e.onGrant(grant)
+		}
+		// Held (or being acquired) by another local goroutine: park until
+		// a release hands the lock over or sends it away, then retry.
+		ch := make(chan struct{})
+		ll.waiters = append(ll.waiters, ch)
+		n.lockMu.Unlock()
+		select {
+		case <-ch:
+		case <-n.closedCh:
+			return fmt.Errorf("dsm: node %d: acquire of lock %d: %w", n.id, l, ErrClosed)
+		}
+	}
 }
 
 // Release releases lock l. Under the lazy protocols releases are purely
@@ -69,66 +106,124 @@ func (n *Node) Acquire(l mem.LockID) error {
 // grant — clock, notices, and for LU the retained diffs — goes straight
 // to the next acquirer. The eager engines first push the critical
 // section's modifications to every other cacher (preRelease), so the
-// next holder can never observe pre-release data.
+// next holder can never observe pre-release data. A remote requester
+// already waiting takes precedence over parked local goroutines (they
+// re-contend through the manager), keeping the distributed protocol
+// starvation-free.
 func (n *Node) Release(l mem.LockID) error {
-	n.mu.Lock()
+	n.lockMu.Lock()
 	ll := n.lockLocalState(l)
 	if !ll.held {
-		n.mu.Unlock()
+		n.lockMu.Unlock()
 		return fmt.Errorf("dsm: node %d: release of lock %d not held", n.id, l)
 	}
-	n.mu.Unlock()
+	n.lockMu.Unlock()
 
-	// Eager flush point: blocking message exchanges, so outside mu. The
-	// held flag cannot change concurrently (only the application
-	// goroutine mutates it).
+	// Eager flush point: blocking message exchanges, so outside lockMu.
+	// Only the holding goroutine calls Release, so held cannot flip
+	// underneath us; a concurrent local Acquire parks on the waiter
+	// queue, and a remote request parks in ll.pending.
 	if err := n.e.preRelease(); err != nil {
 		return err
 	}
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.e.releaseLocked()
+	n.lockMu.Lock()
+	defer n.lockMu.Unlock()
+	n.e.release()
 	ll.held = false
+	var err error
 	if ll.pending != nil {
 		req := ll.pending
 		ll.pending = nil
 		ll.cached = false
-		return n.sendGrantLocked(req)
+		err = n.sendGrant(req)
 	}
-	return nil
+	if len(ll.waiters) > 0 {
+		if ll.cached {
+			// Local handoff: wake exactly one parked goroutine; it takes
+			// the cached fast path.
+			close(ll.waiters[0])
+			ll.waiters = ll.waiters[1:]
+		} else {
+			// The lock left the node: every parked goroutine re-contends
+			// through the manager.
+			for _, ch := range ll.waiters {
+				close(ch)
+			}
+			ll.waiters = nil
+		}
+	}
+	return err
 }
 
-// sendGrantLocked builds and sends the lock grant for a forwarded
-// request, with the engine's consistency payload. Caller holds mu.
-func (n *Node) sendGrantLocked(req *wire.Msg) error {
+// sendGrant builds and sends the lock grant for a forwarded request,
+// with the engine's consistency payload. Caller holds lockMu.
+func (n *Node) sendGrant(req *wire.Msg) error {
 	grant := &wire.Msg{
 		Kind: wire.KLockGrant,
 		Seq:  req.Seq,
 		A:    req.A,
 	}
-	n.e.grantLocked(req, grant)
+	n.e.grant(req, grant)
 	return n.send(mem.ProcID(req.B), grant)
 }
 
 // --- application API: barriers ---
 
-// Barrier blocks until every node has arrived at barrier b, exchanging
-// the engine's consistency payload through the master (node 0) —
-// 2(n-1) messages, §4.2 — and running the engine's post-barrier episode
-// work (data movement, garbage collection). The eager engines flush
-// buffered modifications before arriving, so every pre-barrier write is
-// propagated before any node exits.
+// Barrier blocks until every participant has arrived at barrier b: the
+// node's GoroutinesPerNode local goroutines first, then every node of
+// the cluster, exchanging the engine's consistency payload through the
+// master (node 0) — 2(n-1) messages, §4.2 — and running the engine's
+// post-barrier episode work (data movement, garbage collection) once
+// per node. The eager engines flush buffered modifications before
+// arriving, so every pre-barrier write is propagated before any
+// participant exits. All local participants must name the same barrier
+// id within one episode.
 func (n *Node) Barrier(b mem.BarrierID) error {
+	k := n.sys.cfg.GoroutinesPerNode
+	if k <= 1 {
+		return n.clusterBarrier(b)
+	}
+	n.barMu.Lock()
+	ep := n.bar
+	if ep == nil {
+		ep = &barEpisode{id: b, done: make(chan struct{})}
+		n.bar = ep
+	}
+	if ep.id != b {
+		n.barMu.Unlock()
+		return fmt.Errorf("dsm: node %d: barrier %d entered while barrier %d is rendezvousing", n.id, b, ep.id)
+	}
+	ep.arrived++
+	if ep.arrived == k {
+		// Leader: run the cluster exchange on behalf of the node. The
+		// episode slot is cleared first so released participants can
+		// immediately start the next rendezvous.
+		n.bar = nil
+		n.barMu.Unlock()
+		ep.err = n.clusterBarrier(b)
+		close(ep.done)
+		return ep.err
+	}
+	n.barMu.Unlock()
+	select {
+	case <-ep.done:
+		return ep.err
+	case <-n.closedCh:
+		return fmt.Errorf("dsm: node %d: barrier %d: %w", n.id, b, ErrClosed)
+	}
+}
+
+// clusterBarrier is the node-level barrier: the distributed rendezvous
+// through the master plus the engine's pre/post episode work.
+func (n *Node) clusterBarrier(b mem.BarrierID) error {
 	if err := n.e.preBarrier(); err != nil {
 		return err
 	}
 
 	const master = mem.ProcID(0)
 	if n.id == master {
-		n.mu.Lock()
-		n.e.barrierEntryLocked()
-		n.mu.Unlock()
+		n.e.barrierEntry()
 		// Collect the other nodes' arrivals.
 		arrivals := make([]*wire.Msg, 0, n.sys.cfg.Procs-1)
 		for len(arrivals) < n.sys.cfg.Procs-1 {
@@ -141,17 +236,13 @@ func (n *Node) Barrier(b mem.BarrierID) error {
 			}
 			arrivals = append(arrivals, m)
 		}
-		n.mu.Lock()
 		for _, m := range arrivals {
-			n.e.masterAbsorbLocked(m)
+			n.e.masterAbsorb(m)
 		}
-		n.mu.Unlock()
 		// Exit messages carry what each arriver lacks.
 		for _, m := range arrivals {
 			exit := &wire.Msg{Kind: wire.KBarrierExit, Seq: m.Seq, A: int32(b)}
-			n.mu.Lock()
-			n.e.exitLocked(m, exit)
-			n.mu.Unlock()
+			n.e.exit(m, exit)
 			if err := n.send(mem.ProcID(m.B), exit); err != nil {
 				return err
 			}
@@ -163,10 +254,8 @@ func (n *Node) Barrier(b mem.BarrierID) error {
 			A:    int32(b),
 			B:    int32(n.id),
 		}
-		n.mu.Lock()
-		n.e.barrierEntryLocked()
-		n.e.arriveLocked(arrive)
-		n.mu.Unlock()
+		n.e.barrierEntry()
+		n.e.arrive(arrive)
 		exit, err := n.rpc(master, arrive)
 		if err != nil {
 			return err
@@ -183,38 +272,38 @@ func (n *Node) Barrier(b mem.BarrierID) error {
 func (n *Node) handleLockReq(m *wire.Msg) {
 	l := mem.LockID(m.A)
 	requester := mem.ProcID(m.B)
-	n.mu.Lock()
+	n.lockMu.Lock()
 	prev, known := n.mgrLast[l]
 	n.mgrLast[l] = requester
 	if !known {
 		// First acquisition anywhere: grant directly from the manager
 		// with no consistency payload.
 		grant := &wire.Msg{Kind: wire.KLockGrant, Seq: m.Seq, A: m.A}
-		n.mu.Unlock()
+		n.lockMu.Unlock()
 		n.noteErr(fmt.Sprintf("lock %d first grant to %d", l, requester), n.send(requester, grant))
 		return
 	}
-	n.mu.Unlock()
+	n.lockMu.Unlock()
 	fwd := &wire.Msg{Kind: wire.KLockFwd, Seq: m.Seq, A: m.A, B: m.B, VC: m.VC}
 	n.noteErr(fmt.Sprintf("lock %d forward to %d", l, prev), n.send(prev, fwd))
 }
 
 func (n *Node) handleLockFwd(m *wire.Msg) {
 	l := mem.LockID(m.A)
-	n.mu.Lock()
+	n.lockMu.Lock()
 	ll := n.lockLocalState(l)
 	ll.cached = false
 	if ll.held || ll.acquiring {
-		// We hold the lock (or our own grant is still in flight): the
-		// successor waits for our release.
+		// A local goroutine holds the lock (or our own grant is still in
+		// flight): the successor waits for our release.
 		if ll.pending != nil {
 			panic(fmt.Sprintf("dsm: node %d: two pending requests for lock %d", n.id, l))
 		}
 		ll.pending = m
-		n.mu.Unlock()
+		n.lockMu.Unlock()
 		return
 	}
-	err := n.sendGrantLocked(m)
-	n.mu.Unlock()
+	err := n.sendGrant(m)
+	n.lockMu.Unlock()
 	n.noteErr(fmt.Sprintf("lock %d grant to %d", l, mem.ProcID(m.B)), err)
 }

@@ -25,6 +25,12 @@
 // the SPLASH programs the paper traces. Arenas are not concurrency-safe;
 // build the schema up front, then share the handles.
 //
+// Handles are safe to share between any number of goroutines: they are
+// immutable values, and the runtime node behind Mem (*dsm.Node) is safe
+// for concurrent use — several application goroutines may drive one
+// node's handles at once (size dsm.Config.GoroutinesPerNode when more
+// than one uses Barrier), contending for Locks by node-local handoff.
+//
 // Mem is satisfied by *dsm.Node. The allocator panics on exhaustion:
 // schema construction is deterministic start-up code, and an address
 // space that cannot hold the program's data is a configuration bug, not

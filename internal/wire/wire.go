@@ -74,7 +74,10 @@ const (
 	// KUpdateAck: cacher -> home after applying the update.
 	KUpdateAck
 	// KFlushReq: releaser -> page home at an eager release or barrier
-	// flush point. A/B = page id, flusher; EU carries the diff.
+	// flush point. A/B = page id, flusher; EU carries the diff. A
+	// non-empty Data section flags that the flusher's local copy is
+	// invalid, so the reply must carry a reconciliation base even if the
+	// flusher is still in the copyset.
 	KFlushReq
 	// KFlushDone: home -> releaser once every other cacher was invalidated
 	// (EI) or updated (EU): Diffs carries EI write-backs, Data carries a

@@ -175,8 +175,8 @@ func TestRuntimeErrorPropagation(t *testing.T) {
 	if err == nil {
 		t.Fatal("out-of-range access on the runtime succeeded")
 	}
-	if !strings.Contains(err.Error(), "node 1") || !strings.Contains(err.Error(), "outside space") {
-		t.Fatalf("err = %v, want node 1's out-of-range error as the root cause", err)
+	if !strings.Contains(err.Error(), "processor 1") || !strings.Contains(err.Error(), "outside space") {
+		t.Fatalf("err = %v, want processor 1's out-of-range error as the root cause", err)
 	}
 }
 

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dsm"
+)
+
+// Oversubscribed differential harness: the same SPLASH programs run
+// with GoroutinesPerNode > 1 — several logical processors multiplexed
+// onto each DSM node as genuinely concurrent goroutines — under every
+// consistency protocol, and the final images must stay byte-identical
+// to the sequential reference. This is the acceptance proof for the
+// concurrent node core: the striped page state, the per-page shard
+// queues and the two-level lock/barrier machinery must preserve every
+// protocol's guarantees when N goroutines drive one node.
+
+func oversubParams(t *testing.T) (procs, gpn int, scale float64, pageSize int) {
+	t.Helper()
+	if testing.Short() {
+		return 4, 2, 0.05, 1024
+	}
+	return 8, 4, 0.1, 1024
+}
+
+func TestWorkloadsOnRuntimeOversubscribed(t *testing.T) {
+	procs, gpn, scale, pageSize := oversubParams(t)
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := ExecuteCached(name, procs, scale, diffSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range dsm.Modes {
+				prog, err := New(name, procs, scale, diffSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := RunOnRuntime(prog, RuntimeConfig{
+					PageSize:          pageSize,
+					Mode:              mode,
+					GoroutinesPerNode: gpn,
+				})
+				if err != nil {
+					t.Fatalf("%s/gpn=%d: %v", mode, gpn, err)
+				}
+				if !bytes.Equal(res.Image, ref.Image) {
+					t.Errorf("%s/gpn=%d: runtime image diverges from reference (first diff at byte %d)",
+						mode, gpn, firstDiff(res.Image, ref.Image))
+				}
+				if want := procs / gpn; len(res.Nodes) != want {
+					t.Errorf("%s/gpn=%d: stats for %d nodes, want %d", mode, gpn, len(res.Nodes), want)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsOversubscribedOverTCP runs the oversubscribed shape over
+// the real TCP transport: a loopback cluster of NumProcs/gpn listeners,
+// every node driving gpn concurrent program goroutines, every protocol
+// message crossing an actual socket.
+func TestWorkloadsOversubscribedOverTCP(t *testing.T) {
+	const procs, gpn, scale, pageSize = 4, 2, 0.05, 1024
+	names := Names
+	if testing.Short() {
+		names = []string{"locusroute"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := ExecuteCached(name, procs, scale, diffSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range dsm.Modes {
+				prog, err := New(name, procs, scale, diffSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := RunOnRuntime(prog, RuntimeConfig{
+					PageSize:          pageSize,
+					Mode:              mode,
+					GoroutinesPerNode: gpn,
+					Transports:        tcpTransports(t, procs/gpn),
+				})
+				if err != nil {
+					t.Fatalf("%s/gpn=%d over tcp: %v", mode, gpn, err)
+				}
+				if !bytes.Equal(res.Image, ref.Image) {
+					t.Errorf("%s/gpn=%d over tcp: image diverges from reference (first diff at byte %d)",
+						mode, gpn, firstDiff(res.Image, ref.Image))
+				}
+			}
+		})
+	}
+}
+
+// TestOversubscribedSingleNode collapses the whole program onto one node
+// (gpn = NumProcs): every synchronization operation resolves locally —
+// lock handoffs, the two-level barrier with no cluster exchange — and
+// the image must still match.
+func TestOversubscribedSingleNode(t *testing.T) {
+	const procs, scale = 4, 0.05
+	ref, err := ExecuteCached("mp3d", procs, scale, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range dsm.Modes {
+		prog, err := New("mp3d", procs, scale, diffSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOnRuntime(prog, RuntimeConfig{
+			PageSize:          1024,
+			Mode:              mode,
+			GoroutinesPerNode: procs,
+		})
+		if err != nil {
+			t.Fatalf("%s/gpn=%d: %v", mode, procs, err)
+		}
+		if !bytes.Equal(res.Image, ref.Image) {
+			t.Errorf("%s/gpn=%d: single-node image diverges from reference", mode, procs)
+		}
+	}
+}
+
+// TestOversubscribedRejectsBadShape: a goroutine count that does not
+// divide the processor count is a configuration error, not a hang.
+func TestOversubscribedRejectsBadShape(t *testing.T) {
+	prog, err := New("water", 8, 0.05, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOnRuntime(prog, RuntimeConfig{GoroutinesPerNode: 3}); err == nil {
+		t.Fatal("gpn=3 over 8 processors accepted")
+	}
+	if _, err := RunOnRuntime(prog, RuntimeConfig{GoroutinesPerNode: -1}); err == nil {
+		t.Fatal("negative gpn accepted")
+	}
+}

@@ -25,15 +25,25 @@ type RuntimeConfig struct {
 	// Latency configures the interconnect time model (zero value uses the
 	// runtime default).
 	Latency dsm.LatencyModel
+	// GoroutinesPerNode multiplexes the program's logical processors over
+	// fewer DSM nodes: with k > 1 the cluster has NumProcs/k nodes
+	// (NumProcs must be divisible by k) and logical processor p runs as
+	// an application goroutine on node p mod (NumProcs/k) — the
+	// oversubscribed-node shape. 0 and 1 mean one goroutine per node.
+	// Lock contention between co-located processors resolves by local
+	// handoff and barriers rendezvous locally before the node arrives at
+	// the cluster barrier, so the program observes identical consistency
+	// semantics at any k.
+	GoroutinesPerNode int
 	// Transports supplies the interconnect. Nil runs the whole cluster
 	// over the default in-process network. Otherwise one dsm.System is
 	// built per transport instance and program bodies run on every local
 	// node of every instance — a loopback TCP cluster passes all of its
 	// transports here; a genuinely multi-process run passes just this
-	// process's. Each transport must span exactly the program's processor
-	// count, and across processes their local endpoints must partition
-	// it. The final image is read by node 0, so only the run hosting node
-	// 0 reports one.
+	// process's. Each transport must span exactly the cluster's node
+	// count (NumProcs/GoroutinesPerNode), and across processes their
+	// local endpoints must partition it. The final image is read by node
+	// 0, so only the run hosting node 0 reports one.
 	Transports []dsm.Transport
 }
 
@@ -51,8 +61,10 @@ type RuntimeResult struct {
 	Net dsm.TransportStats
 	// Elapsed is the interconnect time model's estimate for the traffic.
 	Elapsed time.Duration
-	// Nodes holds each node's protocol counters, indexed by processor id
-	// (zero-valued for processors hosted by other processes).
+	// Nodes holds each node's protocol counters, indexed by node id
+	// (zero-valued for nodes hosted by other processes). With
+	// GoroutinesPerNode > 1 there are NumProcs/GoroutinesPerNode nodes,
+	// each serving its co-located logical processors.
 	Nodes []dsm.Stats
 }
 
@@ -64,15 +76,17 @@ type nodeErr struct{ err error }
 
 // nodeCtx adapts one dsm.Node to the Ctx interface through the typed
 // shared-memory façade: value-carrying operations go through shm handles
-// at the trace's addresses, so the encoding lives in one place. It is
-// driven by exactly one goroutine.
+// at the trace's addresses, so the encoding lives in one place. Each
+// logical processor gets its own nodeCtx (driven by exactly one
+// goroutine); with GoroutinesPerNode > 1 several share one node.
 type nodeCtx struct {
 	n     *dsm.Node
+	proc  int
 	procs int
 	buf   []byte
 }
 
-func (c *nodeCtx) Proc() int     { return int(c.n.ID()) }
+func (c *nodeCtx) Proc() int     { return c.proc }
 func (c *nodeCtx) NumProcs() int { return c.procs }
 
 func (c *nodeCtx) check(err error) {
@@ -128,18 +142,29 @@ func (c *nodeCtx) Release(l int) { c.check(shm.LockAt(mem.LockID(l)).Release(c.n
 func (c *nodeCtx) Barrier(b int) { c.check(shm.BarrierAt(mem.BarrierID(b)).Wait(c.n)) }
 
 // RunOnRuntime executes the program on the live DSM runtime: one genuinely
-// concurrent goroutine per processor, each driving its own dsm.Node, with
-// locks and barriers mapped to the runtime's synchronization operations.
-// After every body returns, the nodes run one closing barrier (id
-// Config().NumBarriers, outside the program's range) so node 0's vector
-// clock covers every interval, node 0 reads the whole space out as the
-// final image, and a second closing barrier holds every node alive — in
-// this process or another — until the read-out has been served.
+// concurrent goroutine per logical processor, driving its node (its own
+// with the default GoroutinesPerNode of one, a shared one when
+// oversubscribed), with locks and barriers mapped to the runtime's
+// synchronization operations. After every body returns, all processors
+// run one closing barrier (id Config().NumBarriers, outside the
+// program's range) so node 0's vector clock covers every interval,
+// processor 0 reads the whole space out as the final image, and a second
+// closing barrier holds every node alive — in this process or another —
+// until the read-out has been served.
 func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 	cfg := p.Config()
 	if rc.PageSize == 0 {
 		rc.PageSize = 4096
 	}
+	gpn := rc.GoroutinesPerNode
+	if gpn == 0 {
+		gpn = 1
+	}
+	if gpn < 0 || cfg.NumProcs%gpn != 0 {
+		return nil, fmt.Errorf("workload %s on runtime (%s): %d goroutines per node does not divide %d processors",
+			p.Name(), rc.Mode, gpn, cfg.NumProcs)
+	}
+	nodes := cfg.NumProcs / gpn
 	transports := rc.Transports
 	if transports == nil {
 		transports = []dsm.Transport{nil} // default in-process network
@@ -156,13 +181,14 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 	}
 	for i, tr := range transports {
 		sys, err := dsm.New(dsm.Config{
-			Procs:           cfg.NumProcs,
-			SpaceSize:       cfg.SpaceSize,
-			PageSize:        rc.PageSize,
-			Mode:            rc.Mode,
-			GCEveryBarriers: rc.GCEveryBarriers,
-			Latency:         rc.Latency,
-			Transport:       tr,
+			Procs:             nodes,
+			SpaceSize:         cfg.SpaceSize,
+			PageSize:          rc.PageSize,
+			Mode:              rc.Mode,
+			GCEveryBarriers:   rc.GCEveryBarriers,
+			Latency:           rc.Latency,
+			GoroutinesPerNode: gpn,
+			Transport:         tr,
 		})
 		if err != nil {
 			// dsm.New closed tr; close the systems already built and the
@@ -186,44 +212,48 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 	var wg sync.WaitGroup
 	for _, sys := range systems {
 		for _, node := range sys.Local() {
-			wg.Add(1)
-			go func(node *dsm.Node) {
-				defer wg.Done()
-				id := int(node.ID())
-				ctx := &nodeCtx{n: node, procs: cfg.NumProcs}
-				err := func() (err error) {
-					defer func() {
-						if r := recover(); r != nil {
-							ne, ok := r.(nodeErr)
-							if !ok {
-								panic(r) // workload bug, not a DSM failure
+			// Logical processor p runs on node p mod nodes: every node
+			// hosts exactly gpn concurrent program goroutines.
+			for lp := int(node.ID()); lp < cfg.NumProcs; lp += nodes {
+				wg.Add(1)
+				go func(node *dsm.Node, proc int) {
+					defer wg.Done()
+					ctx := &nodeCtx{n: node, proc: proc, procs: cfg.NumProcs}
+					err := func() (err error) {
+						defer func() {
+							if r := recover(); r != nil {
+								ne, ok := r.(nodeErr)
+								if !ok {
+									panic(r) // workload bug, not a DSM failure
+								}
+								err = ne.err
 							}
-							err = ne.err
-						}
-					}()
-					p.Proc(ctx)
-					// Closing barrier: every node's modifications become
-					// visible to node 0 before the image read-out.
-					if err := node.Barrier(syncBarrier); err != nil {
-						return err
-					}
-					if id == 0 {
-						img := make([]byte, cfg.SpaceSize)
-						if err := node.Read(img, 0); err != nil {
+						}()
+						p.Proc(ctx)
+						// Closing barrier: every processor's modifications
+						// become visible to node 0 before the image
+						// read-out.
+						if err := node.Barrier(syncBarrier); err != nil {
 							return err
 						}
-						res.Image = img
+						if proc == 0 {
+							img := make([]byte, cfg.SpaceSize)
+							if err := node.Read(img, 0); err != nil {
+								return err
+							}
+							res.Image = img
+						}
+						// Read-out barrier: peers — possibly in other
+						// processes — stay alive serving pages and diffs
+						// until node 0 has the image.
+						return node.Barrier(readoutBarrier)
+					}()
+					if err != nil {
+						errs[proc] = err
+						closeAll() // unblock peers stuck in protocol operations
 					}
-					// Read-out barrier: peers — possibly in other
-					// processes — stay alive serving pages and diffs
-					// until node 0 has the image.
-					return node.Barrier(readoutBarrier)
-				}()
-				if err != nil {
-					errs[id] = err
-					closeAll() // unblock peers stuck in protocol operations
-				}
-			}(node)
+				}(node, lp)
+			}
 		}
 	}
 	wg.Wait()
@@ -245,9 +275,9 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 		failed = first
 	}
 	if failed != -1 {
-		return nil, fmt.Errorf("workload %s on runtime (%s): node %d: %w", p.Name(), rc.Mode, failed, errs[failed])
+		return nil, fmt.Errorf("workload %s on runtime (%s): processor %d: %w", p.Name(), rc.Mode, failed, errs[failed])
 	}
-	res.Nodes = make([]dsm.Stats, cfg.NumProcs)
+	res.Nodes = make([]dsm.Stats, nodes)
 	for _, sys := range systems {
 		res.Net.Add(sys.NetStats())
 		for _, node := range sys.Local() {

@@ -17,6 +17,13 @@
 //     nodes exchanging write notices, twins, diffs, invalidations and
 //     page ships over a pluggable interconnect, with the consistency
 //     policy — LI, LU, EI, EU or SC — selected per instance. See NewDSM.
+//     Nodes are concurrently usable: any number of application
+//     goroutines may drive one node (DSMConfig.GoroutinesPerNode sizes
+//     the barrier rendezvous), with per-page sharded protocol state and
+//     node-local lock handoff, so programs run oversubscribed —
+//     threads-per-node — as well as one processor per node
+//     (RuntimeConfig.GoroutinesPerNode for the SPLASH workloads,
+//     lrcrun -gpn on the command line).
 //
 // The runtime's API is redesigned at both boundaries:
 //
