@@ -420,6 +420,116 @@ func BenchmarkRuntimeCounterTCP(b *testing.B) {
 	}
 }
 
+// BenchmarkRuntimeBatchedBarrierTCP is the outbox acceptance bench: a
+// barrier-heavy write-share pattern — every node rewrites its four
+// pages each round, takes one lock-protected critical section, and
+// synchronizes at a barrier — on a real loopback TCP cluster, with
+// frame batching on and off. Under LU every barrier episode makes each
+// node revalidate the other nodes' twelve pages: the per-(page,creator)
+// diff requests are identical either way (msgs/critsec must not move),
+// but with batching on each creator's four requests leave in one frame,
+// so frames/critsec must drop — CI records the series in
+// BENCH_wire.json, where batch=true LU must show at least 30% fewer
+// frames per critical section than batch=false.
+func BenchmarkRuntimeBatchedBarrierTCP(b *testing.B) {
+	const (
+		procs        = 4
+		pagesPerNode = 4
+		pageSize     = 1024
+		regionPage   = 16 // write-share region: pages 16..31, page p homed at p%procs
+	)
+	for _, m := range repro.DSMModes {
+		for _, noBatch := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/batch=%t", m, !noBatch), func(b *testing.B) {
+				trs, err := repro.NewLoopbackTCPCluster(procs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				systems := make([]*repro.DSM, procs)
+				for i, tr := range trs {
+					systems[i], err = repro.NewDSM(repro.DSMConfig{
+						Procs: procs, SpaceSize: 64 * 1024, PageSize: pageSize,
+						Mode: m, NoBatch: noBatch, Transport: tr,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer systems[i].Close()
+				}
+				a := repro.NewArena(systems[0].Layout())
+				counter := repro.NewVar[uint64](a)
+				lock := a.NewLock()
+				pageAddr := func(owner, j int) repro.Addr {
+					return repro.Addr((regionPage + j*procs + owner) * pageSize)
+				}
+				var wg sync.WaitGroup
+				run := func(body func(i int, n *repro.Node) error) {
+					for i := 0; i < procs; i++ {
+						wg.Add(1)
+						go func(i int) {
+							defer wg.Done()
+							if err := body(i, systems[i].Node(i)); err != nil {
+								b.Error(err)
+							}
+						}(i)
+					}
+					wg.Wait()
+				}
+				// Warm-up round: every node writes its pages, then caches
+				// every other node's, so the steady state measured below is
+				// revalidation traffic, not cold misses.
+				run(func(i int, n *repro.Node) error {
+					for j := 0; j < pagesPerNode; j++ {
+						if err := n.WriteUint64(pageAddr(i, j), 1); err != nil {
+							return err
+						}
+					}
+					if err := n.Barrier(0); err != nil {
+						return err
+					}
+					for owner := 0; owner < procs; owner++ {
+						for j := 0; j < pagesPerNode; j++ {
+							if _, err := n.ReadUint64(pageAddr(owner, j)); err != nil {
+								return err
+							}
+						}
+					}
+					return n.Barrier(0)
+				})
+				b.ResetTimer()
+				run(func(i int, n *repro.Node) error {
+					for k := 0; k < b.N; k++ {
+						for j := 0; j < pagesPerNode; j++ {
+							if err := n.WriteUint64(pageAddr(i, j), uint64(k)+2); err != nil {
+								return err
+							}
+						}
+						if err := repro.Locked(n, lock, func() error {
+							_, err := counter.Add(n, 1)
+							return err
+						}); err != nil {
+							return err
+						}
+						if err := n.Barrier(0); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				b.StopTimer()
+				var st repro.TransportStats
+				for _, sys := range systems {
+					st.Add(sys.NetStats())
+				}
+				crit := float64(procs) * float64(b.N)
+				b.ReportMetric(float64(st.Messages)/crit, "msgs/critsec")
+				b.ReportMetric(float64(st.Frames)/crit, "frames/critsec")
+				b.ReportMetric(float64(st.Bytes)/crit, "B/critsec")
+			})
+		}
+	}
+}
+
 // --- substrate micro-benches ---
 
 func BenchmarkDiffCreate(b *testing.B) {

@@ -81,6 +81,7 @@ func run(args []string, out io.Writer) error {
 		pageSize  = fs.Int("pagesize", 4096, "consistency page size in bytes")
 		gc        = fs.Int("gc", 0, "garbage-collect every N barriers (0 = off)")
 		transport = fs.String("transport", "simnet", "interconnect: simnet (in-process) or tcp (cross-process; requires -peers)")
+		nobatch   = fs.Bool("nobatch", false, "disable outbox frame batching (every message travels as its own frame)")
 		peers     = fs.String("peers", "", "comma-separated host:port of every node, in id order (-transport tcp)")
 		self      = fs.Int("self", 0, "this process's index into -peers (-transport tcp)")
 	)
@@ -145,18 +146,18 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-app all runs one cluster per workload; start each -app separately under -transport tcp")
 		}
 		for _, name := range workload.Names {
-			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, mkTransport); err != nil {
+			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, *nobatch, mkTransport); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *app != "":
-		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, mkTransport)
+		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, *nobatch, mkTransport)
 	default:
 		if *demo == "" {
 			*demo = "counter"
 		}
-		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, mkTransport)
+		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, *nobatch, mkTransport)
 	}
 }
 
@@ -181,7 +182,7 @@ func parsePeers(s string) ([]string, error) {
 // With gpn > 1 the program's processors are multiplexed onto procs/gpn
 // oversubscribed nodes. Under TCP only the process hosting node 0 holds
 // the image; the others report their own traffic.
-func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, mkTransport func() (repro.Transport, error)) error {
+func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, noBatch bool, mkTransport func() (repro.Transport, error)) error {
 	if procs%gpn != 0 {
 		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
 	}
@@ -193,7 +194,7 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	if err != nil {
 		return err
 	}
-	rc := workload.RuntimeConfig{PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn}
+	rc := workload.RuntimeConfig{PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn, NoBatch: noBatch}
 	if tr != nil {
 		rc.Transports = []repro.Transport{tr}
 	}
@@ -205,7 +206,8 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 		// A TCP process hosting only non-zero nodes: node 0's process
 		// verifies the image.
 		fmt.Fprintf(out, "== %s: %d procs, mode %s, page %d: this process's nodes done ==\n", name, procs, m, pageSize)
-		fmt.Fprintf(out, "%-12s%14d%14d   (this process's sends)\n", "runtime", res.Net.Messages, res.Net.Bytes)
+		fmt.Fprintf(out, "%-12s%12d%12d%12d%14d   (this process's sends)\n",
+			"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.Bytes)
 		return nil
 	}
 	ref, err := workload.ExecuteCached(name, procs, scale, seed)
@@ -225,11 +227,21 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	fmt.Fprintf(out, "trace: %d events (%d reads, %d writes, %d acquires, %d barrier arrivals)\n",
 		len(ref.Trace.Events), c.Reads, c.Writes, c.Acquires, c.BarrierArrivals)
 	fmt.Fprintf(out, "image: %d bytes, %s\n", len(res.Image), verdict)
-	fmt.Fprintf(out, "%-12s%14s%14s\n", "", "messages", "bytes")
-	fmt.Fprintf(out, "%-12s%14d%14d   (live interconnect, incl. read-out; est. wire time %v)\n",
-		"runtime", res.Net.Messages, res.Net.Bytes, res.Elapsed)
-	fmt.Fprintf(out, "%-12s%14d%14d   (trace replay, %s)\n",
-		"simulator", st.TotalMessages(), st.TotalBytes(), m)
+	// Traffic table: live transport counters (messages vs the physical
+	// frames the outbox coalesced them into) next to the simulator's
+	// per-message model, normalized per critical section.
+	crit := int64(c.Acquires)
+	perCrit := func(bytes int64) string {
+		if crit == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(bytes)/float64(crit))
+	}
+	fmt.Fprintf(out, "%-12s%12s%12s%12s%14s%14s\n", "", "msgs", "frames", "batches", "bytes", "bytes/critsec")
+	fmt.Fprintf(out, "%-12s%12d%12d%12d%14d%14s   (live interconnect, incl. read-out; est. wire time %v)\n",
+		"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.Bytes, perCrit(res.Net.Bytes), res.Elapsed)
+	fmt.Fprintf(out, "%-12s%12d%12s%12s%14d%14s   (trace replay, %s)\n",
+		"simulator", st.TotalMessages(), "-", "-", st.TotalBytes(), perCrit(st.TotalBytes()), m)
 	var misses, diffs, updates, intervals, invals, moves int64
 	for _, ns := range res.Nodes {
 		misses += ns.AccessMisses
@@ -247,7 +259,7 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	return nil
 }
 
-func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, mkTransport func() (repro.Transport, error)) error {
+func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, noBatch bool, mkTransport func() (repro.Transport, error)) error {
 	var body func(out io.Writer, d *repro.DSM, gpn, iters int) error
 	switch demo {
 	case "counter":
@@ -273,6 +285,7 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 		Mode:              m,
 		GCEveryBarriers:   gc,
 		GoroutinesPerNode: gpn,
+		NoBatch:           noBatch,
 		Transport:         tr,
 	})
 	if err != nil {
@@ -285,8 +298,8 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 	}
 	st := d.NetStats()
 	fmt.Fprintf(out, "demo=%s mode=%s procs=%d nodes=%d gpn=%d iters=%d\n", demo, m, procs, procs/gpn, gpn, iters)
-	fmt.Fprintf(out, "interconnect: %d messages, %d bytes, estimated serial wire time %v\n",
-		st.Messages, st.Bytes, d.EstimateTime())
+	fmt.Fprintf(out, "interconnect: %d messages in %d frames (%d batched), %d bytes, estimated serial wire time %v\n",
+		st.Messages, st.Frames, st.Batches, st.Bytes, d.EstimateTime())
 	for _, n := range d.Local() {
 		ns := n.Stats()
 		fmt.Fprintf(out, "  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d, invals %d, updates %d\n",

@@ -33,6 +33,32 @@ func TestRunDemoCounterOversubscribed(t *testing.T) {
 	}
 }
 
+// TestRunWorkloadTrafficTable: -app runs print the traffic table —
+// msgs, frames, batches, bytes per critical section — and -nobatch
+// collapses it back to one frame per message (the table still prints).
+func TestRunWorkloadTrafficTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "mp3d", "-procs", "4", "-scale", "0.05",
+		"-pagesize", "1024", "-mode", "LU"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"msgs", "frames", "batches", "bytes/critsec", "runtime", "simulator"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("traffic table missing %q:\n%s", want, got)
+		}
+	}
+
+	var unbatched strings.Builder
+	if err := run([]string{"-app", "mp3d", "-procs", "4", "-scale", "0.05",
+		"-pagesize", "1024", "-mode", "LU", "-nobatch"}, &unbatched); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(unbatched.String(), "matches sequential reference") {
+		t.Errorf("-nobatch run did not verify:\n%s", unbatched.String())
+	}
+}
+
 func TestRunWorkloadOversubscribed(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-app", "mp3d", "-procs", "4", "-gpn", "4", "-scale", "0.05",

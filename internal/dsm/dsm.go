@@ -56,7 +56,10 @@
 //     modifiers, and interval records on the wire carry their vector
 //     timestamps;
 //   - eager flushes issue one message exchange per (page, cacher) rather
-//     than merging all traffic to one destination into a single message.
+//     than merging all traffic to one destination into a single message
+//     (the outbox does coalesce same-destination messages into shared
+//     batch frames — see outbox.go — but that changes physical framing
+//     only, never the message counts the paper compares).
 //
 // The simulator remains the artifact that reproduces the paper's counts;
 // this runtime is the artifact that proves each protocol moves the right
@@ -185,6 +188,12 @@ type Config struct {
 	// Latency configures the interconnect's time model for EstimateTime
 	// (zero value uses transport.DefaultLatency).
 	Latency LatencyModel
+	// NoBatch disables the outbox's frame coalescing: every protocol
+	// message travels as its own physical frame, as the pre-outbox
+	// runtime sent them. Protocol behavior and message counts are
+	// identical either way — the knob exists so benchmarks can report
+	// batched vs unbatched frame counts and wire-time estimates.
+	NoBatch bool
 	// Transport supplies the interconnect. Nil builds the default
 	// in-process simulated network (internal/simnet) covering all Procs
 	// endpoints. A non-nil transport must span exactly Procs endpoints;
@@ -312,10 +321,12 @@ func (s *System) latency() LatencyModel {
 	return s.cfg.Latency
 }
 
-// EstimateTime applies the latency model to the traffic so far.
+// EstimateTime applies the latency model to the traffic so far. The
+// fixed per-message cost is charged once per physical frame: a batch of
+// coalesced messages pays it once, which is how the outbox's savings
+// appear in simulated wire time.
 func (s *System) EstimateTime() time.Duration {
-	st := s.tr.Totals()
-	return s.latency().Estimate(st.Messages, st.Bytes)
+	return s.latency().EstimateStats(s.tr.Totals())
 }
 
 // Close shuts the interconnect down and surfaces both any transport

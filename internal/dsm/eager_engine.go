@@ -129,7 +129,7 @@ func (e *eagerEngine) clock() vc.VC { return vc.New(e.n.sys.cfg.Procs) }
 // directly behind the install leaves the copy invalid again; that is
 // the same staleness window an eagerly-consistent access always had
 // between validation and use, and the flush path reports it (see
-// flushOne's needBase).
+// flushPages' needBase).
 func (e *eagerEngine) ensureValid(pg mem.PageID) error {
 	n := e.n
 	pmu := n.pageLock(pg)
@@ -288,90 +288,134 @@ func (e *eagerEngine) finishTicket(t uint64) {
 	e.flightMu.Unlock()
 }
 
-// flushPages diffs and pushes each candidate page, serializing per page
-// through the flush slots.
+// flushPages diffs and pushes every candidate page through its home as
+// ONE grouped burst: each page's flush slot is claimed (pages in sorted
+// order, so concurrent local flush points cannot deadlock on each
+// other's slots), its diff taken while the slot is held, and then all
+// KFlushReqs are staged before a single outbox flush — so a release
+// that dirtied several pages with a common home sends them in one
+// batch frame, and every home's directory transaction runs
+// concurrently instead of one blocking round trip per page.
 func (e *eagerEngine) flushPages(cand []mem.PageID) error {
 	n := e.n
-	flushed := 0
+	type pend struct {
+		fs   flushState
+		slot chan struct{}
+		req  *wire.Msg
+	}
+	var pends []pend
+	// releaseSlots frees every claimed slot; called once whether the
+	// burst succeeds, fails, or is abandoned mid-claim.
+	releaseSlots := func() {
+		e.flightMu.Lock()
+		for _, p := range pends {
+			delete(e.flushing, p.fs.pg)
+		}
+		e.flightMu.Unlock()
+		for _, p := range pends {
+			close(p.slot)
+		}
+	}
+
 	for _, pg := range cand {
+		// Claim the page's flush slot, waiting out any earlier local
+		// flush of the same page so diffs reach the home in the order
+		// they were taken.
+		var slot chan struct{}
+		for slot == nil {
+			e.flightMu.Lock()
+			if ch := e.flushing[pg]; ch != nil {
+				e.flightMu.Unlock()
+				select {
+				case <-ch:
+				case <-n.closedCh:
+					releaseSlots()
+					return fmt.Errorf("dsm: node %d: flush of page %d: %w", n.id, pg, ErrClosed)
+				}
+				continue
+			}
+			slot = make(chan struct{})
+			e.flushing[pg] = slot
+			e.flightMu.Unlock()
+		}
+		unclaim := func() {
+			e.flightMu.Lock()
+			delete(e.flushing, pg)
+			e.flightMu.Unlock()
+			close(slot)
+		}
+
+		// Take the diff under the slot. If our copy is invalid at flush
+		// time (a critical section may keep writing through an
+		// invalidation, exactly as in the single-threaded engine), the
+		// reconciliation must carry a base: becoming owner with stale
+		// data would silently revert other processors' committed words.
+		// Shard-ordered installs keep the home's copyset equal to what
+		// we actually hold, so the home's own check covers this too —
+		// the explicit flag (a non-empty Data section on KFlushReq) is
+		// defense in depth at one byte of cost.
 		pmu := n.pageLock(pg)
 		pmu.Lock()
 		pc := e.pages[pg]
 		if pc == nil || pc.twin == nil {
 			pmu.Unlock()
+			unclaim()
 			continue
 		}
+		needBase := !pc.valid
 		d, err := page.MakeDiff(pc.twin, pc.data)
 		pc.twin = nil
 		pmu.Unlock()
 		if err != nil {
+			unclaim()
+			releaseSlots()
 			return err
 		}
 		if d.Empty() {
+			unclaim()
 			continue
 		}
-		flushed++
-		if err := e.flushOne(flushState{pg: pg, diff: d}); err != nil {
-			return err
-		}
-	}
-	n.stats.flushedPages.Add(int64(flushed))
-	return nil
-}
-
-// flushOne pushes one page's diff through its home, claiming the page's
-// flush slot so local flushes of the same page reach the home in the
-// order their diffs were taken.
-func (e *eagerEngine) flushOne(fs flushState) error {
-	n := e.n
-	// If our copy is invalid at flush time (a critical section may keep
-	// writing through an invalidation, exactly as in the single-threaded
-	// engine), the reconciliation must carry a base: becoming owner with
-	// stale data would silently revert other processors' committed
-	// words. Shard-ordered installs keep the home's copyset equal to
-	// what we actually hold, so the home's own check covers this too —
-	// the explicit flag (a non-empty Data section on KFlushReq) is
-	// defense in depth at one byte of cost.
-	pmu := n.pageLock(fs.pg)
-	pmu.Lock()
-	pc := e.pages[fs.pg]
-	needBase := pc == nil || !pc.valid
-	pmu.Unlock()
-	for {
-		e.flightMu.Lock()
-		if ch := e.flushing[fs.pg]; ch != nil {
-			e.flightMu.Unlock()
-			select {
-			case <-ch:
-			case <-n.closedCh:
-				return fmt.Errorf("dsm: node %d: flush of page %d: %w", n.id, fs.pg, ErrClosed)
-			}
-			continue
-		}
-		slot := make(chan struct{})
-		e.flushing[fs.pg] = slot
-		req := &wire.Msg{Kind: wire.KFlushReq, Seq: n.nextSeq(), A: int32(fs.pg), B: int32(n.id)}
-		e.inflight[req.Seq] = fs
-		e.flightMu.Unlock()
+		req := &wire.Msg{Kind: wire.KFlushReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id)}
 		if needBase {
 			req.Data = []byte{1}
 		}
 		if e.update {
-			req.Diffs = []wire.DiffRec{{Page: fs.pg, Diff: fs.diff}}
+			req.Diffs = []wire.DiffRec{{Page: pg, Diff: d}}
 		}
-		// The shard worker applies the KFlushDone payload (write-backs,
-		// base data) before delivering it here; by then this node's copy
-		// is the page's authoritative state.
-		_, err := n.rpc(n.sys.home(fs.pg), req)
+		pends = append(pends, pend{fs: flushState{pg: pg, diff: d}, slot: slot, req: req})
+	}
+	if len(pends) == 0 {
+		return nil
+	}
+
+	// Stage the whole burst, flush once, await every reconciliation.
+	// The shard workers apply each KFlushDone payload (write-backs, base
+	// data) before delivering it here; by the time rpcAll returns, this
+	// node's copies are the pages' authoritative state.
+	reqs := make([]outMsg, len(pends))
+	e.flightMu.Lock()
+	for i, p := range pends {
+		e.inflight[p.req.Seq] = p.fs
+		reqs[i] = outMsg{dst: n.sys.home(p.fs.pg), m: p.req}
+	}
+	e.flightMu.Unlock()
+	_, err := n.rpcAll(reqs)
+	if err != nil {
+		// Unacknowledged flushes will never reconcile; drop their
+		// in-flight entries (acknowledged ones were already consumed by
+		// applyFlushDone, for which delete is a no-op).
 		e.flightMu.Lock()
-		delete(e.flushing, fs.pg)
-		if err != nil {
-			delete(e.inflight, req.Seq)
+		for _, p := range pends {
+			delete(e.inflight, p.req.Seq)
 		}
 		e.flightMu.Unlock()
-		close(slot)
+	}
+	releaseSlots()
+	if err != nil {
 		return err
 	}
+	n.stats.flushedPages.Add(int64(len(pends)))
+	return nil
 }
 
 // --- lock and barrier hooks: flush at every release point ---
@@ -492,30 +536,45 @@ func (e *eagerEngine) serveFlushReq(m *wire.Msg) {
 		done.Data = base
 	}
 
+	// Fan the invalidations (EI) or updates (EU) out as one grouped
+	// burst: all requests staged before a single flush, all cachers
+	// acknowledging concurrently — the directory lock is held across
+	// the whole exchange either way, so the transaction's position in
+	// each cacher's stream is unchanged.
 	others := d.copyset &^ (1 << uint(flusher))
+	var targets []mem.ProcID
+	var reqs []outMsg
 	for q := 0; others != 0; q++ {
 		bit := uint64(1) << uint(q)
 		if others&bit == 0 {
 			continue
 		}
 		others &^= bit
+		kind := wire.KInval
+		var diffs []wire.DiffRec
 		if e.update {
-			req := &wire.Msg{Kind: wire.KUpdate, Seq: n.nextSeq(), A: m.A, Diffs: m.Diffs}
-			if _, err := n.rpc(mem.ProcID(q), req); err != nil {
-				n.noteErr(fmt.Sprintf("update of page %d at %d", pg, q), err)
-				return
+			kind = wire.KUpdate
+			diffs = m.Diffs
+		}
+		targets = append(targets, mem.ProcID(q))
+		reqs = append(reqs, outMsg{dst: mem.ProcID(q), m: &wire.Msg{
+			Kind: kind, Seq: n.nextSeq(), A: m.A, Diffs: diffs,
+		}})
+	}
+	if len(reqs) > 0 {
+		acks, err := n.rpcAll(reqs)
+		if err != nil {
+			n.noteErr(fmt.Sprintf("flush fan-out for page %d", pg), err)
+			return
+		}
+		if !e.update {
+			for i, ack := range acks {
+				// The invalidated cachers' own buffered modifications
+				// ride the acks back to the new owner, in fixed cacher
+				// order.
+				done.Diffs = append(done.Diffs, ack.Diffs...)
+				d.copyset &^= 1 << uint(targets[i])
 			}
-		} else {
-			req := &wire.Msg{Kind: wire.KInval, Seq: n.nextSeq(), A: m.A}
-			ack, err := n.rpc(mem.ProcID(q), req)
-			if err != nil {
-				n.noteErr(fmt.Sprintf("invalidation of page %d at %d", pg, q), err)
-				return
-			}
-			// The invalidated cacher's own buffered modifications ride
-			// the ack back to the new owner.
-			done.Diffs = append(done.Diffs, ack.Diffs...)
-			d.copyset &^= bit
 		}
 	}
 	if d.owner != flusher {
@@ -546,8 +605,7 @@ func (e *eagerEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 		data = e.committedLocked(pg)
 	}
 	pmu.Unlock()
-	resp := &wire.Msg{Kind: wire.KFetchResp, Seq: m.Seq, A: m.A, Data: data}
-	n.noteErr(fmt.Sprintf("fetch response to %d", src), n.send(src, resp))
+	n.stage(src, &wire.Msg{Kind: wire.KFetchResp, Seq: m.Seq, A: m.A, Data: data})
 }
 
 // applyInval drops this node's copy (EI). If a critical section has
@@ -571,7 +629,7 @@ func (e *eagerEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 	}
 	pmu.Unlock()
 	n.stats.invalsReceived.Add(1)
-	n.noteErr(fmt.Sprintf("inval ack to %d", src), n.send(src, ack))
+	n.stage(src, ack)
 }
 
 // applyUpdate applies a releaser's diff to this node's copy (EU). The
@@ -609,8 +667,7 @@ func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
 		}
 	}
 	pmu.Unlock()
-	ack := &wire.Msg{Kind: wire.KUpdateAck, Seq: m.Seq, A: m.A}
-	n.noteErr(fmt.Sprintf("update ack to %d", src), n.send(src, ack))
+	n.stage(src, &wire.Msg{Kind: wire.KUpdateAck, Seq: m.Seq, A: m.A})
 }
 
 // applyFlushDone installs the home's reconciliation at the flusher: an

@@ -90,7 +90,10 @@ type engine interface {
 	// serializing the message's page (directory-order installs happen
 	// here) and must not block the worker: work that waits for responses
 	// (the home-side directory transactions of the eager and SC engines)
-	// is spawned onto its own goroutine.
+	// is spawned onto its own goroutine. Responses produced inline defer
+	// through Node.stage — the worker's drain point flushes them, so a
+	// queued burst answers in coalesced frames — while spawned
+	// goroutines use Node.send/rpcAll, which flush themselves.
 	handle(m *wire.Msg, src mem.ProcID) bool
 
 	// clock returns the node's vector time (zero for engines that do not

@@ -436,13 +436,89 @@ func clockSum(v vc.VC) int64 {
 }
 
 // revalidate runs validate over a list of pages (LU's acquire/barrier-time
-// update step).
+// update step and the GC epoch's bulk validation). With more than one
+// page the outstanding diffs are prefetched first as one grouped burst,
+// so the per-page requests to each creator leave in one batch frame
+// instead of one frame per page.
 func (e *lazyEngine) revalidate(pages []mem.PageID) error {
+	if len(pages) > 1 {
+		if err := e.prefetchDiffs(pages); err != nil {
+			return err
+		}
+	}
 	for _, pg := range pages {
 		if err := e.validate(pg); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// prefetchDiffs batch-fetches the outstanding diffs for a set of pages
+// about to be revalidated: one KDiffReq per (page, creator) — exactly
+// the requests sequential validation would send, so message counts are
+// unchanged — staged together through the outbox, so all requests to
+// one creator coalesce into one frame and all creators answer
+// concurrently. Fetched diffs enter the retained store; validate()
+// then finds them locally and re-plans authoritatively (fresh notices
+// landing meanwhile just make it fetch the remainder as usual). Cold
+// pages are skipped: their plan depends on the applied clock the home's
+// copy arrives with.
+func (e *lazyEngine) prefetchDiffs(pages []mem.PageID) error {
+	n := e.n
+	var reqs []outMsg
+	e.mu.Lock()
+	for _, pg := range pages {
+		pmu := n.pageLock(pg)
+		pmu.Lock()
+		pc := e.pages[pg]
+		if pc == nil || pc.valid {
+			pmu.Unlock()
+			continue
+		}
+		appliedSnap := pc.applied.Clone()
+		pmu.Unlock()
+		out := e.log.Outstanding(pg, appliedSnap, e.v, n.id)
+		missing := make(map[mem.ProcID][]wire.Want)
+		for _, id := range out {
+			if _, ok := e.diffs[id][pg]; ok {
+				continue
+			}
+			missing[id.Proc] = append(missing[id.Proc], wire.Want{Page: pg, Proc: id.Proc, Index: id.Index})
+		}
+		creators := make([]mem.ProcID, 0, len(missing))
+		for c := range missing {
+			creators = append(creators, c)
+		}
+		sort.Slice(creators, func(i, j int) bool { return creators[i] < creators[j] })
+		for _, c := range creators {
+			reqs = append(reqs, outMsg{dst: c, m: &wire.Msg{
+				Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), Wants: missing[c],
+			}})
+		}
+	}
+	e.mu.Unlock()
+	if len(reqs) == 0 {
+		return nil
+	}
+	resps, err := n.rpcAll(reqs)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	for _, resp := range resps {
+		for _, rec := range resp.Diffs {
+			id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
+			if e.diffs[id] == nil {
+				e.diffs[id] = make(map[mem.PageID]*page.Diff)
+			}
+			if _, ok := e.diffs[id][rec.Page]; !ok {
+				e.diffs[id][rec.Page] = rec.Diff
+				n.stats.diffsFetched.Add(1)
+			}
+		}
+	}
+	e.mu.Unlock()
 	return nil
 }
 
@@ -767,7 +843,9 @@ func (e *lazyEngine) handleDiffReq(m *wire.Msg, src mem.ProcID) {
 		resp.Diffs = append(resp.Diffs, wire.DiffRec{Page: w.Page, Proc: w.Proc, Index: w.Index, Diff: d})
 	}
 	e.mu.Unlock()
-	n.noteErr(fmt.Sprintf("diff response to %d", src), n.send(src, resp))
+	// Staged: the shard worker's drain point flushes it, so a burst of
+	// diff requests from one prefetching peer answers in few frames.
+	n.stage(src, resp)
 }
 
 func (e *lazyEngine) handlePageReq(m *wire.Msg) {
@@ -793,5 +871,5 @@ func (e *lazyEngine) handlePageReq(m *wire.Msg) {
 		resp.VC = pc.applied.Clone()
 	}
 	pmu.Unlock()
-	n.noteErr(fmt.Sprintf("page response to %d", requester), n.send(requester, resp))
+	n.stage(requester, resp)
 }

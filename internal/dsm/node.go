@@ -59,6 +59,23 @@ type Stats struct {
 	// OwnershipMoves counts directory owner changes processed at this
 	// node as a page home (eager and SC).
 	OwnershipMoves int64
+
+	// Outbound traffic as the node's outbox handed it to the transport
+	// (loopback excluded, matching the interconnect's accounting):
+	// SentMsgs logical messages in SentFrames physical frames, of which
+	// SentBatches carried more than one message, SentBytes of encoded
+	// payload in total. SentMsgs - SentFrames is the fixed per-message
+	// network cost the outbox's coalescing saved this node.
+	SentMsgs    int64
+	SentFrames  int64
+	SentBatches int64
+	SentBytes   int64
+	// KindMsgs and KindBytes break the outbound traffic down by wire
+	// message kind (indexed by wire.Kind): which protocol activity the
+	// bytes actually are — diffs, page ships, invalidations, lock
+	// grants.
+	KindMsgs  [wire.NumKinds]int64
+	KindBytes [wire.NumKinds]int64
 }
 
 // nodeStats is the node's live counter cell: every field is an atomic,
@@ -80,10 +97,27 @@ type nodeStats struct {
 	updatesReceived  atomic.Int64
 	writeBacks       atomic.Int64
 	ownershipMoves   atomic.Int64
+
+	sentMsgs    atomic.Int64
+	sentFrames  atomic.Int64
+	sentBatches atomic.Int64
+	sentBytes   atomic.Int64
+	kindMsgs    [wire.NumKinds]atomic.Int64
+	kindBytes   [wire.NumKinds]atomic.Int64
+}
+
+// countSent ticks the per-kind and total outbound counters for one
+// encoded message of the given payload size (called by the outbox for
+// remote destinations only).
+func (s *nodeStats) countSent(k wire.Kind, bytes int) {
+	s.sentMsgs.Add(1)
+	s.sentBytes.Add(int64(bytes))
+	s.kindMsgs[k].Add(1)
+	s.kindBytes[k].Add(int64(bytes))
 }
 
 func (s *nodeStats) snapshot() Stats {
-	return Stats{
+	st := Stats{
 		AccessMisses:     s.accessMisses.Load(),
 		ColdMisses:       s.coldMisses.Load(),
 		DiffsApplied:     s.diffsApplied.Load(),
@@ -97,7 +131,16 @@ func (s *nodeStats) snapshot() Stats {
 		UpdatesReceived:  s.updatesReceived.Load(),
 		WriteBacks:       s.writeBacks.Load(),
 		OwnershipMoves:   s.ownershipMoves.Load(),
+		SentMsgs:         s.sentMsgs.Load(),
+		SentFrames:       s.sentFrames.Load(),
+		SentBatches:      s.sentBatches.Load(),
+		SentBytes:        s.sentBytes.Load(),
 	}
+	for k := range s.kindMsgs {
+		st.KindMsgs[k] = s.kindMsgs[k].Load()
+		st.KindBytes[k] = s.kindBytes[k].Load()
+	}
+	return st
 }
 
 // lockLocal is a node's view of one lock.
@@ -141,6 +184,11 @@ type Node struct {
 	id  mem.ProcID
 	ep  transport.Endpoint
 	e   engine
+	// out is the unified outbound pipeline: every protocol send stages
+	// through it, and flush points (immediate sends, grouped rpcAll
+	// flushes, worker drain transitions) coalesce same-destination
+	// messages into batch frames. See outbox.
+	out *outbox
 
 	// pageMu is the striped page-state lock table: pageLock(pg) guards
 	// the engine's per-page state (copy bytes, validity, twin, applied
@@ -202,6 +250,7 @@ func newNode(s *System, id mem.ProcID) *Node {
 	for i := range n.queues {
 		n.queues[i] = make(chan inFrame, workerQueueCap)
 	}
+	n.out = newOutbox(n, !s.cfg.NoBatch)
 	switch s.cfg.Mode {
 	case LazyInvalidate, LazyUpdate:
 		n.e = newLazyEngine(n, s.cfg.Mode == LazyUpdate)
@@ -280,8 +329,26 @@ func (n *Node) await(seq uint64, ch chan *wire.Msg) (*wire.Msg, error) {
 	return m, nil
 }
 
+func (n *Node) deregister(seq uint64) {
+	n.waiterMu.Lock()
+	delete(n.waiters, seq)
+	n.waiterMu.Unlock()
+}
+
+// send stages m for dst on the outbox and flushes immediately — the
+// single-message path for anything latency-critical. Messages staged
+// earlier for dst (a worker's deferred responses) ride the same flush,
+// ahead of m in FIFO order.
 func (n *Node) send(dst mem.ProcID, m *wire.Msg) error {
-	return n.ep.Send(int(dst), m.Encode())
+	return n.out.send(dst, m)
+}
+
+// stage defers m on the outbox without flushing. Only shard-worker
+// inline handlers may use it: the worker's end-of-dispatch drain is the
+// guaranteed flush point, so under load a burst of responses to one
+// peer leaves as one batch frame, and at idle the flush is immediate.
+func (n *Node) stage(dst mem.ProcID, m *wire.Msg) {
+	n.out.stage(dst, m)
 }
 
 // rpc sends m to dst and blocks for the response with the same Seq.
@@ -289,18 +356,76 @@ func (n *Node) send(dst mem.ProcID, m *wire.Msg) error {
 func (n *Node) rpc(dst mem.ProcID, m *wire.Msg) (*wire.Msg, error) {
 	ch := n.register(m.Seq)
 	if err := n.send(dst, m); err != nil {
-		n.waiterMu.Lock()
-		delete(n.waiters, m.Seq)
-		n.waiterMu.Unlock()
+		n.deregister(m.Seq)
 		return nil, err
 	}
 	return n.await(m.Seq, ch)
 }
 
+// outMsg pairs a request with its destination for a grouped send.
+type outMsg struct {
+	dst mem.ProcID
+	m   *wire.Msg
+}
+
+// rpcAll issues a group of requests as one staged burst — every request
+// is staged before any flush, so requests to the same destination
+// coalesce into one batch frame — then blocks for all responses,
+// returned in request order. On a flush error the requests of the
+// destinations that failed are deregistered (a failed stream sends
+// nothing) and the first error is returned after the surviving
+// destinations' responses arrive, so no response is ever orphaned.
+func (n *Node) rpcAll(reqs []outMsg) ([]*wire.Msg, error) {
+	chs := make([]chan *wire.Msg, len(reqs))
+	for i, r := range reqs {
+		chs[i] = n.register(r.m.Seq)
+		n.out.stage(r.dst, r.m)
+	}
+	var flushErr error
+	failed := make(map[mem.ProcID]bool)
+	for _, r := range reqs {
+		if failed[r.dst] {
+			continue
+		}
+		if err := n.out.flushDst(r.dst); err != nil {
+			failed[r.dst] = true
+			if flushErr == nil {
+				flushErr = err
+			}
+		}
+	}
+	resps := make([]*wire.Msg, len(reqs))
+	var awaitErr error
+	for i, r := range reqs {
+		if failed[r.dst] {
+			n.deregister(r.m.Seq)
+			continue
+		}
+		m, err := n.await(r.m.Seq, chs[i])
+		if err != nil {
+			if awaitErr == nil {
+				awaitErr = err
+			}
+			continue
+		}
+		resps[i] = m
+	}
+	if flushErr != nil {
+		return nil, flushErr
+	}
+	if awaitErr != nil {
+		return nil, awaitErr
+	}
+	return resps, nil
+}
+
 // deliverResponse hands a response message to the requester parked in
 // rpc. Engines that intercept their responses in handle (installs and
 // flush reconciliations apply on the page's shard queue to stay in
-// directory order) call this after processing.
+// directory order) call this after processing. A response nobody waits
+// for is a protocol error surfaced through System.Close — unless the
+// node is shutting down, when a racing teardown legitimately abandons
+// waiters.
 func (n *Node) deliverResponse(m *wire.Msg) {
 	n.waiterMu.Lock()
 	ch, ok := n.waiters[m.Seq]
@@ -309,7 +434,14 @@ func (n *Node) deliverResponse(m *wire.Msg) {
 	}
 	n.waiterMu.Unlock()
 	if !ok {
-		panic(fmt.Sprintf("dsm: node %d: unexpected response seq %d kind %v", n.id, m.Seq, m.Kind))
+		select {
+		case <-n.closedCh:
+			return
+		default:
+		}
+		n.noteErr("response routing",
+			fmt.Errorf("unexpected response seq %d kind %v", m.Seq, m.Kind))
+		return
 	}
 	ch <- m
 }
@@ -334,9 +466,14 @@ func dispatchKey(m *wire.Msg) uint32 {
 }
 
 // dispatchLoop receives frames until the transport closes, decoding and
-// fanning them out to the worker pool. Barrier arrivals and the
-// collective-exchange responses are handled inline (they only park on
-// rendezvous channels or wake rpc waiters).
+// fanning them out to the worker pool. A batch frame is unpacked here
+// and its messages dispatched in order, so the per-page shard FIFO the
+// directory invariants rely on is exactly the sender's staging order.
+// Decoding copies everything out of the payload, so the frame buffer is
+// recycled immediately — the receive half of the pooled zero-copy
+// pipeline. Barrier arrivals and the collective-exchange responses are
+// handled inline (they only park on rendezvous channels or wake rpc
+// waiters).
 func (n *Node) dispatchLoop() {
 	for {
 		src, payload, ok := n.ep.Recv()
@@ -344,28 +481,64 @@ func (n *Node) dispatchLoop() {
 			n.shutdown()
 			return
 		}
+		if wire.IsBatch(payload) {
+			msgs, err := wire.DecodeBatch(payload)
+			if err != nil {
+				panic(fmt.Sprintf("dsm: node %d: undecodable batch frame from %d: %v", n.id, src, err))
+			}
+			wire.PutBuf(payload)
+			for _, m := range msgs {
+				n.dispatchMsg(m, mem.ProcID(src))
+			}
+			continue
+		}
 		m, err := wire.Decode(payload)
 		if err != nil {
 			panic(fmt.Sprintf("dsm: node %d: undecodable frame from %d: %v", n.id, src, err))
 		}
-		switch m.Kind {
-		case wire.KBarrierArrive:
-			n.barCh <- m
-		case wire.KGCReady:
-			n.gcCh <- m
-		case wire.KBarrierExit, wire.KGCDone:
-			n.deliverResponse(m)
-		default:
-			n.queues[dispatchKey(m)%handlerWorkers] <- inFrame{m: m, src: mem.ProcID(src)}
-		}
+		wire.PutBuf(payload)
+		n.dispatchMsg(m, mem.ProcID(src))
 	}
 }
 
-// worker drains one serialized frame queue.
+// dispatchMsg routes one decoded message: rendezvous kinds inline,
+// everything else onto its serialized shard queue.
+func (n *Node) dispatchMsg(m *wire.Msg, src mem.ProcID) {
+	switch m.Kind {
+	case wire.KBarrierArrive:
+		n.barCh <- m
+	case wire.KGCReady:
+		n.gcCh <- m
+	case wire.KBarrierExit, wire.KGCDone:
+		n.deliverResponse(m)
+	default:
+		n.queues[dispatchKey(m)%handlerWorkers] <- inFrame{m: m, src: src}
+	}
+}
+
+// worker drains one serialized frame queue. The queue-empty transition
+// is the worker's outbox flush point: responses its handlers staged
+// while a burst of frames was queued leave together — coalesced per
+// destination — and at idle every frame's responses flush before the
+// worker blocks again, so deferral never delays a response the sender
+// is waiting on.
 func (n *Node) worker(q chan inFrame) {
 	defer n.workerWG.Done()
 	for f := range q {
 		n.process(f.m, f.src)
+		for drained := false; !drained; {
+			select {
+			case f2, ok := <-q:
+				if !ok {
+					n.noteErr("outbox flush", n.out.flushAll())
+					return
+				}
+				n.process(f2.m, f2.src)
+			default:
+				drained = true
+			}
+		}
+		n.noteErr("outbox flush", n.out.flushAll())
 	}
 }
 

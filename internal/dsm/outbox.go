@@ -1,0 +1,200 @@
+package dsm
+
+import (
+	"encoding/binary"
+	stdnet "net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// outbox is the node's unified outbound message pipeline: every protocol
+// message leaves through it. Senders stage typed messages per
+// destination and flush at well-defined points — immediately for
+// latency-critical singles (send), after a group of requests is staged
+// (rpcAll), or at the end of a shard-worker dispatch burst (the worker's
+// queue-empty transition) — and a flush coalesces everything staged for
+// one peer into a single batch frame: one physical hop, one fixed
+// network cost, paid once instead of per message.
+//
+// Ordering: each destination has one FIFO stage queue, flushed while its
+// lock is held, so the per-(sender,receiver) FIFO order the directory
+// and install invariants rely on is exactly the staging order — mixing
+// deferred (worker) and immediate (application) sends to one peer can
+// never reorder them, it only decides how many frames they share.
+//
+// Encoding is pooled and append-style: a flush encodes its messages
+// back to back into one wire.GetBuf buffer (steady-state the payload
+// bytes are never reallocated) and hands it to the transport — ownership transfers on a single-frame
+// Send; a batch is lent to SendBatch as vectored sub-slices and
+// recycled here after the transport has written or copied it.
+//
+// Every staged message must be followed by a flush its stager is
+// responsible for: application-side paths flush inline (send, rpcAll),
+// and shard workers flush at their drain point. Staging from a
+// goroutine with no such flush point would strand the message.
+type outbox struct {
+	n     *Node
+	batch bool // coalesce multi-message flushes into batch frames
+	dsts  []outDest
+}
+
+// outDest is one destination's stage queue plus flush scratch, all
+// guarded by mu (a leaf lock: nothing else is acquired under it except
+// the transport's own internals inside Send).
+type outDest struct {
+	mu   sync.Mutex
+	pend []*wire.Msg
+	// count mirrors len(pend) for flushAll's lock-free skip of clean
+	// destinations; it is maintained under mu, so a staged message is
+	// always visible to its stager's own later flush.
+	count atomic.Int32
+	// broken makes a flush failure sticky, mirroring the TCP sender's
+	// fail-stop: once a send to this destination errors, every later
+	// flush returns the same error. This routes the failure to whoever
+	// staged for the destination, not just whoever happened to flush it
+	// — a shard worker's drain-point flushAll may race into the window
+	// between an rpc's stage and its own flush, and without the sticky
+	// error the requester would see an empty queue, return nil, and
+	// park in await forever while the failure sat in the worker's
+	// noteErr.
+	broken error
+	// flush scratch, reused across flushes: the batch frame slices and
+	// sub-message end offsets. After a flush returns, bufs may hold
+	// stale references into a recycled buffer; the next flush overwrites
+	// them before any use.
+	bufs stdnet.Buffers
+	ends []int
+}
+
+func newOutbox(n *Node, batch bool) *outbox {
+	return &outbox{n: n, batch: batch, dsts: make([]outDest, n.sys.cfg.Procs)}
+}
+
+// stage queues m for dst without sending it. The caller must guarantee
+// a flush follows: its own send/flushDst/flushAll, or — on a shard
+// worker — the worker's end-of-dispatch flush point.
+func (o *outbox) stage(dst mem.ProcID, m *wire.Msg) {
+	d := &o.dsts[dst]
+	d.mu.Lock()
+	d.pend = append(d.pend, m)
+	d.count.Store(int32(len(d.pend)))
+	d.mu.Unlock()
+}
+
+// send stages m and immediately flushes its destination — the
+// latency-critical single-message path (requests about to block, lock
+// grants). Anything staged earlier for dst rides the same flush, ahead
+// of m in FIFO order.
+func (o *outbox) send(dst mem.ProcID, m *wire.Msg) error {
+	o.stage(dst, m)
+	return o.flushDst(dst)
+}
+
+// flushAll flushes every destination with staged messages. All
+// destinations are attempted even after an error (other peers' traffic
+// must not be stranded by one dead stream); the first error is
+// returned.
+func (o *outbox) flushAll() error {
+	var first error
+	for i := range o.dsts {
+		if o.dsts[i].count.Load() == 0 {
+			continue
+		}
+		if err := o.flushDst(mem.ProcID(i)); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// flushDst encodes and sends everything staged for dst: one plain frame
+// for a single message (or with batching disabled), one batch frame for
+// several. The destination lock is held across the transport send, so
+// concurrent flushes cannot reorder the stream.
+func (o *outbox) flushDst(dst mem.ProcID) error {
+	n := o.n
+	d := &o.dsts[dst]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pend := d.pend
+	// The queue empties before the send: a failed send drops its
+	// messages (exactly like a failed Endpoint.Send always has) rather
+	// than leaving them staged for an accidental resend.
+	d.pend = pend[:0]
+	d.count.Store(0)
+	defer func() {
+		for i := range pend {
+			pend[i] = nil // release Msg references held by the reused array
+		}
+	}()
+	if d.broken != nil {
+		return d.broken
+	}
+	if len(pend) == 0 {
+		return nil
+	}
+	// poison records a send failure and makes it sticky (see broken).
+	poison := func(err error) error {
+		if err != nil {
+			d.broken = err
+		}
+		return err
+	}
+	remote := dst != n.id
+
+	if !o.batch || len(pend) == 1 {
+		for _, m := range pend {
+			buf := m.EncodeAppend(wire.GetBuf())
+			if remote {
+				n.stats.countSent(m.Kind, len(buf))
+				n.stats.sentFrames.Add(1)
+			}
+			// Ownership of buf passes to the transport (in-process
+			// delivery hands it to the receiver, which recycles it).
+			if err := n.ep.Send(int(dst), buf); err != nil {
+				return poison(err)
+			}
+		}
+		return nil
+	}
+
+	// Batch frame: header plus every message length-prefixed, encoded
+	// back to back into one pooled buffer, then lent to the transport as
+	// one vectored send — frames[0] the header, each later element one
+	// message, so the transport accounts the batch without parsing it.
+	buf := wire.AppendBatchHeader(wire.GetBuf(), len(pend))
+	hdrEnd := len(buf)
+	ends := d.ends[:0]
+	for _, m := range pend {
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		buf = m.EncodeAppend(buf)
+		binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+		ends = append(ends, len(buf))
+		if remote {
+			n.stats.countSent(m.Kind, len(buf)-start-4)
+		}
+	}
+	d.ends = ends
+	frames := d.bufs[:0]
+	frames = append(frames, buf[:hdrEnd])
+	prev := hdrEnd
+	for _, e := range ends {
+		frames = append(frames, buf[prev:e])
+		prev = e
+	}
+	d.bufs = frames
+	if remote {
+		n.stats.sentFrames.Add(1)
+		n.stats.sentBatches.Add(1)
+	}
+	err := transport.SendBatch(n.ep, int(dst), frames)
+	// The batch buffer was only lent (the transport wrote or copied it);
+	// recycle it.
+	wire.PutBuf(buf)
+	return poison(err)
+}

@@ -309,15 +309,25 @@ func (e *scEngine) serveWriteReq(m *wire.Msg) {
 		}
 		resp.Data = data
 	}
+	// Invalidate every other copy as one grouped burst: all requests
+	// staged before a single flush, all acknowledgments awaited
+	// concurrently (the directory lock is held across the exchange, so
+	// ordering at each cacher is unchanged).
 	others := d.copyset &^ (1 << uint(requester))
+	var reqs []outMsg
 	for q := 0; others != 0; q++ {
 		bit := uint64(1) << uint(q)
 		if others&bit == 0 {
 			continue
 		}
 		others &^= bit
-		if _, err := n.rpc(mem.ProcID(q), &wire.Msg{Kind: wire.KInval, Seq: n.nextSeq(), A: m.A}); err != nil {
-			n.noteErr(fmt.Sprintf("invalidation of page %d at %d", pg, q), err)
+		reqs = append(reqs, outMsg{dst: mem.ProcID(q), m: &wire.Msg{
+			Kind: wire.KInval, Seq: n.nextSeq(), A: m.A,
+		}})
+	}
+	if len(reqs) > 0 {
+		if _, err := n.rpcAll(reqs); err != nil {
+			n.noteErr(fmt.Sprintf("invalidation fan-out for page %d", pg), err)
 			return
 		}
 	}
@@ -355,8 +365,7 @@ func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 		data = append([]byte(nil), pc.data...)
 	}
 	pmu.Unlock()
-	resp := &wire.Msg{Kind: wire.KFetchResp, Seq: m.Seq, A: m.A, Data: data}
-	n.noteErr(fmt.Sprintf("fetch response to %d", src), n.send(src, resp))
+	n.stage(src, &wire.Msg{Kind: wire.KFetchResp, Seq: m.Seq, A: m.A, Data: data})
 }
 
 // applyInval drops this node's copy.
@@ -370,6 +379,5 @@ func (e *scEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 	}
 	pmu.Unlock()
 	n.stats.invalsReceived.Add(1)
-	ack := &wire.Msg{Kind: wire.KInvalAck, Seq: m.Seq, A: m.A}
-	n.noteErr(fmt.Sprintf("inval ack to %d", src), n.send(src, ack))
+	n.stage(src, &wire.Msg{Kind: wire.KInvalAck, Seq: m.Seq, A: m.A})
 }

@@ -269,6 +269,9 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 
 // --- handler-side lock processing ---
 
+// handleLockReq runs on the lock's shard worker: its sends are staged
+// on the outbox and leave at the worker's drain point, so a burst of
+// lock traffic through this manager coalesces per destination.
 func (n *Node) handleLockReq(m *wire.Msg) {
 	l := mem.LockID(m.A)
 	requester := mem.ProcID(m.B)
@@ -280,12 +283,12 @@ func (n *Node) handleLockReq(m *wire.Msg) {
 		// with no consistency payload.
 		grant := &wire.Msg{Kind: wire.KLockGrant, Seq: m.Seq, A: m.A}
 		n.lockMu.Unlock()
-		n.noteErr(fmt.Sprintf("lock %d first grant to %d", l, requester), n.send(requester, grant))
+		n.stage(requester, grant)
 		return
 	}
 	n.lockMu.Unlock()
 	fwd := &wire.Msg{Kind: wire.KLockFwd, Seq: m.Seq, A: m.A, B: m.B, VC: m.VC}
-	n.noteErr(fmt.Sprintf("lock %d forward to %d", l, prev), n.send(prev, fwd))
+	n.stage(prev, fwd)
 }
 
 func (n *Node) handleLockFwd(m *wire.Msg) {

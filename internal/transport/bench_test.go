@@ -17,7 +17,7 @@ import (
 func benchPingPong(b *testing.B, a, z transport.Endpoint) {
 	payload := (&wire.Msg{
 		Kind: wire.KPageResp, Seq: 1, A: 7, Data: make([]byte, 4096),
-	}).Encode()
+	}).EncodeAppend(nil)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -81,11 +81,18 @@ type frame struct {
 // a per-sender FIFO violation the protocol engines cannot detect.
 // Fail-stop (every later send returns the original error) keeps a dead
 // peer loud instead of corrupting directory order.
+//
+// prefix and bufs are the vectored-write scratch (guarded by mu): each
+// frame goes out as one writev of the length prefix plus the payload
+// buffers, so the hot path copies nothing and issues one syscall per
+// frame — batched or not.
 type sender struct {
 	addr   string
 	mu     sync.Mutex
 	conn   net.Conn
 	broken error
+	prefix [4]byte
+	bufs   net.Buffers
 }
 
 // Transport is one endpoint of a TCP DSM cluster. It implements both
@@ -105,8 +112,10 @@ type Transport struct {
 	closeOnce sync.Once
 	closeErr  error
 
-	msgs  atomic.Int64
-	bytes atomic.Int64
+	msgs    atomic.Int64
+	frames  atomic.Int64
+	batches atomic.Int64
+	bytes   atomic.Int64
 
 	senders []*sender
 
@@ -199,7 +208,12 @@ func (t *Transport) Addr() string { return t.ln.Addr().String() }
 // Totals returns this endpoint's send counters. Loopback sends are free,
 // matching the simulated interconnect's accounting.
 func (t *Transport) Totals() transport.Stats {
-	return transport.Stats{Messages: t.msgs.Load(), Bytes: t.bytes.Load()}
+	return transport.Stats{
+		Messages: t.msgs.Load(),
+		Frames:   t.frames.Load(),
+		Batches:  t.batches.Load(),
+		Bytes:    t.bytes.Load(),
+	}
 }
 
 // noteErr records a receive-side connection failure for Close to report:
@@ -324,9 +338,66 @@ func (t *Transport) dial(addr string) (net.Conn, error) {
 	}
 }
 
+// poison records a send failure on s and makes it sticky (see sender).
+// Failures racing our own shutdown report plain closure instead. Caller
+// holds s.mu.
+func (t *Transport) poison(s *sender, err error) error {
+	select {
+	case <-t.closed:
+		return transport.ErrClosed
+	default:
+	}
+	s.broken = err
+	return err
+}
+
+// connLocked returns the sender's live stream, dialing the peer and
+// writing the hello on first use. Caller holds s.mu.
+func (t *Transport) connLocked(s *sender, dst int) (net.Conn, error) {
+	if s.conn != nil {
+		return s.conn, nil
+	}
+	c, err := t.dial(s.addr)
+	if err != nil {
+		return nil, t.poison(s, fmt.Errorf("tcp: endpoint %d: dial peer %d (%s): %w", t.self, dst, s.addr, err))
+	}
+	var hello [helloBytes]byte
+	binary.LittleEndian.PutUint32(hello[0:], helloMagic)
+	binary.LittleEndian.PutUint32(hello[4:], uint32(len(t.peers)))
+	binary.LittleEndian.PutUint32(hello[8:], uint32(t.self))
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return nil, t.poison(s, fmt.Errorf("tcp: endpoint %d: hello to peer %d: %w", t.self, dst, err))
+	}
+	s.conn = c
+	return c, nil
+}
+
+// writeFrame sends one length-prefixed frame — the payload buffers, in
+// order — as a single vectored write: the mutex keeps another
+// goroutine's frame from interleaving, writev keeps it one syscall, and
+// nothing is copied. Caller holds s.mu; size is the total payload
+// length.
+func (t *Transport) writeFrame(s *sender, dst int, size int, payload ...[]byte) error {
+	c, err := t.connLocked(s, dst)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(s.prefix[:], uint32(size))
+	s.bufs = append(s.bufs[:0], s.prefix[:])
+	s.bufs = append(s.bufs, payload...)
+	if _, err := s.bufs.WriteTo(c); err != nil {
+		c.Close()
+		s.conn = nil
+		return t.poison(s, fmt.Errorf("tcp: endpoint %d: send to peer %d: %w", t.self, dst, err))
+	}
+	return nil
+}
+
 // Send delivers payload to endpoint dst over the per-peer stream,
 // dialing it on first use. Loopback delivery bypasses the socket and
-// counts no traffic.
+// counts no traffic. Ownership of payload transfers to the transport
+// (the loopback path enqueues the buffer itself).
 func (t *Transport) Send(dst int, payload []byte) error {
 	if dst < 0 || dst >= len(t.peers) {
 		return fmt.Errorf("tcp: destination %d outside [0,%d)", dst, len(t.peers))
@@ -350,47 +421,66 @@ func (t *Transport) Send(dst int, payload []byte) error {
 	if s.broken != nil {
 		return s.broken
 	}
-	// poison records a send failure and makes it sticky (see sender).
-	// Failures racing our own shutdown report plain closure instead.
-	poison := func(err error) error {
-		select {
-		case <-t.closed:
-			return transport.ErrClosed
-		default:
-		}
-		s.broken = err
+	if err := t.writeFrame(s, dst, len(payload), payload); err != nil {
 		return err
 	}
-	if s.conn == nil {
-		c, err := t.dial(s.addr)
-		if err != nil {
-			return poison(fmt.Errorf("tcp: endpoint %d: dial peer %d (%s): %w", t.self, dst, s.addr, err))
-		}
-		var hello [helloBytes]byte
-		binary.LittleEndian.PutUint32(hello[0:], helloMagic)
-		binary.LittleEndian.PutUint32(hello[4:], uint32(len(t.peers)))
-		binary.LittleEndian.PutUint32(hello[8:], uint32(t.self))
-		if _, err := c.Write(hello[:]); err != nil {
-			c.Close()
-			return poison(fmt.Errorf("tcp: endpoint %d: hello to peer %d: %w", t.self, dst, err))
-		}
-		s.conn = c
-	}
-	// One buffer, one Write: the length prefix and payload must not be
-	// interleaved with another goroutine's frame (the mutex guarantees
-	// that), and a single write avoids small-packet syscall churn.
-	buf := make([]byte, 4+len(payload))
-	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
-	if _, err := s.conn.Write(buf); err != nil {
-		s.conn.Close()
-		s.conn = nil
-		return poison(fmt.Errorf("tcp: endpoint %d: send to peer %d: %w", t.self, dst, err))
-	}
 	t.msgs.Add(1)
+	t.frames.Add(1)
 	t.bytes.Add(int64(len(payload)))
 	return nil
 }
+
+// SendBatch delivers a batch — frames[0] the caller's batch header, each
+// later element one logical message — as ONE length-prefixed stream
+// frame in one writev syscall; the peer receives the concatenation as a
+// single payload. The frame buffers are borrowed (written before
+// return), unlike Send's owned payload. Loopback concatenates into one
+// queued payload and counts no traffic.
+func (t *Transport) SendBatch(dst int, frames net.Buffers) error {
+	if dst < 0 || dst >= len(t.peers) {
+		return fmt.Errorf("tcp: destination %d outside [0,%d)", dst, len(t.peers))
+	}
+	if len(frames) < 2 {
+		return fmt.Errorf("tcp: batch of %d buffers (need header plus messages)", len(frames))
+	}
+	select {
+	case <-t.closed:
+		return transport.ErrClosed
+	default:
+	}
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	if dst == t.self {
+		payload := make([]byte, 0, total)
+		for _, f := range frames {
+			payload = append(payload, f...)
+		}
+		select {
+		case t.recvq <- frame{src: t.self, payload: payload}:
+			return nil
+		case <-t.closed:
+			return transport.ErrClosed
+		}
+	}
+	s := t.senders[dst]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	if err := t.writeFrame(s, dst, total, frames...); err != nil {
+		return err
+	}
+	t.msgs.Add(int64(len(frames) - 1))
+	t.frames.Add(1)
+	t.batches.Add(1)
+	t.bytes.Add(int64(total))
+	return nil
+}
+
+var _ transport.BatchSender = (*Transport)(nil)
 
 // Recv blocks until a payload arrives for this endpoint or the transport
 // closes (ok=false), draining frames already delivered first.

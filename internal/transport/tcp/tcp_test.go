@@ -340,3 +340,57 @@ func mustListen(t *testing.T) net.Listener {
 	}
 	return ln
 }
+
+// TestSendBatchOneFrame: a batch goes out as ONE length-prefixed stream
+// frame (the peer receives the concatenation as a single payload), is
+// accounted as its message count in one frame, and interleaves in FIFO
+// order with plain sends on the same stream. The frame buffers are only
+// borrowed: reusing them after SendBatch must not corrupt the stream.
+func TestSendBatchOneFrame(t *testing.T) {
+	ts := cluster(t, 2)
+	hdr := []byte("HH")
+	m1 := []byte("first-message")
+	m2 := []byte("second")
+	if err := ts[0].Send(1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts[0].SendBatch(1, [][]byte{hdr, m1, m2}); err != nil {
+		t.Fatal(err)
+	}
+	// Borrowed buffers: scribble over them after the call returns.
+	hdr[0], m1[0], m2[0] = 'x', 'x', 'x'
+	if err := ts[0].Send(1, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, p, ok := ts[1].Recv(); !ok || string(p) != "before" {
+		t.Fatalf("first frame = %q ok=%v", p, ok)
+	}
+	_, p, ok := ts[1].Recv()
+	if !ok || string(p) != "HHfirst-messagesecond" {
+		t.Fatalf("batch frame = %q ok=%v, want concatenation in one payload", p, ok)
+	}
+	if _, p, ok := ts[1].Recv(); !ok || string(p) != "after" {
+		t.Fatalf("frame after batch = %q ok=%v", p, ok)
+	}
+
+	tot := ts[0].Totals()
+	want := transport.Stats{
+		Messages: 2 + 2, Frames: 3, Batches: 1,
+		Bytes: int64(len("before") + len("after") + len("HHfirst-messagesecond")),
+	}
+	if tot != want {
+		t.Fatalf("totals = %+v, want %+v", tot, want)
+	}
+
+	// Loopback batches are free and still deliver one concatenated hop.
+	if err := ts[1].SendBatch(1, [][]byte{[]byte("A"), []byte("B"), []byte("C")}); err != nil {
+		t.Fatal(err)
+	}
+	if tot := ts[1].Totals(); tot.Messages != 0 || tot.Batches != 0 {
+		t.Fatalf("loopback batch counted: %+v", tot)
+	}
+	if _, p, ok := ts[1].Recv(); !ok || string(p) != "ABC" {
+		t.Fatalf("loopback batch = %q ok=%v", p, ok)
+	}
+}

@@ -22,21 +22,31 @@ package transport
 
 import (
 	"errors"
+	"net"
 	"time"
 )
 
-// Stats is a snapshot of traffic counters: messages and payload bytes
-// sent by the endpoints a Transport instance serves. Loopback (an
-// endpoint sending to itself) is free, matching the paper's cost model
-// where local operations cost nothing.
+// Stats is a snapshot of traffic counters for the endpoints a Transport
+// instance serves. Loopback (an endpoint sending to itself) is free,
+// matching the paper's cost model where local operations cost nothing.
+//
+// Messages counts logical protocol messages; Frames counts physical
+// network hops. A plain Send moves one message in one frame; a SendBatch
+// of k messages moves k messages in one frame (and counts one Batch), so
+// Messages-vs-Frames is exactly the saving the outbox's coalescing buys:
+// each frame pays the fixed per-message network cost once.
 type Stats struct {
 	Messages int64
+	Frames   int64
+	Batches  int64
 	Bytes    int64
 }
 
 // Add accumulates other into s (for aggregating multi-instance clusters).
 func (s *Stats) Add(other Stats) {
 	s.Messages += other.Messages
+	s.Frames += other.Frames
+	s.Batches += other.Batches
 	s.Bytes += other.Bytes
 }
 
@@ -49,14 +59,56 @@ type Endpoint interface {
 	// ID returns the endpoint's index in [0, NumEndpoints).
 	ID() int
 	// Send delivers payload to endpoint dst, reliably and in FIFO order
-	// with respect to other Sends from this endpoint to the same
-	// destination. Sending to oneself is allowed and free. Send may be
-	// called concurrently from multiple goroutines.
+	// with respect to other Sends (and SendBatches) from this endpoint to
+	// the same destination. Sending to oneself is allowed and free. Send
+	// may be called concurrently from multiple goroutines.
+	//
+	// Ownership of payload transfers to the transport: the caller must
+	// not read or modify it after Send returns. (In-process transports
+	// deliver the buffer itself to the receiver; the receiver owns what
+	// Recv returns and may recycle it.)
 	Send(dst int, payload []byte) error
 	// Recv blocks until a payload arrives for this endpoint, returning
 	// the sender's id, or until the transport closes (ok=false). Payloads
-	// already delivered when the transport closes are drained first.
+	// already delivered when the transport closes are drained first. The
+	// returned payload is owned by the caller.
 	Recv() (src int, payload []byte, ok bool)
+}
+
+// BatchSender is the vectored-send extension an Endpoint may implement:
+// the frames together form ONE wire payload (the caller's batch-frame
+// format — frames[0] is the batch header, every later element exactly
+// one length-prefixed logical message), delivered to dst as a single
+// physical hop: one Recv payload at the receiver, one length-prefixed
+// write syscall on a real transport, one fixed latency cost on the
+// simulated one. Accounting: len(frames)-1 messages, one frame, one
+// batch.
+//
+// Unlike Send, the frame buffers are only borrowed: the transport must
+// copy or write them before returning, and the caller may reuse them
+// afterwards (they are typically sub-slices of one pooled buffer).
+type BatchSender interface {
+	SendBatch(dst int, frames net.Buffers) error
+}
+
+// SendBatch is the default adapter over the optional BatchSender
+// interface: endpoints that implement it get a true vectored single-hop
+// send; for any other endpoint the frames are concatenated into one
+// payload and delivered with Send (still one hop, though such a
+// transport accounts it as a single message).
+func SendBatch(ep Endpoint, dst int, frames net.Buffers) error {
+	if bs, ok := ep.(BatchSender); ok {
+		return bs.SendBatch(dst, frames)
+	}
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	buf := make([]byte, 0, total)
+	for _, f := range frames {
+		buf = append(buf, f...)
+	}
+	return ep.Send(dst, buf)
 }
 
 // Transport connects a DSM cluster's endpoints. One instance serves the
@@ -105,4 +157,18 @@ func (m LatencyModel) Cost(bytes int) time.Duration {
 // used in EXPERIMENTS.md when relating counts to time).
 func (m LatencyModel) Estimate(messages, bytes int64) time.Duration {
 	return time.Duration(messages)*m.PerMessage + time.Duration(bytes/1024)*m.PerKByte
+}
+
+// EstimateStats estimates the serial wire time of a traffic snapshot,
+// charging the fixed per-message cost once per physical frame: a batch
+// of k coalesced messages pays one fixed cost plus its bytes — how
+// message-count savings become wall-clock savings in simulated time.
+// Snapshots from sources that predate frame counting fall back to the
+// message count.
+func (m LatencyModel) EstimateStats(s Stats) time.Duration {
+	frames := s.Frames
+	if frames == 0 {
+		frames = s.Messages
+	}
+	return m.Estimate(frames, s.Bytes)
 }

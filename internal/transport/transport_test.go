@@ -22,3 +22,52 @@ func TestStatsAdd(t *testing.T) {
 		t.Errorf("Add = %+v", s)
 	}
 }
+
+func TestEstimateStats(t *testing.T) {
+	m := LatencyModel{PerMessage: time.Millisecond, PerKByte: 100 * time.Microsecond}
+	// Frames gate the fixed cost: 8 messages coalesced into 2 frames pay
+	// 2 fixed costs.
+	s := Stats{Messages: 8, Frames: 2, Bytes: 2048}
+	if got, want := m.EstimateStats(s), 2*time.Millisecond+200*time.Microsecond; got != want {
+		t.Errorf("EstimateStats = %v, want %v", got, want)
+	}
+	// Pre-frame-counting snapshots fall back to the message count.
+	old := Stats{Messages: 8, Bytes: 2048}
+	if got, want := m.EstimateStats(old), 8*time.Millisecond+200*time.Microsecond; got != want {
+		t.Errorf("EstimateStats fallback = %v, want %v", got, want)
+	}
+}
+
+// fallbackEndpoint implements only the core Endpoint interface, so the
+// SendBatch adapter must concatenate and fall back to Send.
+type fallbackEndpoint struct {
+	dst     int
+	payload []byte
+}
+
+func (f *fallbackEndpoint) ID() int { return 0 }
+func (f *fallbackEndpoint) Send(dst int, payload []byte) error {
+	f.dst, f.payload = dst, payload
+	return nil
+}
+func (f *fallbackEndpoint) Recv() (int, []byte, bool) { return 0, nil, false }
+
+func TestSendBatchAdapterFallback(t *testing.T) {
+	ep := &fallbackEndpoint{}
+	frames := [][]byte{[]byte("hdr"), []byte("one"), []byte("two")}
+	if err := SendBatch(ep, 3, frames); err != nil {
+		t.Fatal(err)
+	}
+	if ep.dst != 3 || string(ep.payload) != "hdronetwo" {
+		t.Fatalf("fallback sent %q to %d", ep.payload, ep.dst)
+	}
+}
+
+func TestStatsAddFramesBatches(t *testing.T) {
+	s := Stats{Messages: 3, Frames: 2, Batches: 1, Bytes: 100}
+	s.Add(Stats{Messages: 5, Frames: 1, Batches: 1, Bytes: 50})
+	want := Stats{Messages: 8, Frames: 3, Batches: 2, Bytes: 150}
+	if s != want {
+		t.Fatalf("Add = %+v, want %+v", s, want)
+	}
+}

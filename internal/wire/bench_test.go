@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Codec micro-benches: CI runs these into BENCH_wire.json to track the
+// hot-path cost of the pooled append encoder and the batch framing
+// (encode/decode per message, batched vs unbatched).
+
+// benchMsg is a representative mid-size frame: a lock grant with a
+// clock, two interval records and a diff — the LU hot-path message.
+func benchMsg() *Msg {
+	msgs := sampleMsgs()
+	return msgs[1]
+}
+
+func BenchmarkWireEncodeAppendPooled(b *testing.B) {
+	m := benchMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := m.EncodeAppend(GetBuf())
+		PutBuf(buf)
+	}
+}
+
+func BenchmarkWireEncodeAppendFresh(b *testing.B) {
+	// The retired Msg.Encode allocated a fresh slice per message; this is
+	// that cost, for comparison against the pooled path.
+	m := benchMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.EncodeAppend(nil)
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	enc := benchMsg().EncodeAppend(nil)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncodeBatched: eight messages coalesced into one batch
+// frame in one pooled buffer — the outbox flush path.
+func BenchmarkWireEncodeBatched(b *testing.B) {
+	m := benchMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := AppendBatchHeader(GetBuf(), 8)
+		for k := 0; k < 8; k++ {
+			start := len(buf)
+			buf = append(buf, 0, 0, 0, 0)
+			buf = m.EncodeAppend(buf)
+			binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+		}
+		PutBuf(buf)
+	}
+}
+
+// BenchmarkWireEncodeUnbatched: the same eight messages as eight
+// individually pooled frames — what the batched path replaces.
+func BenchmarkWireEncodeUnbatched(b *testing.B) {
+	m := benchMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 8; k++ {
+			buf := m.EncodeAppend(GetBuf())
+			PutBuf(buf)
+		}
+	}
+}
+
+func BenchmarkWireDecodeBatched(b *testing.B) {
+	enc := appendBatch(nil, sampleMsgs()...)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -42,9 +42,9 @@ func sampleMsgs() []*Msg {
 // TestDecodeMalformed: the table of hostile and truncated inputs the
 // socket path must reject with a descriptive error.
 func TestDecodeMalformed(t *testing.T) {
-	grant := sampleMsgs()[1].Encode()
-	pageResp := sampleMsgs()[4].Encode()
-	diffResp := sampleMsgs()[3].Encode()
+	grant := sampleMsgs()[1].EncodeAppend(nil)
+	pageResp := sampleMsgs()[4].EncodeAppend(nil)
+	diffResp := sampleMsgs()[3].EncodeAppend(nil)
 
 	corrupt := func(b []byte, off int, v uint32) []byte {
 		c := append([]byte(nil), b...)
@@ -87,6 +87,71 @@ func TestDecodeMalformed(t *testing.T) {
 	}
 }
 
+// TestDecodeBatchMalformed: the hostile-input table for batch frames —
+// every way a batch header or sub-frame can lie about its contents must
+// be rejected with a descriptive error, before any allocation sized by
+// the lie.
+func TestDecodeBatchMalformed(t *testing.T) {
+	sane := appendBatch(nil, sampleMsgs()[0], sampleMsgs()[2])
+	nested := appendBatch(nil, sampleMsgs()[0], sampleMsgs()[2])
+	nested = appendBatchRaw(nil, [][]byte{sampleMsgs()[0].EncodeAppend(nil), nested})
+
+	corrupt := func(b []byte, off int, v uint32) []byte {
+		c := append([]byte(nil), b...)
+		binary.LittleEndian.PutUint32(c[off:], v)
+		return c
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"short header", sane[:headerBytes-1], "shorter than header"},
+		{"not a batch", sampleMsgs()[0].EncodeAppend(nil), "not a batch"},
+		{"count zero", corrupt(sane, 12, 0), "implausible batch count"},
+		{"count one", corrupt(sane, 12, 1), "implausible batch count"},
+		// The hostile header: 2^30 claimed sub-messages in a tiny frame
+		// must fail the remaining-bytes bound, never size an allocation.
+		{"hostile count", corrupt(sane, 12, 1<<30), "implausible batch count"},
+		{"negative count", corrupt(sane, 12, 0xffffffff), "implausible batch count"},
+		{"nonzero reserved", corrupt(sane, 4, 7), "non-zero reserved"},
+		{"truncated sub-frame", sane[:len(sane)-3], "implausible batched frame length"},
+		{"sub-frame length overrun", corrupt(sane, headerBytes, 1 << 28), "implausible batched frame length"},
+		{"negative sub-frame length", corrupt(sane, headerBytes, 0xfffffff0), "implausible batched frame length"},
+		{"garbage sub-message", corrupt(sane, headerBytes+4, 999), "batched message 0"},
+		{"nested batch", nested, "batch frame in message position"},
+		{"trailing bytes", append(append([]byte(nil), sane...), 0xff), "trailing bytes after batch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msgs, err := DecodeBatch(tc.in)
+			if err == nil {
+				t.Fatalf("decoded %d messages from malformed batch", len(msgs))
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+	// Decode must also refuse a whole batch frame in message position.
+	if _, err := Decode(sane); err == nil || !strings.Contains(err.Error(), "batch frame in message position") {
+		t.Errorf("Decode(batch) = %v, want batch-in-message-position error", err)
+	}
+}
+
+// appendBatchRaw frames pre-encoded payloads as a batch without
+// re-encoding them (for building hostile nested inputs).
+func appendBatchRaw(buf []byte, subs [][]byte) []byte {
+	buf = AppendBatchHeader(buf, len(subs))
+	for _, sub := range subs {
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		buf = append(buf, sub...)
+		binary.LittleEndian.PutUint32(buf[start:], uint32(len(sub)))
+	}
+	return buf
+}
+
 // TestDecodeHostileCountAllocation: a tiny frame claiming 2^24 interval
 // pages must be rejected by the remaining-bytes bound, not by attempting
 // the allocation (this fails fast under the fuzzer's memory limits too).
@@ -112,12 +177,12 @@ func TestDecodeHostileCountAllocation(t *testing.T) {
 // for arbitrary accepted inputs).
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	for _, m := range sampleMsgs() {
-		enc := m.Encode()
+		enc := m.EncodeAppend(nil)
 		dec, err := Decode(enc)
 		if err != nil {
 			t.Fatalf("%v: %v", m.Kind, err)
 		}
-		if !bytes.Equal(dec.Encode(), enc) {
+		if !bytes.Equal(dec.EncodeAppend(nil), enc) {
 			t.Errorf("%v: re-encoding changed bytes", m.Kind)
 		}
 	}
@@ -128,24 +193,59 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 // input implies a canonical representation).
 func FuzzDecode(f *testing.F) {
 	for _, m := range sampleMsgs() {
-		f.Add(m.Encode())
+		f.Add(m.EncodeAppend(nil))
 	}
 	// Truncations and corruptions of a rich message as extra seeds.
-	grant := sampleMsgs()[1].Encode()
+	grant := sampleMsgs()[1].EncodeAppend(nil)
 	f.Add(grant[:headerBytes])
 	f.Add(grant[:len(grant)/2])
 	f.Add(append(append([]byte(nil), grant...), 0))
+	// Batch frames: a sane two-message batch and damaged variants, so the
+	// fuzzer explores the batch framing too.
+	batch := appendBatch(nil, sampleMsgs()[0], sampleMsgs()[3])
+	f.Add(batch)
+	f.Add(batch[:len(batch)-2])
+	f.Add(append(append([]byte(nil), batch...), 0xfe))
 	f.Fuzz(func(t *testing.T, b []byte) {
+		if IsBatch(b) {
+			// Batch frames go through DecodeBatch (the dispatch loop's
+			// routing): it must never panic, and anything it accepts must
+			// rebuild into a batch it accepts again with a stable encoding
+			// (the same canonical-form property as single frames).
+			msgs, err := DecodeBatch(b)
+			if err != nil {
+				return
+			}
+			rebuild := func(ms []*Msg) []byte {
+				re := AppendBatchHeader(nil, len(ms))
+				for _, m := range ms {
+					start := len(re)
+					re = append(re, 0, 0, 0, 0)
+					re = m.EncodeAppend(re)
+					binary.LittleEndian.PutUint32(re[start:], uint32(len(re)-start-4))
+				}
+				return re
+			}
+			re := rebuild(msgs)
+			msgs2, err := DecodeBatch(re)
+			if err != nil {
+				t.Fatalf("re-decoding own batch encoding failed: %v", err)
+			}
+			if !bytes.Equal(rebuild(msgs2), re) {
+				t.Fatal("batch encoding is not a fixed point")
+			}
+			return
+		}
 		m, err := Decode(b)
 		if err != nil {
 			return // rejected: fine, as long as it did not panic
 		}
-		enc := m.Encode()
+		enc := m.EncodeAppend(nil)
 		m2, err := Decode(enc)
 		if err != nil {
 			t.Fatalf("re-decoding own encoding failed: %v", err)
 		}
-		if !bytes.Equal(m2.Encode(), enc) {
+		if !bytes.Equal(m2.EncodeAppend(nil), enc) {
 			t.Fatal("encoding is not a fixed point")
 		}
 	})

@@ -15,6 +15,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/mem"
 	"repro/internal/page"
@@ -90,8 +91,19 @@ const (
 	// KWriteResp: home -> requester granting ownership; Data carries the
 	// page contents unless the requester already holds a current copy.
 	KWriteResp
+
+	// KBatch is a frame-level kind, not a protocol message: one batch
+	// frame carries A count-prefixed sub-messages coalesced by the
+	// sender's outbox for one destination. It appears only at the top of
+	// a received payload (DecodeBatch); Decode rejects it in message
+	// position, which also forbids nested batches.
+	KBatch
 	kindLimit
 )
+
+// NumKinds bounds Kind values (exclusive); per-kind counter arrays are
+// indexed by Kind below NumKinds.
+const NumKinds = int(kindLimit)
 
 var kindNames = map[Kind]string{
 	KLockReq: "lockreq", KLockFwd: "lockfwd", KLockGrant: "lockgrant",
@@ -104,6 +116,7 @@ var kindNames = map[Kind]string{
 	KUpdate: "update", KUpdateAck: "updateack",
 	KFlushReq: "flushreq", KFlushDone: "flushdone",
 	KWriteReq: "writereq", KWriteResp: "writeresp",
+	KBatch: "batch",
 }
 
 // IsResponse reports whether the kind answers an outstanding request and
@@ -167,9 +180,43 @@ type Msg struct {
 // where counts packs presence bits; section counts are encoded inline.
 const headerBytes = proto.MsgHeaderBytes
 
-// Encode serializes the message.
-func (m *Msg) Encode() []byte {
-	buf := make([]byte, 0, m.encodedSizeHint())
+// maxPooledBuf caps the capacity of buffers the pool retains: a frame
+// that grew to carry an unusually large batch of page-sized diffs must
+// not pin that memory for the process lifetime.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
+
+// GetBuf returns an empty frame buffer from the pool. Encode into it
+// with EncodeAppend; hand it to the transport (which takes ownership on
+// Send) or return it with PutBuf. Steady-state the payload bytes are
+// never reallocated — buffers cycle sender -> transport -> receiver ->
+// pool — and the only residual per-frame cost is sync.Pool's 24-byte
+// slice-header box.
+func GetBuf() []byte { return bufPool.Get().([]byte)[:0] }
+
+// PutBuf returns a frame buffer to the pool. The caller must not touch
+// b afterwards. Any byte slice may be recycled here (received payloads
+// included, whatever allocated them); oversized buffers are dropped.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b[:0])
+}
+
+// EncodeAppend appends the message's encoding to buf and returns the
+// extended slice — the append-style encoder of the hot send path: with a
+// pooled buffer (GetBuf) the steady state is zero-alloc, and several
+// messages append into one buffer to form a batch frame. (The former
+// Msg.Encode, which allocated a fresh uniquely-owned slice per message
+// even for tiny acks, is retired in its favor.)
+func (m *Msg) EncodeAppend(buf []byte) []byte {
+	if need := m.encodedSizeHint(); cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
 	var h [headerBytes]byte
 	binary.LittleEndian.PutUint16(h[0:], uint16(m.Kind))
 	binary.LittleEndian.PutUint64(h[4:], m.Seq)
@@ -319,6 +366,11 @@ func Decode(b []byte) (*Msg, error) {
 	if m.Kind == 0 || m.Kind >= kindLimit {
 		return nil, fmt.Errorf("wire: unknown message kind %d", m.Kind)
 	}
+	if m.Kind == KBatch {
+		// A batch is a frame, not a message: it is only legal at the top
+		// of a payload (DecodeBatch), which also forbids nested batches.
+		return nil, fmt.Errorf("wire: batch frame in message position")
+	}
 	flags := binary.LittleEndian.Uint32(b[20:])
 	d := &decoder{b: b, off: headerBytes}
 	if flags&1 != 0 {
@@ -409,4 +461,80 @@ func Decode(b []byte) (*Msg, error) {
 		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-d.off)
 	}
 	return m, nil
+}
+
+// --- batch frames ---
+//
+// A batch frame coalesces several messages for one destination into one
+// physical frame: a standard 24-byte header with Kind KBatch and A = the
+// sub-message count, followed by exactly A sub-frames, each a u32 length
+// prefix and one encoded message. The sender's outbox builds batches
+// append-style into one pooled buffer; the receiver's dispatch loop
+// unpacks them with DecodeBatch before routing each sub-message.
+
+// minBatchedBytes is the smallest possible sub-frame: the length prefix
+// plus an encoded message with four empty section counts. It bounds the
+// batch count a hostile header can claim, countItems-style.
+const minBatchedBytes = 4 + headerBytes + 16
+
+// AppendBatchHeader appends a batch frame header for count sub-messages.
+func AppendBatchHeader(buf []byte, count int) []byte {
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint16(h[0:], uint16(KBatch))
+	binary.LittleEndian.PutUint32(h[12:], uint32(count))
+	return append(buf, h[:]...)
+}
+
+// IsBatch reports whether the payload is a batch frame.
+func IsBatch(b []byte) bool {
+	return len(b) >= 2 && Kind(binary.LittleEndian.Uint16(b)) == KBatch
+}
+
+// DecodeBatch parses a batch frame into its messages. It enforces the
+// same hostility bounds as Decode: the claimed count must fit the bytes
+// actually present before anything is allocated by it, every sub-frame
+// must lie within the payload, nested batches are rejected (Decode
+// refuses KBatch in message position), and trailing bytes are an error.
+func DecodeBatch(b []byte) ([]*Msg, error) {
+	if len(b) < headerBytes {
+		return nil, fmt.Errorf("wire: batch frame of %d bytes shorter than header", len(b))
+	}
+	if !IsBatch(b) {
+		return nil, fmt.Errorf("wire: frame of kind %v is not a batch", Kind(binary.LittleEndian.Uint16(b)))
+	}
+	// The fixed header fields a batch does not use must be zero, so an
+	// accepted batch has exactly one encoding (the canonical-form
+	// property the fuzzer checks).
+	if binary.LittleEndian.Uint16(b[2:]) != 0 || binary.LittleEndian.Uint64(b[4:]) != 0 ||
+		binary.LittleEndian.Uint32(b[16:]) != 0 || binary.LittleEndian.Uint32(b[20:]) != 0 {
+		return nil, fmt.Errorf("wire: batch header carries non-zero reserved fields")
+	}
+	count := int32(binary.LittleEndian.Uint32(b[12:]))
+	if count < 2 || int64(count)*minBatchedBytes > int64(len(b)-headerBytes) {
+		// A batch of one would be a plain frame; a hostile count must
+		// never size an allocation.
+		return nil, fmt.Errorf("wire: implausible batch count %d for %d remaining bytes", count, len(b)-headerBytes)
+	}
+	msgs := make([]*Msg, 0, count)
+	off := headerBytes
+	for i := int32(0); i < count; i++ {
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("wire: batch truncated at sub-message %d", i)
+		}
+		size := int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if size < 0 || int64(off)+int64(size) > int64(len(b)) {
+			return nil, fmt.Errorf("wire: implausible batched frame length %d at sub-message %d", size, i)
+		}
+		m, err := Decode(b[off : off+int(size)])
+		if err != nil {
+			return nil, fmt.Errorf("wire: batched message %d: %w", i, err)
+		}
+		msgs = append(msgs, m)
+		off += int(size)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after batch", len(b)-off)
+	}
+	return msgs, nil
 }

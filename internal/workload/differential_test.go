@@ -111,6 +111,68 @@ func TestRuntimeDifferentialWithGC(t *testing.T) {
 	}
 }
 
+// TestBatchingDifferential: the outbox's frame coalescing is a framing
+// optimization only — all five protocols must produce byte-identical
+// images with batching on and off, at one goroutine per node and
+// oversubscribed, over simnet and (non-short) loopback TCP. The framing
+// invariants are checked too: with batching off every message is its
+// own frame; with it on frames never exceed messages.
+func TestBatchingDifferential(t *testing.T) {
+	const procs, scale = 4, 0.05
+	ref, err := ExecuteCached("mp3d", procs, scale, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range dsm.Modes {
+		for _, gpn := range []int{1, 4} {
+			for _, noBatch := range []bool{false, true} {
+				prog, err := New("mp3d", procs, scale, diffSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc := RuntimeConfig{PageSize: 1024, Mode: mode, GoroutinesPerNode: gpn, NoBatch: noBatch}
+				res, err := RunOnRuntime(prog, rc)
+				if err != nil {
+					t.Fatalf("%s/gpn=%d/nobatch=%t: %v", mode, gpn, noBatch, err)
+				}
+				if !bytes.Equal(res.Image, ref.Image) {
+					t.Errorf("%s/gpn=%d/nobatch=%t: image diverges from reference (first diff at byte %d)",
+						mode, gpn, noBatch, firstDiff(res.Image, ref.Image))
+				}
+				switch {
+				case noBatch && (res.Net.Frames != res.Net.Messages || res.Net.Batches != 0):
+					t.Errorf("%s/gpn=%d: NoBatch framing violated: %+v", mode, gpn, res.Net)
+				case !noBatch && res.Net.Frames > res.Net.Messages:
+					t.Errorf("%s/gpn=%d: more frames than messages: %+v", mode, gpn, res.Net)
+				}
+			}
+		}
+	}
+	if testing.Short() {
+		return
+	}
+	// TCP leg: same images with batching on over a real loopback
+	// cluster, one goroutine per node and oversubscribed.
+	for _, mode := range dsm.Modes {
+		for _, gpn := range []int{1, 4} {
+			prog, err := New("mp3d", procs, scale, diffSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunOnRuntime(prog, RuntimeConfig{
+				PageSize: 1024, Mode: mode, GoroutinesPerNode: gpn,
+				Transports: tcpTransports(t, procs/gpn),
+			})
+			if err != nil {
+				t.Fatalf("tcp %s/gpn=%d: %v", mode, gpn, err)
+			}
+			if !bytes.Equal(res.Image, ref.Image) {
+				t.Errorf("tcp %s/gpn=%d: image diverges from reference", mode, gpn)
+			}
+		}
+	}
+}
+
 // TestRuntimeResultShape checks the runtime execution's reporting surface:
 // per-node stats are populated and the interconnect estimate is positive.
 func TestRuntimeResultShape(t *testing.T) {

@@ -25,6 +25,10 @@ type RuntimeConfig struct {
 	// Latency configures the interconnect time model (zero value uses the
 	// runtime default).
 	Latency dsm.LatencyModel
+	// NoBatch disables the runtime's outbox frame coalescing (see
+	// dsm.Config.NoBatch); message counts and program semantics are
+	// identical either way.
+	NoBatch bool
 	// GoroutinesPerNode multiplexes the program's logical processors over
 	// fewer DSM nodes: with k > 1 the cluster has NumProcs/k nodes
 	// (NumProcs must be divisible by k) and logical processor p runs as
@@ -187,6 +191,7 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 			Mode:              rc.Mode,
 			GCEveryBarriers:   rc.GCEveryBarriers,
 			Latency:           rc.Latency,
+			NoBatch:           rc.NoBatch,
 			GoroutinesPerNode: gpn,
 			Transport:         tr,
 		})
@@ -288,7 +293,9 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 	if lat == (dsm.LatencyModel{}) {
 		lat = transport.DefaultLatency
 	}
-	res.Elapsed = lat.Estimate(res.Net.Messages, res.Net.Bytes)
+	// Charged per physical frame: batching's message coalescing shows up
+	// in the wire-time estimate, not just the frame counts.
+	res.Elapsed = lat.EstimateStats(res.Net)
 	// Surface protocol and transport teardown errors (e.g. an
 	// undeliverable lock grant, a peer's broken stream): a clean run must
 	// close cleanly.
