@@ -1,0 +1,125 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// TestBatchedFramesRegressionGate is the outbox's CI gate: on the
+// barrier-heavy LU write-share pattern over a real loopback TCP cluster
+// (the BenchmarkRuntimeBatchedBarrierTCP shape), frame batching must
+// keep physical frames per critical section at least 25% below the
+// unbatched run. Message counts are protocol-determined and identical
+// either way, so a failure means the pipeline stopped coalescing —
+// frames crept back toward one per message.
+func TestBatchedFramesRegressionGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regression gate runs the full TCP pattern; skipped in short mode")
+	}
+	const (
+		procs        = 4
+		pagesPerNode = 4
+		pageSize     = 1024
+		regionPage   = 16 // write-share region: pages 16..31, page p homed at p%procs
+		rounds       = 16
+	)
+	framesPerCrit := func(noBatch bool) float64 {
+		trs, err := repro.NewLoopbackTCPCluster(procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems := make([]*repro.DSM, procs)
+		for i, tr := range trs {
+			systems[i], err = repro.NewDSM(repro.DSMConfig{
+				Procs: procs, SpaceSize: 64 * 1024, PageSize: pageSize,
+				Mode: repro.LazyUpdate, NoBatch: noBatch, Transport: tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer systems[i].Close()
+		}
+		a := repro.NewArena(systems[0].Layout())
+		counter := repro.NewVar[uint64](a)
+		lock := a.NewLock()
+		pageAddr := func(owner, j int) repro.Addr {
+			return repro.Addr((regionPage + j*procs + owner) * pageSize)
+		}
+		var wg sync.WaitGroup
+		run := func(body func(i int, n *repro.Node) error) {
+			for i := 0; i < procs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if err := body(i, systems[i].Node(i)); err != nil {
+						t.Error(err)
+					}
+				}(i)
+			}
+			wg.Wait()
+		}
+		// Warm-up round: every node writes its pages, then caches every
+		// other node's, so the measured region is steady-state
+		// revalidation traffic, not cold misses.
+		run(func(i int, n *repro.Node) error {
+			for j := 0; j < pagesPerNode; j++ {
+				if err := n.WriteUint64(pageAddr(i, j), 1); err != nil {
+					return err
+				}
+			}
+			if err := n.Barrier(0); err != nil {
+				return err
+			}
+			for owner := 0; owner < procs; owner++ {
+				for j := 0; j < pagesPerNode; j++ {
+					if _, err := n.ReadUint64(pageAddr(owner, j)); err != nil {
+						return err
+					}
+				}
+			}
+			return n.Barrier(0)
+		})
+		var before repro.TransportStats
+		for _, sys := range systems {
+			before.Add(sys.NetStats())
+		}
+		run(func(i int, n *repro.Node) error {
+			for k := 0; k < rounds; k++ {
+				for j := 0; j < pagesPerNode; j++ {
+					if err := n.WriteUint64(pageAddr(i, j), uint64(k)+2); err != nil {
+						return err
+					}
+				}
+				if err := repro.Locked(n, lock, func() error {
+					_, err := counter.Add(n, 1)
+					return err
+				}); err != nil {
+					return err
+				}
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		var after repro.TransportStats
+		for _, sys := range systems {
+			after.Add(sys.NetStats())
+		}
+		return float64(after.Frames-before.Frames) / float64(procs*rounds)
+	}
+
+	batched := framesPerCrit(false)
+	unbatched := framesPerCrit(true)
+	t.Logf("frames/critsec: batched %.2f, unbatched %.2f (%.0f%% reduction)",
+		batched, unbatched, 100*(1-batched/unbatched))
+	if unbatched <= 0 {
+		t.Fatal("unbatched run moved no frames — the pattern is not exercising the interconnect")
+	}
+	if max := 0.75 * unbatched; batched > max {
+		t.Errorf("batched run used %.2f frames/critsec, gate is %.2f (25%% below unbatched's %.2f)",
+			batched, max, unbatched)
+	}
+}

@@ -70,20 +70,24 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lrcrun", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		demo      = fs.String("demo", "", "demo program: counter, stencil, queue")
-		app       = fs.String("app", "", "workload to run on the runtime ("+strings.Join(workload.Names, ", ")+") or \"all\"")
-		mode      = fs.String("mode", "LI", "protocol mode: "+dsm.ModeNames())
-		procs     = fs.Int("procs", 8, "number of logical processors (with -transport tcp, fixed to peer count × -gpn)")
-		gpn       = fs.Int("gpn", 1, "application goroutines per DSM node: gpn > 1 multiplexes the processors onto procs/gpn oversubscribed nodes")
-		iters     = fs.Int("iters", 100, "iterations per node (demos)")
-		scale     = fs.Float64("scale", 0.1, "workload scale factor (-app)")
-		seed      = fs.Int64("seed", 42, "workload random seed (-app)")
-		pageSize  = fs.Int("pagesize", 4096, "consistency page size in bytes")
-		gc        = fs.Int("gc", 0, "garbage-collect every N barriers (0 = off)")
-		transport = fs.String("transport", "simnet", "interconnect: simnet (in-process) or tcp (cross-process; requires -peers)")
-		nobatch   = fs.Bool("nobatch", false, "disable outbox frame batching (every message travels as its own frame)")
-		peers     = fs.String("peers", "", "comma-separated host:port of every node, in id order (-transport tcp)")
-		self      = fs.Int("self", 0, "this process's index into -peers (-transport tcp)")
+		demo       = fs.String("demo", "", "demo program: counter, stencil, queue")
+		app        = fs.String("app", "", "workload to run on the runtime ("+strings.Join(workload.Names, ", ")+") or \"all\"")
+		mode       = fs.String("mode", "LI", "protocol mode: "+dsm.ModeNames())
+		procs      = fs.Int("procs", 8, "number of logical processors (with -transport tcp, fixed to peer count × -gpn)")
+		gpn        = fs.Int("gpn", 1, "application goroutines per DSM node: gpn > 1 multiplexes the processors onto procs/gpn oversubscribed nodes")
+		iters      = fs.Int("iters", 100, "iterations per node (demos)")
+		scale      = fs.Float64("scale", 0.1, "workload scale factor (-app)")
+		seed       = fs.Int64("seed", 42, "workload random seed (-app)")
+		pageSize   = fs.Int("pagesize", 4096, "consistency page size in bytes")
+		gc         = fs.Int("gc", 0, "garbage-collect every N barriers (0 = off)")
+		transport  = fs.String("transport", "simnet", "interconnect: simnet (in-process) or tcp (cross-process; requires -peers)")
+		nobatch    = fs.Bool("nobatch", false, "disable outbox frame batching (every message travels as its own frame)")
+		flushMsgs  = fs.Int("flushmsgs", 0, "flush a destination's staged messages at this count (0 = structural flush points only)")
+		flushBytes = fs.Int("flushbytes", 0, "flush a destination's staged messages at this estimated byte total (0 = off)")
+		flushDelay = fs.Duration("flushdelay", 0, "Nagle-style hold: a requester keeps its destination open this long so concurrent traffic coalesces (0 = off)")
+		compress   = fs.Int("compress", 0, "compress outbound frames of at least this many bytes (0 = off)")
+		peers      = fs.String("peers", "", "comma-separated host:port of every node, in id order (-transport tcp)")
+		self       = fs.Int("self", 0, "this process's index into -peers (-transport tcp)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,6 +142,15 @@ func run(args []string, out io.Writer) error {
 		return repro.NewTCPTransport(*self, peerList)
 	}
 
+	pipe := pipeCfg{
+		noBatch:     *nobatch,
+		flush:       dsm.FlushPolicy{MaxMsgs: *flushMsgs, MaxBytes: *flushBytes, Delay: *flushDelay},
+		compressMin: *compress,
+	}
+	if *nobatch && (pipe.flush != dsm.FlushPolicy{} || *compress != 0) {
+		return fmt.Errorf("-nobatch disables the outbox pipeline; -flushmsgs/-flushbytes/-flushdelay/-compress have no effect with it")
+	}
+
 	switch {
 	case *app != "" && *demo != "":
 		return fmt.Errorf("-demo and -app are mutually exclusive")
@@ -146,19 +159,27 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-app all runs one cluster per workload; start each -app separately under -transport tcp")
 		}
 		for _, name := range workload.Names {
-			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, *nobatch, mkTransport); err != nil {
+			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, mkTransport); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *app != "":
-		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, *nobatch, mkTransport)
+		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, mkTransport)
 	default:
 		if *demo == "" {
 			*demo = "counter"
 		}
-		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, *nobatch, mkTransport)
+		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, pipe, mkTransport)
 	}
+}
+
+// pipeCfg carries the outbound-pipeline tuning (batching, flush policy,
+// compression) from the flags to the runtime configs.
+type pipeCfg struct {
+	noBatch     bool
+	flush       dsm.FlushPolicy
+	compressMin int
 }
 
 // parsePeers splits and validates a -peers list.
@@ -182,7 +203,7 @@ func parsePeers(s string) ([]string, error) {
 // With gpn > 1 the program's processors are multiplexed onto procs/gpn
 // oversubscribed nodes. Under TCP only the process hosting node 0 holds
 // the image; the others report their own traffic.
-func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, noBatch bool, mkTransport func() (repro.Transport, error)) error {
+func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, pipe pipeCfg, mkTransport func() (repro.Transport, error)) error {
 	if procs%gpn != 0 {
 		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
 	}
@@ -194,7 +215,10 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	if err != nil {
 		return err
 	}
-	rc := workload.RuntimeConfig{PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn, NoBatch: noBatch}
+	rc := workload.RuntimeConfig{
+		PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn,
+		NoBatch: pipe.noBatch, Flush: pipe.flush, CompressMin: pipe.compressMin,
+	}
 	if tr != nil {
 		rc.Transports = []repro.Transport{tr}
 	}
@@ -206,8 +230,8 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 		// A TCP process hosting only non-zero nodes: node 0's process
 		// verifies the image.
 		fmt.Fprintf(out, "== %s: %d procs, mode %s, page %d: this process's nodes done ==\n", name, procs, m, pageSize)
-		fmt.Fprintf(out, "%-12s%12d%12d%12d%14d   (this process's sends)\n",
-			"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.Bytes)
+		fmt.Fprintf(out, "%-12s%12d%12d%12d%14d%14d   (this process's sends; bytes then wire bytes)\n",
+			"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.RawBytes, res.Net.Bytes)
 		return nil
 	}
 	ref, err := workload.ExecuteCached(name, procs, scale, seed)
@@ -228,7 +252,8 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 		len(ref.Trace.Events), c.Reads, c.Writes, c.Acquires, c.BarrierArrivals)
 	fmt.Fprintf(out, "image: %d bytes, %s\n", len(res.Image), verdict)
 	// Traffic table: live transport counters (messages vs the physical
-	// frames the outbox coalesced them into) next to the simulator's
+	// frames the outbox coalesced them into, logical bytes vs what frame
+	// compression actually put on the wire) next to the simulator's
 	// per-message model, normalized per critical section.
 	crit := int64(c.Acquires)
 	perCrit := func(bytes int64) string {
@@ -237,11 +262,11 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 		}
 		return fmt.Sprintf("%.1f", float64(bytes)/float64(crit))
 	}
-	fmt.Fprintf(out, "%-12s%12s%12s%12s%14s%14s\n", "", "msgs", "frames", "batches", "bytes", "bytes/critsec")
-	fmt.Fprintf(out, "%-12s%12d%12d%12d%14d%14s   (live interconnect, incl. read-out; est. wire time %v)\n",
-		"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.Bytes, perCrit(res.Net.Bytes), res.Elapsed)
-	fmt.Fprintf(out, "%-12s%12d%12s%12s%14d%14s   (trace replay, %s)\n",
-		"simulator", st.TotalMessages(), "-", "-", st.TotalBytes(), perCrit(st.TotalBytes()), m)
+	fmt.Fprintf(out, "%-12s%12s%12s%12s%14s%14s%14s\n", "", "msgs", "frames", "batches", "bytes", "wire bytes", "wireB/critsec")
+	fmt.Fprintf(out, "%-12s%12d%12d%12d%14d%14d%14s   (live interconnect, incl. read-out; est. wire time %v)\n",
+		"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.RawBytes, res.Net.Bytes, perCrit(res.Net.Bytes), res.Elapsed)
+	fmt.Fprintf(out, "%-12s%12d%12s%12s%14d%14s%14s   (trace replay, %s)\n",
+		"simulator", st.TotalMessages(), "-", "-", st.TotalBytes(), "-", perCrit(st.TotalBytes()), m)
 	var misses, diffs, updates, intervals, invals, moves int64
 	for _, ns := range res.Nodes {
 		misses += ns.AccessMisses
@@ -259,7 +284,7 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	return nil
 }
 
-func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, noBatch bool, mkTransport func() (repro.Transport, error)) error {
+func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, pipe pipeCfg, mkTransport func() (repro.Transport, error)) error {
 	var body func(out io.Writer, d *repro.DSM, gpn, iters int) error
 	switch demo {
 	case "counter":
@@ -285,7 +310,9 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 		Mode:              m,
 		GCEveryBarriers:   gc,
 		GoroutinesPerNode: gpn,
-		NoBatch:           noBatch,
+		NoBatch:           pipe.noBatch,
+		Flush:             pipe.flush,
+		CompressMin:       pipe.compressMin,
 		Transport:         tr,
 	})
 	if err != nil {
@@ -298,8 +325,8 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 	}
 	st := d.NetStats()
 	fmt.Fprintf(out, "demo=%s mode=%s procs=%d nodes=%d gpn=%d iters=%d\n", demo, m, procs, procs/gpn, gpn, iters)
-	fmt.Fprintf(out, "interconnect: %d messages in %d frames (%d batched), %d bytes, estimated serial wire time %v\n",
-		st.Messages, st.Frames, st.Batches, st.Bytes, d.EstimateTime())
+	fmt.Fprintf(out, "interconnect: %d messages in %d frames (%d batched), %d bytes (%d on the wire), estimated serial wire time %v\n",
+		st.Messages, st.Frames, st.Batches, st.RawBytes, st.Bytes, d.EstimateTime())
 	for _, n := range d.Local() {
 		ns := n.Stats()
 		fmt.Fprintf(out, "  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d, invals %d, updates %d\n",

@@ -43,7 +43,7 @@ func TestRunWorkloadTrafficTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"msgs", "frames", "batches", "bytes/critsec", "runtime", "simulator"} {
+	for _, want := range []string{"msgs", "frames", "batches", "wire bytes", "wireB/critsec", "runtime", "simulator"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("traffic table missing %q:\n%s", want, got)
 		}

@@ -161,6 +161,42 @@ func ParseMode(s string) (Mode, error) {
 	return 0, fmt.Errorf("dsm: unknown mode %q (supported: %s)", s, ModeNames())
 }
 
+// FlushPolicy tunes when the outbox flushes a destination's staged
+// messages, beyond the structural flush points (immediate sends, rpc
+// bursts, shard-worker drains). The zero value changes nothing.
+//
+// MaxMsgs and MaxBytes cap how much may sit staged: crossing either
+// threshold flushes the destination immediately, bounding both batch
+// size and staging memory. Delay adds a Nagle-style bounded hold on the
+// requester side of an rpc: instead of flushing its request at once,
+// the requester (which is about to block for the response anyway)
+// holds the destination open for up to Delay so concurrent traffic
+// from other goroutines on the same node — the gpn>1 pattern —
+// coalesces into the same frame. The hold ends early when a threshold
+// trips, when another flusher empties the destination, or at shutdown;
+// the requester then flushes its own destination, so the outbox's
+// sticky-error routing (a failed flush surfaces to whoever staged for
+// the destination) is preserved.
+type FlushPolicy struct {
+	// MaxMsgs flushes a destination as soon as this many messages are
+	// staged for it (0 = no message threshold). 1 makes every stage
+	// flush immediately.
+	MaxMsgs int
+	// MaxBytes flushes a destination as soon as its staged messages'
+	// estimated encoded size reaches this many bytes (0 = no byte
+	// threshold).
+	MaxBytes int
+	// Delay is the Nagle-style bound on the requester-side hold
+	// described above (0 = requests flush immediately, today's
+	// behavior).
+	Delay time.Duration
+}
+
+// active reports whether any policy knob is set.
+func (p FlushPolicy) active() bool {
+	return p.MaxMsgs > 0 || p.MaxBytes > 0 || p.Delay > 0
+}
+
 // Config describes a DSM instance.
 type Config struct {
 	// Procs is the number of nodes (at most 64).
@@ -193,7 +229,19 @@ type Config struct {
 	// runtime sent them. Protocol behavior and message counts are
 	// identical either way — the knob exists so benchmarks can report
 	// batched vs unbatched frame counts and wire-time estimates.
+	// NoBatch also disables Flush and CompressMin below.
 	NoBatch bool
+	// Flush configures the outbox's flush policy engine (thresholds and
+	// the Nagle-style delay). The zero value keeps the structural flush
+	// points only — today's immediate behavior. See FlushPolicy.
+	Flush FlushPolicy
+	// CompressMin enables frame compression: a built physical frame of
+	// at least CompressMin bytes is flate-compressed and sent as a
+	// wire.KCompressed frame when (and only when) that is strictly
+	// smaller. 0 disables compression. Message counts and semantics are
+	// unchanged; transport byte counters see post-compression sizes,
+	// with the logical size in TransportStats.RawBytes.
+	CompressMin int
 	// Transport supplies the interconnect. Nil builds the default
 	// in-process simulated network (internal/simnet) covering all Procs
 	// endpoints. A non-nil transport must span exactly Procs endpoints;
@@ -240,6 +288,12 @@ func New(cfg Config) (*System, error) {
 	}
 	if !cfg.Mode.Valid() {
 		return fail(fmt.Errorf("dsm: unknown mode %d (supported: %s)", int(cfg.Mode), ModeNames()))
+	}
+	if cfg.Flush.MaxMsgs < 0 || cfg.Flush.MaxBytes < 0 || cfg.Flush.Delay < 0 {
+		return fail(fmt.Errorf("dsm: negative flush policy %+v", cfg.Flush))
+	}
+	if cfg.CompressMin < 0 {
+		return fail(fmt.Errorf("dsm: negative compression threshold %d", cfg.CompressMin))
 	}
 	layout, err := mem.NewLayout(cfg.SpaceSize, cfg.PageSize)
 	if err != nil {

@@ -173,9 +173,18 @@ func (e *eagerEngine) ensureValid(pg mem.PageID) error {
 // writes are lifted off and reinstated on top of the fetched data with
 // the twin rebased beneath them — the words belong to locks that
 // section holds, so no newer committed values for them can exist.
-func (e *eagerEngine) installPage(m *wire.Msg) {
+//
+// Returns false (recording the cause) for a grant that cannot be
+// installed — bad page id or wrong-size data — so the caller fails the
+// waiter instead of delivering a response that installed nothing.
+func (e *eagerEngine) installPage(m *wire.Msg) bool {
 	n := e.n
 	pg := mem.PageID(m.A)
+	if !n.validPage(pg) || len(m.Data) != n.sys.layout.PageSize() {
+		n.noteErr("page install",
+			fmt.Errorf("bad page grant: page %d, %d data bytes", pg, len(m.Data)))
+		return false
+	}
 	pmu := n.pageLock(pg)
 	pmu.Lock()
 	defer pmu.Unlock()
@@ -199,6 +208,7 @@ func (e *eagerEngine) installPage(m *wire.Msg) {
 	}
 	pc.valid = true
 	n.stats.pagesFetched.Add(1)
+	return true
 }
 
 func (e *eagerEngine) readPage(pg mem.PageID, off int, dst []byte) error {
@@ -451,16 +461,23 @@ func (e *eagerEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 	case wire.KPageResp:
 		// Intercepted response: install the granted page on the page's
 		// shard worker, in directory order, then wake the faulting
-		// application goroutine.
-		e.installPage(m)
-		e.n.deliverResponse(m)
+		// application goroutine. A rejected grant fails the waiter
+		// instead (the cause is already in noteErr).
+		if e.installPage(m) {
+			e.n.deliverResponse(m)
+		} else {
+			e.n.failWaiter(m.Seq)
+		}
 	case wire.KFlushDone:
 		// Intercepted response: apply the home's reconciliation on the
 		// page's shard worker so it is in place before any later
 		// directory message for the page arrives, then wake the
 		// flushing application goroutine.
-		e.applyFlushDone(m)
-		e.n.deliverResponse(m)
+		if e.applyFlushDone(m) {
+			e.n.deliverResponse(m)
+		} else {
+			e.n.failWaiter(m.Seq)
+		}
 	default:
 		return false
 	}
@@ -492,6 +509,11 @@ func (e *eagerEngine) servePageReq(m *wire.Msg) {
 	n := e.n
 	pg := mem.PageID(m.A)
 	requester := mem.ProcID(m.B)
+	if !n.validPage(pg) || !n.validProc(requester) {
+		n.noteErr("page request",
+			fmt.Errorf("bad ids in request: page %d requester %d", pg, requester))
+		return
+	}
 	d := &e.dir[pg]
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -514,6 +536,11 @@ func (e *eagerEngine) serveFlushReq(m *wire.Msg) {
 	n := e.n
 	pg := mem.PageID(m.A)
 	flusher := mem.ProcID(m.B)
+	if !n.validPage(pg) || !n.validProc(flusher) {
+		n.noteErr("flush request",
+			fmt.Errorf("bad ids in request: page %d flusher %d", pg, flusher))
+		return
+	}
 	d := &e.dir[pg]
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -590,6 +617,10 @@ func (e *eagerEngine) serveFlushReq(m *wire.Msg) {
 func (e *eagerEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
+	if !n.validPage(pg) {
+		n.noteErr("owner fetch", fmt.Errorf("fetch of invalid page %d", pg))
+		return
+	}
 	pmu := n.pageLock(pg)
 	pmu.Lock()
 	var data []byte
@@ -599,8 +630,12 @@ func (e *eagerEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 		// committed state is the zero page.
 		data = make([]byte, n.sys.layout.PageSize())
 	case e.pages[pg] == nil:
+		// The home thinks we own a page we never held — its directory and
+		// our state disagree, which only a misbehaving (or hostile) peer
+		// can cause. Drop the fetch; the record surfaces via Close.
 		pmu.Unlock()
-		panic(fmt.Sprintf("dsm: node %d: fetch of page %d it never held", n.id, pg))
+		n.noteErr("owner fetch", fmt.Errorf("fetch of page %d this node never held", pg))
+		return
 	default:
 		data = e.committedLocked(pg)
 	}
@@ -614,6 +649,10 @@ func (e *eagerEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 func (e *eagerEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
+	if !n.validPage(pg) {
+		n.noteErr("invalidate", fmt.Errorf("invalidation of invalid page %d", pg))
+		return
+	}
 	ack := &wire.Msg{Kind: wire.KInvalAck, Seq: m.Seq, A: m.A}
 	pmu := n.pageLock(pg)
 	pmu.Lock()
@@ -638,6 +677,10 @@ func (e *eagerEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
+	if !n.validPage(pg) {
+		n.noteErr("update", fmt.Errorf("update of invalid page %d", pg))
+		return
+	}
 	pmu := n.pageLock(pg)
 	pmu.Lock()
 	pc := e.pages[pg]
@@ -647,9 +690,13 @@ func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
 		// update); tolerated defensively — the ack still flows.
 	} else {
 		for _, rec := range m.Diffs {
+			// The diffs came off the wire: one that does not fit the page
+			// is the sender's corruption, not our invariant — record it,
+			// stop applying this update, and still ack so the releaser's
+			// transaction completes.
 			if err := rec.Diff.Apply(pc.data); err != nil {
-				pmu.Unlock()
-				panic(fmt.Sprintf("dsm: node %d: update of page %d: %v", n.id, pg, err))
+				n.noteErr("update", fmt.Errorf("diff for page %d does not apply: %w", pg, err))
+				break
 			}
 			if pc.twin != nil {
 				// Land the diff on the twin too, so a concurrent critical
@@ -658,8 +705,8 @@ func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
 				// as ours).
 				patched := append([]byte(nil), pc.twin.Data()...)
 				if err := rec.Diff.Apply(patched); err != nil {
-					pmu.Unlock()
-					panic(fmt.Sprintf("dsm: node %d: update of page %d twin: %v", n.id, pg, err))
+					n.noteErr("update", fmt.Errorf("diff for page %d twin does not apply: %w", pg, err))
+					break
 				}
 				pc.twin = page.NewTwin(patched)
 			}
@@ -683,13 +730,17 @@ func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
 // rebased beneath them — otherwise a base copy would erase them, and
 // write-backs would later re-register as that critical section's own
 // modifications.
-func (e *eagerEngine) applyFlushDone(m *wire.Msg) {
+// Returns false (recording the cause) for a reconciliation that matches
+// no in-flight flush — a remote peer's stray or forged KFlushDone — so
+// the caller fails rather than wakes any waiter on that seq.
+func (e *eagerEngine) applyFlushDone(m *wire.Msg) bool {
 	n := e.n
 	e.flightMu.Lock()
 	fs, ok := e.inflight[m.Seq]
 	if !ok {
 		e.flightMu.Unlock()
-		panic(fmt.Sprintf("dsm: node %d: flush done for unknown seq %d", n.id, m.Seq))
+		n.noteErr("flush reconcile", fmt.Errorf("flush done for unknown seq %d", m.Seq))
+		return false
 	}
 	delete(e.inflight, m.Seq)
 	e.flightMu.Unlock()
@@ -732,8 +783,13 @@ func (e *eagerEngine) applyFlushDone(m *wire.Msg) {
 		fail("reapplying flushed diff to", err)
 	}
 	for _, rec := range m.Diffs {
+		// Write-backs are other cachers' diffs relayed by the home — wire
+		// data, not a local invariant. One that does not fit the page is
+		// recorded and skipped; the rest of the reconciliation stands.
 		if err := rec.Diff.Apply(committed); err != nil {
-			fail("write-back to", err)
+			n.noteErr("flush reconcile",
+				fmt.Errorf("write-back to page %d does not apply: %w", fs.pg, err))
+			continue
 		}
 		n.stats.writeBacks.Add(1)
 	}
@@ -747,4 +803,5 @@ func (e *eagerEngine) applyFlushDone(m *wire.Msg) {
 		pc.twin = page.NewTwin(committed)
 	}
 	pc.valid = true
+	return true
 }

@@ -1,0 +1,192 @@
+package dsm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/transport/tcp"
+	"repro/internal/wire"
+)
+
+// Hostile-peer hardening: anything a remote peer can put on the wire —
+// an undecodable frame, a corrupt compressed stream, a forged message
+// with out-of-range ids or an unknown sequence — must be recorded and
+// dropped, surfacing through System.Close, never panicking the node.
+// (A panic here would let one corrupt or malicious peer take down every
+// process in the cluster.)
+
+// waitNodeErr polls until node n has recorded an error containing want.
+func waitNodeErr(t *testing.T, n *Node, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n.errMu.Lock()
+		for _, err := range n.errs {
+			if strings.Contains(err.Error(), want) {
+				n.errMu.Unlock()
+				return
+			}
+		}
+		n.errMu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d never recorded an error containing %q", n.id, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCorruptTCPFramesSurfaceOnClose: corrupt frames injected into a
+// live loopback TCP cluster — garbage bytes, a damaged batch, a bogus
+// compressed stream — are recorded and dropped; the run terminates with
+// the causes in System.Close's error instead of a decoder panic.
+func TestCorruptTCPFramesSurfaceOnClose(t *testing.T) {
+	cluster, err := tcp.NewLoopbackCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSys := func(i int) *System {
+		s, err := New(Config{
+			Procs: 2, SpaceSize: 8192, PageSize: 1024, Mode: LazyUpdate,
+			Transport: cluster[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s0, s1 := newSys(0), newSys(1)
+	defer s1.Close()
+	defer s0.Close()
+
+	// A healthy lock-synchronized exchange first: the hostile frames
+	// arrive at a node that is genuinely mid-protocol, not idle.
+	lockedWrite := func(n *Node, addr mem.Addr, v uint64) error {
+		if err := n.Acquire(0); err != nil {
+			return err
+		}
+		if err := n.WriteUint64(addr, v); err != nil {
+			return err
+		}
+		return n.Release(0)
+	}
+	lockedRead := func(n *Node, addr mem.Addr) (uint64, error) {
+		if err := n.Acquire(0); err != nil {
+			return 0, err
+		}
+		v, err := n.ReadUint64(addr)
+		if err != nil {
+			return 0, err
+		}
+		return v, n.Release(0)
+	}
+	if err := lockedWrite(s1.Node(1), 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := lockedRead(s0.Node(0), 0); err != nil || v != 7 {
+		t.Fatalf("warm-up read = %d, %v; want 7", v, err)
+	}
+
+	inject := s1.tr.Endpoint(1)
+	// Garbage bytes in message position (unknown kind 0xffff).
+	garbage := make([]byte, 24)
+	for i := range garbage {
+		garbage[i] = 0xff
+	}
+	// A batch header whose sub-frames are lies.
+	badBatch := wire.AppendBatchHeader(nil, 2)
+	badBatch = append(badBatch, 0xde, 0xad, 0xbe, 0xef)
+	// A compressed header over bytes that are not a flate stream.
+	badZ := make([]byte, 32)
+	binary.LittleEndian.PutUint16(badZ[0:], uint16(wire.KCompressed))
+	binary.LittleEndian.PutUint32(badZ[12:], 24)
+	for i := 24; i < len(badZ); i++ {
+		badZ[i] = 0xff
+	}
+	for _, frame := range [][]byte{garbage, badBatch, badZ} {
+		if err := inject.Send(0, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n0 := s0.Node(0)
+	waitNodeErr(t, n0, "undecodable frame from 1")
+	waitNodeErr(t, n0, "undecodable batch frame from 1")
+	waitNodeErr(t, n0, "corrupt compressed frame from 1")
+
+	// The node is still alive: the healthy peer keeps working.
+	if err := lockedWrite(s1.Node(1), 1024, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := lockedRead(s0.Node(0), 1024); err != nil || v != 9 {
+		t.Fatalf("post-corruption read = %d, %v; want 9", v, err)
+	}
+
+	cerr := s0.Close()
+	if cerr == nil {
+		t.Fatal("Close returned nil despite recorded hostile-frame errors")
+	}
+	for _, want := range []string{"undecodable frame", "undecodable batch frame", "corrupt compressed frame"} {
+		if !strings.Contains(cerr.Error(), want) {
+			t.Errorf("Close error %q lost the %q cause", cerr, want)
+		}
+	}
+}
+
+// TestForgedFramesRecordedNotPanic: well-formed frames carrying forged
+// content — ids outside every table, sequences nobody asked about,
+// kinds the engine does not speak — exercise each engine's handler-side
+// validation: the cause is recorded for Close and the frame dropped.
+func TestForgedFramesRecordedNotPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		mode Mode
+		msg  *wire.Msg
+		want string
+	}{
+		{"unknown kind", SeqConsistent,
+			&wire.Msg{Kind: wire.KDiffReq, Seq: 99, Wants: []wire.Want{{Page: 0}}},
+			"unhandled message kind"},
+		{"lock request from invalid requester", LazyInvalidate,
+			&wire.Msg{Kind: wire.KLockReq, Seq: 99, A: 0, B: 77},
+			"lock request"},
+		{"page request beyond the space", LazyInvalidate,
+			&wire.Msg{Kind: wire.KPageReq, Seq: 99, A: 1 << 20, B: 1},
+			"page request"},
+		{"eager page request beyond the space", EagerInvalidate,
+			&wire.Msg{Kind: wire.KPageReq, Seq: 99, A: 1 << 20, B: 1},
+			"page request"},
+		{"sc read request from invalid requester", SeqConsistent,
+			&wire.Msg{Kind: wire.KPageReq, Seq: 99, A: 0, B: 77},
+			"read request"},
+		{"page grant for impossible page", EagerInvalidate,
+			&wire.Msg{Kind: wire.KPageResp, Seq: 99, A: 1 << 20, Data: make([]byte, 1024)},
+			"page install"},
+		{"flush reconciliation nobody asked for", EagerUpdate,
+			&wire.Msg{Kind: wire.KFlushDone, Seq: 424242, A: 0},
+			"flush reconcile"},
+		{"invalidation beyond the space", EagerInvalidate,
+			&wire.Msg{Kind: wire.KInval, Seq: 99, A: 1 << 20, B: 0},
+			"invalidation"},
+		{"response nobody awaits", LazyUpdate,
+			&wire.Msg{Kind: wire.KDiffResp, Seq: 424242},
+			"response routing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(Config{Procs: 2, SpaceSize: 8192, PageSize: 1024, Mode: tc.mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.tr.Endpoint(1).Send(0, tc.msg.EncodeAppend(wire.GetBuf())); err != nil {
+				t.Fatal(err)
+			}
+			waitNodeErr(t, s.Node(0), tc.want)
+			if cerr := s.Close(); cerr == nil || !strings.Contains(cerr.Error(), tc.want) {
+				t.Fatalf("Close = %v, want the recorded %q cause", cerr, tc.want)
+			}
+		})
+	}
+}

@@ -168,8 +168,30 @@ func (e *lazyEngine) absorbIntervalsLocked(recs []wire.IntervalRec) []wire.Inter
 	})
 	var fresh []wire.IntervalRec
 	for _, rec := range sorted {
+		// The records came off the wire: validate before touching the log.
+		// A processor id outside the cluster or an index that does not
+		// extend our high-water mark contiguously is the sender's
+		// corruption (the protocol always ships complete notice sets), so
+		// record it and skip the record rather than panic — and crucially
+		// before the log absorbs it, so a rejected record leaves no trace.
+		if rec.Proc < 0 || int(rec.Proc) >= len(e.v) {
+			e.n.noteErr("interval absorb",
+				fmt.Errorf("interval record for invalid processor %d", rec.Proc))
+			continue
+		}
+		if bad := invalidPageIn(e.n, rec.Pages); bad != nil {
+			e.n.noteErr("interval absorb",
+				fmt.Errorf("interval record p%d/%d names invalid page %d", rec.Proc, rec.Index, *bad))
+			continue
+		}
 		if e.v.Covers(int(rec.Proc), rec.Index) {
 			continue // already known
+		}
+		if e.v[rec.Proc] != rec.Index-1 {
+			e.n.noteErr("interval absorb",
+				fmt.Errorf("interval gap for p%d: have %d, got %d",
+					rec.Proc, e.v[rec.Proc], rec.Index))
+			continue
 		}
 		e.log.Append(&core.Interval{
 			ID:    core.IntervalID{Proc: rec.Proc, Index: rec.Index},
@@ -177,17 +199,26 @@ func (e *lazyEngine) absorbIntervalsLocked(recs []wire.IntervalRec) []wire.Inter
 			Pages: rec.Pages,
 			Mods:  make([]*page.RangeSet, len(rec.Pages)),
 		})
-		// Track per-processor high-water mark in our clock only after the
-		// merge below; Covers uses e.v, so advance it per record to keep
-		// the dedupe correct for consecutive indices.
-		if e.v[rec.Proc] != rec.Index-1 {
-			panic(fmt.Sprintf("dsm: node %d: interval gap for p%d: have %d, got %d",
-				e.n.id, rec.Proc, e.v[rec.Proc], rec.Index))
-		}
+		// Track per-processor high-water mark in our clock: Covers uses
+		// e.v, so advance it per record to keep the dedupe correct for
+		// consecutive indices.
 		e.v[rec.Proc] = rec.Index
 		fresh = append(fresh, rec)
 	}
 	return fresh
+}
+
+// invalidPageIn returns the first page id in pages that is not a valid
+// index into the node's page tables, or nil when all are in range (the
+// slices arrive in remote interval records, so they are never trusted
+// as indices).
+func invalidPageIn(n *Node, pages []mem.PageID) *mem.PageID {
+	for i := range pages {
+		if !n.validPage(pages[i]) {
+			return &pages[i]
+		}
+	}
+	return nil
 }
 
 // intervalsSinceLocked collects wire records for every known interval
@@ -837,8 +868,14 @@ func (e *lazyEngine) handleDiffReq(m *wire.Msg, src mem.ProcID) {
 		id := core.IntervalID{Proc: w.Proc, Index: w.Index}
 		d := e.diffs[id][w.Page]
 		if d == nil {
+			// A request for a diff we never made (or already garbage
+			// collected out from under a peer that should have known) is
+			// the requester's bug or malice: record it and drop the whole
+			// request — a partial answer would install a torn page.
 			e.mu.Unlock()
-			panic(fmt.Sprintf("dsm: node %d: asked for diff %v page %d it does not hold", n.id, id, w.Page))
+			n.noteErr("diff request",
+				fmt.Errorf("asked for diff %v page %d this node does not hold", id, w.Page))
+			return
 		}
 		resp.Diffs = append(resp.Diffs, wire.DiffRec{Page: w.Page, Proc: w.Proc, Index: w.Index, Diff: d})
 	}
@@ -852,6 +889,11 @@ func (e *lazyEngine) handlePageReq(m *wire.Msg) {
 	n := e.n
 	pg := mem.PageID(m.A)
 	requester := mem.ProcID(m.B)
+	if !n.validPage(pg) || !n.validProc(requester) {
+		n.noteErr("page request",
+			fmt.Errorf("bad ids in request: page %d requester %d", pg, requester))
+		return
+	}
 	pmu := n.pageLock(pg)
 	pmu.Lock()
 	resp := &wire.Msg{Kind: wire.KPageResp, Seq: m.Seq, A: m.A}

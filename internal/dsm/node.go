@@ -309,6 +309,19 @@ func (n *Node) takeErrs() []error {
 	return errs
 }
 
+// validPage and validProc bound-check ids arriving in remote messages
+// before they index per-page or per-destination state: the engines'
+// page tables and directories are slices, so a remote peer's id fields
+// are never trusted as indices. Handlers that reject an id record the
+// cause with noteErr and drop the message.
+func (n *Node) validPage(pg mem.PageID) bool {
+	return pg >= 0 && int(pg) < n.sys.layout.NumPages()
+}
+
+func (n *Node) validProc(p mem.ProcID) bool {
+	return p >= 0 && int(p) < n.sys.cfg.Procs
+}
+
 // --- request/response plumbing ---
 
 func (n *Node) nextSeq() uint64 { return n.seqCtr.Add(1) }
@@ -335,6 +348,25 @@ func (n *Node) deregister(seq uint64) {
 	n.waiterMu.Unlock()
 }
 
+// failWaiter unblocks the rpc waiter parked on seq with a failure (its
+// await returns an error) after the engine rejected the response it was
+// waiting for; the detailed cause was recorded with noteErr for
+// System.Close. Failing rather than stranding the waiter keeps the
+// application live so the run can reach Close and surface the cause. A
+// missing waiter is fine — the rejected response may not have matched
+// any request to begin with.
+func (n *Node) failWaiter(seq uint64) {
+	n.waiterMu.Lock()
+	ch, ok := n.waiters[seq]
+	if ok {
+		delete(n.waiters, seq)
+	}
+	n.waiterMu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
 // send stages m for dst on the outbox and flushes immediately — the
 // single-message path for anything latency-critical. Messages staged
 // earlier for dst (a worker's deferred responses) ride the same flush,
@@ -352,10 +384,13 @@ func (n *Node) stage(dst mem.ProcID, m *wire.Msg) {
 }
 
 // rpc sends m to dst and blocks for the response with the same Seq.
-// Any number of goroutines may have rpcs outstanding concurrently.
+// Any number of goroutines may have rpcs outstanding concurrently. The
+// request goes out on the outbox's rpc path: under a Nagle flush policy
+// the requester — about to park in await anyway — holds the destination
+// open briefly so concurrent same-destination traffic shares its frame.
 func (n *Node) rpc(dst mem.ProcID, m *wire.Msg) (*wire.Msg, error) {
 	ch := n.register(m.Seq)
-	if err := n.send(dst, m); err != nil {
+	if err := n.out.sendRPC(dst, m); err != nil {
 		n.deregister(m.Seq)
 		return nil, err
 	}
@@ -380,6 +415,15 @@ func (n *Node) rpcAll(reqs []outMsg) ([]*wire.Msg, error) {
 	for i, r := range reqs {
 		chs[i] = n.register(r.m.Seq)
 		n.out.stage(r.dst, r.m)
+	}
+	// One Nagle hold covers the whole group (per-destination holds would
+	// stack delays): any concurrent traffic that arrives during it joins
+	// the flushes below.
+	for _, r := range reqs {
+		if r.dst != n.id {
+			n.out.nagleWait(r.dst)
+			break
+		}
 	}
 	var flushErr error
 	failed := make(map[mem.ProcID]bool)
@@ -466,14 +510,19 @@ func dispatchKey(m *wire.Msg) uint32 {
 }
 
 // dispatchLoop receives frames until the transport closes, decoding and
-// fanning them out to the worker pool. A batch frame is unpacked here
-// and its messages dispatched in order, so the per-page shard FIFO the
-// directory invariants rely on is exactly the sender's staging order.
-// Decoding copies everything out of the payload, so the frame buffer is
-// recycled immediately — the receive half of the pooled zero-copy
-// pipeline. Barrier arrivals and the collective-exchange responses are
-// handled inline (they only park on rendezvous channels or wake rpc
-// waiters).
+// fanning them out to the worker pool. A compressed frame is expanded
+// first; a batch frame is unpacked and its messages dispatched in
+// order, so the per-page shard FIFO the directory invariants rely on is
+// exactly the sender's staging order. Decoding copies everything out of
+// the payload, so the frame buffer is recycled immediately — the
+// receive half of the pooled zero-copy pipeline. Barrier arrivals and
+// the collective-exchange responses are handled inline (they only park
+// on rendezvous channels or wake rpc waiters).
+//
+// A frame that fails to expand or decode came off the wire from a
+// remote peer, so it is not a local invariant violation: the error is
+// recorded for System.Close and the frame dropped, rather than letting
+// one corrupt or hostile peer panic the node.
 func (n *Node) dispatchLoop() {
 	for {
 		src, payload, ok := n.ep.Recv()
@@ -481,22 +530,33 @@ func (n *Node) dispatchLoop() {
 			n.shutdown()
 			return
 		}
+		if wire.IsCompressed(payload) {
+			inner, err := wire.Expand(payload)
+			wire.PutBuf(payload)
+			if err != nil {
+				n.noteErr("inbound frame", fmt.Errorf("corrupt compressed frame from %d: %w", src, err))
+				continue
+			}
+			payload = inner
+		}
 		if wire.IsBatch(payload) {
 			msgs, err := wire.DecodeBatch(payload)
-			if err != nil {
-				panic(fmt.Sprintf("dsm: node %d: undecodable batch frame from %d: %v", n.id, src, err))
-			}
 			wire.PutBuf(payload)
+			if err != nil {
+				n.noteErr("inbound frame", fmt.Errorf("undecodable batch frame from %d: %w", src, err))
+				continue
+			}
 			for _, m := range msgs {
 				n.dispatchMsg(m, mem.ProcID(src))
 			}
 			continue
 		}
 		m, err := wire.Decode(payload)
-		if err != nil {
-			panic(fmt.Sprintf("dsm: node %d: undecodable frame from %d: %v", n.id, src, err))
-		}
 		wire.PutBuf(payload)
+		if err != nil {
+			n.noteErr("inbound frame", fmt.Errorf("undecodable frame from %d: %w", src, err))
+			continue
+		}
 		n.dispatchMsg(m, mem.ProcID(src))
 	}
 }
@@ -512,6 +572,10 @@ func (n *Node) dispatchMsg(m *wire.Msg, src mem.ProcID) {
 	case wire.KBarrierExit, wire.KGCDone:
 		n.deliverResponse(m)
 	default:
+		// Count the frame against its source's collector gate before it
+		// can be processed, so the burst's replies flush as one frame when
+		// the last of them completes (see outbox.noteDispatched).
+		n.out.noteDispatched(src)
 		n.queues[dispatchKey(m)%handlerWorkers] <- inFrame{m: m, src: src}
 	}
 }
@@ -526,6 +590,7 @@ func (n *Node) worker(q chan inFrame) {
 	defer n.workerWG.Done()
 	for f := range q {
 		n.process(f.m, f.src)
+		n.out.noteCompleted(f.src)
 		for drained := false; !drained; {
 			select {
 			case f2, ok := <-q:
@@ -534,6 +599,7 @@ func (n *Node) worker(q chan inFrame) {
 					return
 				}
 				n.process(f2.m, f2.src)
+				n.out.noteCompleted(f2.src)
 			default:
 				drained = true
 			}
@@ -554,7 +620,9 @@ func (n *Node) process(m *wire.Msg, src mem.ProcID) {
 	case m.Kind == wire.KLockFwd:
 		n.handleLockFwd(m)
 	default:
-		panic(fmt.Sprintf("dsm: node %d: unhandled message kind %v", n.id, m.Kind))
+		// Remote peers choose the kind; an unhandled one is their bug (or
+		// malice), not ours — record and drop instead of panicking.
+		n.noteErr("dispatch", fmt.Errorf("unhandled message kind %v from %d", m.Kind, src))
 	}
 }
 

@@ -1,0 +1,315 @@
+package dsm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// The flush-policy engine is tested the way TestOutboxPreservesFIFO
+// tests the structural pipeline: an outbox driven directly over a raw
+// simnet pair, with the frames observed on the wire. What the policy
+// may change is only how many frames the staged messages share — never
+// their order, count or bytes.
+
+func invalMsg(seq uint64) *wire.Msg { return &wire.Msg{Kind: wire.KInval, Seq: seq, A: 1} }
+
+// recvFrames reads frames off the raw endpoint until n messages have
+// arrived, returning each frame's message seqs in arrival order
+// (expanding compressed frames first, exactly like the dispatch loop).
+func recvFrames(t *testing.T, ep transport.Endpoint, n int) [][]uint64 {
+	t.Helper()
+	var frames [][]uint64
+	total := 0
+	for total < n {
+		_, payload, ok := ep.Recv()
+		if !ok {
+			t.Fatal("raw recv failed")
+		}
+		if wire.IsCompressed(payload) {
+			inner, err := wire.Expand(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload = inner
+		}
+		var seqs []uint64
+		if wire.IsBatch(payload) {
+			msgs, err := wire.DecodeBatch(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range msgs {
+				seqs = append(seqs, m.Seq)
+			}
+		} else {
+			m, err := wire.Decode(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs = append(seqs, m.Seq)
+		}
+		frames = append(frames, seqs)
+		total += len(seqs)
+	}
+	return frames
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOutboxMsgThresholdSplitsBurst: crossing MaxMsgs flushes the
+// destination mid-burst, bounding batch size — four staged messages
+// leave as two frames of two, in staging order.
+func TestOutboxMsgThresholdSplitsBurst(t *testing.T) {
+	raw := simnet.New(2)
+	defer raw.Close()
+	a, b := raw.Endpoint(0), raw.Endpoint(1)
+	o := &outbox{n: &Node{id: 0, ep: a}, batch: true,
+		policy: FlushPolicy{MaxMsgs: 2}, dsts: make([]outDest, 2)}
+
+	for seq := uint64(1); seq <= 4; seq++ {
+		o.stage(1, invalMsg(seq))
+	}
+	// The thresholds already flushed everything: the structural flush
+	// point finds an empty queue.
+	if err := o.flushDst(1); err != nil {
+		t.Fatal(err)
+	}
+	frames := recvFrames(t, b, 4)
+	want := [][]uint64{{1, 2}, {3, 4}}
+	if !reflect.DeepEqual(frames, want) {
+		t.Errorf("frames = %v, want %v", frames, want)
+	}
+}
+
+// TestOutboxZeroThresholdImmediate: MaxMsgs=1 degenerates the policy to
+// immediate per-message flushing — every stage is its own plain frame,
+// no batch frames at all.
+func TestOutboxZeroThresholdImmediate(t *testing.T) {
+	raw := simnet.New(2)
+	defer raw.Close()
+	a, b := raw.Endpoint(0), raw.Endpoint(1)
+	o := &outbox{n: &Node{id: 0, ep: a}, batch: true,
+		policy: FlushPolicy{MaxMsgs: 1}, dsts: make([]outDest, 2)}
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		o.stage(1, invalMsg(seq))
+	}
+	frames := recvFrames(t, b, 3)
+	want := [][]uint64{{1}, {2}, {3}}
+	if !reflect.DeepEqual(frames, want) {
+		t.Errorf("frames = %v, want %v", frames, want)
+	}
+	if tot := raw.Totals(); tot.Batches != 0 {
+		t.Errorf("immediate policy sent %d batch frames", tot.Batches)
+	}
+}
+
+// TestOutboxByteThresholdSplitsBurst: the MaxBytes threshold flushes on
+// estimated encoded size, splitting the same burst at two messages.
+func TestOutboxByteThresholdSplitsBurst(t *testing.T) {
+	raw := simnet.New(2)
+	defer raw.Close()
+	a, b := raw.Endpoint(0), raw.Endpoint(1)
+	hint := invalMsg(1).SizeHint()
+	o := &outbox{n: &Node{id: 0, ep: a}, batch: true,
+		policy: FlushPolicy{MaxBytes: 2 * hint}, dsts: make([]outDest, 2)}
+
+	for seq := uint64(1); seq <= 4; seq++ {
+		o.stage(1, invalMsg(seq))
+	}
+	if err := o.flushDst(1); err != nil {
+		t.Fatal(err)
+	}
+	frames := recvFrames(t, b, 4)
+	want := [][]uint64{{1, 2}, {3, 4}}
+	if !reflect.DeepEqual(frames, want) {
+		t.Errorf("frames = %v, want %v", frames, want)
+	}
+}
+
+// TestOutboxNagleKickedByThreshold: an rpc holding its destination open
+// under a long Nagle delay is kicked awake the moment concurrent
+// traffic trips a threshold — the hold coalesces both messages into one
+// frame without ever paying the full delay.
+func TestOutboxNagleKickedByThreshold(t *testing.T) {
+	raw := simnet.New(2)
+	defer raw.Close()
+	a, b := raw.Endpoint(0), raw.Endpoint(1)
+	o := &outbox{n: &Node{id: 0, ep: a}, batch: true,
+		policy: FlushPolicy{Delay: 10 * time.Second, MaxMsgs: 2}, dsts: make([]outDest, 2)}
+
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- o.sendRPC(1, invalMsg(1)) }()
+	// Wait until the rpc is actually parked holding the destination
+	// (its kick channel exists), so the second message finds a sleeper.
+	d := &o.dsts[1]
+	waitFor(t, "rpc to hold the destination", func() bool {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return len(d.pend) == 1 && d.kickCh != nil
+	})
+	o.stage(1, invalMsg(2)) // trips MaxMsgs: kick + inline flush
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rpc returned after %v: the threshold kick did not end the hold", elapsed)
+	}
+	frames := recvFrames(t, b, 2)
+	want := [][]uint64{{1, 2}}
+	if !reflect.DeepEqual(frames, want) {
+		t.Errorf("frames = %v, want the held request and the kicker in one frame %v", frames, want)
+	}
+}
+
+// TestOutboxNagleReleasedByDrainFlush: the timer-racing-drain case — a
+// worker's drain-point flushAll empties the destination while an rpc is
+// still holding it open. Taking the queue must wake the sleeper (its
+// message is on the wire; waiting longer buys nothing), and the rpc's
+// own empty-queue flush returns cleanly.
+func TestOutboxNagleReleasedByDrainFlush(t *testing.T) {
+	raw := simnet.New(2)
+	defer raw.Close()
+	a, b := raw.Endpoint(0), raw.Endpoint(1)
+	o := &outbox{n: &Node{id: 0, ep: a}, batch: true,
+		policy: FlushPolicy{Delay: 10 * time.Second}, dsts: make([]outDest, 2)}
+
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- o.sendRPC(1, invalMsg(1)) }()
+	d := &o.dsts[1]
+	waitFor(t, "rpc to hold the destination", func() bool {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return len(d.pend) == 1 && d.kickCh != nil
+	})
+	if err := o.flushAll(); err != nil { // the racing drain flush
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rpc returned after %v: the drain flush did not end the hold", elapsed)
+	}
+	frames := recvFrames(t, b, 1)
+	want := [][]uint64{{1}}
+	if !reflect.DeepEqual(frames, want) {
+		t.Errorf("frames = %v, want exactly one single-message frame", frames)
+	}
+}
+
+// TestOutboxNagleTimerExpires: with no concurrent traffic the hold ends
+// at the timer — the request still leaves, alone, after the delay.
+func TestOutboxNagleTimerExpires(t *testing.T) {
+	raw := simnet.New(2)
+	defer raw.Close()
+	a, b := raw.Endpoint(0), raw.Endpoint(1)
+	o := &outbox{n: &Node{id: 0, ep: a}, batch: true,
+		policy: FlushPolicy{Delay: 5 * time.Millisecond}, dsts: make([]outDest, 2)}
+
+	start := time.Now()
+	if err := o.sendRPC(1, invalMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("rpc flushed after %v, before the delay expired", elapsed)
+	}
+	frames := recvFrames(t, b, 1)
+	want := [][]uint64{{1}}
+	if !reflect.DeepEqual(frames, want) {
+		t.Errorf("frames = %v, want %v", frames, want)
+	}
+}
+
+// TestOutboxCompressionGate: the per-frame compression gate — a large
+// compressible frame crosses the wire as a compressed frame that
+// expands back to the identical bytes; incompressible payloads and
+// frames below the size threshold ride unchanged. The interconnect
+// accounts post-compression bytes with the logical size in RawBytes.
+func TestOutboxCompressionGate(t *testing.T) {
+	raw := simnet.New(2)
+	defer raw.Close()
+	a, b := raw.Endpoint(0), raw.Endpoint(1)
+	o := &outbox{n: &Node{id: 0, ep: a}, batch: true,
+		compressMin: 64, dsts: make([]outDest, 2)}
+
+	// Compressible: a zero page compresses far below its logical size.
+	zero := &wire.Msg{Kind: wire.KPageResp, Seq: 1, A: 0, Data: make([]byte, 1024)}
+	if err := o.send(1, zero); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, ok := b.Recv()
+	if !ok {
+		t.Fatal("raw recv failed")
+	}
+	if !wire.IsCompressed(payload) {
+		t.Fatal("compressible page frame was not compressed")
+	}
+	inner, err := wire.Expand(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := zero.EncodeAppend(nil); !reflect.DeepEqual(inner, got) {
+		t.Error("compressed frame did not expand to the original encoding")
+	}
+
+	// Incompressible: random page data must ride uncompressed (the
+	// strictly-smaller gate), and still decode to the same message.
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(7)).Read(data)
+	noisy := &wire.Msg{Kind: wire.KPageResp, Seq: 2, A: 0, Data: data}
+	if err := o.send(1, noisy); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, ok = b.Recv()
+	if !ok {
+		t.Fatal("raw recv failed")
+	}
+	if wire.IsCompressed(payload) {
+		t.Fatal("incompressible frame was sent compressed")
+	}
+	m, err := wire.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Data, data) {
+		t.Error("incompressible payload changed in flight")
+	}
+
+	// Below the threshold: compressible but too small to bother.
+	small := invalMsg(3)
+	if err := o.send(1, small); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, ok = b.Recv()
+	if !ok {
+		t.Fatal("raw recv failed")
+	}
+	if wire.IsCompressed(payload) {
+		t.Fatal("frame below CompressMin was compressed")
+	}
+
+	// Accounting: the zero page saved wire bytes, so the logical size
+	// exceeds the physical; the other frames count identically in both.
+	if tot := raw.Totals(); tot.RawBytes <= tot.Bytes {
+		t.Errorf("totals = %+v, want RawBytes > Bytes after a compressed frame", tot)
+	}
+}

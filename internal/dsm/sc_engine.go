@@ -210,12 +210,19 @@ func (e *scEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 	case wire.KPageResp:
 		// Intercepted response: install the read copy on the page's
 		// shard worker, in directory order, before any later
-		// invalidation can be processed.
-		e.install(m, scRead)
-		e.n.deliverResponse(m)
+		// invalidation can be processed. A rejected grant fails the
+		// waiter instead (the cause is already in noteErr).
+		if e.install(m, scRead) {
+			e.n.deliverResponse(m)
+		} else {
+			e.n.failWaiter(m.Seq)
+		}
 	case wire.KWriteResp:
-		e.install(m, scWrite)
-		e.n.deliverResponse(m)
+		if e.install(m, scWrite) {
+			e.n.deliverResponse(m)
+		} else {
+			e.n.failWaiter(m.Seq)
+		}
 	default:
 		return false
 	}
@@ -225,9 +232,19 @@ func (e *scEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 // install applies a granted copy or upgrade at the requester, on the
 // page's shard worker, and completes the blocked access against it
 // while the grant is still current in directory order.
-func (e *scEngine) install(m *wire.Msg, mode scAccess) {
+//
+// Returns false (recording the cause) for a grant that cannot be
+// installed — bad page id, wrong-size data, or an upgrade with no local
+// copy — so the caller fails the waiter instead of waking it over
+// nothing.
+func (e *scEngine) install(m *wire.Msg, mode scAccess) bool {
 	n := e.n
 	pg := mem.PageID(m.A)
+	if !n.validPage(pg) || (m.Data != nil && len(m.Data) != n.sys.layout.PageSize()) {
+		n.noteErr("page install",
+			fmt.Errorf("bad page grant: page %d, %d data bytes", pg, len(m.Data)))
+		return false
+	}
 	pmu := n.pageLock(pg)
 	pmu.Lock()
 	defer pmu.Unlock()
@@ -240,16 +257,19 @@ func (e *scEngine) install(m *wire.Msg, mode scAccess) {
 		// Upgrade grant: the directory saw us in the copyset, so a current
 		// read copy must be installed here (copyset membership without an
 		// installed copy only exists while our own fetch is in flight, and
-		// the miss lock admits one miss per page at a time).
+		// the miss lock admits one miss per page at a time). A grant that
+		// violates that came from a confused or hostile peer — reject it.
 		pc = e.pages[pg]
 		if pc == nil {
-			panic(fmt.Sprintf("dsm: node %d: upgrade grant for page %d without a local copy", n.id, pg))
+			n.noteErr("page install",
+				fmt.Errorf("upgrade grant for page %d without a local copy", pg))
+			return false
 		}
 		pc.mode = mode
 	}
 	miss := e.pending[pg]
 	if miss == nil || miss.done {
-		return
+		return true
 	}
 	switch {
 	case miss.dst != nil && pc.mode >= scRead:
@@ -259,6 +279,7 @@ func (e *scEngine) install(m *wire.Msg, mode scAccess) {
 		copy(pc.data[miss.off:miss.off+len(miss.src)], miss.src)
 		miss.done = true
 	}
+	return true
 }
 
 // ownerData obtains the current contents of pg from its owner via
@@ -275,6 +296,11 @@ func (e *scEngine) serveReadReq(m *wire.Msg) {
 	n := e.n
 	pg := mem.PageID(m.A)
 	requester := mem.ProcID(m.B)
+	if !n.validPage(pg) || !n.validProc(requester) {
+		n.noteErr("read request",
+			fmt.Errorf("bad ids in request: page %d requester %d", pg, requester))
+		return
+	}
 	d := &e.dir[pg]
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -296,6 +322,11 @@ func (e *scEngine) serveWriteReq(m *wire.Msg) {
 	n := e.n
 	pg := mem.PageID(m.A)
 	requester := mem.ProcID(m.B)
+	if !n.validPage(pg) || !n.validProc(requester) {
+		n.noteErr("write request",
+			fmt.Errorf("bad ids in request: page %d requester %d", pg, requester))
+		return
+	}
 	d := &e.dir[pg]
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -346,6 +377,10 @@ func (e *scEngine) serveWriteReq(m *wire.Msg) {
 func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
+	if !n.validPage(pg) {
+		n.noteErr("owner fetch", fmt.Errorf("fetch of invalid page %d", pg))
+		return
+	}
 	pmu := n.pageLock(pg)
 	pmu.Lock()
 	pc := e.pages[pg]
@@ -356,8 +391,12 @@ func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 		// committed state is the zero page.
 		data = make([]byte, n.sys.layout.PageSize())
 	case pc == nil:
+		// The home thinks we own a page we never held — its directory and
+		// our state disagree, which only a misbehaving (or hostile) peer
+		// can cause. Drop the fetch; the record surfaces via Close.
 		pmu.Unlock()
-		panic(fmt.Sprintf("dsm: node %d: SC fetch of page %d it never held", n.id, pg))
+		n.noteErr("owner fetch", fmt.Errorf("fetch of page %d this node never held", pg))
+		return
 	default:
 		if pc.mode == scWrite {
 			pc.mode = scRead
@@ -372,6 +411,10 @@ func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 func (e *scEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	pg := mem.PageID(m.A)
+	if !n.validPage(pg) {
+		n.noteErr("invalidate", fmt.Errorf("invalidation of invalid page %d", pg))
+		return
+	}
 	pmu := n.pageLock(pg)
 	pmu.Lock()
 	if pc := e.pages[pg]; pc != nil {

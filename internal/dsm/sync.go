@@ -275,6 +275,11 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 func (n *Node) handleLockReq(m *wire.Msg) {
 	l := mem.LockID(m.A)
 	requester := mem.ProcID(m.B)
+	if !n.validProc(requester) {
+		n.noteErr("lock request",
+			fmt.Errorf("lock %d request from invalid requester %d", l, requester))
+		return
+	}
 	n.lockMu.Lock()
 	prev, known := n.mgrLast[l]
 	n.mgrLast[l] = requester
@@ -293,6 +298,11 @@ func (n *Node) handleLockReq(m *wire.Msg) {
 
 func (n *Node) handleLockFwd(m *wire.Msg) {
 	l := mem.LockID(m.A)
+	if !n.validProc(mem.ProcID(m.B)) {
+		n.noteErr("lock forward",
+			fmt.Errorf("lock %d forwarded for invalid requester %d", l, m.B))
+		return
+	}
 	n.lockMu.Lock()
 	ll := n.lockLocalState(l)
 	ll.cached = false
@@ -300,7 +310,14 @@ func (n *Node) handleLockFwd(m *wire.Msg) {
 		// A local goroutine holds the lock (or our own grant is still in
 		// flight): the successor waits for our release.
 		if ll.pending != nil {
-			panic(fmt.Sprintf("dsm: node %d: two pending requests for lock %d", n.id, l))
+			// The manager forwards each lock to exactly one successor at a
+			// time, so a second pending request can only come from a
+			// confused or hostile peer: keep the first, record and drop
+			// the duplicate.
+			n.lockMu.Unlock()
+			n.noteErr("lock forward",
+				fmt.Errorf("two pending requests for lock %d", l))
+			return
 		}
 		ll.pending = m
 		n.lockMu.Unlock()

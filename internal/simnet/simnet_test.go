@@ -230,7 +230,7 @@ func TestBatchedDeliveryOneHop(t *testing.T) {
 		t.Fatalf("batch delivered as %d bytes, want %d (one concatenated hop)", len(payload), len(hdr)+1024)
 	}
 	tot := net.Totals()
-	want := transport.Stats{Messages: 3, Frames: 1, Batches: 1, Bytes: int64(len(hdr)) + 1024}
+	want := transport.Stats{Messages: 3, Frames: 1, Batches: 1, Bytes: int64(len(hdr)) + 1024, RawBytes: int64(len(hdr)) + 1024}
 	if tot != want {
 		t.Fatalf("totals = %+v, want %+v", tot, want)
 	}

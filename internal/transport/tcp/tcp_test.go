@@ -377,7 +377,8 @@ func TestSendBatchOneFrame(t *testing.T) {
 	tot := ts[0].Totals()
 	want := transport.Stats{
 		Messages: 2 + 2, Frames: 3, Batches: 1,
-		Bytes: int64(len("before") + len("after") + len("HHfirst-messagesecond")),
+		Bytes:    int64(len("before") + len("after") + len("HHfirst-messagesecond")),
+		RawBytes: int64(len("before") + len("after") + len("HHfirst-messagesecond")),
 	}
 	if tot != want {
 		t.Fatalf("totals = %+v, want %+v", tot, want)

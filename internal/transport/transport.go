@@ -35,11 +35,18 @@ import (
 // of k messages moves k messages in one frame (and counts one Batch), so
 // Messages-vs-Frames is exactly the saving the outbox's coalescing buys:
 // each frame pays the fixed per-message network cost once.
+//
+// Bytes counts what actually crossed the wire; RawBytes counts the
+// logical (pre-compression) encoding. For uncompressed traffic the two
+// are equal, so RawBytes-vs-Bytes is exactly the saving frame
+// compression buys — and since the latency model charges Bytes, that
+// saving shows up in estimated wire time too.
 type Stats struct {
 	Messages int64
 	Frames   int64
 	Batches  int64
 	Bytes    int64
+	RawBytes int64
 }
 
 // Add accumulates other into s (for aggregating multi-instance clusters).
@@ -48,6 +55,7 @@ func (s *Stats) Add(other Stats) {
 	s.Frames += other.Frames
 	s.Batches += other.Batches
 	s.Bytes += other.Bytes
+	s.RawBytes += other.RawBytes
 }
 
 // ErrClosed is returned by Send, and wrapped by blocked protocol
@@ -109,6 +117,29 @@ func SendBatch(ep Endpoint, dst int, frames net.Buffers) error {
 		buf = append(buf, f...)
 	}
 	return ep.Send(dst, buf)
+}
+
+// CompressedSender is the compressed-frame extension an Endpoint may
+// implement: payload is ONE physical frame (a wire.KCompressed frame)
+// carrying msgs logical messages whose pre-compression encoding was
+// rawBytes long. Accounting: msgs messages, one frame, one batch when
+// msgs > 1, len(payload) wire bytes, rawBytes raw bytes — so the
+// latency model charges post-compression bytes. Ownership of payload
+// transfers like Send.
+type CompressedSender interface {
+	SendCompressed(dst, msgs, rawBytes int, payload []byte) error
+}
+
+// SendCompressed is the default adapter over the optional
+// CompressedSender interface. An endpoint that does not implement it
+// still delivers the frame correctly via plain Send (the receiver
+// expands it regardless) but accounts it as one message of its wire
+// size, like any other opaque payload.
+func SendCompressed(ep Endpoint, dst, msgs, rawBytes int, payload []byte) error {
+	if cs, ok := ep.(CompressedSender); ok {
+		return cs.SendCompressed(dst, msgs, rawBytes, payload)
+	}
+	return ep.Send(dst, payload)
 }
 
 // Transport connects a DSM cluster's endpoints. One instance serves the

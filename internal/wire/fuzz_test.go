@@ -206,7 +206,38 @@ func FuzzDecode(f *testing.F) {
 	f.Add(batch)
 	f.Add(batch[:len(batch)-2])
 	f.Add(append(append([]byte(nil), batch...), 0xfe))
+	// Compressed frames: a compressed single and a compressed batch (the
+	// zero pages guarantee the strictly-smaller gate passes) plus damaged
+	// variants, so the fuzzer explores the expansion path the dispatch
+	// loop runs first.
+	big := &Msg{Kind: KPageResp, Seq: 12, A: 1, Data: make([]byte, 1024)}
+	for _, frame := range [][]byte{big.EncodeAppend(nil), appendBatch(nil, sampleMsgs()[0], big)} {
+		z, ok := Compress(frame)
+		if !ok {
+			f.Fatal("seed frame did not compress")
+		}
+		f.Add(append([]byte(nil), z...))
+		f.Add(append([]byte(nil), z[:len(z)-3]...))
+		flipped := append([]byte(nil), z...)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
+		PutBuf(z)
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
+		if IsCompressed(b) {
+			// Compressed frames expand first (the dispatch loop's routing):
+			// Expand must never panic, and an accepted expansion is a
+			// non-compressed frame that routes like any other.
+			inner, err := Expand(b)
+			if err != nil {
+				return // rejected: fine, as long as it did not panic
+			}
+			if IsCompressed(inner) {
+				t.Fatal("Expand returned a nested compressed frame")
+			}
+			b = append([]byte(nil), inner...)
+			PutBuf(inner)
+		}
 		if IsBatch(b) {
 			// Batch frames go through DecodeBatch (the dispatch loop's
 			// routing): it must never panic, and anything it accepts must

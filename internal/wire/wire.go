@@ -13,8 +13,11 @@
 package wire
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/mem"
@@ -98,6 +101,14 @@ const (
 	// a received payload (DecodeBatch); Decode rejects it in message
 	// position, which also forbids nested batches.
 	KBatch
+	// KCompressed is a frame-level kind wrapping one complete inner frame
+	// (a plain message or a batch) as a flate stream: a standard header
+	// with A = the inner frame's exact byte length, followed by the
+	// compressed bytes. Senders emit it only when the compressed form is
+	// strictly smaller (see Compress); receivers expand it back to the
+	// inner frame before routing (Expand). Nesting is rejected, as is the
+	// kind in message position.
+	KCompressed
 	kindLimit
 )
 
@@ -116,7 +127,7 @@ var kindNames = map[Kind]string{
 	KUpdate: "update", KUpdateAck: "updateack",
 	KFlushReq: "flushreq", KFlushDone: "flushdone",
 	KWriteReq: "writereq", KWriteResp: "writeresp",
-	KBatch: "batch",
+	KBatch: "batch", KCompressed: "compressed",
 }
 
 // IsResponse reports whether the kind answers an outstanding request and
@@ -185,24 +196,41 @@ const headerBytes = proto.MsgHeaderBytes
 // not pin that memory for the process lifetime.
 const maxPooledBuf = 1 << 20
 
-var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
+// bufFree is a typed free list of frame buffers: a buffered channel
+// whose ring buffer stores the []byte headers directly. The previous
+// sync.Pool boxed each non-pointer Put into an interface, re-allocating
+// a 24-byte slice header per recycled frame; the channel moves the
+// header by value, so the steady state is genuinely zero-alloc. The
+// slot count bounds how many idle buffers stay pinned; overflow is
+// dropped for the GC, underflow falls back to a fresh allocation.
+var bufFree = make(chan []byte, 512)
 
-// GetBuf returns an empty frame buffer from the pool. Encode into it
-// with EncodeAppend; hand it to the transport (which takes ownership on
-// Send) or return it with PutBuf. Steady-state the payload bytes are
+// GetBuf returns an empty frame buffer from the free list. Encode into
+// it with EncodeAppend; hand it to the transport (which takes ownership
+// on Send) or return it with PutBuf. Steady-state the payload bytes are
 // never reallocated — buffers cycle sender -> transport -> receiver ->
-// pool — and the only residual per-frame cost is sync.Pool's 24-byte
-// slice-header box.
-func GetBuf() []byte { return bufPool.Get().([]byte)[:0] }
+// free list — and recycling itself allocates nothing.
+func GetBuf() []byte {
+	select {
+	case b := <-bufFree:
+		return b
+	default:
+		return make([]byte, 0, 512)
+	}
+}
 
-// PutBuf returns a frame buffer to the pool. The caller must not touch
-// b afterwards. Any byte slice may be recycled here (received payloads
-// included, whatever allocated them); oversized buffers are dropped.
+// PutBuf returns a frame buffer to the free list. The caller must not
+// touch b afterwards. Any byte slice may be recycled here (received
+// payloads included, whatever allocated them); oversized buffers are
+// dropped, as is everything beyond the free list's capacity.
 func PutBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledBuf {
 		return
 	}
-	bufPool.Put(b[:0])
+	select {
+	case bufFree <- b[:0]:
+	default:
+	}
 }
 
 // EncodeAppend appends the message's encoding to buf and returns the
@@ -281,6 +309,12 @@ func (m *Msg) encodedSizeHint() int {
 	n += len(m.Intervals) * 64
 	return n
 }
+
+// SizeHint is a cheap upper-bound estimate of the message's encoded
+// size, for byte-thresholded flush policies. It over-counts small
+// messages slightly (fixed slack instead of exact section sums) but
+// tracks the dominant payload terms — diffs, page data, intervals.
+func (m *Msg) SizeHint() int { return m.encodedSizeHint() }
 
 func put32(b []byte, v int32) []byte {
 	var t [4]byte
@@ -370,6 +404,12 @@ func Decode(b []byte) (*Msg, error) {
 		// A batch is a frame, not a message: it is only legal at the top
 		// of a payload (DecodeBatch), which also forbids nested batches.
 		return nil, fmt.Errorf("wire: batch frame in message position")
+	}
+	if m.Kind == KCompressed {
+		// Same frame-not-message rule: compressed frames are expanded by
+		// the dispatch loop (Expand) before anything decodes messages, and
+		// Expand itself rejects a nested compressed frame.
+		return nil, fmt.Errorf("wire: compressed frame in message position")
 	}
 	flags := binary.LittleEndian.Uint32(b[20:])
 	d := &decoder{b: b, off: headerBytes}
@@ -537,4 +577,135 @@ func DecodeBatch(b []byte) ([]*Msg, error) {
 		return nil, fmt.Errorf("wire: %d trailing bytes after batch", len(b)-off)
 	}
 	return msgs, nil
+}
+
+// --- compressed frames ---
+//
+// A compressed frame wraps one complete inner frame — a plain encoded
+// message or a whole batch frame — as a flate stream behind a standard
+// header: Kind KCompressed, A = the inner frame's exact length, every
+// other fixed field zero (the same canonical-form rule as batches). The
+// outbox compresses a built frame only when it is at least the
+// configured threshold AND the compressed form is strictly smaller, so
+// incompressible payloads (already-dense page data) ride uncompressed;
+// the receiver's dispatch loop expands the frame back before routing.
+// Transport byte counters see the compressed length, so the latency
+// model charges post-compression bytes.
+
+// MaxExpandedBytes bounds the inner-frame length a compressed header
+// may claim — the decompression-bomb bound, aligned with the TCP
+// transport's frame cap.
+const MaxExpandedBytes = 64 << 20
+
+var flateWriters = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		panic(err) // only fails for an invalid level constant
+	}
+	return w
+}}
+
+var flateReaders = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
+// sliceWriter adapts an append-slice to io.Writer for the flate encoder.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// IsCompressed reports whether the payload is a compressed frame.
+func IsCompressed(b []byte) bool {
+	return len(b) >= 2 && Kind(binary.LittleEndian.Uint16(b)) == KCompressed
+}
+
+// Compress wraps a complete encoded frame into a compressed frame in a
+// pooled buffer. It returns (nil, false) — emitting nothing — when the
+// compressed form would not be strictly smaller than the original, so a
+// sender can always prefer the returned frame when ok. The caller keeps
+// ownership of frame either way.
+func Compress(frame []byte) (compressed []byte, ok bool) {
+	sw := &sliceWriter{b: appendCompressedHeader(GetBuf(), len(frame))}
+	zw := flateWriters.Get().(*flate.Writer)
+	zw.Reset(sw)
+	_, err := zw.Write(frame)
+	if err == nil {
+		err = zw.Close()
+	}
+	flateWriters.Put(zw)
+	if err != nil || len(sw.b) >= len(frame) {
+		// sliceWriter never fails, so err is theoretical; the size gate is
+		// the common exit for dense payloads.
+		PutBuf(sw.b)
+		return nil, false
+	}
+	return sw.b, true
+}
+
+func appendCompressedHeader(buf []byte, innerLen int) []byte {
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint16(h[0:], uint16(KCompressed))
+	binary.LittleEndian.PutUint32(h[12:], uint32(innerLen))
+	return append(buf, h[:]...)
+}
+
+// Expand inflates a compressed frame back into its inner frame, in a
+// pooled buffer the caller owns (recycle with PutBuf). It enforces the
+// hostility bounds of the other decoders: the claimed inner length is
+// capped (MaxExpandedBytes), the stream must inflate to exactly that
+// length, allocation grows with bytes actually produced rather than the
+// claim, reserved header fields must be zero, and a nested compressed
+// frame is rejected.
+func Expand(b []byte) ([]byte, error) {
+	if len(b) < headerBytes {
+		return nil, fmt.Errorf("wire: compressed frame of %d bytes shorter than header", len(b))
+	}
+	if !IsCompressed(b) {
+		return nil, fmt.Errorf("wire: frame of kind %v is not compressed", Kind(binary.LittleEndian.Uint16(b)))
+	}
+	if binary.LittleEndian.Uint16(b[2:]) != 0 || binary.LittleEndian.Uint64(b[4:]) != 0 ||
+		binary.LittleEndian.Uint32(b[16:]) != 0 || binary.LittleEndian.Uint32(b[20:]) != 0 {
+		return nil, fmt.Errorf("wire: compressed header carries non-zero reserved fields")
+	}
+	want := int(binary.LittleEndian.Uint32(b[12:]))
+	if want < headerBytes || want > MaxExpandedBytes {
+		return nil, fmt.Errorf("wire: implausible compressed frame inner length %d", want)
+	}
+	zr := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(zr)
+	if err := zr.(flate.Resetter).Reset(bytes.NewReader(b[headerBytes:]), nil); err != nil {
+		return nil, fmt.Errorf("wire: compressed frame: %v", err)
+	}
+	out := GetBuf()
+	for {
+		if len(out) == cap(out) {
+			out = append(out, 0)[:len(out)]
+		}
+		n, err := zr.Read(out[len(out):cap(out)])
+		out = out[:len(out)+n]
+		if len(out) > want {
+			PutBuf(out)
+			return nil, fmt.Errorf("wire: compressed frame inflates past its claimed %d bytes", want)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			PutBuf(out)
+			return nil, fmt.Errorf("wire: compressed frame: %v", err)
+		}
+	}
+	if len(out) != want {
+		got := len(out)
+		PutBuf(out)
+		return nil, fmt.Errorf("wire: compressed frame inflates to %d bytes, header claims %d", got, want)
+	}
+	if IsCompressed(out) {
+		PutBuf(out)
+		return nil, fmt.Errorf("wire: nested compressed frame")
+	}
+	return out, nil
 }

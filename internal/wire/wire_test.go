@@ -165,8 +165,8 @@ func TestPropEncodeDecodeRoundTrip(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		n := 2 + r.Intn(6)
 		m := &Msg{
-			// KBatch (kindLimit-1) is a frame-level kind Decode rejects.
-			Kind: Kind(1 + r.Intn(int(kindLimit)-2)),
+			// KBatch and KCompressed are frame-level kinds Decode rejects.
+			Kind: Kind(1 + r.Intn(int(KBatch)-1)),
 			Seq:  r.Uint64(),
 			A:    int32(r.Intn(1000) - 500),
 			B:    int32(r.Intn(1000) - 500),

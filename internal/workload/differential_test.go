@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dsm"
 	"repro/internal/mem"
@@ -111,39 +112,63 @@ func TestRuntimeDifferentialWithGC(t *testing.T) {
 	}
 }
 
-// TestBatchingDifferential: the outbox's frame coalescing is a framing
-// optimization only — all five protocols must produce byte-identical
-// images with batching on and off, at one goroutine per node and
-// oversubscribed, over simnet and (non-short) loopback TCP. The framing
-// invariants are checked too: with batching off every message is its
-// own frame; with it on frames never exceed messages.
+// TestBatchingDifferential: the outbox pipeline — frame coalescing, the
+// configurable flush policy (thresholds plus the Nagle hold) and
+// per-frame compression — is a framing optimization only: all five
+// protocols must produce byte-identical images with every pipeline
+// configuration, at one goroutine per node and oversubscribed, over
+// simnet and (non-short) loopback TCP. The framing invariants are
+// checked too: with batching off every message is its own frame and the
+// logical bytes equal the physical; with compression on the physical
+// bytes never exceed the logical.
 func TestBatchingDifferential(t *testing.T) {
 	const procs, scale = 4, 0.05
 	ref, err := ExecuteCached("mp3d", procs, scale, diffSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
+	policy := dsm.FlushPolicy{MaxMsgs: 3, MaxBytes: 4096, Delay: 200 * time.Microsecond}
+	pipes := []struct {
+		name        string
+		noBatch     bool
+		flush       dsm.FlushPolicy
+		compressMin int
+	}{
+		{name: "nobatch", noBatch: true},
+		{name: "batch"},
+		{name: "policy", flush: policy},
+		{name: "compress", compressMin: 64},
+		{name: "policy+compress", flush: policy, compressMin: 64},
+	}
 	for _, mode := range dsm.Modes {
 		for _, gpn := range []int{1, 4} {
-			for _, noBatch := range []bool{false, true} {
+			for _, pipe := range pipes {
 				prog, err := New("mp3d", procs, scale, diffSeed)
 				if err != nil {
 					t.Fatal(err)
 				}
-				rc := RuntimeConfig{PageSize: 1024, Mode: mode, GoroutinesPerNode: gpn, NoBatch: noBatch}
+				rc := RuntimeConfig{PageSize: 1024, Mode: mode, GoroutinesPerNode: gpn,
+					NoBatch: pipe.noBatch, Flush: pipe.flush, CompressMin: pipe.compressMin}
 				res, err := RunOnRuntime(prog, rc)
 				if err != nil {
-					t.Fatalf("%s/gpn=%d/nobatch=%t: %v", mode, gpn, noBatch, err)
+					t.Fatalf("%s/gpn=%d/%s: %v", mode, gpn, pipe.name, err)
 				}
 				if !bytes.Equal(res.Image, ref.Image) {
-					t.Errorf("%s/gpn=%d/nobatch=%t: image diverges from reference (first diff at byte %d)",
-						mode, gpn, noBatch, firstDiff(res.Image, ref.Image))
+					t.Errorf("%s/gpn=%d/%s: image diverges from reference (first diff at byte %d)",
+						mode, gpn, pipe.name, firstDiff(res.Image, ref.Image))
 				}
 				switch {
-				case noBatch && (res.Net.Frames != res.Net.Messages || res.Net.Batches != 0):
+				case pipe.noBatch && (res.Net.Frames != res.Net.Messages || res.Net.Batches != 0):
 					t.Errorf("%s/gpn=%d: NoBatch framing violated: %+v", mode, gpn, res.Net)
-				case !noBatch && res.Net.Frames > res.Net.Messages:
-					t.Errorf("%s/gpn=%d: more frames than messages: %+v", mode, gpn, res.Net)
+				case !pipe.noBatch && res.Net.Frames > res.Net.Messages:
+					t.Errorf("%s/gpn=%d/%s: more frames than messages: %+v", mode, gpn, pipe.name, res.Net)
+				}
+				switch {
+				case pipe.compressMin == 0 && res.Net.RawBytes != res.Net.Bytes:
+					t.Errorf("%s/gpn=%d/%s: logical bytes %d != physical %d without compression",
+						mode, gpn, pipe.name, res.Net.RawBytes, res.Net.Bytes)
+				case pipe.compressMin > 0 && res.Net.Bytes > res.Net.RawBytes:
+					t.Errorf("%s/gpn=%d/%s: compression inflated the wire: %+v", mode, gpn, pipe.name, res.Net)
 				}
 			}
 		}
@@ -151,8 +176,9 @@ func TestBatchingDifferential(t *testing.T) {
 	if testing.Short() {
 		return
 	}
-	// TCP leg: same images with batching on over a real loopback
-	// cluster, one goroutine per node and oversubscribed.
+	// TCP leg: same images over a real loopback cluster with the full
+	// pipeline on — batching, flush policy and compression — one
+	// goroutine per node and oversubscribed.
 	for _, mode := range dsm.Modes {
 		for _, gpn := range []int{1, 4} {
 			prog, err := New("mp3d", procs, scale, diffSeed)
@@ -161,6 +187,7 @@ func TestBatchingDifferential(t *testing.T) {
 			}
 			res, err := RunOnRuntime(prog, RuntimeConfig{
 				PageSize: 1024, Mode: mode, GoroutinesPerNode: gpn,
+				Flush: policy, CompressMin: 64,
 				Transports: tcpTransports(t, procs/gpn),
 			})
 			if err != nil {
@@ -168,6 +195,9 @@ func TestBatchingDifferential(t *testing.T) {
 			}
 			if !bytes.Equal(res.Image, ref.Image) {
 				t.Errorf("tcp %s/gpn=%d: image diverges from reference", mode, gpn)
+			}
+			if res.Net.Bytes > res.Net.RawBytes {
+				t.Errorf("tcp %s/gpn=%d: compression inflated the wire: %+v", mode, gpn, res.Net)
 			}
 		}
 	}

@@ -29,6 +29,14 @@ type RuntimeConfig struct {
 	// dsm.Config.NoBatch); message counts and program semantics are
 	// identical either way.
 	NoBatch bool
+	// Flush tunes when the outbox flushes a destination beyond the
+	// structural flush points (see dsm.FlushPolicy). Zero value keeps
+	// the structural points only; ignored with NoBatch.
+	Flush dsm.FlushPolicy
+	// CompressMin compresses outbound physical frames of at least this
+	// many bytes (see dsm.Config.CompressMin). 0 disables; ignored with
+	// NoBatch.
+	CompressMin int
 	// GoroutinesPerNode multiplexes the program's logical processors over
 	// fewer DSM nodes: with k > 1 the cluster has NumProcs/k nodes
 	// (NumProcs must be divisible by k) and logical processor p runs as
@@ -192,6 +200,8 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 			GCEveryBarriers:   rc.GCEveryBarriers,
 			Latency:           rc.Latency,
 			NoBatch:           rc.NoBatch,
+			Flush:             rc.Flush,
+			CompressMin:       rc.CompressMin,
 			GoroutinesPerNode: gpn,
 			Transport:         tr,
 		})
