@@ -41,6 +41,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -73,6 +74,9 @@ func run(args []string, out io.Writer) error {
 		demo       = fs.String("demo", "", "demo program: counter, stencil, queue")
 		app        = fs.String("app", "", "workload to run on the runtime ("+strings.Join(workload.Names, ", ")+") or \"all\"")
 		mode       = fs.String("mode", "LI", "protocol mode: "+dsm.ModeNames())
+		modemap    = fs.String("modemap", "", "per-page protocol routing, e.g. pg0-31=SC,rest=LU (overrides -mode; modes: "+dsm.ModeNames()+")")
+		adapt      = fs.Int("adapt", 0, "reclassify page sharing patterns and re-route pages every N barriers (0 = off)")
+		statsJSON  = fs.Bool("statsjson", false, "emit the run's dsm.Stats (per-kind traffic and per-page routing counters) as JSON")
 		procs      = fs.Int("procs", 8, "number of logical processors (with -transport tcp, fixed to peer count × -gpn)")
 		gpn        = fs.Int("gpn", 1, "application goroutines per DSM node: gpn > 1 multiplexes the processors onto procs/gpn oversubscribed nodes")
 		iters      = fs.Int("iters", 100, "iterations per node (demos)")
@@ -150,6 +154,7 @@ func run(args []string, out io.Writer) error {
 	if *nobatch && (pipe.flush != dsm.FlushPolicy{} || *compress != 0) {
 		return fmt.Errorf("-nobatch disables the outbox pipeline; -flushmsgs/-flushbytes/-flushdelay/-compress have no effect with it")
 	}
+	route := routeCfg{modeMap: *modemap, adapt: *adapt, statsJSON: *statsJSON}
 
 	switch {
 	case *app != "" && *demo != "":
@@ -159,18 +164,18 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-app all runs one cluster per workload; start each -app separately under -transport tcp")
 		}
 		for _, name := range workload.Names {
-			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, mkTransport); err != nil {
+			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, route, mkTransport); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *app != "":
-		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, mkTransport)
+		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, route, mkTransport)
 	default:
 		if *demo == "" {
 			*demo = "counter"
 		}
-		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, pipe, mkTransport)
+		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, pipe, route, mkTransport)
 	}
 }
 
@@ -180,6 +185,37 @@ type pipeCfg struct {
 	noBatch     bool
 	flush       dsm.FlushPolicy
 	compressMin int
+}
+
+// routeCfg carries the per-page protocol routing flags: a static mode map,
+// the adaptive reclassification period, and the JSON stats toggle.
+type routeCfg struct {
+	modeMap   string
+	adapt     int
+	statsJSON bool
+}
+
+// statsReport is the -statsjson output: the run's parameters, every local
+// node's dsm.Stats — per-kind traffic breakdown and the per-page routing
+// and access counters — and the interconnect totals.
+type statsReport struct {
+	Program string             `json:"program"`
+	Mode    string             `json:"mode"`
+	ModeMap string             `json:"modemap,omitempty"`
+	Adapt   int                `json:"adaptEveryBarriers,omitempty"`
+	Procs   int                `json:"procs"`
+	Nodes   int                `json:"nodes"`
+	Net     dsm.TransportStats `json:"net"`
+	Node    []dsm.Stats        `json:"nodeStats"`
+}
+
+func emitStatsJSON(out io.Writer, rep statsReport) error {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", enc)
+	return err
 }
 
 // parsePeers splits and validates a -peers list.
@@ -203,7 +239,7 @@ func parsePeers(s string) ([]string, error) {
 // With gpn > 1 the program's processors are multiplexed onto procs/gpn
 // oversubscribed nodes. Under TCP only the process hosting node 0 holds
 // the image; the others report their own traffic.
-func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, pipe pipeCfg, mkTransport func() (repro.Transport, error)) error {
+func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, pipe pipeCfg, route routeCfg, mkTransport func() (repro.Transport, error)) error {
 	if procs%gpn != 0 {
 		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
 	}
@@ -217,6 +253,7 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	}
 	rc := workload.RuntimeConfig{
 		PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn,
+		ModeMap: route.modeMap, AdaptEveryBarriers: route.adapt,
 		NoBatch: pipe.noBatch, Flush: pipe.flush, CompressMin: pipe.compressMin,
 	}
 	if tr != nil {
@@ -226,12 +263,19 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	if err != nil {
 		return err
 	}
+	report := statsReport{
+		Program: name, Mode: m.String(), ModeMap: route.modeMap, Adapt: route.adapt,
+		Procs: procs, Nodes: procs / gpn, Net: res.Net, Node: res.Nodes,
+	}
 	if res.Image == nil {
 		// A TCP process hosting only non-zero nodes: node 0's process
 		// verifies the image.
 		fmt.Fprintf(out, "== %s: %d procs, mode %s, page %d: this process's nodes done ==\n", name, procs, m, pageSize)
 		fmt.Fprintf(out, "%-12s%12d%12d%12d%14d%14d   (this process's sends; bytes then wire bytes)\n",
 			"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.RawBytes, res.Net.Bytes)
+		if route.statsJSON {
+			return emitStatsJSON(out, report)
+		}
 		return nil
 	}
 	ref, err := workload.ExecuteCached(name, procs, scale, seed)
@@ -278,13 +322,18 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	}
 	fmt.Fprintf(out, "nodes: %d access misses, %d diffs applied, %d updates, %d intervals, %d invalidations, %d ownership moves\n\n",
 		misses, diffs, updates, intervals, invals, moves)
+	if route.statsJSON {
+		if err := emitStatsJSON(out, report); err != nil {
+			return err
+		}
+	}
 	if !bytes.Equal(res.Image, ref.Image) {
 		return fmt.Errorf("%s: runtime image diverges from sequential reference", name)
 	}
 	return nil
 }
 
-func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, pipe pipeCfg, mkTransport func() (repro.Transport, error)) error {
+func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, pipe pipeCfg, route routeCfg, mkTransport func() (repro.Transport, error)) error {
 	var body func(out io.Writer, d *repro.DSM, gpn, iters int) error
 	switch demo {
 	case "counter":
@@ -299,21 +348,33 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 	if procs%gpn != 0 {
 		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
 	}
+	const spaceSize = 1 << 20
+	var modeMap []dsm.Mode
+	if route.modeMap != "" {
+		numPages := (spaceSize + pageSize - 1) / pageSize
+		var err error
+		modeMap, err = dsm.ParseModeMap(route.modeMap, numPages)
+		if err != nil {
+			return err
+		}
+	}
 	tr, err := mkTransport()
 	if err != nil {
 		return err
 	}
 	d, err := repro.NewDSM(repro.DSMConfig{
-		Procs:             procs / gpn,
-		SpaceSize:         1 << 20,
-		PageSize:          pageSize,
-		Mode:              m,
-		GCEveryBarriers:   gc,
-		GoroutinesPerNode: gpn,
-		NoBatch:           pipe.noBatch,
-		Flush:             pipe.flush,
-		CompressMin:       pipe.compressMin,
-		Transport:         tr,
+		Procs:              procs / gpn,
+		SpaceSize:          spaceSize,
+		PageSize:           pageSize,
+		Mode:               m,
+		ModeMap:            modeMap,
+		AdaptEveryBarriers: route.adapt,
+		GCEveryBarriers:    gc,
+		GoroutinesPerNode:  gpn,
+		NoBatch:            pipe.noBatch,
+		Flush:              pipe.flush,
+		CompressMin:        pipe.compressMin,
+		Transport:          tr,
 	})
 	if err != nil {
 		return err
@@ -327,10 +388,18 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 	fmt.Fprintf(out, "demo=%s mode=%s procs=%d nodes=%d gpn=%d iters=%d\n", demo, m, procs, procs/gpn, gpn, iters)
 	fmt.Fprintf(out, "interconnect: %d messages in %d frames (%d batched), %d bytes (%d on the wire), estimated serial wire time %v\n",
 		st.Messages, st.Frames, st.Batches, st.RawBytes, st.Bytes, d.EstimateTime())
+	report := statsReport{
+		Program: "demo:" + demo, Mode: m.String(), ModeMap: route.modeMap, Adapt: route.adapt,
+		Procs: procs, Nodes: procs / gpn, Net: st,
+	}
 	for _, n := range d.Local() {
 		ns := n.Stats()
+		report.Node = append(report.Node, ns)
 		fmt.Fprintf(out, "  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d, invals %d, updates %d\n",
 			n.ID(), ns.AccessMisses, ns.ColdMisses, ns.DiffsApplied, ns.IntervalsCreated, ns.GCRuns, ns.InvalsReceived, ns.UpdatesReceived)
+	}
+	if route.statsJSON {
+		return emitStatsJSON(out, report)
 	}
 	return nil
 }

@@ -1,0 +1,421 @@
+package dsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/wire"
+)
+
+// Adaptive per-page protocol selection.
+//
+// Every AdaptEveryBarriers-th cluster barrier doubles as a classification
+// epoch: each node ships its per-page access counter deltas to the
+// barrier master inside its KBarrierArrive payload (opaque bytes in
+// Msg.Data — the consistency sections are untouched). The master checks
+// every node reports the same classification epoch, aggregates the
+// deltas, classifies each active page by its observed sharing pattern,
+// and broadcasts the resulting re-route set in every KBarrierExit. Nodes
+// then apply the re-routes in a dedicated two-round ready/go rendezvous
+// (KReclassReady/KReclassGo, mirroring the GC rendezvous) before any
+// application goroutine leaves the barrier:
+//
+//	round 1 — every node brings the re-routed pages it homes current
+//	          under the OLD engine (a whole-page read pulls outstanding
+//	          diffs or the owner copy while every peer's old engine is
+//	          still routable);
+//	round 2 — purely local: each node drops the page from the old
+//	          engine, flips its mode table entry, and hands the home
+//	          node's bytes to the new engine. The master releases the
+//	          cluster only after all nodes confirm, so no node ever sees
+//	          a page under two protocols at once.
+//
+// The rendezvous costs 4(Procs-1) small messages and runs only on epochs
+// that actually re-route at least one page.
+
+// adaptTargets are the protocols the classifier routes pages to; their
+// engines are always resident when adaptation is enabled.
+var adaptTargets = []Mode{LazyInvalidate, LazyUpdate, SeqConsistent}
+
+// adaptMinAccesses is the minimum aggregate local activity (reads+writes
+// cluster-wide) a page must show in an epoch before the classifier will
+// move it; quieter pages keep their current protocol.
+const adaptMinAccesses = 16
+
+// pageClass is the classifier's verdict on a page's sharing pattern over
+// one epoch.
+type pageClass int32
+
+const (
+	classUnknown      pageClass = iota // not yet classified
+	classIdle                          // no activity this epoch
+	classReadOnly                      // read, never written
+	classPrivate                       // one writer, no outside readers
+	classSingleWriter                  // one writer, outside readers
+	classMigratory                     // several writers taking turns
+	classFalseShared                   // several writers, diff-heavy
+)
+
+var classNames = [...]string{"unknown", "idle", "readonly", "private", "single-writer", "migratory", "false-shared"}
+
+func (c pageClass) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", int32(c))
+	}
+	return classNames[c]
+}
+
+// classify maps one page's cluster-aggregated epoch counters to a
+// sharing class and the protocol that serves it best. readerMask is the
+// set of nodes that read the page locally this epoch.
+//
+// The heuristics follow the paper's taxonomy: a page written by exactly
+// one node and read only by that node is private — sequential
+// consistency serves it with zero messages once the writer owns it, and
+// it stops contributing write notices to every lock grant and barrier.
+// One writer with outside readers is the classic single-writer producer/
+// consumer page: an update protocol pushes the producer's diffs to the
+// consumers on the synchronization they already perform, where
+// invalidate makes every consumer miss and re-fetch (§5.3's update
+// advantage). Several writers — falsely shared (diff traffic well above
+// the writer count) or migratory (writers taking turns under locks) —
+// route to lazy update: its diffs ride lock grants the handoff already
+// pays for, where invalidate costs the next holder a separate diff
+// fetch round-trip per handoff. The migratory/false-shared split is
+// reported in the per-page stats but routes identically; the classes
+// differ in bytes (whole-page history vs disjoint diffs), not message
+// count, and message count is what the classifier minimizes.
+func classify(d counterDelta, readerMask uint64) (pageClass, Mode, bool) {
+	writers := bits.OnesCount64(d.writers)
+	if d.localReads+d.localWrites < adaptMinAccesses {
+		if d.localReads+d.localWrites+d.remoteReads+d.remoteWrites == 0 {
+			return classIdle, 0, false
+		}
+		return classUnknown, 0, false
+	}
+	switch {
+	case writers == 0:
+		return classReadOnly, 0, false
+	case writers == 1:
+		if readerMask&^d.writers == 0 {
+			return classPrivate, SeqConsistent, true
+		}
+		return classSingleWriter, LazyUpdate, true
+	case d.diffs >= int64(2*writers):
+		return classFalseShared, LazyUpdate, true
+	default:
+		return classMigratory, LazyUpdate, true
+	}
+}
+
+// reroute is one page's protocol change, as broadcast in the barrier
+// exit.
+type reroute struct {
+	pg   mem.PageID
+	mode Mode
+	cls  pageClass
+}
+
+// --- counter snapshotting ---
+
+// snapshotDeltas captures this node's per-page counter deltas since the
+// last classification epoch and advances the snapshot. Called by the
+// barrier leader goroutine only; concurrent remote-side ticks from shard
+// workers at worst slide one epoch over, which the heuristics tolerate.
+func (r *router) snapshotDeltas() []counterDelta {
+	out := make([]counterDelta, len(r.ctr))
+	for pg := range r.ctr {
+		c, prev := &r.ctr[pg], &r.prevCtr[pg]
+		d := counterDelta{
+			localReads:   c.localReads.Load() - prev.localReads,
+			localWrites:  c.localWrites.Load() - prev.localWrites,
+			remoteReads:  c.remoteReads.Load() - prev.remoteReads,
+			remoteWrites: c.remoteWrites.Load() - prev.remoteWrites,
+			diffs:        c.diffs.Load() - prev.diffs,
+			writers:      c.writers.Swap(0),
+		}
+		prev.localReads += d.localReads
+		prev.localWrites += d.localWrites
+		prev.remoteReads += d.remoteReads
+		prev.remoteWrites += d.remoteWrites
+		prev.diffs += d.diffs
+		out[pg] = d
+	}
+	return out
+}
+
+// --- wire payloads (opaque Msg.Data blobs, defensively decoded) ---
+
+// encodeCounterDeltas packs the non-zero page deltas for a barrier
+// arrival: epoch, entry count, then 48-byte entries.
+func encodeCounterDeltas(epoch uint32, deltas []counterDelta) []byte {
+	active := 0
+	for pg := range deltas {
+		if deltas[pg] != (counterDelta{}) {
+			active++
+		}
+	}
+	buf := make([]byte, 0, 8+48*active)
+	buf = binary.LittleEndian.AppendUint32(buf, epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(active))
+	for pg := range deltas {
+		d := &deltas[pg]
+		if *d == (counterDelta{}) {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(pg))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.localReads))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.localWrites))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.remoteWrites))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.diffs))
+		buf = binary.LittleEndian.AppendUint64(buf, d.writers)
+	}
+	return buf
+}
+
+// decodeCounterDeltas unpacks a peer's arrival payload into a full-size
+// delta slice plus its reported epoch. Malformed payloads (truncated,
+// hostile counts, out-of-range pages) return an error; the caller
+// records it and treats the peer as reporting nothing.
+func decodeCounterDeltas(data []byte, numPages int) (uint32, []counterDelta, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("dsm: adaptive payload truncated at %d bytes", len(data))
+	}
+	epoch := binary.LittleEndian.Uint32(data)
+	count := binary.LittleEndian.Uint32(data[4:])
+	if int(count) > numPages {
+		return 0, nil, fmt.Errorf("dsm: adaptive payload claims %d entries for %d pages", count, numPages)
+	}
+	if len(data) != 8+48*int(count) {
+		return 0, nil, fmt.Errorf("dsm: adaptive payload is %d bytes, want %d for %d entries", len(data), 8+48*int(count), count)
+	}
+	deltas := make([]counterDelta, numPages)
+	off := 8
+	for i := 0; i < int(count); i++ {
+		pg := binary.LittleEndian.Uint64(data[off:])
+		if pg >= uint64(numPages) {
+			return 0, nil, fmt.Errorf("dsm: adaptive payload entry %d names page %d of %d", i, pg, numPages)
+		}
+		d := &deltas[pg]
+		d.localReads = int64(binary.LittleEndian.Uint64(data[off+8:]))
+		d.localWrites = int64(binary.LittleEndian.Uint64(data[off+16:]))
+		d.remoteWrites = int64(binary.LittleEndian.Uint64(data[off+24:]))
+		d.diffs = int64(binary.LittleEndian.Uint64(data[off+32:]))
+		d.writers = binary.LittleEndian.Uint64(data[off+40:])
+		off += 48
+	}
+	return epoch, deltas, nil
+}
+
+// encodeReroutes packs the master's re-route decision for the barrier
+// exit: new epoch, count, then (page, mode, class) triples.
+func encodeReroutes(epoch uint32, routes []reroute) []byte {
+	buf := make([]byte, 0, 8+12*len(routes))
+	buf = binary.LittleEndian.AppendUint32(buf, epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(routes)))
+	for _, rt := range routes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rt.pg))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rt.mode))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rt.cls))
+	}
+	return buf
+}
+
+// decodeReroutes unpacks a barrier exit's re-route payload. The exit
+// comes from the barrier master this node already trusts for barrier
+// sequencing, but the payload is still bounds-checked: an undecodable
+// re-route set must fail the barrier loudly rather than desynchronize
+// the cluster's mode tables.
+func decodeReroutes(data []byte, numPages int) (uint32, []reroute, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("dsm: reroute payload truncated at %d bytes", len(data))
+	}
+	epoch := binary.LittleEndian.Uint32(data)
+	count := binary.LittleEndian.Uint32(data[4:])
+	if int(count) > numPages || len(data) != 8+12*int(count) {
+		return 0, nil, fmt.Errorf("dsm: reroute payload is %d bytes claiming %d entries for %d pages", len(data), count, numPages)
+	}
+	routes := make([]reroute, 0, count)
+	off := 8
+	for i := 0; i < int(count); i++ {
+		pg := binary.LittleEndian.Uint32(data[off:])
+		mode := Mode(binary.LittleEndian.Uint32(data[off+4:]))
+		cls := pageClass(binary.LittleEndian.Uint32(data[off+8:]))
+		off += 12
+		if int(pg) >= numPages {
+			return 0, nil, fmt.Errorf("dsm: reroute entry %d names page %d of %d", i, pg, numPages)
+		}
+		if !mode.Valid() {
+			return 0, nil, fmt.Errorf("dsm: reroute entry %d carries invalid mode %d", i, mode)
+		}
+		routes = append(routes, reroute{pg: mem.PageID(pg), mode: mode, cls: cls})
+	}
+	return epoch, routes, nil
+}
+
+// --- master-side classification ---
+
+// adaptState accumulates the adaptive exchange on the barrier master
+// across the arrival collection loop.
+type adaptState struct {
+	epoch    uint32
+	nodes    []mem.ProcID     // contributing node per deltas entry
+	deltas   [][]counterDelta // that node's per-page deltas
+	mismatch bool
+}
+
+// absorbPeerCounters decodes one peer arrival's counter payload into the
+// exchange (master only).
+func (n *Node) absorbPeerCounters(st *adaptState, m *wire.Msg) {
+	if len(m.Data) == 0 {
+		// A peer with nothing to report still must agree on the epoch;
+		// an empty payload only happens when a frame was forged or a
+		// node skipped the exchange.
+		n.noteErr("adaptive exchange", fmt.Errorf("node %d sent no counter payload for epoch %d", m.B, st.epoch))
+		st.mismatch = true
+		return
+	}
+	epoch, deltas, err := decodeCounterDeltas(m.Data, n.sys.layout.NumPages())
+	if err != nil {
+		n.noteErr("adaptive exchange", fmt.Errorf("node %d: %w", m.B, err))
+		st.mismatch = true
+		return
+	}
+	if epoch != st.epoch {
+		n.noteErr("adaptive exchange", fmt.Errorf("node %d reports classification epoch %d, master is at %d", m.B, epoch, st.epoch))
+		st.mismatch = true
+		return
+	}
+	st.nodes = append(st.nodes, mem.ProcID(m.B))
+	st.deltas = append(st.deltas, deltas)
+}
+
+// classifyRoutes aggregates the exchange (the master's own deltas
+// included) and returns the pages whose best protocol differs from their
+// current route, plus the epoch the cluster moves to. On any epoch
+// mismatch or undecodable peer payload the whole epoch is skipped —
+// re-routing from partial counters could split the cluster's view of a
+// page's sharing pattern.
+func (r *router) classifyRoutes(st *adaptState) (uint32, []reroute) {
+	if st.mismatch {
+		return st.epoch, nil
+	}
+	numPages := len(r.ctr)
+	agg := make([]counterDelta, numPages)
+	readerMask := make([]uint64, numPages)
+	for i, deltas := range st.deltas {
+		bit := uint64(1) << uint(st.nodes[i])
+		for pg := range deltas {
+			d := &deltas[pg]
+			a := &agg[pg]
+			a.localReads += d.localReads
+			a.localWrites += d.localWrites
+			a.remoteWrites += d.remoteWrites
+			a.diffs += d.diffs
+			a.writers |= d.writers
+			if d.localReads > 0 {
+				readerMask[pg] |= bit
+			}
+		}
+	}
+	var routes []reroute
+	for pg := 0; pg < numPages; pg++ {
+		cls, mode, move := classify(agg[pg], readerMask[pg])
+		if cls != classIdle {
+			r.classTab[pg].Store(int32(cls))
+		}
+		if move && mode != r.modeOf(mem.PageID(pg)) {
+			routes = append(routes, reroute{pg: mem.PageID(pg), mode: mode, cls: cls})
+		}
+	}
+	if len(routes) == 0 {
+		return st.epoch, nil
+	}
+	return st.epoch + 1, routes
+}
+
+// --- applying a re-route set ---
+
+// applyReclass runs the two-round reclassification rendezvous for a
+// non-empty re-route set. Every node (master included) executes this
+// after its barrier exit work, while all application goroutines are
+// still parked in Barrier.
+func (n *Node) applyReclass(b mem.BarrierID, routes []reroute, newEpoch uint32) error {
+	r := n.rt
+	pageSize := n.sys.layout.PageSize()
+
+	// Round 1: bring every re-routed page we home current under its old
+	// engine. Peers' old engines are still fully routable, so this can
+	// pull outstanding diffs or fetch the owner copy over the network.
+	scratch := make([]byte, pageSize)
+	for _, rt := range routes {
+		if n.sys.home(rt.pg) != n.id {
+			continue
+		}
+		if err := r.engineFor(rt.pg).readPage(rt.pg, 0, scratch); err != nil {
+			return fmt.Errorf("dsm: node %d: reclass fetch of page %d: %w", n.id, rt.pg, err)
+		}
+	}
+	if err := n.reclassRendezvous(b); err != nil {
+		return err
+	}
+
+	// Round 2: purely local — no page traffic is in flight anywhere in
+	// the cluster now. Re-read the home copy (valid after round 1, so
+	// this touches no socket), then drop/flip/adopt per page.
+	for _, rt := range routes {
+		old, next := r.engineFor(rt.pg), r.engines[rt.mode]
+		var data []byte
+		if n.sys.home(rt.pg) == n.id {
+			data = make([]byte, pageSize)
+			if err := old.readPage(rt.pg, 0, data); err != nil {
+				return fmt.Errorf("dsm: node %d: reclass local read of page %d: %w", n.id, rt.pg, err)
+			}
+		}
+		old.dropPage(rt.pg)
+		r.modeTab[rt.pg].Store(int32(rt.mode))
+		next.adoptPage(rt.pg, data)
+		r.classTab[rt.pg].Store(int32(rt.cls))
+	}
+	r.epoch.Store(newEpoch)
+	if err := n.reclassRendezvous(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// reclassRendezvous is one ready/go round over every node, shaped
+// exactly like the GC rendezvous: non-masters send KReclassReady and
+// block for the matching KReclassGo; the master collects Procs-1 readies
+// off reclassCh and releases them. Per-sender FIFO delivery keeps a
+// node's round-1 ready ahead of its round-2 ready, so the master never
+// needs to label rounds.
+func (n *Node) reclassRendezvous(b mem.BarrierID) error {
+	const master = 0
+	if n.id != master {
+		ready := &wire.Msg{Kind: wire.KReclassReady, Seq: n.nextSeq(), A: int32(b), B: int32(n.id)}
+		if _, err := n.rpc(mem.ProcID(master), ready); err != nil {
+			return fmt.Errorf("dsm: node %d: reclass rendezvous: %w", n.id, err)
+		}
+		return nil
+	}
+	ready := make([]*wire.Msg, 0, n.sys.cfg.Procs-1)
+	for len(ready) < n.sys.cfg.Procs-1 {
+		m, ok := <-n.reclassCh
+		if !ok {
+			return ErrClosed
+		}
+		if int(m.A) != int(b) || !n.validProc(mem.ProcID(m.B)) {
+			n.noteErr("reclass rendezvous", fmt.Errorf("unexpected ready for barrier %d from %d", m.A, m.B))
+			continue
+		}
+		ready = append(ready, m)
+	}
+	for _, m := range ready {
+		go2 := &wire.Msg{Kind: wire.KReclassGo, Seq: m.Seq, A: int32(b)}
+		n.send(mem.ProcID(m.B), go2)
+	}
+	return nil
+}

@@ -205,8 +205,28 @@ type Config struct {
 	SpaceSize mem.Addr
 	// PageSize is the consistency granularity (a power of two).
 	PageSize int
-	// Mode selects the consistency protocol (LI, LU, EI, EU or SC).
+	// Mode selects the consistency protocol (LI, LU, EI, EU or SC) for
+	// every page not assigned otherwise by ModeMap.
 	Mode Mode
+	// ModeMap assigns a protocol per page (index = page id): engines for
+	// every distinct mode coexist in each node and the router dispatches
+	// page accesses, handler traffic and synchronization payloads to the
+	// engine owning each page. Nil runs every page under Mode. Non-nil
+	// maps must cover exactly the layout's pages with valid modes (build
+	// one from the textual syntax with ParseModeMap). Every node of a
+	// cluster must be configured with the same map.
+	ModeMap []Mode
+	// AdaptEveryBarriers enables the adaptive classifier: every k-th
+	// cluster barrier, per-page access counters from all nodes are
+	// aggregated at the barrier master, each page's sharing pattern is
+	// classified (private / single-writer / migratory / falsely-shared)
+	// and pages are re-routed to the protocol that pattern favors. The
+	// mode table stays cluster-agreed: re-routes are decided by the
+	// master, distributed in the barrier exit, and applied by every node
+	// in a dedicated rendezvous before any application access resumes.
+	// 0 disables adaptation; the initial table is Mode/ModeMap either
+	// way.
+	AdaptEveryBarriers int
 	// GCEveryBarriers enables interval/diff garbage collection every k-th
 	// barrier episode (0 disables GC). GC validates every cached page,
 	// then discards the diffs of intervals covered by the barrier's
@@ -295,9 +315,17 @@ func New(cfg Config) (*System, error) {
 	if cfg.CompressMin < 0 {
 		return fail(fmt.Errorf("dsm: negative compression threshold %d", cfg.CompressMin))
 	}
+	if cfg.AdaptEveryBarriers < 0 {
+		return fail(fmt.Errorf("dsm: negative adaptation interval %d", cfg.AdaptEveryBarriers))
+	}
 	layout, err := mem.NewLayout(cfg.SpaceSize, cfg.PageSize)
 	if err != nil {
 		return fail(err)
+	}
+	if cfg.ModeMap != nil {
+		if err := validModeMap(cfg.ModeMap, layout.NumPages()); err != nil {
+			return fail(err)
+		}
 	}
 	tr := cfg.Transport
 	if tr == nil {

@@ -436,6 +436,44 @@ func (e *eagerEngine) onGrant(grant *wire.Msg) error { return nil }
 func (e *eagerEngine) preRelease() error             { return e.flush() }
 func (e *eagerEngine) release()                      {}
 
+// dropPage and adoptPage run only in the quiescent reclassification
+// rendezvous: no flush, fetch or directory transaction for the page is
+// in flight anywhere, so resetting the directory entry alongside the
+// copy cannot strand a peer.
+func (e *eagerEngine) dropPage(pg mem.PageID) {
+	pmu := e.n.pageLock(pg)
+	pmu.Lock()
+	e.pages[pg] = nil
+	pmu.Unlock()
+	e.dirtyMu.Lock()
+	delete(e.dirty, pg)
+	e.dirtyMu.Unlock()
+	d := &e.dir[pg]
+	d.mu.Lock()
+	d.owner = e.n.sys.home(pg)
+	d.copyset = 0
+	d.mu.Unlock()
+}
+
+func (e *eagerEngine) adoptPage(pg mem.PageID, data []byte) {
+	d := &e.dir[pg]
+	d.mu.Lock()
+	d.owner = e.n.sys.home(pg)
+	d.copyset = 0
+	d.mu.Unlock()
+	if data == nil {
+		// Non-home: fault through the home's directory on first use.
+		return
+	}
+	pmu := e.n.pageLock(pg)
+	pmu.Lock()
+	e.pages[pg] = &eagerPage{data: append([]byte(nil), data...), valid: true}
+	pmu.Unlock()
+	d.mu.Lock()
+	d.copyset = 1 << uint(e.n.id)
+	d.mu.Unlock()
+}
+
 func (e *eagerEngine) preBarrier() error                 { return e.flush() }
 func (e *eagerEngine) barrierEntry()                     {}
 func (e *eagerEngine) arrive(arrive *wire.Msg)           {}
@@ -711,6 +749,7 @@ func (e *eagerEngine) applyUpdate(m *wire.Msg, src mem.ProcID) {
 				pc.twin = page.NewTwin(patched)
 			}
 			n.stats.updatesReceived.Add(1)
+			n.rt.noteDiffApplied(pg)
 		}
 	}
 	pmu.Unlock()
@@ -792,6 +831,7 @@ func (e *eagerEngine) applyFlushDone(m *wire.Msg) bool {
 			continue
 		}
 		n.stats.writeBacks.Add(1)
+		n.rt.noteDiffApplied(fs.pg)
 	}
 	if pc.twin != nil {
 		copy(pc.data, committed)

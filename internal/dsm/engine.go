@@ -13,24 +13,47 @@ import (
 // movement, the consistency payload of lock grants and barrier messages,
 // and release/barrier-time propagation.
 //
+// Since the per-page routing refactor a node hosts SEVERAL engines at
+// once behind a router (router.go): each page is owned by exactly one
+// resident engine, the router consults its atomic mode table on every
+// access and handler dispatch, and the shared synchronization messages
+// carry one mode-tagged wire.Section per resident. Engines never see
+// each other — each receives only traffic for its own pages and only its
+// own section of a grant or barrier payload — so they are written
+// exactly as if they were the node's sole protocol.
+//
 // Concurrency contract (the shard-aware contract replacing the old
-// single-mutex *Locked convention):
+// single-mutex *Locked convention), extended for multi-engine residency:
 //
 //   - Per-page state lives under the node's striped lock table
 //     (Node.pageLock); engines take the stripe for exactly the page they
 //     touch and never hold it across a blocking operation, so
-//     independent pages fault, install and diff in parallel.
+//     independent pages fault, install and diff in parallel. The stripe
+//     tables are NODE-level: two resident engines touching the same
+//     stripe index serialize against each other, which is safe (stripes
+//     are leaf locks) and keeps a page's stripe identity stable across a
+//     protocol re-route.
 //   - Miss service — the blocking protocol transaction that brings a
 //     page current — serializes per page under Node.missLock; handler
 //     work never takes a miss lock, so it can always drain.
 //   - Engine-global synchronization state (the lazy engine's vector
 //     clock, interval log and diff store) lives under an engine-private
-//     mutex ordered after lockMu and before the page stripes.
+//     mutex ordered after lockMu and before the page stripes. Each
+//     resident has its OWN engine mutex; no code path takes two engines'
+//     mutexes at once (the router fans hooks out sequentially, in
+//     canonical Mode order cluster-wide, so even hooks that rendezvous
+//     internally — two lazy engines each running a GC exchange — cannot
+//     cross-deadlock).
 //   - Every method may be called from multiple application goroutines
 //     concurrently. acquireStart, grant and release are called with the
 //     node's lockMu held (grant also from a lock shard worker); barrier
 //     hooks are called by the barrier leader goroutine only; handle runs
 //     on a shard worker with per-page arrival order guaranteed.
+//   - dropPage and adoptPage are called only from the barrier-time
+//     reclassification rendezvous (adaptive.go), when every application
+//     goroutine cluster-wide is parked and no page traffic is in
+//     flight; they may mutate page state without coordination beyond
+//     the page stripe.
 //   - Statistics tick through the node's atomic counters from any
 //     goroutine.
 type engine interface {
@@ -95,6 +118,19 @@ type engine interface {
 	// queued burst answers in coalesced frames — while spawned
 	// goroutines use Node.send/rpcAll, which flush themselves.
 	handle(m *wire.Msg, src mem.ProcID) bool
+
+	// dropPage surrenders page pg to another protocol: the engine
+	// forgets its copy, twin and ownership state for the page. Called
+	// only during the quiescent reclassification rendezvous, after the
+	// page was brought current at its home node.
+	dropPage(pg mem.PageID)
+	// adoptPage hands page pg to this engine. At the page's home node,
+	// data is the page's authoritative contents (adopted as a valid
+	// copy — owned, under the ownership protocols); elsewhere data is
+	// nil and the engine starts cold, faulting the page from its home on
+	// first use. Called only during the quiescent reclassification
+	// rendezvous.
+	adoptPage(pg mem.PageID, data []byte)
 
 	// clock returns the node's vector time (zero for engines that do not
 	// track causality).

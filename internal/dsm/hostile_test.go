@@ -134,6 +134,62 @@ func TestCorruptTCPFramesSurfaceOnClose(t *testing.T) {
 	}
 }
 
+// TestHostileSectionsRecordedNotPanic: mode-tagged consistency sections
+// are validated against the node's resident engines. A section claiming a
+// protocol this node does not host (whether a plausible mode id or one
+// far outside the engine table) and a duplicated mode tag are forgeries:
+// each is recorded and dropped while the rest of the message still
+// applies — the lock is still granted, the node stays alive.
+func TestHostileSectionsRecordedNotPanic(t *testing.T) {
+	cases := []struct {
+		name     string
+		sections []wire.Section
+		want     string
+	}{
+		{"non-resident mode", []wire.Section{{Mode: uint16(EagerInvalidate)}},
+			"section for non-resident mode"},
+		{"mode beyond the engine table", []wire.Section{{Mode: 0x7f}},
+			"section for non-resident mode"},
+		{"duplicate mode sections", []wire.Section{{Mode: uint16(LazyUpdate)}, {Mode: uint16(LazyUpdate)}},
+			"duplicate section for mode"},
+		{"truncated section clock", []wire.Section{{Mode: uint16(LazyUpdate), VC: []int32{3}}},
+			"carries a 1-entry clock"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// A mixed-mode node hosting SC and LU: EI is a real protocol
+			// but not resident here.
+			modes, err := ParseModeMap("pg0-3=SC,rest=LU", 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(Config{Procs: 2, SpaceSize: 8192, PageSize: 1024, ModeMap: modes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			// Prime the lock: after node 0 acquires and releases, the
+			// manager knows a previous holder, so the next request is
+			// forwarded there and answered with a payload-building grant —
+			// which first validates the request's sections.
+			if err := s.Node(0).Acquire(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Node(0).Release(0); err != nil {
+				t.Fatal(err)
+			}
+			msg := &wire.Msg{Kind: wire.KLockReq, Seq: 99, A: 0, B: 1, Sections: tc.sections}
+			if err := s.tr.Endpoint(1).Send(0, msg.EncodeAppend(wire.GetBuf())); err != nil {
+				t.Fatal(err)
+			}
+			waitNodeErr(t, s.Node(0), tc.want)
+			if cerr := s.Close(); cerr == nil || !strings.Contains(cerr.Error(), tc.want) {
+				t.Fatalf("Close = %v, want the recorded %q cause", cerr, tc.want)
+			}
+		})
+	}
+}
+
 // TestForgedFramesRecordedNotPanic: well-formed frames carrying forged
 // content — ids outside every table, sequences nobody asked about,
 // kinds the engine does not speak — exercise each engine's handler-side

@@ -83,6 +83,16 @@ func (e *lazyEngine) clock() vc.VC {
 	return e.v.Clone()
 }
 
+// modeID is the engine's routing identity: a node can host LI and LU
+// side by side, and diff requests carry this tag so each reaches the
+// store that retains its diffs.
+func (e *lazyEngine) modeID() Mode {
+	if e.update {
+		return LazyUpdate
+	}
+	return LazyInvalidate
+}
+
 // --- interval management ---
 
 // closeIntervalLocked ends the current interval: diffs are created from
@@ -179,6 +189,15 @@ func (e *lazyEngine) absorbIntervalsLocked(recs []wire.IntervalRec) []wire.Inter
 				fmt.Errorf("interval record for invalid processor %d", rec.Proc))
 			continue
 		}
+		if len(rec.VC) != len(e.v) {
+			// The record's clock is stored and later compared entrywise
+			// (GC covers checks, diff ordering): a wrong-length clock
+			// would panic there, so reject it at the wire boundary.
+			e.n.noteErr("interval absorb",
+				fmt.Errorf("interval record p%d/%d carries a %d-entry clock (cluster has %d)",
+					rec.Proc, rec.Index, len(rec.VC), len(e.v)))
+			continue
+		}
 		if bad := invalidPageIn(e.n, rec.Pages); bad != nil {
 			e.n.noteErr("interval absorb",
 				fmt.Errorf("interval record p%d/%d names invalid page %d", rec.Proc, rec.Index, *bad))
@@ -204,6 +223,11 @@ func (e *lazyEngine) absorbIntervalsLocked(recs []wire.IntervalRec) []wire.Inter
 		// consecutive indices.
 		e.v[rec.Proc] = rec.Index
 		fresh = append(fresh, rec)
+		// A write notice is the classifier's view of remote writers under
+		// the lazy protocols (no directory transaction ever reaches us).
+		for _, pg := range rec.Pages {
+			e.n.rt.noteRemoteWriter(pg, rec.Proc)
+		}
 	}
 	return fresh
 }
@@ -224,6 +248,12 @@ func invalidPageIn(n *Node, pages []mem.PageID) *mem.PageID {
 // intervalsSinceLocked collects wire records for every known interval
 // (r, k) with k > floor[r]. Caller holds e.mu.
 func (e *lazyEngine) intervalsSinceLocked(floor vc.VC) []wire.IntervalRec {
+	if len(floor) != len(e.v) {
+		// A legitimate acquirer always stamps its full clock; a missing or
+		// short one is a forged request. Treat the sender as knowing
+		// nothing — over-granting is safe, indexing a short clock is not.
+		floor = vc.New(len(e.v))
+	}
 	var recs []wire.IntervalRec
 	e.log.NoticesBetween(floor, e.v, func(iv *core.Interval) {
 		recs = append(recs, wire.IntervalRec{
@@ -381,7 +411,7 @@ func (e *lazyEngine) validate(pg mem.PageID) error {
 			sort.Slice(creators, func(i, j int) bool { return creators[i] < creators[j] })
 			for _, c := range creators {
 				resp, err := n.rpc(c, &wire.Msg{
-					Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), Wants: missing[c],
+					Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), B: int32(e.modeID()), Wants: missing[c],
 				})
 				if err != nil {
 					return err
@@ -447,6 +477,7 @@ func (e *lazyEngine) validate(pg mem.PageID) error {
 				}
 			}
 			n.stats.diffsApplied.Add(1)
+			n.rt.noteDiffApplied(pg)
 		}
 		if patched != nil {
 			pc.twin = page.NewTwin(patched)
@@ -524,7 +555,7 @@ func (e *lazyEngine) prefetchDiffs(pages []mem.PageID) error {
 		sort.Slice(creators, func(i, j int) bool { return creators[i] < creators[j] })
 		for _, c := range creators {
 			reqs = append(reqs, outMsg{dst: c, m: &wire.Msg{
-				Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), Wants: missing[c],
+				Kind: wire.KDiffReq, Seq: n.nextSeq(), A: int32(n.id), B: int32(e.modeID()), Wants: missing[c],
 			}})
 		}
 	}
@@ -743,6 +774,12 @@ func (e *lazyEngine) runGC(b mem.BarrierID) error {
 	var toValidate []mem.PageID
 	for pg := range e.pages {
 		pgid := mem.PageID(pg)
+		if n.rt.modeOf(pgid) != e.modeID() {
+			// Routed to another protocol: its history here is frozen (the
+			// re-route brought the page current at its home and dropped
+			// every copy), so GC neither validates nor materializes it.
+			continue
+		}
 		pmu := n.pageLock(pgid)
 		pmu.Lock()
 		pc := e.pages[pg]
@@ -824,6 +861,9 @@ func (e *lazyEngine) checkGCInvariant(epoch vc.VC) error {
 	defer e.mu.Unlock()
 	for pg := range e.pages {
 		pgid := mem.PageID(pg)
+		if n.rt.modeOf(pgid) != e.modeID() {
+			continue
+		}
 		pmu := n.pageLock(pgid)
 		pmu.Lock()
 		pc := e.pages[pg]
@@ -844,6 +884,41 @@ func (e *lazyEngine) checkGCInvariant(epoch vc.VC) error {
 		pmu.Unlock()
 	}
 	return nil
+}
+
+// --- engine interface: page migration ---
+
+func (e *lazyEngine) dropPage(pg mem.PageID) {
+	// The reclassification runs after barrierEntry closed the interval,
+	// so no live twin exists; any retained diffs stay for GC to discard.
+	pmu := e.n.pageLock(pg)
+	pmu.Lock()
+	e.pages[pg] = nil
+	pmu.Unlock()
+	e.dirtyMu.Lock()
+	delete(e.dirty, pg)
+	e.dirtyMu.Unlock()
+}
+
+func (e *lazyEngine) adoptPage(pg mem.PageID, data []byte) {
+	if data == nil {
+		// Non-home: start cold and fault the page from its home on first
+		// use, like any never-touched page.
+		return
+	}
+	// The post-barrier clock covers every pre-reroute interval, so a
+	// copy stamped with it has nothing outstanding.
+	e.mu.Lock()
+	applied := e.v.Clone()
+	e.mu.Unlock()
+	pmu := e.n.pageLock(pg)
+	pmu.Lock()
+	e.pages[pg] = &lazyPage{
+		data:    append([]byte(nil), data...),
+		valid:   true,
+		applied: applied,
+	}
+	pmu.Unlock()
 }
 
 // --- engine interface: handler-side requests ---

@@ -1,0 +1,172 @@
+package dsm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// ParseModeMap parses a per-page protocol assignment like
+//
+//	pg0-31=SC,pg32=EI,rest=LU
+//
+// into a numPages-long mode slice (Config.ModeMap). Entries are
+// comma-separated; each assigns one page ("pg7"), an inclusive page range
+// ("pg0-31"), or every page not named by another entry ("rest") to a
+// protocol name from ModeNames. Every page must be assigned exactly once:
+// overlapping entries, pages left unassigned without a rest entry, and a
+// rest entry with nothing left to cover are all errors, so a typo cannot
+// silently route a page to the wrong protocol.
+func ParseModeMap(spec string, numPages int) ([]Mode, error) {
+	if numPages <= 0 {
+		return nil, fmt.Errorf("dsm: mode map needs a positive page count, got %d", numPages)
+	}
+	modes := make([]Mode, numPages)
+	covered := make([]bool, numPages)
+	assigned := 0
+	restMode, haveRest := Mode(0), false
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("dsm: mode map %q has an empty entry", spec)
+		}
+		rng, name, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("dsm: mode map entry %q is not range=MODE (supported modes: %s)", entry, ModeNames())
+		}
+		mode, err := ParseMode(name)
+		if err != nil {
+			return nil, fmt.Errorf("dsm: mode map entry %q: %w", entry, err)
+		}
+		if rng == "rest" {
+			if haveRest {
+				return nil, fmt.Errorf("dsm: mode map %q has more than one rest entry", spec)
+			}
+			restMode, haveRest = mode, true
+			continue
+		}
+		lo, hi, err := parsePageRange(rng, numPages)
+		if err != nil {
+			return nil, fmt.Errorf("dsm: mode map entry %q: %w", entry, err)
+		}
+		for pg := lo; pg <= hi; pg++ {
+			if covered[pg] {
+				return nil, fmt.Errorf("dsm: mode map entry %q reassigns page %d", entry, pg)
+			}
+			covered[pg] = true
+			modes[pg] = mode
+			assigned++
+		}
+	}
+	if haveRest {
+		if assigned == numPages {
+			return nil, fmt.Errorf("dsm: mode map %q has an empty rest: every page is already assigned", spec)
+		}
+		for pg := range modes {
+			if !covered[pg] {
+				modes[pg] = restMode
+			}
+		}
+	} else if assigned != numPages {
+		return nil, fmt.Errorf("dsm: mode map %q leaves %d of %d pages unassigned (add a rest=MODE entry)",
+			spec, numPages-assigned, numPages)
+	}
+	return modes, nil
+}
+
+// parsePageRange parses "pgN" or "pgN-M" (inclusive) against the page
+// count.
+func parsePageRange(rng string, numPages int) (lo, hi int, err error) {
+	s, ok := strings.CutPrefix(rng, "pg")
+	if !ok {
+		return 0, 0, fmt.Errorf("page range %q does not start with pg", rng)
+	}
+	loS, hiS, dashed := strings.Cut(s, "-")
+	lo, err = strconv.Atoi(loS)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad page number %q", loS)
+	}
+	hi = lo
+	if dashed {
+		hi, err = strconv.Atoi(hiS)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad page number %q", hiS)
+		}
+	}
+	if lo < 0 || hi < lo || hi >= numPages {
+		return 0, 0, fmt.Errorf("page range %d-%d outside [0,%d)", lo, hi, numPages)
+	}
+	return lo, hi, nil
+}
+
+// FormatModeMap renders a mode slice back into the compact run-length
+// syntax ParseModeMap accepts ("pg0-31=SC,pg32-63=LU"), for logs and
+// stats output.
+func FormatModeMap(modes []Mode) string {
+	var b strings.Builder
+	for lo := 0; lo < len(modes); {
+		hi := lo
+		for hi+1 < len(modes) && modes[hi+1] == modes[lo] {
+			hi++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if lo == hi {
+			fmt.Fprintf(&b, "pg%d=%s", lo, modes[lo])
+		} else {
+			fmt.Fprintf(&b, "pg%d-%d=%s", lo, hi, modes[lo])
+		}
+		lo = hi + 1
+	}
+	return b.String()
+}
+
+// uniformModeMap expands a single mode over every page.
+func uniformModeMap(m Mode, numPages int) []Mode {
+	modes := make([]Mode, numPages)
+	for i := range modes {
+		modes[i] = m
+	}
+	return modes
+}
+
+// distinctModes returns the set of modes present in a map, in canonical
+// (paper presentation) order — the order engines are constructed and
+// iterated in, which every node must agree on.
+func distinctModes(modes []Mode) []Mode {
+	var present [8]bool // indexed by Mode; validated maps stay in range
+	for _, m := range modes {
+		present[m] = true
+	}
+	out := make([]Mode, 0, len(Modes))
+	for _, m := range Modes {
+		if present[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// validModeMap checks a configured per-page map against the layout.
+func validModeMap(modes []Mode, numPages int) error {
+	if len(modes) != numPages {
+		return fmt.Errorf("dsm: mode map covers %d pages, layout has %d", len(modes), numPages)
+	}
+	for pg, m := range modes {
+		if !m.Valid() {
+			return fmt.Errorf("dsm: mode map assigns page %d unknown mode %d (supported: %s)", pg, int(m), ModeNames())
+		}
+	}
+	return nil
+}
+
+// pageOf bounds-checks a wire page id against the layout.
+func pageOf(l *mem.Layout, raw int32) (mem.PageID, bool) {
+	if raw < 0 || int(raw) >= l.NumPages() {
+		return 0, false
+	}
+	return mem.PageID(raw), true
+}

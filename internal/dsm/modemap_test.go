@@ -1,0 +1,146 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, m := range Modes {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "li", "XX", "LI ", "LazyInvalidate"} {
+		_, err := ParseMode(bad)
+		if err == nil {
+			t.Errorf("ParseMode(%q) succeeded", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown mode") || !strings.Contains(err.Error(), ModeNames()) {
+			t.Errorf("ParseMode(%q) error %q does not name the supported modes", bad, err)
+		}
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	names := ModeNames()
+	for _, want := range []string{"LI", "LU", "EI", "EU", "SC"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("ModeNames() = %q, missing %s", names, want)
+		}
+	}
+	if got := Mode(99).String(); got != "Mode(99)" {
+		t.Errorf("Mode(99).String() = %q", got)
+	}
+	if Mode(99).Valid() {
+		t.Error("Mode(99) reported valid")
+	}
+}
+
+func TestParseModeMap(t *testing.T) {
+	const numPages = 32
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string // empty means the spec must parse
+	}{
+		{name: "single-range", spec: "pg0-31=SC"},
+		{name: "rest-only", spec: "rest=LU"},
+		{name: "split", spec: "pg0-15=SC,rest=LU"},
+		{name: "single-page", spec: "pg7=EI,rest=LI"},
+		{name: "all-modes", spec: "pg0-3=LI,pg4-7=LU,pg8-11=EI,pg12-15=EU,rest=SC"},
+		{name: "whitespace", spec: " pg0-15=SC , rest=LU "},
+
+		{name: "empty-spec", spec: "", wantErr: "empty entry"},
+		{name: "empty-entry", spec: "pg0-15=SC,,rest=LU", wantErr: "empty entry"},
+		{name: "no-equals", spec: "pg0-15", wantErr: "is not range=MODE"},
+		{name: "empty-mode", spec: "pg0-15=", wantErr: "is not range=MODE"},
+		{name: "unknown-mode", spec: "pg0-15=ZZ,rest=LU", wantErr: "unknown mode"},
+		{name: "no-pg-prefix", spec: "0-15=SC,rest=LU", wantErr: "does not start with pg"},
+		{name: "bad-lo", spec: "pgx-15=SC,rest=LU", wantErr: "bad page number"},
+		{name: "bad-hi", spec: "pg0-y=SC,rest=LU", wantErr: "bad page number"},
+		{name: "inverted-range", spec: "pg15-3=SC,rest=LU", wantErr: "outside [0,32)"},
+		{name: "negative-page", spec: "pg-1=SC,rest=LU", wantErr: "bad page number"},
+		{name: "past-end", spec: "pg0-32=SC", wantErr: "outside [0,32)"},
+		{name: "overlap", spec: "pg0-15=SC,pg10-20=LU,rest=EI", wantErr: "reassigns page 10"},
+		{name: "self-overlap", spec: "pg5=SC,pg5=SC,rest=LU", wantErr: "reassigns page 5"},
+		{name: "two-rests", spec: "pg0=SC,rest=LU,rest=EI", wantErr: "more than one rest entry"},
+		{name: "empty-rest", spec: "pg0-31=SC,rest=LU", wantErr: "empty rest"},
+		{name: "unassigned", spec: "pg0-15=SC", wantErr: "leaves 16 of 32 pages unassigned"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			modes, err := ParseModeMap(tc.spec, numPages)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("ParseModeMap(%q) succeeded, want error containing %q", tc.spec, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseModeMap(%q) error %q, want it to contain %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseModeMap(%q): %v", tc.spec, err)
+			}
+			if len(modes) != numPages {
+				t.Fatalf("ParseModeMap(%q) covers %d pages, want %d", tc.spec, len(modes), numPages)
+			}
+			for pg, m := range modes {
+				if !m.Valid() {
+					t.Fatalf("ParseModeMap(%q) assigned page %d invalid mode %d", tc.spec, pg, int(m))
+				}
+			}
+			// Round trip: the formatted map must parse back to the same
+			// assignment.
+			again, err := ParseModeMap(FormatModeMap(modes), numPages)
+			if err != nil {
+				t.Fatalf("re-parsing FormatModeMap(%q) = %q: %v", tc.spec, FormatModeMap(modes), err)
+			}
+			for pg := range modes {
+				if again[pg] != modes[pg] {
+					t.Fatalf("round trip of %q changed page %d: %s -> %s", tc.spec, pg, modes[pg], again[pg])
+				}
+			}
+		})
+	}
+
+	if _, err := ParseModeMap("rest=LU", 0); err == nil {
+		t.Error("ParseModeMap with zero pages succeeded")
+	}
+}
+
+func TestFormatModeMap(t *testing.T) {
+	cases := []struct {
+		modes []Mode
+		want  string
+	}{
+		{[]Mode{SeqConsistent}, "pg0=SC"},
+		{[]Mode{LazyUpdate, LazyUpdate, LazyUpdate}, "pg0-2=LU"},
+		{[]Mode{SeqConsistent, SeqConsistent, LazyUpdate, EagerInvalidate}, "pg0-1=SC,pg2=LU,pg3=EI"},
+	}
+	for _, tc := range cases {
+		if got := FormatModeMap(tc.modes); got != tc.want {
+			t.Errorf("FormatModeMap(%v) = %q, want %q", tc.modes, got, tc.want)
+		}
+	}
+}
+
+// TestConfigModeMapValidation: dsm.New rejects maps that do not match the
+// layout instead of routing pages to a missing engine.
+func TestConfigModeMapValidation(t *testing.T) {
+	base := Config{Procs: 2, SpaceSize: 8192, PageSize: 1024} // 8 pages
+	short := base
+	short.ModeMap = []Mode{SeqConsistent, LazyUpdate} // 2 of 8 pages
+	if _, err := New(short); err == nil || !strings.Contains(err.Error(), "covers 2 pages") {
+		t.Errorf("short mode map: err = %v", err)
+	}
+	bad := base
+	bad.ModeMap = uniformModeMap(LazyUpdate, 8)
+	bad.ModeMap[3] = Mode(42)
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("invalid mode in map: err = %v", err)
+	}
+}

@@ -76,6 +76,12 @@ type Stats struct {
 	// grants.
 	KindMsgs  [wire.NumKinds]int64
 	KindBytes [wire.NumKinds]int64
+
+	// Pages is the per-page routing and access-counter snapshot (pages
+	// with no recorded activity are omitted): which protocol each page is
+	// currently routed to, its last adaptive classification, and the
+	// counters feeding the classifier.
+	Pages []PageStat
 }
 
 // nodeStats is the node's live counter cell: every field is an atomic,
@@ -183,7 +189,11 @@ type Node struct {
 	sys *System
 	id  mem.ProcID
 	ep  transport.Endpoint
-	e   engine
+	// e is the node's engine entry point — always the router, which owns
+	// the per-page mode table and fans out to the resident protocol
+	// engines; rt is the same object with its concrete type.
+	e  engine
+	rt *router
 	// out is the unified outbound pipeline: every protocol send stages
 	// through it, and flush points (immediate sends, grouped rpcAll
 	// flushes, worker drain transitions) coalesce same-destination
@@ -214,6 +224,13 @@ type Node struct {
 	// Barrier master state: arrivals delivered by the dispatch loop.
 	barCh chan *wire.Msg
 	gcCh  chan *wire.Msg
+	// reclassCh feeds the master's reclassification rendezvous
+	// (adaptive.go), exactly like gcCh feeds the GC exchange.
+	reclassCh chan *wire.Msg
+	// barCount counts cluster barriers this node has entered (leader
+	// goroutine only), to agree cluster-wide on which barriers double as
+	// classification epochs.
+	barCount int
 
 	// barMu guards the local two-level barrier episode.
 	barMu sync.Mutex
@@ -241,26 +258,23 @@ func newNode(s *System, id mem.ProcID) *Node {
 		ep:       s.tr.Endpoint(int(id)),
 		locks:    make(map[mem.LockID]*lockLocal),
 		mgrLast:  make(map[mem.LockID]mem.ProcID),
-		barCh:    make(chan *wire.Msg, s.cfg.Procs),
-		gcCh:     make(chan *wire.Msg, s.cfg.Procs),
-		waiters:  make(map[uint64]chan *wire.Msg),
-		queues:   make([]chan inFrame, handlerWorkers),
-		closedCh: make(chan struct{}),
+		barCh:     make(chan *wire.Msg, s.cfg.Procs),
+		gcCh:      make(chan *wire.Msg, s.cfg.Procs),
+		reclassCh: make(chan *wire.Msg, s.cfg.Procs),
+		waiters:   make(map[uint64]chan *wire.Msg),
+		queues:    make([]chan inFrame, handlerWorkers),
+		closedCh:  make(chan struct{}),
 	}
 	for i := range n.queues {
 		n.queues[i] = make(chan inFrame, workerQueueCap)
 	}
 	n.out = newOutbox(n, !s.cfg.NoBatch)
-	switch s.cfg.Mode {
-	case LazyInvalidate, LazyUpdate:
-		n.e = newLazyEngine(n, s.cfg.Mode == LazyUpdate)
-	case EagerInvalidate, EagerUpdate:
-		n.e = newEagerEngine(n, s.cfg.Mode == EagerUpdate)
-	case SeqConsistent:
-		n.e = newSCEngine(n)
-	default:
-		panic(fmt.Sprintf("dsm: node %d: unvalidated mode %d", id, s.cfg.Mode))
+	modes := s.cfg.ModeMap
+	if modes == nil {
+		modes = uniformModeMap(s.cfg.Mode, s.layout.NumPages())
 	}
+	n.rt = newRouter(n, modes, s.cfg.AdaptEveryBarriers > 0)
+	n.e = n.rt
 	return n
 }
 
@@ -281,7 +295,16 @@ func (n *Node) ID() mem.ProcID { return n.id }
 // are atomics: the snapshot never blocks protocol work, and each field
 // is internally consistent (the set as a whole is a moment-in-time read
 // of monotone counters, not a transaction).
-func (n *Node) Stats() Stats { return n.stats.snapshot() }
+func (n *Node) Stats() Stats {
+	st := n.stats.snapshot()
+	n.rt.fillPageStats(&st)
+	return st
+}
+
+// PageModes returns the node's current per-page protocol routing (a
+// static configuration's map, or whatever the adaptive classifier has
+// re-routed to).
+func (n *Node) PageModes() []Mode { return n.rt.pageModes() }
 
 // Clock returns a copy of the node's current vector clock (all zero
 // entries under the eager and SC engines, which do not track causality).
@@ -569,7 +592,9 @@ func (n *Node) dispatchMsg(m *wire.Msg, src mem.ProcID) {
 		n.barCh <- m
 	case wire.KGCReady:
 		n.gcCh <- m
-	case wire.KBarrierExit, wire.KGCDone:
+	case wire.KReclassReady:
+		n.reclassCh <- m
+	case wire.KBarrierExit, wire.KGCDone, wire.KReclassGo:
 		n.deliverResponse(m)
 	default:
 		// Count the frame against its source's collector gate before it
@@ -652,6 +677,7 @@ func (n *Node) shutdown() {
 	n.waiterMu.Unlock()
 	close(n.barCh)
 	close(n.gcCh)
+	close(n.reclassCh)
 }
 
 // --- application API: memory ---

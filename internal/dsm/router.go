@@ -1,0 +1,453 @@
+package dsm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/vc"
+	"repro/internal/wire"
+)
+
+// router is the per-page protocol dispatcher: it implements the engine
+// interface the Node drives, holds one constructed engine per resident
+// protocol, and routes every page access, every page-keyed handler
+// message and every synchronization payload to the engine owning that
+// page. A single-mode system is simply a router with one resident.
+//
+// The mode table is the only mutable routing state. Reads are atomic and
+// lock-free (every access and handler dispatch consults it); writes
+// happen only inside the barrier-time reclassification rendezvous, while
+// every application goroutine cluster-wide is parked, so no page ever has
+// traffic in flight under two modes at once (see adaptive.go).
+//
+// On shared synchronization messages (lock requests/grants, barrier
+// arrivals/exits) each resident engine's consistency payload travels as a
+// mode-tagged wire.Section: the router fans the hook out to every
+// resident in canonical Mode order, collects each engine's scratch
+// payload into its section, and on receive hands each engine a view of
+// exactly its own section. Canonical order matters: engines that
+// rendezvous inside their hooks (two resident lazy engines each running a
+// GC exchange) must do so in the same order on every node.
+type router struct {
+	n *Node
+	// modeTab[pg] is the page's current protocol (a Mode), read on every
+	// access and handler dispatch.
+	modeTab []atomic.Int32
+	// classTab[pg] is the page's last classification (a pageClass), for
+	// stats; classUnknown before the first adaptive epoch.
+	classTab []atomic.Int32
+	// engines is indexed by Mode; nil entries are not resident. residents
+	// lists the non-nil ones in canonical order.
+	engines   [8]engine
+	order     []Mode
+	residents []engine
+
+	// ctr is the per-page access counter table feeding the adaptive
+	// classifier and the per-page stats surface.
+	ctr []pageCounter
+	// prevCtr is the previous classification epoch's counter snapshot
+	// (leader-only: touched by the barrier leader inside the adaptive
+	// exchange, never concurrently).
+	prevCtr []counterDelta
+	// epoch is the classification epoch, bumped in lockstep cluster-wide
+	// whenever a reclassification actually re-routes pages. The barrier
+	// master validates every node reports the same epoch before trusting
+	// its counters.
+	epoch atomic.Uint32
+}
+
+// pageCounter is one page's live access counters. All fields are atomics:
+// application goroutines tick the local side, shard workers and directory
+// transactions tick the remote side, and snapshots never block protocol
+// work.
+type pageCounter struct {
+	localReads   atomic.Int64
+	localWrites  atomic.Int64
+	remoteReads  atomic.Int64 // reads served here for other nodes
+	remoteWrites atomic.Int64 // writes/flushes/notices from other nodes
+	diffs        atomic.Int64 // diffs and write-backs applied to this page
+	// writers is the bitmask of nodes observed writing since the last
+	// classification snapshot (swapped to zero there); writersEver is the
+	// cumulative mask for the stats surface.
+	writers     atomic.Uint64
+	writersEver atomic.Uint64
+}
+
+// counterDelta is one page's counter values over one classification
+// epoch, as shipped to the barrier master.
+type counterDelta struct {
+	localReads, localWrites   int64
+	remoteReads, remoteWrites int64
+	diffs                     int64
+	writers                   uint64
+}
+
+// newRouter builds the node's engine set for a per-page mode table.
+// With adaptation enabled the classifier's target protocols are resident
+// from the start even if no page initially routes to them, so a re-route
+// never has to construct (and somehow synchronize) a new engine
+// mid-run.
+func newRouter(n *Node, modes []Mode, adaptive bool) *router {
+	numPages := n.sys.layout.NumPages()
+	r := &router{
+		n:        n,
+		modeTab:  make([]atomic.Int32, numPages),
+		classTab: make([]atomic.Int32, numPages),
+		ctr:      make([]pageCounter, numPages),
+		prevCtr:  make([]counterDelta, numPages),
+	}
+	for pg, m := range modes {
+		r.modeTab[pg].Store(int32(m))
+	}
+	need := distinctModes(modes)
+	if adaptive {
+		need = append(need, adaptTargets...)
+		need = distinctModes(need)
+	}
+	r.order = need
+	for _, m := range need {
+		var e engine
+		switch m {
+		case LazyInvalidate, LazyUpdate:
+			e = newLazyEngine(n, m == LazyUpdate)
+		case EagerInvalidate, EagerUpdate:
+			e = newEagerEngine(n, m == EagerUpdate)
+		case SeqConsistent:
+			e = newSCEngine(n)
+		default:
+			panic(fmt.Sprintf("dsm: node %d: unvalidated mode %d in mode map", n.id, m))
+		}
+		r.engines[m] = e
+		r.residents = append(r.residents, e)
+	}
+	return r
+}
+
+// modeOf returns page pg's current protocol.
+func (r *router) modeOf(pg mem.PageID) Mode {
+	return Mode(r.modeTab[pg].Load())
+}
+
+// engineFor returns the engine currently owning page pg.
+func (r *router) engineFor(pg mem.PageID) engine {
+	return r.engines[r.modeOf(pg)]
+}
+
+// lazyResident returns mode's engine if it is a resident lazy engine
+// (the KDiffReq routing tag), nil otherwise.
+func (r *router) lazyResident(m Mode) engine {
+	if m == LazyInvalidate || m == LazyUpdate {
+		return r.engines[m]
+	}
+	return nil
+}
+
+// --- access routing ---
+
+func (r *router) readPage(pg mem.PageID, off int, dst []byte) error {
+	r.ctr[pg].localReads.Add(1)
+	return r.engineFor(pg).readPage(pg, off, dst)
+}
+
+func (r *router) writePage(pg mem.PageID, off int, src []byte) error {
+	c := &r.ctr[pg]
+	c.localWrites.Add(1)
+	bit := uint64(1) << r.n.id
+	c.writers.Or(bit)
+	c.writersEver.Or(bit)
+	return r.engineFor(pg).writePage(pg, off, src)
+}
+
+// --- handler routing ---
+
+// handle routes engine traffic. Page-keyed kinds go to the engine that
+// owns the page (its verdict is final: a kind the owner does not speak is
+// recorded by the caller, exactly as a single-mode node would); diff
+// requests route by the requesting engine's mode tag (B), so two
+// resident lazy engines keep separate diff stores; anything else — an
+// invalid page id included — falls through to the residents in canonical
+// order, preserving each engine's own handler-side validation errors.
+func (r *router) handle(m *wire.Msg, src mem.ProcID) bool {
+	switch m.Kind {
+	case wire.KPageReq, wire.KPageResp, wire.KFetch, wire.KInval, wire.KUpdate,
+		wire.KFlushReq, wire.KFlushDone, wire.KWriteReq, wire.KWriteResp:
+		if pg, ok := pageOf(r.n.sys.layout, m.A); ok {
+			r.notePageTraffic(pg, m)
+			return r.engineFor(pg).handle(m, src)
+		}
+	case wire.KDiffReq:
+		if e := r.lazyResident(Mode(m.B)); e != nil {
+			return e.handle(m, src)
+		}
+	}
+	for _, e := range r.residents {
+		if e.handle(m, src) {
+			return true
+		}
+	}
+	return false
+}
+
+// notePageTraffic ticks the remote-side access counters for an incoming
+// page-keyed message (ids already bounds-checked by the caller; the
+// writer id B is engine-validated later, so an out-of-range forgery is
+// merely not counted).
+func (r *router) notePageTraffic(pg mem.PageID, m *wire.Msg) {
+	c := &r.ctr[pg]
+	switch m.Kind {
+	case wire.KPageReq, wire.KFetch:
+		c.remoteReads.Add(1)
+	case wire.KWriteReq, wire.KFlushReq:
+		c.remoteWrites.Add(1)
+		if r.n.validProc(mem.ProcID(m.B)) {
+			bit := uint64(1) << uint(m.B)
+			c.writers.Or(bit)
+			c.writersEver.Or(bit)
+		}
+	}
+}
+
+// noteRemoteWriter records a write notice observed for page pg from
+// proc, for the classifier (called by the lazy engines while absorbing
+// interval records).
+func (r *router) noteRemoteWriter(pg mem.PageID, proc mem.ProcID) {
+	c := &r.ctr[pg]
+	c.remoteWrites.Add(1)
+	bit := uint64(1) << uint(proc)
+	c.writers.Or(bit)
+	c.writersEver.Or(bit)
+}
+
+// noteDiffApplied records a diff (or eager write-back/update) applied to
+// page pg — the false-sharing traffic signal.
+func (r *router) noteDiffApplied(pg mem.PageID) {
+	r.ctr[pg].diffs.Add(1)
+}
+
+// --- mode-tagged section fan-out ---
+
+// sectionView builds engine mode's view of a received shared message:
+// header fields shared, consistency payload from exactly its section
+// (empty when the sender's engine had nothing to say — identical to the
+// pre-section single-mode message with no payload).
+func sectionView(m *wire.Msg, mode Mode) *wire.Msg {
+	v := &wire.Msg{Kind: m.Kind, Seq: m.Seq, A: m.A, B: m.B}
+	for i := range m.Sections {
+		if s := &m.Sections[i]; Mode(s.Mode) == mode {
+			v.VC, v.Intervals, v.Diffs = s.VC, s.Intervals, s.Diffs
+			break
+		}
+	}
+	return v
+}
+
+// collectSection appends engine mode's scratch payload to out's sections
+// if the engine produced one.
+func collectSection(out *wire.Msg, mode Mode, scratch *wire.Msg) {
+	if scratch.VC == nil && len(scratch.Intervals) == 0 && len(scratch.Diffs) == 0 {
+		return
+	}
+	out.Sections = append(out.Sections, wire.Section{
+		Mode: uint16(mode), VC: scratch.VC,
+		Intervals: scratch.Intervals, Diffs: scratch.Diffs,
+	})
+}
+
+// checkSections validates a received message's mode tags: a section for
+// a protocol this node does not host, a duplicated mode, or a clock whose
+// length does not match the cluster is a forgery or corruption — recorded
+// and dropped (the remaining sections still apply; op names the message
+// for the error).
+func (r *router) checkSections(op string, m *wire.Msg, src mem.ProcID) {
+	var seen [256]bool
+	kept := m.Sections[:0]
+	for _, s := range m.Sections {
+		switch {
+		case int(s.Mode) >= len(r.engines) || r.engines[s.Mode] == nil:
+			r.n.noteErr(op, fmt.Errorf("section for non-resident mode %d from %d", s.Mode, src))
+		case seen[s.Mode]:
+			r.n.noteErr(op, fmt.Errorf("duplicate section for mode %v from %d", Mode(s.Mode), src))
+		case len(s.VC) != 0 && len(s.VC) != r.n.sys.cfg.Procs:
+			r.n.noteErr(op, fmt.Errorf("section for mode %v from %d carries a %d-entry clock (cluster has %d)",
+				Mode(s.Mode), src, len(s.VC), r.n.sys.cfg.Procs))
+		default:
+			seen[s.Mode] = true
+			kept = append(kept, s)
+		}
+	}
+	m.Sections = kept
+}
+
+// --- synchronization hooks (fan out to every resident, in order) ---
+
+func (r *router) acquireStart(req *wire.Msg) {
+	for _, m := range r.order {
+		scratch := &wire.Msg{Kind: req.Kind, Seq: req.Seq, A: req.A, B: req.B}
+		r.engines[m].acquireStart(scratch)
+		collectSection(req, m, scratch)
+	}
+}
+
+func (r *router) grant(req, grant *wire.Msg) {
+	r.checkSections("lock grant build", req, mem.ProcID(req.B))
+	for _, m := range r.order {
+		scratch := &wire.Msg{Kind: grant.Kind, Seq: grant.Seq, A: grant.A, B: grant.B}
+		r.engines[m].grant(sectionView(req, m), scratch)
+		collectSection(grant, m, scratch)
+	}
+}
+
+func (r *router) onGrant(grant *wire.Msg) error {
+	r.checkSections("lock grant", grant, mem.ProcID(grant.B))
+	var first error
+	for _, m := range r.order {
+		if err := r.engines[m].onGrant(sectionView(grant, m)); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (r *router) preRelease() error {
+	for _, e := range r.residents {
+		if err := e.preRelease(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *router) release() {
+	for _, e := range r.residents {
+		e.release()
+	}
+}
+
+func (r *router) preBarrier() error {
+	for _, e := range r.residents {
+		if err := e.preBarrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *router) barrierEntry() {
+	for _, e := range r.residents {
+		e.barrierEntry()
+	}
+}
+
+func (r *router) arrive(arrive *wire.Msg) {
+	for _, m := range r.order {
+		scratch := &wire.Msg{Kind: arrive.Kind, Seq: arrive.Seq, A: arrive.A, B: arrive.B}
+		r.engines[m].arrive(scratch)
+		collectSection(arrive, m, scratch)
+	}
+}
+
+func (r *router) masterAbsorb(m *wire.Msg) {
+	r.checkSections("barrier arrival", m, mem.ProcID(m.B))
+	for _, mode := range r.order {
+		r.engines[mode].masterAbsorb(sectionView(m, mode))
+	}
+}
+
+func (r *router) exit(m, exit *wire.Msg) {
+	for _, mode := range r.order {
+		scratch := &wire.Msg{Kind: exit.Kind, Seq: exit.Seq, A: exit.A, B: exit.B}
+		r.engines[mode].exit(sectionView(m, mode), scratch)
+		collectSection(exit, mode, scratch)
+	}
+}
+
+func (r *router) onExit(exit *wire.Msg) error {
+	r.checkSections("barrier exit", exit, mem.ProcID(exit.B))
+	var first error
+	for _, m := range r.order {
+		if err := r.engines[m].onExit(sectionView(exit, m)); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (r *router) postBarrier(b mem.BarrierID) error {
+	var first error
+	for _, e := range r.residents {
+		if err := e.postBarrier(b); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- page migration hooks ---
+
+func (r *router) dropPage(pg mem.PageID) {
+	r.engineFor(pg).dropPage(pg)
+}
+
+func (r *router) adoptPage(pg mem.PageID, data []byte) {
+	r.engineFor(pg).adoptPage(pg, data)
+}
+
+// clock merges the resident engines' vector times (non-causal engines
+// report zeros, so a mixed node's clock is its lazy engines' joint
+// time).
+func (r *router) clock() vc.VC {
+	out := r.residents[0].clock()
+	for _, e := range r.residents[1:] {
+		out = out.Max(e.clock())
+	}
+	return out
+}
+
+// --- stats surface ---
+
+// PageStat is one page's routing state and access counters in a Stats
+// snapshot (pages with no recorded activity are omitted).
+type PageStat struct {
+	Page         int
+	Mode         string
+	Class        string
+	LocalReads   int64
+	LocalWrites  int64
+	RemoteReads  int64
+	RemoteWrites int64
+	DiffsApplied int64
+	Writers      uint64 // bitmask of nodes ever observed writing
+}
+
+// fillPageStats appends the per-page counter snapshot to a Stats value.
+func (r *router) fillPageStats(st *Stats) {
+	for pg := range r.ctr {
+		c := &r.ctr[pg]
+		ps := PageStat{
+			Page:         pg,
+			Mode:         r.modeOf(mem.PageID(pg)).String(),
+			Class:        pageClass(r.classTab[pg].Load()).String(),
+			LocalReads:   c.localReads.Load(),
+			LocalWrites:  c.localWrites.Load(),
+			RemoteReads:  c.remoteReads.Load(),
+			RemoteWrites: c.remoteWrites.Load(),
+			DiffsApplied: c.diffs.Load(),
+			Writers:      c.writersEver.Load(),
+		}
+		if ps.LocalReads == 0 && ps.LocalWrites == 0 && ps.RemoteReads == 0 &&
+			ps.RemoteWrites == 0 && ps.DiffsApplied == 0 && ps.Writers == 0 {
+			continue
+		}
+		st.Pages = append(st.Pages, ps)
+	}
+}
+
+// pageModes snapshots the current mode table.
+func (r *router) pageModes() []Mode {
+	out := make([]Mode, len(r.modeTab))
+	for pg := range r.modeTab {
+		out[pg] = Mode(r.modeTab[pg].Load())
+	}
+	return out
+}

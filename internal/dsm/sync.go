@@ -215,11 +215,24 @@ func (n *Node) Barrier(b mem.BarrierID) error {
 }
 
 // clusterBarrier is the node-level barrier: the distributed rendezvous
-// through the master plus the engine's pre/post episode work.
+// through the master plus the engine's pre/post episode work. On
+// classification epochs (every AdaptEveryBarriers-th barrier) the
+// arrival and exit messages additionally carry the adaptive exchange in
+// their Data payload — per-page counter deltas up, the master's re-route
+// decision down — and a non-empty re-route set is applied in a dedicated
+// rendezvous before any application goroutine leaves the barrier (see
+// adaptive.go).
 func (n *Node) clusterBarrier(b mem.BarrierID) error {
 	if err := n.e.preBarrier(); err != nil {
 		return err
 	}
+
+	n.barCount++
+	adaptDue := n.sys.cfg.AdaptEveryBarriers > 0 &&
+		n.barCount%n.sys.cfg.AdaptEveryBarriers == 0
+
+	var routes []reroute
+	newEpoch := uint32(0)
 
 	const master = mem.ProcID(0)
 	if n.id == master {
@@ -239,9 +252,20 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 		for _, m := range arrivals {
 			n.e.masterAbsorb(m)
 		}
+		var exitData []byte
+		if adaptDue {
+			st := &adaptState{epoch: n.rt.epoch.Load()}
+			for _, m := range arrivals {
+				n.absorbPeerCounters(st, m)
+			}
+			st.nodes = append(st.nodes, n.id)
+			st.deltas = append(st.deltas, n.rt.snapshotDeltas())
+			newEpoch, routes = n.rt.classifyRoutes(st)
+			exitData = encodeReroutes(newEpoch, routes)
+		}
 		// Exit messages carry what each arriver lacks.
 		for _, m := range arrivals {
-			exit := &wire.Msg{Kind: wire.KBarrierExit, Seq: m.Seq, A: int32(b)}
+			exit := &wire.Msg{Kind: wire.KBarrierExit, Seq: m.Seq, A: int32(b), Data: exitData}
 			n.e.exit(m, exit)
 			if err := n.send(mem.ProcID(m.B), exit); err != nil {
 				return err
@@ -254,17 +278,35 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 			A:    int32(b),
 			B:    int32(n.id),
 		}
+		if adaptDue {
+			arrive.Data = encodeCounterDeltas(n.rt.epoch.Load(), n.rt.snapshotDeltas())
+		}
 		n.e.barrierEntry()
 		n.e.arrive(arrive)
 		exit, err := n.rpc(master, arrive)
 		if err != nil {
 			return err
 		}
+		if adaptDue {
+			// An undecodable re-route set must fail the barrier loudly: a
+			// node that silently skipped it would route pages differently
+			// from the rest of the cluster.
+			newEpoch, routes, err = decodeReroutes(exit.Data, n.sys.layout.NumPages())
+			if err != nil {
+				return fmt.Errorf("dsm: node %d: barrier %d: %w", n.id, b, err)
+			}
+		}
 		if err := n.e.onExit(exit); err != nil {
 			return err
 		}
 	}
-	return n.e.postBarrier(b)
+	if err := n.e.postBarrier(b); err != nil {
+		return err
+	}
+	if adaptDue && len(routes) > 0 {
+		return n.applyReclass(b, routes, newEpoch)
+	}
+	return nil
 }
 
 // --- handler-side lock processing ---
@@ -292,7 +334,10 @@ func (n *Node) handleLockReq(m *wire.Msg) {
 		return
 	}
 	n.lockMu.Unlock()
-	fwd := &wire.Msg{Kind: wire.KLockFwd, Seq: m.Seq, A: m.A, B: m.B, VC: m.VC}
+	// The forward carries the requester's consistency payload through —
+	// both the flat VC (legacy single-payload form) and the mode-tagged
+	// sections each resident engine stamped in acquireStart.
+	fwd := &wire.Msg{Kind: wire.KLockFwd, Seq: m.Seq, A: m.A, B: m.B, VC: m.VC, Sections: m.Sections}
 	n.stage(prev, fwd)
 }
 

@@ -36,6 +36,16 @@ func sampleMsgs() []*Msg {
 		{Kind: KDiffResp, Seq: 9, Diffs: []DiffRec{{Page: 4, Proc: 1, Index: 2, Diff: diff}}},
 		{Kind: KPageResp, Seq: 10, A: 4, Data: bytes.Repeat([]byte{0xab}, 128)},
 		{Kind: KBarrierArrive, Seq: 11, A: 0, B: 2, VC: vc.VC{9, 9, 9, 9}},
+		// Mode-tagged sections: a mixed-mode lock grant carrying two
+		// engines' consistency payloads side by side.
+		{Kind: KLockGrant, Seq: 12, A: 3, Sections: []Section{
+			{Mode: 0, VC: vc.VC{1, 2, 3, 4},
+				Intervals: []IntervalRec{{Proc: 1, Index: 2, VC: vc.VC{0, 2, 0, 0}, Pages: []mem.PageID{7}}}},
+			{Mode: 1, VC: vc.VC{4, 3, 2, 1},
+				Diffs: []DiffRec{{Page: 7, Proc: 1, Index: 2, Diff: diff}}},
+		}},
+		{Kind: KBarrierArrive, Seq: 13, A: 0, B: 1, Data: []byte{1, 2, 3},
+			Sections: []Section{{Mode: 4}}},
 	}
 }
 
@@ -45,10 +55,16 @@ func TestDecodeMalformed(t *testing.T) {
 	grant := sampleMsgs()[1].EncodeAppend(nil)
 	pageResp := sampleMsgs()[4].EncodeAppend(nil)
 	diffResp := sampleMsgs()[3].EncodeAppend(nil)
+	secGrant := sampleMsgs()[6].EncodeAppend(nil)
 
 	corrupt := func(b []byte, off int, v uint32) []byte {
 		c := append([]byte(nil), b...)
 		binary.LittleEndian.PutUint32(c[off:], v)
+		return c
+	}
+	corruptFlags := func(b []byte, bits uint32) []byte {
+		c := append([]byte(nil), b...)
+		binary.LittleEndian.PutUint32(c[20:], binary.LittleEndian.Uint32(c[20:])|bits)
 		return c
 	}
 
@@ -73,6 +89,19 @@ func TestDecodeMalformed(t *testing.T) {
 		{"hostile run count", corrupt(diffResp, headerBytes+4+4+12, 1<<26), "implausible run count"},
 		{"negative run offset", corrupt(diffResp, headerBytes+4+4+12+4, 0x80000000), "negative run offset"},
 		{"negative run length", corrupt(diffResp, headerBytes+4+4+12+4+4, 0x80000000), "truncated payload"},
+		// Mode-tagged sections: forged header flags, hostile section
+		// counts, out-of-range mode ids, truncations inside a section.
+		{"unknown flag bits", corruptFlags(grant, 0x10), "unknown header flag bits"},
+		// The sectioned grant carries no top-level VC, so its four empty
+		// flat-section counts put the section count at headerBytes+16.
+		{"hostile section count", corrupt(secGrant, headerBytes+16, 1<<28), "implausible section count"},
+		{"negative section count", corrupt(secGrant, headerBytes+16, 0xffffffff), "implausible section count"},
+		{"hostile section mode", corrupt(secGrant, headerBytes+20, 4096), "implausible section mode"},
+		{"negative section mode", corrupt(secGrant, headerBytes+20, 0x80000000), "implausible section mode"},
+		{"hostile section clock count", corrupt(secGrant, headerBytes+24, 1<<20), "implausible section clock count"},
+		{"truncated mid-section", secGrant[:len(secGrant)-5], "truncated"},
+		{"section flag without payload", corruptFlags(grant[:headerBytes+4+4*4+12], 0x2), "implausible"},
+		{"trailing bytes after sections", append(append([]byte(nil), secGrant...), 0xcc), "trailing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

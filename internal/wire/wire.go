@@ -94,6 +94,14 @@ const (
 	// KWriteResp: home -> requester granting ownership; Data carries the
 	// page contents unless the requester already holds a current copy.
 	KWriteResp
+	// KReclassReady: node -> barrier master during an adaptive
+	// reclassification epoch, signalling the node finished the current
+	// migration phase; KReclassGo: master -> nodes releasing the next
+	// phase. A/B = barrier id, arriving node (ready only). Two
+	// ready/go rounds bracket a protocol re-route so no node resumes
+	// application work before every node has flipped its mode table.
+	KReclassReady
+	KReclassGo
 
 	// KBatch is a frame-level kind, not a protocol message: one batch
 	// frame carries A count-prefixed sub-messages coalesced by the
@@ -127,6 +135,7 @@ var kindNames = map[Kind]string{
 	KUpdate: "update", KUpdateAck: "updateack",
 	KFlushReq: "flushreq", KFlushDone: "flushdone",
 	KWriteReq: "writereq", KWriteResp: "writeresp",
+	KReclassReady: "reclassready", KReclassGo: "reclassgo",
 	KBatch: "batch", KCompressed: "compressed",
 }
 
@@ -135,7 +144,8 @@ var kindNames = map[Kind]string{
 func (k Kind) IsResponse() bool {
 	switch k {
 	case KLockGrant, KDiffResp, KPageResp, KBarrierExit, KGCDone,
-		KFetchResp, KInvalAck, KUpdateAck, KFlushDone, KWriteResp:
+		KFetchResp, KInvalAck, KUpdateAck, KFlushDone, KWriteResp,
+		KReclassGo:
 		return true
 	}
 	return false
@@ -173,6 +183,21 @@ type Want struct {
 	Index int32
 }
 
+// Section is one protocol engine's consistency payload on a shared
+// synchronization message. With per-page protocol routing several engines
+// coexist in one node, and a lock grant or barrier message carries each
+// resident engine's state — lazy write notices and clocks next to
+// eager/SC traffic — as mode-tagged sections instead of the flat
+// VC/Intervals/Diffs fields. Mode is the dsm-layer protocol id (small;
+// the decoder bounds it at 255 and the dsm layer rejects ids it does not
+// host, recorded-error-then-drop).
+type Section struct {
+	Mode      uint16
+	VC        vc.VC
+	Intervals []IntervalRec
+	Diffs     []DiffRec
+}
+
 // Msg is a runtime protocol message. Only the fields relevant to Kind are
 // encoded; see the Kind constants for field meanings of A and B.
 type Msg struct {
@@ -184,7 +209,8 @@ type Msg struct {
 	Intervals []IntervalRec
 	Diffs     []DiffRec
 	Wants     []Want
-	Data      []byte // page contents (KPageResp)
+	Data      []byte    // page contents (KPageResp)
+	Sections  []Section // per-engine payloads on shared sync messages
 }
 
 // header layout: kind(2) reserved(2) seq(8) a(4) b(4) counts(4) = 24 bytes
@@ -252,7 +278,10 @@ func (m *Msg) EncodeAppend(buf []byte) []byte {
 	binary.LittleEndian.PutUint32(h[16:], uint32(m.B))
 	flags := uint32(0)
 	if m.VC != nil {
-		flags |= 1
+		flags |= flagVC
+	}
+	if m.Sections != nil {
+		flags |= flagSections
 	}
 	binary.LittleEndian.PutUint32(h[20:], flags)
 	buf = append(buf, h[:]...)
@@ -263,8 +292,44 @@ func (m *Msg) EncodeAppend(buf []byte) []byte {
 			buf = put32(buf, x)
 		}
 	}
-	buf = put32(buf, int32(len(m.Intervals)))
-	for _, iv := range m.Intervals {
+	buf = appendIntervalList(buf, m.Intervals)
+	buf = appendDiffList(buf, m.Diffs)
+	buf = put32(buf, int32(len(m.Wants)))
+	for _, w := range m.Wants {
+		buf = put32(buf, int32(w.Page))
+		buf = put32(buf, int32(w.Proc))
+		buf = put32(buf, w.Index)
+	}
+	buf = put32(buf, int32(len(m.Data)))
+	buf = append(buf, m.Data...)
+	if m.Sections != nil {
+		buf = put32(buf, int32(len(m.Sections)))
+		for _, s := range m.Sections {
+			buf = put32(buf, int32(s.Mode))
+			buf = put32(buf, int32(len(s.VC)))
+			for _, x := range s.VC {
+				buf = put32(buf, x)
+			}
+			buf = appendIntervalList(buf, s.Intervals)
+			buf = appendDiffList(buf, s.Diffs)
+		}
+	}
+	return buf
+}
+
+// Header flag bits. Anything else set is a decode error: an accepted
+// frame must have exactly one encoding, and unknown bits would otherwise
+// be silently dropped on the re-encode.
+const (
+	flagVC       = 1 << 0 // the top-level VC section is present
+	flagSections = 1 << 1 // the mode-tagged Sections block is present
+)
+
+// appendIntervalList encodes a count-prefixed interval block (shared by
+// the flat message body and each mode-tagged section).
+func appendIntervalList(buf []byte, ivs []IntervalRec) []byte {
+	buf = put32(buf, int32(len(ivs)))
+	for _, iv := range ivs {
 		buf = put32(buf, int32(iv.Proc))
 		buf = put32(buf, iv.Index)
 		buf = put32(buf, int32(len(iv.VC)))
@@ -276,8 +341,14 @@ func (m *Msg) EncodeAppend(buf []byte) []byte {
 			buf = put32(buf, int32(p))
 		}
 	}
-	buf = put32(buf, int32(len(m.Diffs)))
-	for _, d := range m.Diffs {
+	return buf
+}
+
+// appendDiffList encodes a count-prefixed diff block (shared by the flat
+// message body and each mode-tagged section).
+func appendDiffList(buf []byte, diffs []DiffRec) []byte {
+	buf = put32(buf, int32(len(diffs)))
+	for _, d := range diffs {
 		buf = put32(buf, int32(d.Page))
 		buf = put32(buf, int32(d.Proc))
 		buf = put32(buf, d.Index)
@@ -289,14 +360,6 @@ func (m *Msg) EncodeAppend(buf []byte) []byte {
 			buf = append(buf, d.Diff.RunData(i)...)
 		}
 	}
-	buf = put32(buf, int32(len(m.Wants)))
-	for _, w := range m.Wants {
-		buf = put32(buf, int32(w.Page))
-		buf = put32(buf, int32(w.Proc))
-		buf = put32(buf, w.Index)
-	}
-	buf = put32(buf, int32(len(m.Data)))
-	buf = append(buf, m.Data...)
 	return buf
 }
 
@@ -307,6 +370,12 @@ func (m *Msg) encodedSizeHint() int {
 	}
 	n += len(m.Data)
 	n += len(m.Intervals) * 64
+	for _, s := range m.Sections {
+		n += 16 + 4*len(s.VC) + len(s.Intervals)*64
+		for _, d := range s.Diffs {
+			n += d.Diff.WireSize()
+		}
+	}
 	return n
 }
 
@@ -412,8 +481,13 @@ func Decode(b []byte) (*Msg, error) {
 		return nil, fmt.Errorf("wire: compressed frame in message position")
 	}
 	flags := binary.LittleEndian.Uint32(b[20:])
+	if flags&^uint32(flagVC|flagSections) != 0 {
+		// Unknown flag bits would be silently dropped on re-encode; an
+		// accepted frame must have exactly one encoding.
+		return nil, fmt.Errorf("wire: unknown header flag bits %#x", flags)
+	}
 	d := &decoder{b: b, off: headerBytes}
-	if flags&1 != 0 {
+	if flags&flagVC != 0 {
 		n := d.count("clock", 64)
 		m.VC = make(vc.VC, n)
 		for i := range m.VC {
@@ -423,7 +497,71 @@ func Decode(b []byte) (*Msg, error) {
 	// Section counts are bounded by the bytes actually present (each
 	// interval is at least 16 bytes on the wire, each run 8, and so on),
 	// so hostile counts fail before any allocation sized by them.
+	m.Intervals = d.intervalList()
+	m.Diffs = d.diffList()
+	if d.err != nil {
+		return nil, d.err
+	}
+	nwants := d.countItems("want", 12)
+	for i := int32(0); i < nwants && d.err == nil; i++ {
+		m.Wants = append(m.Wants, Want{
+			Page:  mem.PageID(d.i32()),
+			Proc:  mem.ProcID(d.i32()),
+			Index: d.i32(),
+		})
+	}
+	ndata := d.countItems("data", 1)
+	if ndata > 0 {
+		payload := d.bytes(int(ndata))
+		if d.err == nil {
+			m.Data = make([]byte, ndata)
+			copy(m.Data, payload)
+		}
+	}
+	if flags&flagSections != 0 {
+		nsecs := d.countItems("section", 16)
+		if d.err == nil {
+			m.Sections = make([]Section, 0, nsecs)
+		}
+		for i := int32(0); i < nsecs && d.err == nil; i++ {
+			var s Section
+			mode := d.i32()
+			if d.err == nil && (mode < 0 || mode > 255) {
+				// Engine mode ids are tiny; anything bigger is a forgery or
+				// corruption. Semantically-unknown small ids decode fine and
+				// are rejected at the dsm layer (recorded-error-then-drop).
+				d.err = fmt.Errorf("wire: implausible section mode %d", mode)
+				break
+			}
+			s.Mode = uint16(mode)
+			if vn := d.count("section clock", 64); vn > 0 {
+				s.VC = make(vc.VC, vn)
+				for k := range s.VC {
+					s.VC[k] = d.i32()
+				}
+			}
+			s.Intervals = d.intervalList()
+			s.Diffs = d.diffList()
+			if d.err != nil {
+				break
+			}
+			m.Sections = append(m.Sections, s)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-d.off)
+	}
+	return m, nil
+}
+
+// intervalList decodes a count-prefixed interval block (the inverse of
+// appendIntervalList), with the same hostile-count bounds as before.
+func (d *decoder) intervalList() []IntervalRec {
 	nivs := d.countItems("interval", 16)
+	var out []IntervalRec
 	for i := int32(0); i < nivs && d.err == nil; i++ {
 		var iv IntervalRec
 		iv.Proc = mem.ProcID(d.i32())
@@ -441,9 +579,16 @@ func Decode(b []byte) (*Msg, error) {
 		if d.err != nil {
 			break
 		}
-		m.Intervals = append(m.Intervals, iv)
+		out = append(out, iv)
 	}
+	return out
+}
+
+// diffList decodes a count-prefixed diff block (the inverse of
+// appendDiffList).
+func (d *decoder) diffList() []DiffRec {
 	ndiffs := d.countItems("diff", 16)
+	var out []DiffRec
 	for i := int32(0); i < ndiffs && d.err == nil; i++ {
 		var rec DiffRec
 		rec.Page = mem.PageID(d.i32())
@@ -472,35 +617,14 @@ func Decode(b []byte) (*Msg, error) {
 		if d.err == nil {
 			df, err := page.DiffFromRuns(runs, data)
 			if err != nil {
-				return nil, fmt.Errorf("wire: %v", err)
+				d.err = fmt.Errorf("wire: %v", err)
+				break
 			}
 			rec.Diff = df
-			m.Diffs = append(m.Diffs, rec)
+			out = append(out, rec)
 		}
 	}
-	nwants := d.countItems("want", 12)
-	for i := int32(0); i < nwants && d.err == nil; i++ {
-		m.Wants = append(m.Wants, Want{
-			Page:  mem.PageID(d.i32()),
-			Proc:  mem.ProcID(d.i32()),
-			Index: d.i32(),
-		})
-	}
-	ndata := d.countItems("data", 1)
-	if ndata > 0 {
-		payload := d.bytes(int(ndata))
-		if d.err == nil {
-			m.Data = make([]byte, ndata)
-			copy(m.Data, payload)
-		}
-	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.off != len(b) {
-		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-d.off)
-	}
-	return m, nil
+	return out
 }
 
 // --- batch frames ---

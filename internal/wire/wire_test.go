@@ -127,6 +127,48 @@ func TestWantsAndDataRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSectionsRoundTrip(t *testing.T) {
+	d := mkDiff(t, 64, 3, 17)
+	m := &Msg{
+		Kind: KLockGrant, Seq: 44, A: 2,
+		Sections: []Section{
+			{Mode: 1, VC: vc.VC{5, 6},
+				Intervals: []IntervalRec{{Proc: 1, Index: 4, VC: vc.VC{0, 4}, Pages: []mem.PageID{2, 3}}},
+				Diffs:     []DiffRec{{Page: 2, Proc: 1, Index: 4, Diff: d}}},
+			{Mode: 4}, // an engine with nothing to say still owns its slot
+		},
+	}
+	got := roundTrip(t, m)
+	if len(got.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(got.Sections))
+	}
+	s := got.Sections[0]
+	if s.Mode != 1 || !reflect.DeepEqual(s.VC, vc.VC{5, 6}) ||
+		len(s.Intervals) != 1 || len(s.Diffs) != 1 {
+		t.Fatalf("section 0 = %+v", s)
+	}
+	if !reflect.DeepEqual(s.Intervals[0].Pages, []mem.PageID{2, 3}) {
+		t.Fatalf("section 0 interval pages = %v", s.Intervals[0].Pages)
+	}
+	if got.Sections[1].Mode != 4 || got.Sections[1].VC != nil ||
+		got.Sections[1].Intervals != nil || got.Sections[1].Diffs != nil {
+		t.Fatalf("empty section = %+v", got.Sections[1])
+	}
+	// Byte-level canonicality, including the empty trailing section.
+	enc := m.EncodeAppend(nil)
+	if !bytes.Equal(got.EncodeAppend(nil), enc) {
+		t.Fatal("re-encoding a sectioned message changed bytes")
+	}
+	// A message without sections must not grow: the flag gates the block.
+	plain := &Msg{Kind: KPageReq}
+	if gotLen := len(plain.EncodeAppend(nil)); gotLen != 24+16 {
+		t.Errorf("sectionless message = %d bytes, want 40", gotLen)
+	}
+	if rt := roundTrip(t, plain); rt.Sections != nil {
+		t.Errorf("sectionless message decoded with Sections = %v", rt.Sections)
+	}
+}
+
 func TestDecodeRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,

@@ -19,6 +19,14 @@ type RuntimeConfig struct {
 	PageSize int
 	// Mode selects the consistency protocol (LI, LU, EI, EU or SC).
 	Mode dsm.Mode
+	// ModeMap, when non-empty, routes each page to its own protocol
+	// instead of running everything under Mode: a dsm.ParseModeMap spec
+	// like "pg0-31=SC,rest=LU" over the space's pages.
+	ModeMap string
+	// AdaptEveryBarriers turns every k-th cluster barrier into an
+	// adaptive classification epoch re-routing pages by their observed
+	// sharing pattern (see dsm.Config.AdaptEveryBarriers; 0 disables).
+	AdaptEveryBarriers int
 	// GCEveryBarriers enables the runtime's barrier-time garbage
 	// collection every k-th episode (0 disables).
 	GCEveryBarriers int
@@ -185,6 +193,20 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 		// systems, a nil image and no traffic.
 		return nil, fmt.Errorf("workload %s on runtime (%s): empty transport list", p.Name(), rc.Mode)
 	}
+	var modeMap []dsm.Mode
+	if rc.ModeMap != "" {
+		numPages := (cfg.SpaceSize + mem.Addr(rc.PageSize) - 1) / mem.Addr(rc.PageSize)
+		var err error
+		modeMap, err = dsm.ParseModeMap(rc.ModeMap, int(numPages))
+		if err != nil {
+			for _, tr := range transports {
+				if tr != nil {
+					tr.Close()
+				}
+			}
+			return nil, fmt.Errorf("workload %s on runtime (%s): %w", p.Name(), rc.Mode, err)
+		}
+	}
 	systems := make([]*dsm.System, 0, len(transports))
 	closeAll := func() {
 		for _, sys := range systems {
@@ -193,17 +215,19 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 	}
 	for i, tr := range transports {
 		sys, err := dsm.New(dsm.Config{
-			Procs:             nodes,
-			SpaceSize:         cfg.SpaceSize,
-			PageSize:          rc.PageSize,
-			Mode:              rc.Mode,
-			GCEveryBarriers:   rc.GCEveryBarriers,
-			Latency:           rc.Latency,
-			NoBatch:           rc.NoBatch,
-			Flush:             rc.Flush,
-			CompressMin:       rc.CompressMin,
-			GoroutinesPerNode: gpn,
-			Transport:         tr,
+			Procs:              nodes,
+			SpaceSize:          cfg.SpaceSize,
+			PageSize:           rc.PageSize,
+			Mode:               rc.Mode,
+			ModeMap:            modeMap,
+			AdaptEveryBarriers: rc.AdaptEveryBarriers,
+			GCEveryBarriers:    rc.GCEveryBarriers,
+			Latency:            rc.Latency,
+			NoBatch:            rc.NoBatch,
+			Flush:              rc.Flush,
+			CompressMin:        rc.CompressMin,
+			GoroutinesPerNode:  gpn,
+			Transport:          tr,
 		})
 		if err != nil {
 			// dsm.New closed tr; close the systems already built and the

@@ -16,7 +16,12 @@
 //     end (the implementation the paper's §7 promises): goroutine-backed
 //     nodes exchanging write notices, twins, diffs, invalidations and
 //     page ships over a pluggable interconnect, with the consistency
-//     policy — LI, LU, EI, EU or SC — selected per instance. See NewDSM.
+//     policy — LI, LU, EI, EU or SC — selected per instance, per page
+//     (DSMConfig.ModeMap routes each page to its own resident engine,
+//     several protocols coexisting in one cluster), or adaptively
+//     (DSMConfig.AdaptEveryBarriers classifies each page's observed
+//     sharing pattern at barrier epochs and re-routes it to the protocol
+//     that pattern favors). See NewDSM.
 //     Nodes are concurrently usable: any number of application
 //     goroutines may drive one node (DSMConfig.GoroutinesPerNode sizes
 //     the barrier rendezvous), with per-page sharded protocol state and
@@ -94,6 +99,13 @@ type (
 	FlushPolicy = dsm.FlushPolicy
 	// Node is one live DSM processor handle.
 	Node = dsm.Node
+	// NodeStats is a live node's accumulated protocol metrics, including
+	// the per-kind traffic breakdown and per-page routing counters.
+	NodeStats = dsm.Stats
+	// PageStat is one page's routing and access-counter snapshot: the
+	// protocol it is currently routed to, its last adaptive sharing
+	// classification, and its access counters.
+	PageStat = dsm.PageStat
 	// Transport is the runtime's pluggable interconnect: the simulated
 	// in-process network by default (DSMConfig.Transport nil), or a real
 	// TCP cluster via NewTCPTransport.
@@ -181,6 +193,18 @@ var DSMModes = dsm.Modes
 
 // ParseDSMMode maps a protocol name to its live runtime mode.
 func ParseDSMMode(s string) (DSMMode, error) { return dsm.ParseMode(s) }
+
+// ParseDSMModeMap parses a per-page protocol assignment like
+// "pg0-31=SC,rest=LU" into a numPages-long mode slice for
+// DSMConfig.ModeMap: protocols coexist in one cluster, each page routed
+// to the engine named for it. Every page must be assigned exactly once.
+func ParseDSMModeMap(spec string, numPages int) ([]DSMMode, error) {
+	return dsm.ParseModeMap(spec, numPages)
+}
+
+// FormatDSMModeMap renders a mode slice back into the compact syntax
+// ParseDSMModeMap accepts.
+func FormatDSMModeMap(modes []DSMMode) string { return dsm.FormatModeMap(modes) }
 
 // Protocols lists the four protocols of the paper's evaluation.
 var Protocols = sim.ProtocolNames
