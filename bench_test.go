@@ -332,6 +332,60 @@ func BenchmarkRuntimeCounter(b *testing.B) {
 	}
 }
 
+// BenchmarkRuntimeCounterObs is BenchmarkRuntimeCounter's gpn=1 shape
+// with the observability surface toggled: "off" is the baseline, "on"
+// registers every live metric series and attaches an enabled tracer. The
+// hooks are scrape-time callbacks plus nil-checked emit sites, so the
+// on/off ns/op gap is the hook overhead CI bounds (< 3%, recorded in
+// BENCH_obs.json).
+func BenchmarkRuntimeCounterObs(b *testing.B) {
+	const procs = 8
+	for _, obsOn := range []bool{false, true} {
+		name := "metrics=off"
+		if obsOn {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := repro.DSMConfig{
+				Procs:     procs,
+				SpaceSize: 64 * 1024,
+				PageSize:  1024,
+				Mode:      repro.LazyInvalidate,
+			}
+			if obsOn {
+				cfg.Metrics = repro.NewMetricsRegistry()
+				cfg.Tracer = repro.NewTracer(1 << 14)
+			}
+			d, err := repro.NewDSM(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			a := repro.NewArena(d.Layout())
+			counter := repro.NewVar[uint64](a)
+			lock := a.NewLock()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for _, n := range d.Local() {
+				wg.Add(1)
+				go func(n *repro.Node) {
+					defer wg.Done()
+					for k := 0; k < b.N; k++ {
+						if err := repro.Locked(n, lock, func() error {
+							_, err := counter.Add(n, 1)
+							return err
+						}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+		})
+	}
+}
+
 func BenchmarkRuntimeLocusRoute(b *testing.B) { benchRuntimeWorkload(b, "locusroute") }
 func BenchmarkRuntimeCholesky(b *testing.B)   { benchRuntimeWorkload(b, "cholesky") }
 func BenchmarkRuntimeMP3D(b *testing.B)       { benchRuntimeWorkload(b, "mp3d") }

@@ -49,11 +49,15 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/dsm"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/transport/fault"
 	"repro/internal/workload"
 )
 
@@ -92,6 +96,10 @@ func run(args []string, out io.Writer) error {
 		compress   = fs.Int("compress", 0, "compress outbound frames of at least this many bytes (0 = off)")
 		peers      = fs.String("peers", "", "comma-separated host:port of every node, in id order (-transport tcp)")
 		self       = fs.Int("self", 0, "this process's index into -peers (-transport tcp)")
+		metrics    = fs.String("metrics", "", "serve live observability on this address (host:port): /metrics Prometheus text, /statusz JSON, /trace Chrome JSON")
+		tracePath  = fs.String("trace", "", "dump the protocol event ring as Chrome trace_event JSON to this file on exit (success or failure)")
+		faultSpec  = fs.String("fault", "", "inject transport faults, e.g. drop=0.01,dup=0.005,delay=2ms,jitter=1ms,partition=2x2,kill=3@5000,seed=7")
+		rpcTimeout = fs.Duration("rpctimeout", 0, "fail any remote wait (rpc response, master rendezvous) after this long instead of hanging (0 = wait forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,13 +145,67 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown transport %q (supported: simnet, tcp)", *transport)
 	}
 
+	ob := &obsCfg{rpcTimeout: *rpcTimeout, tracePath: *tracePath}
+	if *rpcTimeout < 0 {
+		return fmt.Errorf("-rpctimeout %v must not be negative", *rpcTimeout)
+	}
+	if *faultSpec != "" {
+		plan, err := fault.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		ob.plan = &plan
+	}
+	if *metrics != "" {
+		ob.registry = obs.NewRegistry()
+	}
+	if *metrics != "" || *tracePath != "" {
+		ob.tracer = obs.NewTracer(traceRingCap)
+	}
+	if *metrics != "" {
+		srv, err := obs.StartServer(*metrics, obs.ServerConfig{
+			Registry: ob.registry,
+			Status:   ob.statusz,
+			Tracer:   ob.tracer,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "observability: serving /metrics /statusz /trace on http://%s\n", srv.Addr())
+	}
+	if *tracePath != "" {
+		// Dump the event ring whether the run succeeds or dies — a trace
+		// of the ride into a failure is the point of having one.
+		defer func() {
+			if err := ob.dumpTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, "lrcrun: trace dump:", err)
+			}
+		}()
+	}
+
 	// mkTransport opens this process's endpoint; called once the program
 	// to run is validated (nil transport selects the in-process network).
+	// Fault injection needs a concrete transport to decorate, so with
+	// -fault the in-process network is built explicitly.
 	mkTransport := func() (repro.Transport, error) {
+		var tr repro.Transport
 		if peerList == nil {
-			return nil, nil
+			if ob.plan == nil {
+				return nil, nil
+			}
+			tr = repro.NewSimNetTransport(*procs / *gpn)
+		} else {
+			t, err := repro.NewTCPTransport(*self, peerList)
+			if err != nil {
+				return nil, err
+			}
+			tr = t
 		}
-		return repro.NewTCPTransport(*self, peerList)
+		if ob.plan != nil {
+			tr = fault.Wrap(tr, *ob.plan)
+		}
+		return tr, nil
 	}
 
 	pipe := pipeCfg{
@@ -164,18 +226,18 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-app all runs one cluster per workload; start each -app separately under -transport tcp")
 		}
 		for _, name := range workload.Names {
-			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, route, mkTransport); err != nil {
+			if err := runWorkload(out, name, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, route, ob, mkTransport); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *app != "":
-		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, route, mkTransport)
+		return runWorkload(out, *app, *procs, *gpn, *scale, *seed, m, *pageSize, *gc, pipe, route, ob, mkTransport)
 	default:
 		if *demo == "" {
 			*demo = "counter"
 		}
-		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, pipe, route, mkTransport)
+		return runDemo(out, *demo, m, *procs, *gpn, *iters, *pageSize, *gc, pipe, route, ob, mkTransport)
 	}
 }
 
@@ -195,18 +257,76 @@ type routeCfg struct {
 	statsJSON bool
 }
 
+// traceRingCap bounds the protocol event ring: newest events win.
+const traceRingCap = 1 << 16
+
+// obsCfg carries the observability and fault-injection flags: the live
+// metrics registry and tracer handed to every system the run builds, the
+// transport fault plan, and the remote-wait timeout.
+type obsCfg struct {
+	registry   *obs.Registry
+	tracer     *obs.Tracer
+	plan       *fault.Plan
+	rpcTimeout time.Duration
+	tracePath  string
+	// status holds a func() []dsm.Status once the run's systems exist;
+	// /statusz serves a placeholder until then.
+	status atomic.Value
+}
+
+// onSystems is the RuntimeConfig.OnSystems hook: once the run's systems
+// are built, /statusz snapshots them live.
+func (ob *obsCfg) onSystems(systems []*dsm.System) {
+	ob.status.Store(func() []dsm.Status {
+		sts := make([]dsm.Status, len(systems))
+		for i, s := range systems {
+			sts[i] = s.Status()
+		}
+		return sts
+	})
+}
+
+// statusz is the /statusz payload: the systems' live snapshots, or a
+// placeholder before the run has built them.
+func (ob *obsCfg) statusz() any {
+	if f, ok := ob.status.Load().(func() []dsm.Status); ok {
+		return f()
+	}
+	return map[string]string{"state": "starting"}
+}
+
+// dumpTrace writes the event ring as Chrome trace_event JSON to the
+// -trace path.
+func (ob *obsCfg) dumpTrace() error {
+	if ob.tracePath == "" || ob.tracer == nil {
+		return nil
+	}
+	f, err := os.Create(ob.tracePath)
+	if err != nil {
+		return err
+	}
+	if err := ob.tracer.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // statsReport is the -statsjson output: the run's parameters, every local
 // node's dsm.Stats — per-kind traffic breakdown and the per-page routing
-// and access counters — and the interconnect totals.
+// and access counters — the interconnect totals, and the latency model's
+// wire-time estimate for that traffic.
 type statsReport struct {
-	Program string             `json:"program"`
-	Mode    string             `json:"mode"`
-	ModeMap string             `json:"modemap,omitempty"`
-	Adapt   int                `json:"adaptEveryBarriers,omitempty"`
-	Procs   int                `json:"procs"`
-	Nodes   int                `json:"nodes"`
-	Net     dsm.TransportStats `json:"net"`
-	Node    []dsm.Stats        `json:"nodeStats"`
+	Program     string             `json:"program"`
+	Mode        string             `json:"mode"`
+	ModeMap     string             `json:"modemap,omitempty"`
+	Adapt       int                `json:"adaptEveryBarriers,omitempty"`
+	Procs       int                `json:"procs"`
+	Nodes       int                `json:"nodes"`
+	Net         dsm.TransportStats `json:"net"`
+	EstWireTime string             `json:"estWireTime"`
+	EstWireNS   int64              `json:"estWireNs"`
+	Node        []dsm.Stats        `json:"nodeStats"`
 }
 
 func emitStatsJSON(out io.Writer, rep statsReport) error {
@@ -239,7 +359,7 @@ func parsePeers(s string) ([]string, error) {
 // With gpn > 1 the program's processors are multiplexed onto procs/gpn
 // oversubscribed nodes. Under TCP only the process hosting node 0 holds
 // the image; the others report their own traffic.
-func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, pipe pipeCfg, route routeCfg, mkTransport func() (repro.Transport, error)) error {
+func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed int64, m dsm.Mode, pageSize, gc int, pipe pipeCfg, route routeCfg, ob *obsCfg, mkTransport func() (repro.Transport, error)) error {
 	if procs%gpn != 0 {
 		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
 	}
@@ -255,6 +375,8 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 		PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn,
 		ModeMap: route.modeMap, AdaptEveryBarriers: route.adapt,
 		NoBatch: pipe.noBatch, Flush: pipe.flush, CompressMin: pipe.compressMin,
+		RPCTimeout: ob.rpcTimeout, Metrics: ob.registry, Tracer: ob.tracer,
+		OnSystems: ob.onSystems,
 	}
 	if tr != nil {
 		rc.Transports = []repro.Transport{tr}
@@ -266,6 +388,7 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	report := statsReport{
 		Program: name, Mode: m.String(), ModeMap: route.modeMap, Adapt: route.adapt,
 		Procs: procs, Nodes: procs / gpn, Net: res.Net, Node: res.Nodes,
+		EstWireTime: res.Elapsed.String(), EstWireNS: res.Elapsed.Nanoseconds(),
 	}
 	if res.Image == nil {
 		// A TCP process hosting only non-zero nodes: node 0's process
@@ -333,7 +456,7 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	return nil
 }
 
-func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, pipe pipeCfg, route routeCfg, mkTransport func() (repro.Transport, error)) error {
+func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize, gc int, pipe pipeCfg, route routeCfg, ob *obsCfg, mkTransport func() (repro.Transport, error)) error {
 	var body func(out io.Writer, d *repro.DSM, gpn, iters int) error
 	switch demo {
 	case "counter":
@@ -374,12 +497,16 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 		NoBatch:            pipe.noBatch,
 		Flush:              pipe.flush,
 		CompressMin:        pipe.compressMin,
+		RPCTimeout:         ob.rpcTimeout,
+		Metrics:            ob.registry,
+		Tracer:             ob.tracer,
 		Transport:          tr,
 	})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
+	ob.onSystems([]*dsm.System{d})
 
 	if err := body(out, d, gpn, iters); err != nil {
 		return err
@@ -391,6 +518,7 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 	report := statsReport{
 		Program: "demo:" + demo, Mode: m.String(), ModeMap: route.modeMap, Adapt: route.adapt,
 		Procs: procs, Nodes: procs / gpn, Net: st,
+		EstWireTime: d.EstimateTime().String(), EstWireNS: int64(d.EstimateTime()),
 	}
 	for _, n := range d.Local() {
 		ns := n.Stats()

@@ -380,6 +380,7 @@ func (n *Node) applyReclass(b mem.BarrierID, routes []reroute, newEpoch uint32) 
 		r.classTab[rt.pg].Store(int32(rt.cls))
 	}
 	r.epoch.Store(newEpoch)
+	n.emit("adapt", "reclass", int64(len(routes)))
 	if err := n.reclassRendezvous(b); err != nil {
 		return err
 	}
@@ -403,9 +404,9 @@ func (n *Node) reclassRendezvous(b mem.BarrierID) error {
 	}
 	ready := make([]*wire.Msg, 0, n.sys.cfg.Procs-1)
 	for len(ready) < n.sys.cfg.Procs-1 {
-		m, ok := <-n.reclassCh
-		if !ok {
-			return ErrClosed
+		m, err := n.collect(n.reclassCh, "master: reclass rendezvous")
+		if err != nil {
+			return err
 		}
 		if int(m.A) != int(b) || !n.validProc(mem.ProcID(m.B)) {
 			n.noteErr("reclass rendezvous", fmt.Errorf("unexpected ready for barrier %d from %d", m.A, m.B))

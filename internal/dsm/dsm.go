@@ -75,6 +75,7 @@ import (
 	"time"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 )
@@ -93,6 +94,14 @@ type LatencyModel = transport.LatencyModel
 // ErrClosed is the shutdown error protocol operations wrap after the
 // interconnect closes.
 var ErrClosed = transport.ErrClosed
+
+// ErrRPCTimeout is wrapped by protocol operations that waited
+// Config.RPCTimeout for a remote response (or a rendezvous arrival)
+// that never came — the liveness backstop under the fail-stop model: a
+// dead or partitioned peer turns into a descriptive error instead of a
+// hang. It never wraps ErrClosed, so callers can tell a hung peer from
+// a clean teardown.
+var ErrRPCTimeout = errors.New("dsm: rpc timeout")
 
 // Mode selects the consistency protocol a System runs.
 type Mode int
@@ -270,6 +279,28 @@ type Config struct {
 	// ownership either way: System.Close tears the transport down, and
 	// a failed New closes it before returning.
 	Transport Transport
+	// RPCTimeout bounds every blocking wait on a remote peer — rpc
+	// responses, and the master's barrier/GC/reclassification arrival
+	// collection. When it elapses the operation fails wrapping
+	// ErrRPCTimeout, so a peer that died mid-critical-section surfaces
+	// as a descriptive System.Close error instead of hanging the run.
+	// 0 disables the timeout (waits are unbounded, the pre-fault
+	// behavior). Late responses that arrive after their waiter timed
+	// out are classified as expected races (see System.ShutdownRaces).
+	RPCTimeout time.Duration
+	// Metrics, when non-nil, publishes the runtime's live counters into
+	// the registry: interconnect totals, every node's protocol and
+	// per-kind traffic counters (as scrape-time callbacks over the
+	// node's existing atomics — zero cost on the paths that tick them),
+	// an rpc latency histogram per node, and a per-second traffic ring
+	// readable through System.Status. Serve it with obs.StartServer.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records protocol events (sends, receives,
+	// critical-section enter/exit, barrier episodes, adaptive
+	// reclassifications) into its bounded ring, dumpable as Chrome
+	// trace_event JSON. Nil disables tracing at one pointer check per
+	// site.
+	Tracer *obs.Tracer
 }
 
 // System is a running DSM instance: the nodes of one transport instance,
@@ -285,6 +316,15 @@ type System struct {
 	handlers  sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
+
+	// ring and stopSampler exist when Config.Metrics is set: a
+	// per-second interconnect traffic ring and the goroutine feeding it.
+	ring        *obs.TrafficRing
+	stopSampler func()
+	// races are the expected shutdown-race events Close collected and
+	// classified away from its error (see ShutdownRaces).
+	racesMu sync.Mutex
+	races   []error
 }
 
 // New builds and starts a DSM. Node methods are safe for concurrent use
@@ -318,6 +358,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.AdaptEveryBarriers < 0 {
 		return fail(fmt.Errorf("dsm: negative adaptation interval %d", cfg.AdaptEveryBarriers))
 	}
+	if cfg.RPCTimeout < 0 {
+		return fail(fmt.Errorf("dsm: negative rpc timeout %v", cfg.RPCTimeout))
+	}
 	layout, err := mem.NewLayout(cfg.SpaceSize, cfg.PageSize)
 	if err != nil {
 		return fail(err)
@@ -349,6 +392,15 @@ func New(cfg Config) (*System, error) {
 	}
 	if len(s.local) == 0 {
 		return fail(errors.New("dsm: transport serves no local endpoints"))
+	}
+	if cfg.Metrics != nil {
+		s.registerMetrics(cfg.Metrics)
+		s.ring = obs.NewTrafficRing(trafficRingLen)
+		s.stopSampler = s.ring.SampleEvery(time.Second, func() obs.TrafficSample {
+			t := s.tr.Totals()
+			return obs.TrafficSample{Messages: t.Messages, Frames: t.Frames,
+				Batches: t.Batches, Bytes: t.Bytes, RawBytes: t.RawBytes}
+		})
 	}
 	for _, n := range s.local {
 		n.start()
@@ -416,20 +468,41 @@ func (s *System) EstimateTime() time.Duration {
 // error the handler goroutines recorded while the system ran (a lock
 // grant or protocol response that could not be delivered would otherwise
 // strand its requester silently). Nodes blocked in protocol operations
-// return errors. Close is idempotent; every call returns the same error.
+// return errors. Expected shutdown races — late responses to timed-out
+// rpcs, messages racing the teardown — are classified away from the
+// returned error and available through ShutdownRaces, so chaos tests
+// can assert on fault causes without false positives. Close is
+// idempotent; every call returns the same error.
 func (s *System) Close() error {
 	s.closeOnce.Do(func() {
+		if s.stopSampler != nil {
+			s.stopSampler()
+		}
 		var errs []error
 		if err := s.tr.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("dsm: transport: %w", err))
 		}
 		s.handlers.Wait()
+		var races []error
 		for _, n := range s.local {
 			errs = append(errs, n.takeErrs()...)
+			races = append(races, n.takeRaces()...)
 		}
+		s.racesMu.Lock()
+		s.races = races
+		s.racesMu.Unlock()
 		s.closeErr = errors.Join(errs...)
 	})
 	return s.closeErr
+}
+
+// ShutdownRaces returns the expected-race events Close classified away
+// from its error: responses that arrived after their rpc timed out, and
+// similar teardown races. Meaningful after Close; nil on a quiet run.
+func (s *System) ShutdownRaces() []error {
+	s.racesMu.Lock()
+	defer s.racesMu.Unlock()
+	return append([]error(nil), s.races...)
 }
 
 // home returns the home node of a page: the static directory entry for

@@ -816,9 +816,9 @@ func (e *lazyEngine) runGC(b mem.BarrierID) error {
 	if n.id == master {
 		readies := make([]*wire.Msg, 0, n.sys.cfg.Procs-1)
 		for len(readies) < n.sys.cfg.Procs-1 {
-			m, ok := <-n.gcCh
-			if !ok || m == nil {
-				return fmt.Errorf("dsm: master: GC round: %w", ErrClosed)
+			m, err := n.collect(n.gcCh, "master: GC round")
+			if err != nil {
+				return err
 			}
 			if mem.BarrierID(m.A) != b {
 				return fmt.Errorf("dsm: master: GC ready for barrier %d during %d", m.A, b)

@@ -1,0 +1,166 @@
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// This file is the runtime's observability surface: live metrics
+// registration into an obs.Registry, the /statusz snapshot, and the
+// node-side trace emit helpers. Everything here is pay-for-use — a nil
+// registry or tracer costs one pointer check per site, and the
+// registered metric series are scrape-time callbacks over the atomics
+// the runtime already maintains, so publication adds nothing to the
+// paths that tick the counters.
+
+// trafficRingLen is how many per-second traffic samples Status retains.
+const trafficRingLen = 120
+
+// rpcBuckets lays out the rpc latency histogram: 50µs to ~6.5s.
+var rpcBuckets = obs.ExpBuckets(50e-6, 4, 9)
+
+// traceOn reports whether trace events are being recorded, for call
+// sites that would otherwise build an event argument for nothing.
+// Nil-safe for unit tests that build a bare Node without a System.
+func (n *Node) traceOn() bool { return n.sys != nil && n.sys.cfg.Tracer.Enabled() }
+
+// emit records one protocol event when tracing is configured.
+func (n *Node) emit(cat, name string, arg int64) {
+	if n.sys == nil {
+		return
+	}
+	if t := n.sys.cfg.Tracer; t != nil {
+		t.Emit(int32(n.id), cat, name, arg)
+	}
+}
+
+// registerMetrics publishes the system's live counters into r:
+// interconnect totals, per-node protocol counters, per-kind outbound
+// traffic, and an rpc latency histogram per node (the one series that
+// is observation-based rather than a callback; Node.rpc observes into
+// it only when it exists).
+func (s *System) registerMetrics(r *obs.Registry) {
+	counter := func(name, help string, fn func() int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(fn()) })
+	}
+	// System-level series carry an instance label (lowest local node id)
+	// so several systems sharing one process — a loopback TCP cluster —
+	// can publish into the same registry without colliding.
+	inst := "none"
+	if len(s.local) > 0 {
+		inst = fmt.Sprintf("%d", s.local[0].id)
+	}
+	sys := func(fam string) string { return fmt.Sprintf("%s{inst=%q}", fam, inst) }
+	r.GaugeFunc(sys("dsm_procs"), "cluster size (nodes)", func() float64 { return float64(s.cfg.Procs) })
+	r.GaugeFunc(sys("dsm_pages"), "shared pages", func() float64 { return float64(s.layout.NumPages()) })
+
+	counter(sys("dsm_net_messages_total"), "logical messages sent by this instance's endpoints",
+		func() int64 { return s.tr.Totals().Messages })
+	counter(sys("dsm_net_frames_total"), "physical frames sent", func() int64 { return s.tr.Totals().Frames })
+	counter(sys("dsm_net_batches_total"), "multi-message batch frames sent", func() int64 { return s.tr.Totals().Batches })
+	counter(sys("dsm_net_bytes_total"), "wire bytes sent (post-compression)", func() int64 { return s.tr.Totals().Bytes })
+	counter(sys("dsm_net_raw_bytes_total"), "logical bytes sent (pre-compression)", func() int64 { return s.tr.Totals().RawBytes })
+
+	for _, n := range s.local {
+		n := n
+		node := fmt.Sprintf("%d", n.id)
+		nodeCounter := func(fam, help string, fn func() int64) {
+			counter(fmt.Sprintf("%s{node=%q}", fam, node), help, fn)
+		}
+		nodeCounter("dsm_node_access_misses_total", "page access misses", n.stats.accessMisses.Load)
+		nodeCounter("dsm_node_cold_misses_total", "cold (first-touch) misses", n.stats.coldMisses.Load)
+		nodeCounter("dsm_node_diffs_applied_total", "diffs applied to local copies", n.stats.diffsApplied.Load)
+		nodeCounter("dsm_node_diffs_fetched_total", "diffs fetched from creators", n.stats.diffsFetched.Load)
+		nodeCounter("dsm_node_intervals_created_total", "intervals created", n.stats.intervalsCreated.Load)
+		nodeCounter("dsm_node_pages_fetched_total", "whole pages fetched", n.stats.pagesFetched.Load)
+		nodeCounter("dsm_node_gc_runs_total", "garbage collection rounds", n.stats.gcRuns.Load)
+		nodeCounter("dsm_node_diffs_discarded_total", "diffs discarded by GC", n.stats.diffsDiscarded.Load)
+		nodeCounter("dsm_node_flushed_pages_total", "dirty pages pushed at eager flush points", n.stats.flushedPages.Load)
+		nodeCounter("dsm_node_invals_received_total", "invalidations applied", n.stats.invalsReceived.Load)
+		nodeCounter("dsm_node_updates_received_total", "release-time updates applied", n.stats.updatesReceived.Load)
+		nodeCounter("dsm_node_write_backs_total", "EI false-sharing write-backs recovered", n.stats.writeBacks.Load)
+		nodeCounter("dsm_node_ownership_moves_total", "directory ownership transfers", n.stats.ownershipMoves.Load)
+		nodeCounter("dsm_node_sent_msgs_total", "outbound logical messages", n.stats.sentMsgs.Load)
+		nodeCounter("dsm_node_sent_frames_total", "outbound physical frames", n.stats.sentFrames.Load)
+		nodeCounter("dsm_node_sent_batches_total", "outbound batch frames", n.stats.sentBatches.Load)
+		nodeCounter("dsm_node_sent_bytes_total", "outbound payload bytes", n.stats.sentBytes.Load)
+		for k := wire.Kind(1); int(k) < wire.NumKinds; k++ {
+			k := k
+			counter(fmt.Sprintf("dsm_node_kind_msgs_total{node=%q,kind=%q}", node, k.String()),
+				"outbound messages by wire kind", n.stats.kindMsgs[k].Load)
+			counter(fmt.Sprintf("dsm_node_kind_bytes_total{node=%q,kind=%q}", node, k.String()),
+				"outbound bytes by wire kind", n.stats.kindBytes[k].Load)
+		}
+		n.rpcHist = r.Histogram(fmt.Sprintf("dsm_node_rpc_seconds{node=%q}", node),
+			"rpc round-trip wait", rpcBuckets)
+	}
+}
+
+// NodeStatus is one node's entry in a Status snapshot.
+type NodeStatus struct {
+	ID    int   `json:"id"`
+	Stats Stats `json:"stats"`
+}
+
+// Status is the /statusz snapshot: the live configuration, interconnect
+// totals with their wire-time estimate, each local node's counters and
+// per-page routing table, and the recent-traffic ring (present when
+// Config.Metrics enabled the sampler).
+type Status struct {
+	Procs              int                 `json:"procs"`
+	LocalNodes         []int               `json:"local_nodes"`
+	Mode               string              `json:"mode"`
+	PageSize           int                 `json:"page_size"`
+	NumPages           int                 `json:"num_pages"`
+	GoroutinesPerNode  int                 `json:"goroutines_per_node"`
+	AdaptEveryBarriers int                 `json:"adapt_every_barriers"`
+	GCEveryBarriers    int                 `json:"gc_every_barriers"`
+	RPCTimeout         string              `json:"rpc_timeout"`
+	NoBatch            bool                `json:"no_batch"`
+	Flush              FlushPolicy         `json:"flush"`
+	CompressMin        int                 `json:"compress_min"`
+	Net                TransportStats      `json:"net"`
+	EstWireTime        string              `json:"est_wire_time"`
+	Nodes              []NodeStatus        `json:"nodes"`
+	Traffic            []obs.TrafficSample `json:"traffic,omitempty"`
+}
+
+// Status returns a live snapshot of the system for /statusz. Safe to
+// call concurrently with a running workload: counters are atomic reads
+// and the routing table is the router's lock-free mode table.
+func (s *System) Status() Status {
+	st := Status{
+		Procs:              s.cfg.Procs,
+		Mode:               s.cfg.Mode.String(),
+		PageSize:           s.layout.PageSize(),
+		NumPages:           s.layout.NumPages(),
+		GoroutinesPerNode:  s.cfg.GoroutinesPerNode,
+		AdaptEveryBarriers: s.cfg.AdaptEveryBarriers,
+		GCEveryBarriers:    s.cfg.GCEveryBarriers,
+		RPCTimeout:         s.cfg.RPCTimeout.String(),
+		NoBatch:            s.cfg.NoBatch,
+		Flush:              s.cfg.Flush,
+		CompressMin:        s.cfg.CompressMin,
+		Net:                s.tr.Totals(),
+		EstWireTime:        s.EstimateTime().String(),
+	}
+	for _, n := range s.local {
+		st.LocalNodes = append(st.LocalNodes, int(n.id))
+		st.Nodes = append(st.Nodes, NodeStatus{ID: int(n.id), Stats: n.Stats()})
+	}
+	if s.ring != nil {
+		st.Traffic = s.ring.Recent()
+	}
+	return st
+}
+
+// DumpTrace writes the configured tracer's event ring as Chrome
+// trace_event JSON; a no-op without a tracer.
+func (s *System) DumpTrace(w interface{ Write([]byte) (int, error) }) error {
+	if s.cfg.Tracer == nil {
+		return nil
+	}
+	return s.cfg.Tracer.WriteChromeJSON(w)
+}

@@ -292,10 +292,18 @@ func (o *outbox) flushDst(dst mem.ProcID) error {
 	if len(pend) == 0 {
 		return nil
 	}
+	if remote := dst != n.id; remote && n.traceOn() {
+		n.emit("send", "frame", int64(len(pend)))
+	}
 	// poison records a send failure and makes it sticky (see broken).
+	// The first failure also propagates the peer's death to the node:
+	// rpc waiters parked on this destination are failed immediately —
+	// their responses can never arrive over a broken stream — instead
+	// of waiting out the rpc timeout (or forever without one).
 	poison := func(err error) error {
 		if err != nil {
 			d.broken = err
+			n.peerFailed(dst, err)
 		}
 		return err
 	}

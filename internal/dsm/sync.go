@@ -62,6 +62,7 @@ func (n *Node) Acquire(l mem.LockID) error {
 			if ll.cached {
 				ll.held = true
 				n.lockMu.Unlock()
+				n.emit("sync", "cs-enter", int64(l))
 				return nil
 			}
 			ll.acquiring = true
@@ -86,6 +87,7 @@ func (n *Node) Acquire(l mem.LockID) error {
 			ll.acquiring = false
 			ll.cached = true
 			n.lockMu.Unlock()
+			n.emit("sync", "cs-enter", int64(l))
 			return n.e.onGrant(grant)
 		}
 		// Held (or being acquired) by another local goroutine: park until
@@ -118,6 +120,7 @@ func (n *Node) Release(l mem.LockID) error {
 		return fmt.Errorf("dsm: node %d: release of lock %d not held", n.id, l)
 	}
 	n.lockMu.Unlock()
+	n.emit("sync", "cs-exit", int64(l))
 
 	// Eager flush point: blocking message exchanges, so outside lockMu.
 	// Only the holding goroutine calls Release, so held cannot flip
@@ -223,6 +226,7 @@ func (n *Node) Barrier(b mem.BarrierID) error {
 // rendezvous before any application goroutine leaves the barrier (see
 // adaptive.go).
 func (n *Node) clusterBarrier(b mem.BarrierID) error {
+	n.emit("sync", "barrier-enter", int64(b))
 	if err := n.e.preBarrier(); err != nil {
 		return err
 	}
@@ -240,9 +244,9 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 		// Collect the other nodes' arrivals.
 		arrivals := make([]*wire.Msg, 0, n.sys.cfg.Procs-1)
 		for len(arrivals) < n.sys.cfg.Procs-1 {
-			m, ok := <-n.barCh
-			if !ok || m == nil {
-				return fmt.Errorf("dsm: master: barrier %d: %w", b, ErrClosed)
+			m, err := n.collect(n.barCh, fmt.Sprintf("master: barrier %d", b))
+			if err != nil {
+				return err
 			}
 			if mem.BarrierID(m.A) != b {
 				return fmt.Errorf("dsm: master: arrival for barrier %d during barrier %d", m.A, b)
@@ -304,8 +308,11 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 		return err
 	}
 	if adaptDue && len(routes) > 0 {
-		return n.applyReclass(b, routes, newEpoch)
+		if err := n.applyReclass(b, routes, newEpoch); err != nil {
+			return err
+		}
 	}
+	n.emit("sync", "barrier-exit", int64(b))
 	return nil
 }
 

@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEstimateStatsCompressedFrames pins the charging rules for
+// snapshots produced by the batching+compression pipeline: the fixed
+// per-message cost is paid once per physical frame (not per coalesced
+// message), and the byte cost is paid on the wire bytes a compressed
+// frame actually moved (not the logical RawBytes it encoded).
+func TestEstimateStatsCompressedFrames(t *testing.T) {
+	m := LatencyModel{PerMessage: time.Millisecond, PerKByte: 100 * time.Microsecond}
+	s := Stats{
+		Messages: 100,
+		Frames:   10,
+		Batches:  10,
+		Bytes:    8 * 1024,    // post-compression wire bytes
+		RawBytes: 1024 * 1024, // pre-compression logical bytes
+	}
+	got := m.EstimateStats(s)
+	want := m.Estimate(s.Frames, s.Bytes)
+	if got != want {
+		t.Fatalf("EstimateStats = %v, want %v (frames × PerMessage + wire bytes)", got, want)
+	}
+	if perMsg := m.Estimate(s.Messages, s.Bytes); got >= perMsg {
+		t.Errorf("EstimateStats %v not cheaper than per-message charging %v: batching must buy wall-clock", got, perMsg)
+	}
+	if raw := m.Estimate(s.Frames, s.RawBytes); got >= raw {
+		t.Errorf("EstimateStats %v not cheaper than raw-byte charging %v: compression must buy wall-clock", got, raw)
+	}
+
+	// Snapshots from sources that predate frame counting carry Frames=0
+	// and fall back to the message count.
+	legacy := Stats{Messages: 100, Bytes: 8 * 1024}
+	if got, want := m.EstimateStats(legacy), m.Estimate(100, 8*1024); got != want {
+		t.Fatalf("legacy snapshot EstimateStats = %v, want %v", got, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dsm"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/shm"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -55,6 +56,22 @@ type RuntimeConfig struct {
 	// the cluster barrier, so the program observes identical consistency
 	// semantics at any k.
 	GoroutinesPerNode int
+	// RPCTimeout bounds every remote wait (rpc responses and master
+	// rendezvous collection) in the underlying systems; see
+	// dsm.Config.RPCTimeout. 0 waits forever.
+	RPCTimeout time.Duration
+	// Metrics, when non-nil, has every system publish its live counters
+	// into the registry (see dsm.Config.Metrics).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records protocol events from every system
+	// into the shared ring (see dsm.Config.Tracer).
+	Tracer *obs.Tracer
+	// OnSystems, when non-nil, is called with the run's systems after
+	// they are built and before any program goroutine starts — the hook
+	// for serving live status (obs.StartServer with the first system's
+	// Status) or installing watchdogs. The systems are owned by the run;
+	// do not Close them from the hook.
+	OnSystems func([]*dsm.System)
 	// Transports supplies the interconnect. Nil runs the whole cluster
 	// over the default in-process network. Otherwise one dsm.System is
 	// built per transport instance and program bodies run on every local
@@ -227,6 +244,9 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 			Flush:              rc.Flush,
 			CompressMin:        rc.CompressMin,
 			GoroutinesPerNode:  gpn,
+			RPCTimeout:         rc.RPCTimeout,
+			Metrics:            rc.Metrics,
+			Tracer:             rc.Tracer,
 			Transport:          tr,
 		})
 		if err != nil {
@@ -243,6 +263,9 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 		systems = append(systems, sys)
 	}
 	defer closeAll()
+	if rc.OnSystems != nil {
+		rc.OnSystems(systems)
+	}
 
 	res := &RuntimeResult{Name: p.Name()}
 	syncBarrier := mem.BarrierID(cfg.NumBarriers)        // all writes visible

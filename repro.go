@@ -55,10 +55,13 @@ package repro
 import (
 	"repro/internal/dsm"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/shm"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/transport/fault"
 	"repro/internal/transport/tcp"
 	"repro/internal/workload"
 )
@@ -121,6 +124,20 @@ type (
 	RuntimeConfig = workload.RuntimeConfig
 	// RuntimeResult is a completed workload execution on the live runtime.
 	RuntimeResult = workload.RuntimeResult
+	// MetricsRegistry collects live counters, gauges and histograms for
+	// the Prometheus text endpoint (DSMConfig.Metrics, ObsServer).
+	MetricsRegistry = obs.Registry
+	// Tracer records protocol events into a bounded ring, dumpable as
+	// Chrome trace_event JSON (DSMConfig.Tracer).
+	Tracer = obs.Tracer
+	// ObsServer serves /metrics, /statusz and /trace over HTTP.
+	ObsServer = obs.Server
+	// DSMStatus is a live DSM instance's /statusz snapshot.
+	DSMStatus = dsm.Status
+	// FaultPlan is a deterministic fault-injection schedule for a
+	// transport: drop/duplicate/delay probabilities, a static partition,
+	// and a fail-stop kill (see ParseFaultPlan, WrapFaultTransport).
+	FaultPlan = fault.Plan
 )
 
 // Typed shared-memory façade aliases (package internal/shm): program
@@ -254,6 +271,35 @@ func Series(results []Result, protocol string, pageSizes []int, metric string) (
 func NewDSM(cfg DSMConfig) (*DSM, error) {
 	return dsm.New(cfg)
 }
+
+// NewMetricsRegistry returns an empty metrics registry; pass it in
+// DSMConfig.Metrics (or RuntimeConfig.Metrics) and serve it with
+// StartObsServer.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a protocol-event ring tracer holding the most recent
+// capacity events; pass it in DSMConfig.Tracer (or RuntimeConfig.Tracer).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// StartObsServer serves the observability endpoints on addr: /metrics
+// (Prometheus text), /statusz (JSON), /trace (Chrome trace_event JSON).
+// Nil config pieces disable their endpoint.
+func StartObsServer(addr string, r *MetricsRegistry, status func() any, t *Tracer) (*ObsServer, error) {
+	return obs.StartServer(addr, obs.ServerConfig{Registry: r, Status: status, Tracer: t})
+}
+
+// NewSimNetTransport builds the simulated in-process interconnect
+// explicitly — the same network DSMConfig.Transport nil selects — so it
+// can be decorated (WrapFaultTransport) before handing it to NewDSM.
+func NewSimNetTransport(n int) Transport { return simnet.New(n) }
+
+// ParseFaultPlan parses a fault-injection spec like
+// "drop=0.01,dup=0.005,delay=2ms,jitter=1ms,partition=2x2,kill=3@5000,seed=7".
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.Parse(spec) }
+
+// WrapFaultTransport decorates a transport with a deterministic fault
+// plan; the decorator owns the inner transport.
+func WrapFaultTransport(tr Transport, p FaultPlan) Transport { return fault.Wrap(tr, p) }
 
 // NewTCPTransport attaches this process to a TCP DSM cluster as endpoint
 // self of the peer list (every entry a "host:port", identical in every
