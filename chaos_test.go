@@ -193,6 +193,154 @@ func TestKillMidCriticalSectionAllModes(t *testing.T) {
 	}
 }
 
+// runMigrationSweep drives the placement machinery under fire: every
+// node repeatedly writes a slab page of its own (enough writes per
+// barrier for the home migrator to claim it), takes one locked counter
+// increment, and joins a cluster barrier — with AdaptEveryBarriers=1
+// and MigrateHomes on, every barrier is a placement epoch, so a
+// fail-stop kill lands amid the exchange/rendezvous traffic. Same
+// outcome contract as runLockIncrement.
+func runMigrationSweep(procs int, m repro.DSMMode, rpcTimeout time.Duration, trs []repro.Transport, victim int) *lockIncrementOutcome {
+	out := &lockIncrementOutcome{}
+	systems := make([]*repro.DSM, 0, len(trs))
+	for i, tr := range trs {
+		d, err := repro.NewDSM(repro.DSMConfig{
+			Procs:              procs,
+			SpaceSize:          1 << 16,
+			PageSize:           1024,
+			Mode:               m,
+			RPCTimeout:         rpcTimeout,
+			AdaptEveryBarriers: 1,
+			MigrateHomes:       true,
+			Transport:          tr,
+		})
+		if err != nil {
+			out.runErrs = append(out.runErrs, err)
+			for _, rest := range trs[i+1:] {
+				if rest != nil {
+					rest.Close()
+				}
+			}
+			break
+		}
+		systems = append(systems, d)
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+	)
+	for _, d := range systems {
+		a := repro.NewArena(d.Layout())
+		counter := repro.NewVar[uint64](a)
+		lock := a.NewLock()
+		for _, n := range d.Local() {
+			wg.Add(1)
+			go func(n *repro.Node) {
+				defer wg.Done()
+				buf := make([]byte, 64)
+				// Each node's slab page sits past the counter's page.
+				slab := repro.Addr((1 + int(n.ID())) * 1024)
+				body := func() error {
+					for j := repro.Addr(0); j < 8; j++ {
+						if err := n.Write(slab+64*j, buf); err != nil {
+							return err
+						}
+					}
+					if err := repro.Locked(n, lock, func() error {
+						_, err := counter.Add(n, 1)
+						return err
+					}); err != nil {
+						return err
+					}
+					return n.Barrier(0)
+				}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := body(); err != nil {
+						mu.Lock()
+						out.runErrs = append(out.runErrs, err)
+						mu.Unlock()
+						if int(n.ID()) != victim {
+							stopOnce.Do(func() { close(stop) })
+						}
+						return
+					}
+				}
+			}(n)
+		}
+	}
+	wg.Wait()
+	for _, d := range systems {
+		if err := d.Close(); err != nil {
+			out.closeErrs = append(out.closeErrs, err)
+		}
+	}
+	return out
+}
+
+// TestKillMidMigrationEpochAllModes: a loopback TCP cluster running
+// home migration on every barrier loses a node mid-epoch — the victim
+// dies somewhere in the arrive/exit exchange or the reclassification
+// rendezvous. For every protocol the survivors must surface a
+// descriptive error within RPCTimeout, never hang in the rendezvous
+// collect, and never apply a half-exchanged placement epoch.
+func TestKillMidMigrationEpochAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP kill matrix is not a -short test")
+	}
+	// Node 0 is the victim: barrier master AND placement planner, so its
+	// death hits the epoch machinery at its most central point.
+	const (
+		procs      = 3
+		victim     = 0
+		rpcTimeout = 3 * time.Second
+	)
+	for _, m := range repro.DSMModes {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			trs, err := repro.NewLoopbackTCPCluster(procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := repro.ParseFaultPlan(fmt.Sprintf("kill=%d@80,seed=1", victim))
+			if err != nil {
+				t.Fatal(err)
+			}
+			trs[victim] = repro.WrapFaultTransport(trs[victim], plan)
+			var out *lockIncrementOutcome
+			withWatchdog(t, rpcTimeout+30*time.Second, "mid-migration kill run", func() {
+				out = runMigrationSweep(procs, m, rpcTimeout, trs, victim)
+			})
+			err = out.all()
+			if err == nil {
+				t.Fatalf("killed peer produced no error: run and close both clean")
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "node") {
+				t.Errorf("error does not identify a node: %v", err)
+			}
+			descriptive := false
+			for _, kw := range []string{"timeout", "unreachable", "killed", "peer", "broken", "connection"} {
+				if strings.Contains(msg, kw) {
+					descriptive = true
+					break
+				}
+			}
+			if !descriptive {
+				t.Errorf("error does not describe the fault: %v", err)
+			}
+			t.Logf("mode %s surfaced: %v", m, firstLine(msg))
+		})
+	}
+}
+
 func firstLine(s string) string {
 	if i := strings.IndexByte(s, '\n'); i >= 0 {
 		return s[:i] + " ..."

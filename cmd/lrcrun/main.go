@@ -80,6 +80,8 @@ func run(args []string, out io.Writer) error {
 		mode       = fs.String("mode", "LI", "protocol mode: "+dsm.ModeNames())
 		modemap    = fs.String("modemap", "", "per-page protocol routing, e.g. pg0-31=SC,rest=LU (overrides -mode; modes: "+dsm.ModeNames()+")")
 		adapt      = fs.Int("adapt", 0, "reclassify page sharing patterns and re-route pages every N barriers (0 = off)")
+		placement  = fs.String("placement", "block", "page placement policy: "+dsm.PlacementNames()+"; with -app, a comma list runs a per-policy traffic comparison")
+		migrate    = fs.Bool("migrate", false, "migrate page homes to their dominant writer on adaptive epochs (requires -adapt)")
 		statsJSON  = fs.Bool("statsjson", false, "emit the run's dsm.Stats (per-kind traffic and per-page routing counters) as JSON")
 		procs      = fs.Int("procs", 8, "number of logical processors (with -transport tcp, fixed to peer count × -gpn)")
 		gpn        = fs.Int("gpn", 1, "application goroutines per DSM node: gpn > 1 multiplexes the processors onto procs/gpn oversubscribed nodes")
@@ -112,6 +114,16 @@ func run(args []string, out io.Writer) error {
 	if *gpn < 1 {
 		return fmt.Errorf("-gpn %d must be at least 1", *gpn)
 	}
+	placements := strings.Split(*placement, ",")
+	for i := range placements {
+		placements[i] = strings.TrimSpace(placements[i])
+		if _, err := dsm.ParsePlacement(placements[i]); err != nil {
+			return err
+		}
+	}
+	if *migrate && *adapt == 0 {
+		return fmt.Errorf("-migrate needs -adapt N: home moves ride the adaptive exchange")
+	}
 
 	procsSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -132,6 +144,9 @@ func run(args []string, out io.Writer) error {
 		peerList, err = parsePeers(*peers)
 		if err != nil {
 			return err
+		}
+		if len(placements) > 1 {
+			return fmt.Errorf("a -placement comparison runs one cluster per policy; start each separately under -transport tcp")
 		}
 		if *self < 0 || *self >= len(peerList) {
 			return fmt.Errorf("-self %d outside peer list [0,%d)", *self, len(peerList))
@@ -216,7 +231,10 @@ func run(args []string, out io.Writer) error {
 	if *nobatch && (pipe.flush != dsm.FlushPolicy{} || *compress != 0) {
 		return fmt.Errorf("-nobatch disables the outbox pipeline; -flushmsgs/-flushbytes/-flushdelay/-compress have no effect with it")
 	}
-	route := routeCfg{modeMap: *modemap, adapt: *adapt, statsJSON: *statsJSON}
+	route := routeCfg{
+		modeMap: *modemap, adapt: *adapt, statsJSON: *statsJSON,
+		placements: placements, migrate: *migrate,
+	}
 
 	switch {
 	case *app != "" && *demo != "":
@@ -249,12 +267,16 @@ type pipeCfg struct {
 	compressMin int
 }
 
-// routeCfg carries the per-page protocol routing flags: a static mode map,
-// the adaptive reclassification period, and the JSON stats toggle.
+// routeCfg carries the per-page protocol routing and placement flags: a
+// static mode map, the adaptive reclassification period, the placement
+// policies to run (more than one means a per-policy comparison), the
+// home-migration toggle, and the JSON stats toggle.
 type routeCfg struct {
-	modeMap   string
-	adapt     int
-	statsJSON bool
+	modeMap    string
+	adapt      int
+	placements []string
+	migrate    bool
+	statsJSON  bool
 }
 
 // traceRingCap bounds the protocol event ring: newest events win.
@@ -317,16 +339,20 @@ func (ob *obsCfg) dumpTrace() error {
 // and access counters — the interconnect totals, and the latency model's
 // wire-time estimate for that traffic.
 type statsReport struct {
-	Program     string             `json:"program"`
-	Mode        string             `json:"mode"`
-	ModeMap     string             `json:"modemap,omitempty"`
-	Adapt       int                `json:"adaptEveryBarriers,omitempty"`
-	Procs       int                `json:"procs"`
-	Nodes       int                `json:"nodes"`
-	Net         dsm.TransportStats `json:"net"`
-	EstWireTime string             `json:"estWireTime"`
-	EstWireNS   int64              `json:"estWireNs"`
-	Node        []dsm.Stats        `json:"nodeStats"`
+	Program        string             `json:"program"`
+	Mode           string             `json:"mode"`
+	ModeMap        string             `json:"modemap,omitempty"`
+	Adapt          int                `json:"adaptEveryBarriers,omitempty"`
+	Placement      string             `json:"placement,omitempty"`
+	Migrate        bool               `json:"migrateHomes,omitempty"`
+	HomeTable      string             `json:"homeTable,omitempty"`
+	PageMigrations int64              `json:"pageMigrations"`
+	Procs          int                `json:"procs"`
+	Nodes          int                `json:"nodes"`
+	Net            dsm.TransportStats `json:"net"`
+	EstWireTime    string             `json:"estWireTime"`
+	EstWireNS      int64              `json:"estWireNs"`
+	Node           []dsm.Stats        `json:"nodeStats"`
 }
 
 func emitStatsJSON(out io.Writer, rep statsReport) error {
@@ -363,51 +389,80 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	if procs%gpn != 0 {
 		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
 	}
-	prog, err := workload.New(name, procs, scale, seed)
-	if err != nil {
-		return err
+	placements := route.placements
+	if len(placements) == 0 {
+		placements = []string{"block"}
 	}
-	tr, err := mkTransport()
-	if err != nil {
-		return err
+
+	// One run per placement policy; a single policy is the common case,
+	// a comma list gives the per-policy traffic comparison rows.
+	type polRun struct {
+		policy string
+		res    *workload.RuntimeResult
+		report statsReport
 	}
-	rc := workload.RuntimeConfig{
-		PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn,
-		ModeMap: route.modeMap, AdaptEveryBarriers: route.adapt,
-		NoBatch: pipe.noBatch, Flush: pipe.flush, CompressMin: pipe.compressMin,
-		RPCTimeout: ob.rpcTimeout, Metrics: ob.registry, Tracer: ob.tracer,
-		OnSystems: ob.onSystems,
+	runs := make([]polRun, 0, len(placements))
+	for _, pol := range placements {
+		prog, err := workload.New(name, procs, scale, seed)
+		if err != nil {
+			return err
+		}
+		tr, err := mkTransport()
+		if err != nil {
+			return err
+		}
+		rc := workload.RuntimeConfig{
+			PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn,
+			ModeMap: route.modeMap, AdaptEveryBarriers: route.adapt,
+			Placement: pol, MigrateHomes: route.migrate,
+			NoBatch: pipe.noBatch, Flush: pipe.flush, CompressMin: pipe.compressMin,
+			RPCTimeout: ob.rpcTimeout, Metrics: ob.registry, Tracer: ob.tracer,
+		}
+		// Capture the run's systems so the report can include the final
+		// home table (read from the routers' atomics after the run).
+		var systems []*dsm.System
+		rc.OnSystems = func(ss []*dsm.System) {
+			systems = ss
+			ob.onSystems(ss)
+		}
+		if tr != nil {
+			rc.Transports = []repro.Transport{tr}
+		}
+		res, err := workload.RunOnRuntime(prog, rc)
+		if err != nil {
+			return err
+		}
+		report := statsReport{
+			Program: name, Mode: m.String(), ModeMap: route.modeMap, Adapt: route.adapt,
+			Placement: pol, Migrate: route.migrate,
+			Procs: procs, Nodes: procs / gpn, Net: res.Net, Node: res.Nodes,
+			EstWireTime: res.Elapsed.String(), EstWireNS: res.Elapsed.Nanoseconds(),
+		}
+		for _, ns := range res.Nodes {
+			report.PageMigrations += ns.PageMigrations
+		}
+		if len(systems) > 0 {
+			report.HomeTable = systems[0].Status().HomeTable
+		}
+		runs = append(runs, polRun{policy: pol, res: res, report: report})
 	}
-	if tr != nil {
-		rc.Transports = []repro.Transport{tr}
-	}
-	res, err := workload.RunOnRuntime(prog, rc)
-	if err != nil {
-		return err
-	}
-	report := statsReport{
-		Program: name, Mode: m.String(), ModeMap: route.modeMap, Adapt: route.adapt,
-		Procs: procs, Nodes: procs / gpn, Net: res.Net, Node: res.Nodes,
-		EstWireTime: res.Elapsed.String(), EstWireNS: res.Elapsed.Nanoseconds(),
-	}
-	if res.Image == nil {
+
+	first := runs[0]
+	if first.res.Image == nil {
 		// A TCP process hosting only non-zero nodes: node 0's process
-		// verifies the image.
+		// verifies the image. (A placement comparison is simnet-only, so
+		// there is exactly one run here.)
 		fmt.Fprintf(out, "== %s: %d procs, mode %s, page %d: this process's nodes done ==\n", name, procs, m, pageSize)
-		fmt.Fprintf(out, "%-12s%12d%12d%12d%14d%14d   (this process's sends; bytes then wire bytes)\n",
-			"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.RawBytes, res.Net.Bytes)
+		fmt.Fprintf(out, "%-28s%12d%12d%12d%14d%14d   (this process's sends; bytes then wire bytes)\n",
+			"runtime", first.res.Net.Messages, first.res.Net.Frames, first.res.Net.Batches, first.res.Net.RawBytes, first.res.Net.Bytes)
 		if route.statsJSON {
-			return emitStatsJSON(out, report)
+			return emitStatsJSON(out, first.report)
 		}
 		return nil
 	}
 	ref, err := workload.ExecuteCached(name, procs, scale, seed)
 	if err != nil {
 		return err
-	}
-	verdict := "matches sequential reference"
-	if !bytes.Equal(res.Image, ref.Image) {
-		verdict = "DIVERGES from sequential reference (consistency violation!)"
 	}
 	st, err := sim.Run(ref.Trace, m.String(), pageSize, proto.Options{})
 	if err != nil {
@@ -417,40 +472,69 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	fmt.Fprintf(out, "== %s: %d procs on %d nodes, scale %g, mode %s, page %d ==\n", name, procs, procs/gpn, scale, m, pageSize)
 	fmt.Fprintf(out, "trace: %d events (%d reads, %d writes, %d acquires, %d barrier arrivals)\n",
 		len(ref.Trace.Events), c.Reads, c.Writes, c.Acquires, c.BarrierArrivals)
-	fmt.Fprintf(out, "image: %d bytes, %s\n", len(res.Image), verdict)
+	diverged := false
+	for _, r := range runs {
+		if !bytes.Equal(r.res.Image, ref.Image) {
+			diverged = true
+			fmt.Fprintf(out, "image (placement %s): %d bytes, DIVERGES from sequential reference (consistency violation!)\n",
+				r.policy, len(r.res.Image))
+		}
+	}
+	if !diverged {
+		fmt.Fprintf(out, "image: %d bytes, matches sequential reference under every placement\n", len(first.res.Image))
+	}
 	// Traffic table: live transport counters (messages vs the physical
 	// frames the outbox coalesced them into, logical bytes vs what frame
 	// compression actually put on the wire) next to the simulator's
-	// per-message model, normalized per critical section.
+	// per-message model, normalized per critical section — one runtime
+	// row per placement policy when several are compared.
 	crit := int64(c.Acquires)
-	perCrit := func(bytes int64) string {
+	perCrit := func(n int64) string {
 		if crit == 0 {
 			return "-"
 		}
-		return fmt.Sprintf("%.1f", float64(bytes)/float64(crit))
+		return fmt.Sprintf("%.1f", float64(n)/float64(crit))
 	}
-	fmt.Fprintf(out, "%-12s%12s%12s%12s%14s%14s%14s\n", "", "msgs", "frames", "batches", "bytes", "wire bytes", "wireB/critsec")
-	fmt.Fprintf(out, "%-12s%12d%12d%12d%14d%14d%14s   (live interconnect, incl. read-out; est. wire time %v)\n",
-		"runtime", res.Net.Messages, res.Net.Frames, res.Net.Batches, res.Net.RawBytes, res.Net.Bytes, perCrit(res.Net.Bytes), res.Elapsed)
-	fmt.Fprintf(out, "%-12s%12d%12s%12s%14d%14s%14s   (trace replay, %s)\n",
-		"simulator", st.TotalMessages(), "-", "-", st.TotalBytes(), "-", perCrit(st.TotalBytes()), m)
-	var misses, diffs, updates, intervals, invals, moves int64
-	for _, ns := range res.Nodes {
+	fmt.Fprintf(out, "%-28s%12s%12s%12s%14s%14s%14s%14s\n",
+		"", "msgs", "frames", "batches", "bytes", "wire bytes", "msgs/critsec", "wireB/critsec")
+	for _, r := range runs {
+		label := "runtime"
+		if len(runs) > 1 {
+			label = "runtime " + r.policy
+			if route.migrate {
+				label += "+migrate"
+			}
+		}
+		extra := ""
+		if r.report.PageMigrations > 0 {
+			extra = fmt.Sprintf(", %d pages re-homed", r.report.PageMigrations)
+		}
+		fmt.Fprintf(out, "%-28s%12d%12d%12d%14d%14d%14s%14s   (est. wire time %v%s)\n",
+			label, r.res.Net.Messages, r.res.Net.Frames, r.res.Net.Batches, r.res.Net.RawBytes, r.res.Net.Bytes,
+			perCrit(r.res.Net.Messages), perCrit(r.res.Net.Bytes), r.res.Elapsed, extra)
+	}
+	fmt.Fprintf(out, "%-28s%12d%12s%12s%14d%14s%14s%14s   (trace replay, %s)\n",
+		"simulator", st.TotalMessages(), "-", "-", st.TotalBytes(), "-", perCrit(st.TotalMessages()), perCrit(st.TotalBytes()), m)
+	var misses, diffs, updates, intervals, invals, moves, migrations int64
+	for _, ns := range first.res.Nodes {
 		misses += ns.AccessMisses
 		diffs += ns.DiffsApplied
 		updates += ns.UpdatesReceived
 		intervals += ns.IntervalsCreated
 		invals += ns.InvalsReceived
 		moves += ns.OwnershipMoves
+		migrations += ns.PageMigrations
 	}
-	fmt.Fprintf(out, "nodes: %d access misses, %d diffs applied, %d updates, %d intervals, %d invalidations, %d ownership moves\n\n",
-		misses, diffs, updates, intervals, invals, moves)
+	fmt.Fprintf(out, "nodes: %d access misses, %d diffs applied, %d updates, %d intervals, %d invalidations, %d ownership moves, %d page migrations\n\n",
+		misses, diffs, updates, intervals, invals, moves, migrations)
 	if route.statsJSON {
-		if err := emitStatsJSON(out, report); err != nil {
-			return err
+		for _, r := range runs {
+			if err := emitStatsJSON(out, r.report); err != nil {
+				return err
+			}
 		}
 	}
-	if !bytes.Equal(res.Image, ref.Image) {
+	if diverged {
 		return fmt.Errorf("%s: runtime image diverges from sequential reference", name)
 	}
 	return nil
@@ -470,6 +554,18 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 	}
 	if procs%gpn != 0 {
 		return fmt.Errorf("-gpn %d does not divide -procs %d", gpn, procs)
+	}
+	if len(route.placements) > 1 {
+		return fmt.Errorf("-placement comparison needs -app; a demo runs one policy")
+	}
+	placement := dsm.PlaceBlock
+	placementName := "block"
+	if len(route.placements) == 1 {
+		var err error
+		if placement, err = dsm.ParsePlacement(route.placements[0]); err != nil {
+			return err
+		}
+		placementName = route.placements[0]
 	}
 	const spaceSize = 1 << 20
 	var modeMap []dsm.Mode
@@ -492,6 +588,8 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 		Mode:               m,
 		ModeMap:            modeMap,
 		AdaptEveryBarriers: route.adapt,
+		Placement:          placement,
+		MigrateHomes:       route.migrate,
 		GCEveryBarriers:    gc,
 		GoroutinesPerNode:  gpn,
 		NoBatch:            pipe.noBatch,
@@ -517,12 +615,15 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 		st.Messages, st.Frames, st.Batches, st.RawBytes, st.Bytes, d.EstimateTime())
 	report := statsReport{
 		Program: "demo:" + demo, Mode: m.String(), ModeMap: route.modeMap, Adapt: route.adapt,
-		Procs: procs, Nodes: procs / gpn, Net: st,
+		Placement: placementName, Migrate: route.migrate,
+		HomeTable: d.Status().HomeTable,
+		Procs:     procs, Nodes: procs / gpn, Net: st,
 		EstWireTime: d.EstimateTime().String(), EstWireNS: int64(d.EstimateTime()),
 	}
 	for _, n := range d.Local() {
 		ns := n.Stats()
 		report.Node = append(report.Node, ns)
+		report.PageMigrations += ns.PageMigrations
 		fmt.Fprintf(out, "  node %d: misses %d (cold %d), diffs applied %d, intervals %d, gc runs %d, invals %d, updates %d\n",
 			n.ID(), ns.AccessMisses, ns.ColdMisses, ns.DiffsApplied, ns.IntervalsCreated, ns.GCRuns, ns.InvalsReceived, ns.UpdatesReceived)
 	}

@@ -225,6 +225,23 @@ type Config struct {
 	// one from the textual syntax with ParseModeMap). Every node of a
 	// cluster must be configured with the same map.
 	ModeMap []Mode
+	// Placement selects the initial page→home assignment: block (the
+	// pg % Procs interleave, the default), rr (contiguous 4-page runs
+	// dealt round-robin) or first-touch (homes re-assigned at the first
+	// cluster barrier to the node that touched each page most). Every
+	// node of a cluster must be configured with the same policy; build
+	// one from the textual flag syntax with ParsePlacement. See
+	// placement.go.
+	Placement Placement
+	// MigrateHomes enables dynamic home migration: on every adaptive
+	// classification epoch (so AdaptEveryBarriers must be > 0) the
+	// barrier master additionally re-homes pages to their dominant
+	// writer — with hysteresis, so homes don't ping-pong — and the home
+	// deltas ride the barrier exit beside the re-route set, applied in
+	// the same quiescent rendezvous. A flush or directory transaction
+	// that lands on a local home is loopback and costs no messages,
+	// which is what migration buys.
+	MigrateHomes bool
 	// AdaptEveryBarriers enables the adaptive classifier: every k-th
 	// cluster barrier, per-page access counters from all nodes are
 	// aggregated at the barrier master, each page's sharing pattern is
@@ -357,6 +374,12 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.AdaptEveryBarriers < 0 {
 		return fail(fmt.Errorf("dsm: negative adaptation interval %d", cfg.AdaptEveryBarriers))
+	}
+	if !cfg.Placement.Valid() {
+		return fail(fmt.Errorf("dsm: unknown placement %d (supported: %s)", int(cfg.Placement), PlacementNames()))
+	}
+	if cfg.MigrateHomes && cfg.AdaptEveryBarriers <= 0 {
+		return fail(errors.New("dsm: MigrateHomes needs AdaptEveryBarriers > 0 (migration decisions ride the adaptive exchange)"))
 	}
 	if cfg.RPCTimeout < 0 {
 		return fail(fmt.Errorf("dsm: negative rpc timeout %v", cfg.RPCTimeout))
@@ -505,11 +528,11 @@ func (s *System) ShutdownRaces() []error {
 	return append([]error(nil), s.races...)
 }
 
-// home returns the home node of a page: the static directory entry for
-// the eager and SC engines, and the cold-copy server for the lazy ones.
-func (s *System) home(pg mem.PageID) mem.ProcID {
-	return mem.ProcID(int(pg) % s.cfg.Procs)
-}
+// The static per-page home function that lived here was retired by the
+// placement refactor: a page's home is now Node.homeOf — a per-page
+// table initialized by Config.Placement and re-written (under
+// Config.MigrateHomes) inside the quiescent reclassification
+// rendezvous. See placement.go and router.homeOf.
 
 // lockMgr returns the manager node of a lock.
 func (s *System) lockMgr(l mem.LockID) mem.ProcID {

@@ -109,7 +109,7 @@ func newEagerEngine(n *Node, update bool) *eagerEngine {
 	}
 	e.flightCv = sync.NewCond(&e.flightMu)
 	for pg := range e.dir {
-		e.dir[pg].owner = n.sys.home(mem.PageID(pg))
+		e.dir[pg].owner = n.homeOf(mem.PageID(pg))
 	}
 	return e
 }
@@ -159,7 +159,7 @@ func (e *eagerEngine) ensureValid(pg mem.PageID) error {
 
 	// The response is intercepted in handle: by the time rpc returns,
 	// the shard worker has installed the granted page.
-	_, err := n.rpc(n.sys.home(pg), &wire.Msg{
+	_, err := n.rpc(n.homeOf(pg), &wire.Msg{
 		Kind: wire.KPageReq, Seq: n.nextSeq(), A: int32(pg), B: int32(n.id),
 	})
 	return err
@@ -406,7 +406,7 @@ func (e *eagerEngine) flushPages(cand []mem.PageID) error {
 	e.flightMu.Lock()
 	for i, p := range pends {
 		e.inflight[p.req.Seq] = p.fs
-		reqs[i] = outMsg{dst: n.sys.home(p.fs.pg), m: p.req}
+		reqs[i] = outMsg{dst: n.homeOf(p.fs.pg), m: p.req}
 	}
 	e.flightMu.Unlock()
 	_, err := n.rpcAll(reqs)
@@ -450,7 +450,7 @@ func (e *eagerEngine) dropPage(pg mem.PageID) {
 	e.dirtyMu.Unlock()
 	d := &e.dir[pg]
 	d.mu.Lock()
-	d.owner = e.n.sys.home(pg)
+	d.owner = e.n.homeOf(pg)
 	d.copyset = 0
 	d.mu.Unlock()
 }
@@ -458,7 +458,7 @@ func (e *eagerEngine) dropPage(pg mem.PageID) {
 func (e *eagerEngine) adoptPage(pg mem.PageID, data []byte) {
 	d := &e.dir[pg]
 	d.mu.Lock()
-	d.owner = e.n.sys.home(pg)
+	d.owner = e.n.homeOf(pg)
 	d.copyset = 0
 	d.mu.Unlock()
 	if data == nil {
@@ -663,7 +663,7 @@ func (e *eagerEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 	pmu.Lock()
 	var data []byte
 	switch {
-	case e.pages[pg] == nil && n.sys.home(pg) == n.id:
+	case e.pages[pg] == nil && n.homeOf(pg) == n.id:
 		// We are the page's initial owner and nobody ever wrote it: the
 		// committed state is the zero page.
 		data = make([]byte, n.sys.layout.PageSize())

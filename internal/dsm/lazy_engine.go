@@ -341,7 +341,7 @@ func (e *lazyEngine) validate(pg mem.PageID) error {
 
 		if cold {
 			n.stats.coldMisses.Add(1)
-			if home := n.sys.home(pg); home == n.id {
+			if home := n.homeOf(pg); home == n.id {
 				pmu.Lock()
 				if e.pages[pg] == nil {
 					e.pages[pg] = &lazyPage{
@@ -786,7 +786,7 @@ func (e *lazyEngine) runGC(b mem.BarrierID) error {
 		switch {
 		case pc != nil && !pc.valid:
 			toValidate = append(toValidate, pgid)
-		case pc == nil && n.sys.home(pgid) == n.id && len(e.log.ModifiersOf(pgid)) > 0:
+		case pc == nil && n.homeOf(pgid) == n.id && len(e.log.ModifiersOf(pgid)) > 0:
 			// A home that never touched its page materializes it now:
 			// after the discard no one could reconstruct it from diffs.
 			toValidate = append(toValidate, pgid)
@@ -868,7 +868,7 @@ func (e *lazyEngine) checkGCInvariant(epoch vc.VC) error {
 		pmu.Lock()
 		pc := e.pages[pg]
 		if pc == nil {
-			if n.sys.home(pgid) == n.id && len(e.log.ModifiersOf(pgid)) > 0 {
+			if n.homeOf(pgid) == n.id && len(e.log.ModifiersOf(pgid)) > 0 {
 				pmu.Unlock()
 				return fmt.Errorf("dsm: node %d: GC invariant: homed page %d has modification history but no materialized copy", n.id, pgid)
 			}

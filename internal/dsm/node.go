@@ -61,6 +61,11 @@ type Stats struct {
 	// OwnershipMoves counts directory owner changes processed at this
 	// node as a page home (eager and SC).
 	OwnershipMoves int64
+	// PageMigrations counts home-table moves that landed a page HERE:
+	// first-touch finalizations and dominant-writer migrations whose
+	// new home is this node (so the cluster-wide sum is the total
+	// number of re-homed pages).
+	PageMigrations int64
 
 	// Outbound traffic as the node's outbox handed it to the transport
 	// (loopback excluded, matching the interconnect's accounting):
@@ -105,6 +110,7 @@ type nodeStats struct {
 	updatesReceived  atomic.Int64
 	writeBacks       atomic.Int64
 	ownershipMoves   atomic.Int64
+	pageMigrations   atomic.Int64
 
 	sentMsgs    atomic.Int64
 	sentFrames  atomic.Int64
@@ -139,6 +145,7 @@ func (s *nodeStats) snapshot() Stats {
 		UpdatesReceived:  s.updatesReceived.Load(),
 		WriteBacks:       s.writeBacks.Load(),
 		OwnershipMoves:   s.ownershipMoves.Load(),
+		PageMigrations:   s.pageMigrations.Load(),
 		SentMsgs:         s.sentMsgs.Load(),
 		SentFrames:       s.sentFrames.Load(),
 		SentBatches:      s.sentBatches.Load(),
@@ -302,6 +309,16 @@ func newNode(s *System, id mem.ProcID) *Node {
 // pageLock returns the stripe guarding page pg's state.
 func (n *Node) pageLock(pg mem.PageID) *sync.Mutex {
 	return &n.pageMu[uint32(pg)%pageShards]
+}
+
+// homeOf returns page pg's current home node: the directory entry
+// under the eager and SC engines, the cold-copy server under the lazy
+// ones. A lock-free read of the router's home table — initialized by
+// Config.Placement, re-written only inside the quiescent
+// reclassification rendezvous, so every node consults the same table
+// at a consistent epoch.
+func (n *Node) homeOf(pg mem.PageID) mem.ProcID {
+	return n.rt.homeOf(pg)
 }
 
 // missLock returns the stripe serializing miss service for page pg.

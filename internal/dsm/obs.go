@@ -82,6 +82,7 @@ func (s *System) registerMetrics(r *obs.Registry) {
 		nodeCounter("dsm_node_updates_received_total", "release-time updates applied", n.stats.updatesReceived.Load)
 		nodeCounter("dsm_node_write_backs_total", "EI false-sharing write-backs recovered", n.stats.writeBacks.Load)
 		nodeCounter("dsm_node_ownership_moves_total", "directory ownership transfers", n.stats.ownershipMoves.Load)
+		nodeCounter("dsm_node_page_migrations_total", "pages re-homed to this node", n.stats.pageMigrations.Load)
 		nodeCounter("dsm_node_sent_msgs_total", "outbound logical messages", n.stats.sentMsgs.Load)
 		nodeCounter("dsm_node_sent_frames_total", "outbound physical frames", n.stats.sentFrames.Load)
 		nodeCounter("dsm_node_sent_batches_total", "outbound batch frames", n.stats.sentBatches.Load)
@@ -115,6 +116,10 @@ type Status struct {
 	PageSize           int                 `json:"page_size"`
 	NumPages           int                 `json:"num_pages"`
 	GoroutinesPerNode  int                 `json:"goroutines_per_node"`
+	Placement          string              `json:"placement"`
+	MigrateHomes       bool                `json:"migrate_homes"`
+	HomeTable          string              `json:"home_table"`
+	PageMigrations     int64               `json:"page_migrations"`
 	AdaptEveryBarriers int                 `json:"adapt_every_barriers"`
 	GCEveryBarriers    int                 `json:"gc_every_barriers"`
 	RPCTimeout         string              `json:"rpc_timeout"`
@@ -137,6 +142,8 @@ func (s *System) Status() Status {
 		PageSize:           s.layout.PageSize(),
 		NumPages:           s.layout.NumPages(),
 		GoroutinesPerNode:  s.cfg.GoroutinesPerNode,
+		Placement:          s.cfg.Placement.String(),
+		MigrateHomes:       s.cfg.MigrateHomes,
 		AdaptEveryBarriers: s.cfg.AdaptEveryBarriers,
 		GCEveryBarriers:    s.cfg.GCEveryBarriers,
 		RPCTimeout:         s.cfg.RPCTimeout.String(),
@@ -148,7 +155,14 @@ func (s *System) Status() Status {
 	}
 	for _, n := range s.local {
 		st.LocalNodes = append(st.LocalNodes, int(n.id))
-		st.Nodes = append(st.Nodes, NodeStatus{ID: int(n.id), Stats: n.Stats()})
+		ns := NodeStatus{ID: int(n.id), Stats: n.Stats()}
+		st.Nodes = append(st.Nodes, ns)
+		st.PageMigrations += ns.Stats.PageMigrations
+	}
+	if len(s.local) > 0 {
+		// Home tables are cluster-agreed (they only change inside the
+		// quiescent rendezvous), so any local node's snapshot serves.
+		st.HomeTable = FormatHomeTable(s.local[0].rt.homes())
 	}
 	if s.ring != nil {
 		st.Traffic = s.ring.Recent()

@@ -1,0 +1,217 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/transport/tcp"
+	"repro/internal/wire"
+)
+
+// Placement unit coverage and hostile home-delta hardening. The live
+// tests puppet one side of a two-node TCP cluster: the real System under
+// test runs a genuine barrier while the test plays its peer over the raw
+// endpoint, which is the only way to put a forged placement payload in
+// front of the real decode path.
+
+func TestParsePlacement(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Placement
+	}{
+		{"", PlaceBlock}, {"block", PlaceBlock}, {"rr", PlaceRR}, {"first-touch", PlaceFirstTouch},
+	} {
+		got, err := ParsePlacement(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePlacement("best-fit"); err == nil {
+		t.Error("ParsePlacement accepted an unknown policy")
+	}
+}
+
+func TestInitialHomes(t *testing.T) {
+	block := initialHomes(PlaceBlock, 8, 3)
+	for pg, h := range block {
+		if int(h) != pg%3 {
+			t.Fatalf("block home(%d) = %d, want %d", pg, h, pg%3)
+		}
+	}
+	rr := initialHomes(PlaceRR, 16, 2)
+	for pg, h := range rr {
+		if want := (pg / rrRunPages) % 2; int(h) != want {
+			t.Fatalf("rr home(%d) = %d, want %d", pg, h, want)
+		}
+	}
+	// First-touch starts from the block table; the exchange refines it.
+	ft := initialHomes(PlaceFirstTouch, 8, 3)
+	for pg := range ft {
+		if ft[pg] != block[pg] {
+			t.Fatalf("first-touch initial home(%d) = %d, want block's %d", pg, ft[pg], block[pg])
+		}
+	}
+	if got, want := FormatHomeTable(rr[:8]), "pg0-3=0,pg4-7=1"; got != want {
+		t.Errorf("FormatHomeTable = %q, want %q", got, want)
+	}
+}
+
+// TestExitPlanDecodeSeverities: a structurally broken plan (or a bad
+// re-route) is a hard error; a bad home section is the soft, recorded-
+// and-dropped kind, with the re-routes surviving.
+func TestExitPlanDecodeSeverities(t *testing.T) {
+	const numPages, procs = 8, 2
+	// Hard: truncation and hostile counts.
+	if _, _, _, _, err := decodeExitPlan([]byte{1, 2}, numPages, procs); err == nil {
+		t.Error("truncated plan decoded")
+	}
+	if _, _, _, _, err := decodeExitPlan(encodeExitPlan(1, []reroute{{pg: 99, mode: SeqConsistent}}, nil), numPages, procs); err == nil {
+		t.Error("out-of-range re-route decoded")
+	}
+	// Soft: home sections naming impossible pages/nodes or overlapping.
+	for name, homes := range map[string][]homeDelta{
+		"page beyond the space": {{pg: 99, home: 1}},
+		"node beyond the ring":  {{pg: 1, home: 7}},
+		"overlapping deltas":    {{pg: 1, home: 1}, {pg: 1, home: 0}},
+	} {
+		routes := []reroute{{pg: 2, mode: SeqConsistent, cls: classPrivate}}
+		epoch, gotRoutes, gotHomes, homeErr, err := decodeExitPlan(encodeExitPlan(7, routes, homes), numPages, procs)
+		if err != nil {
+			t.Fatalf("%s: hard error %v, want soft homeErr", name, err)
+		}
+		if homeErr == nil || gotHomes != nil {
+			t.Errorf("%s: homeErr=%v homes=%v, want recorded-and-dropped", name, homeErr, gotHomes)
+		}
+		if epoch != 7 || len(gotRoutes) != 1 || gotRoutes[0].pg != 2 {
+			t.Errorf("%s: re-routes did not survive the dropped home section", name)
+		}
+	}
+}
+
+// puppetCluster builds a two-endpoint TCP loopback cluster where the
+// test holds endpoint `puppet` raw and a real System owns the other.
+func puppetCluster(t *testing.T, puppet int, cfg Config) (*System, *tcp.Transport) {
+	t.Helper()
+	cluster, err := tcp.NewLoopbackCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Procs = 2
+	cfg.Transport = cluster[1-puppet]
+	s, err := New(cfg)
+	if err != nil {
+		cluster[puppet].Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster[puppet].Close() })
+	return s, cluster[puppet]
+}
+
+// recvMsgs reads one physical frame off the raw endpoint and expands it.
+func recvMsgs(t *testing.T, ep interface {
+	Recv() (int, []byte, bool)
+}) []*wire.Msg {
+	t.Helper()
+	_, payload, ok := ep.Recv()
+	if !ok {
+		t.Fatal("transport closed under the puppet endpoint")
+	}
+	if wire.IsBatch(payload) {
+		msgs, err := wire.DecodeBatch(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return msgs
+	}
+	m, err := wire.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*wire.Msg{m}
+}
+
+// TestForgedHomeDeltasRecordedNotApplied: a barrier exit whose home
+// section overlaps (page 0 assigned twice) reaches a real non-master
+// node's decode path. The node must record the forgery, drop the home
+// section without touching its home table, and complete the barrier —
+// a placement hint is never worth failing the run over, but silently
+// applying a forged one would split the cluster's directories.
+func TestForgedHomeDeltasRecordedNotApplied(t *testing.T) {
+	s, master := puppetCluster(t, 0, Config{
+		SpaceSize: 8192, PageSize: 1024, Mode: EagerInvalidate, Placement: PlaceFirstTouch,
+	})
+	n := s.Node(1)
+	before := n.rt.homes()
+
+	barErr := make(chan error, 1)
+	go func() { barErr <- n.Barrier(0) }()
+
+	var arrive *wire.Msg
+	for arrive == nil {
+		for _, m := range recvMsgs(t, master.Endpoint(0)) {
+			if m.Kind == wire.KBarrierArrive {
+				arrive = m
+			}
+		}
+	}
+	// The forged exit: valid epoch and framing, overlapping home deltas.
+	exit := &wire.Msg{
+		Kind: wire.KBarrierExit, Seq: arrive.Seq, A: arrive.A,
+		Data: encodeExitPlan(1, nil, []homeDelta{{pg: 0, home: 1}, {pg: 0, home: 0}}),
+	}
+	if err := master.Endpoint(0).Send(1, exit.EncodeAppend(wire.GetBuf())); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-barErr; err != nil {
+		t.Fatalf("barrier failed over a droppable home section: %v", err)
+	}
+	waitNodeErr(t, n, "overlapping home deltas")
+	after := n.rt.homes()
+	for pg := range before {
+		if before[pg] != after[pg] {
+			t.Fatalf("forged home delta applied: page %d moved %d -> %d", pg, before[pg], after[pg])
+		}
+	}
+	if cerr := s.Close(); cerr == nil || !strings.Contains(cerr.Error(), "overlapping home deltas") {
+		t.Fatalf("Close = %v, want the recorded forged-home cause", cerr)
+	}
+}
+
+// TestForgedClaimsRecordedNotApplied: the arrival side of the same
+// boundary — a peer's exchange payload claiming one page twice is
+// recorded at the master and the whole placement epoch skipped, leaving
+// the home table untouched.
+func TestForgedClaimsRecordedNotApplied(t *testing.T) {
+	s, peer := puppetCluster(t, 1, Config{
+		SpaceSize: 8192, PageSize: 1024, Mode: EagerInvalidate, Placement: PlaceFirstTouch,
+	})
+	n := s.Node(0)
+	before := n.rt.homes()
+
+	barErr := make(chan error, 1)
+	go func() { barErr <- n.Barrier(0) }()
+
+	// A genuine node's claim snapshot has one entry per page;
+	// encodeExchange encodes whatever it is handed, so the forgery is
+	// simply a duplicated claim.
+	arrive := &wire.Msg{
+		Kind: wire.KBarrierArrive, Seq: 5, A: 0, B: 1,
+		Data: encodeExchange(0, nil, []homeClaim{{pg: 0, score: 9}, {pg: 0, score: 2}}),
+	}
+	if err := peer.Endpoint(1).Send(0, arrive.EncodeAppend(wire.GetBuf())); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-barErr; err != nil {
+		t.Fatalf("master barrier failed over a droppable claim payload: %v", err)
+	}
+	waitNodeErr(t, n, "claims page 0 twice")
+	after := n.rt.homes()
+	for pg := range before {
+		if before[pg] != after[pg] {
+			t.Fatalf("forged claim applied: page %d moved %d -> %d", pg, before[pg], after[pg])
+		}
+	}
+	if cerr := s.Close(); cerr == nil || !strings.Contains(cerr.Error(), "claims page 0 twice") {
+		t.Fatalf("Close = %v, want the recorded forged-claim cause", cerr)
+	}
+}

@@ -34,6 +34,13 @@ type router struct {
 	// modeTab[pg] is the page's current protocol (a Mode), read on every
 	// access and handler dispatch.
 	modeTab []atomic.Int32
+	// homeTab[pg] is the page's current home node, read on every
+	// protocol operation that addresses a home (directory transactions,
+	// cold fetches, flush targets). Initialized by Config.Placement and
+	// re-written only inside the quiescent reclassification rendezvous
+	// (first-touch finalization, home migration) — the mode table's
+	// exact discipline.
+	homeTab []atomic.Int32
 	// classTab[pg] is the page's last classification (a pageClass), for
 	// stats; classUnknown before the first adaptive epoch.
 	classTab []atomic.Int32
@@ -51,10 +58,14 @@ type router struct {
 	// exchange, never concurrently).
 	prevCtr []counterDelta
 	// epoch is the classification epoch, bumped in lockstep cluster-wide
-	// whenever a reclassification actually re-routes pages. The barrier
-	// master validates every node reports the same epoch before trusting
-	// its counters.
+	// whenever a reclassification actually re-routes or re-homes pages.
+	// The barrier master validates every node reports the same epoch
+	// before trusting its counters.
 	epoch atomic.Uint32
+	// ftDone is set once the first-touch exchange has run (leader-only:
+	// touched by the barrier leader inside the cluster barrier, never
+	// concurrently). Always true for the static placements.
+	ftDone bool
 }
 
 // pageCounter is one page's live access counters. All fields are atomics:
@@ -93,13 +104,22 @@ func newRouter(n *Node, modes []Mode, adaptive bool) *router {
 	r := &router{
 		n:        n,
 		modeTab:  make([]atomic.Int32, numPages),
+		homeTab:  make([]atomic.Int32, numPages),
 		classTab: make([]atomic.Int32, numPages),
 		ctr:      make([]pageCounter, numPages),
 		prevCtr:  make([]counterDelta, numPages),
+		ftDone:   n.sys.cfg.Placement != PlaceFirstTouch,
 	}
 	for pg, m := range modes {
 		r.modeTab[pg].Store(int32(m))
 	}
+	for pg, h := range initialHomes(n.sys.cfg.Placement, numPages, n.sys.cfg.Procs) {
+		r.homeTab[pg].Store(int32(h))
+	}
+	// The engine constructors below read the home table through
+	// n.homeOf (directory init), so the router must be reachable from
+	// the node before any engine is built.
+	n.rt = r
 	need := distinctModes(modes)
 	if adaptive {
 		need = append(need, adaptTargets...)
@@ -132,6 +152,40 @@ func (r *router) modeOf(pg mem.PageID) Mode {
 // engineFor returns the engine currently owning page pg.
 func (r *router) engineFor(pg mem.PageID) engine {
 	return r.engines[r.modeOf(pg)]
+}
+
+// homeOf returns page pg's current home node.
+func (r *router) homeOf(pg mem.PageID) mem.ProcID {
+	return mem.ProcID(r.homeTab[pg].Load())
+}
+
+// homes snapshots the current home table.
+func (r *router) homes() []mem.ProcID {
+	out := make([]mem.ProcID, len(r.homeTab))
+	for pg := range r.homeTab {
+		out[pg] = mem.ProcID(r.homeTab[pg].Load())
+	}
+	return out
+}
+
+// snapshotClaims builds this node's first-touch claims: every page with
+// local activity before the first cluster barrier, scored by access
+// count. Called by the barrier leader goroutine only.
+func (r *router) snapshotClaims() []homeClaim {
+	var out []homeClaim
+	for pg := range r.ctr {
+		c := &r.ctr[pg]
+		n := c.localReads.Load() + c.localWrites.Load()
+		if n <= 0 {
+			continue
+		}
+		score := uint32(n)
+		if n > int64(^uint32(0)) {
+			score = ^uint32(0)
+		}
+		out = append(out, homeClaim{pg: mem.PageID(pg), score: score})
+	}
+	return out
 }
 
 // lazyResident returns mode's engine if it is a resident lazy engine
@@ -412,6 +466,7 @@ type PageStat struct {
 	Page         int
 	Mode         string
 	Class        string
+	Home         int // current home node (directory / cold-copy server)
 	LocalReads   int64
 	LocalWrites  int64
 	RemoteReads  int64
@@ -428,6 +483,7 @@ func (r *router) fillPageStats(st *Stats) {
 			Page:         pg,
 			Mode:         r.modeOf(mem.PageID(pg)).String(),
 			Class:        pageClass(r.classTab[pg].Load()).String(),
+			Home:         int(r.homeOf(mem.PageID(pg))),
 			LocalReads:   c.localReads.Load(),
 			LocalWrites:  c.localWrites.Load(),
 			RemoteReads:  c.remoteReads.Load(),

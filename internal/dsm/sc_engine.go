@@ -95,7 +95,7 @@ func newSCEngine(n *Node) *scEngine {
 		dir:     make([]scDir, n.sys.layout.NumPages()),
 	}
 	for pg := range e.dir {
-		e.dir[pg].owner = n.sys.home(mem.PageID(pg))
+		e.dir[pg].owner = n.homeOf(mem.PageID(pg))
 	}
 	return e
 }
@@ -161,7 +161,7 @@ func (e *scEngine) access(miss *scMiss, kind wire.Kind) error {
 		e.pending[miss.pg] = miss
 		pmu.Unlock()
 
-		_, err := n.rpc(n.sys.home(miss.pg), &wire.Msg{
+		_, err := n.rpc(n.homeOf(miss.pg), &wire.Msg{
 			Kind: kind, Seq: n.nextSeq(), A: int32(miss.pg), B: int32(n.id),
 		})
 		pmu.Lock()
@@ -198,7 +198,7 @@ func (e *scEngine) dropPage(pg mem.PageID) {
 	pmu.Unlock()
 	d := &e.dir[pg]
 	d.mu.Lock()
-	d.owner = e.n.sys.home(pg)
+	d.owner = e.n.homeOf(pg)
 	d.copyset = 0
 	d.mu.Unlock()
 }
@@ -206,7 +206,7 @@ func (e *scEngine) dropPage(pg mem.PageID) {
 func (e *scEngine) adoptPage(pg mem.PageID, data []byte) {
 	d := &e.dir[pg]
 	d.mu.Lock()
-	d.owner = e.n.sys.home(pg)
+	d.owner = e.n.homeOf(pg)
 	d.copyset = 0
 	d.mu.Unlock()
 	if data == nil {
@@ -421,7 +421,7 @@ func (e *scEngine) serveFetch(m *wire.Msg, src mem.ProcID) {
 	pc := e.pages[pg]
 	var data []byte
 	switch {
-	case pc == nil && n.sys.home(pg) == n.id:
+	case pc == nil && n.homeOf(pg) == n.id:
 		// We are the page's initial owner and nobody ever wrote it: the
 		// committed state is the zero page.
 		data = make([]byte, n.sys.layout.PageSize())

@@ -234,8 +234,14 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 	n.barCount++
 	adaptDue := n.sys.cfg.AdaptEveryBarriers > 0 &&
 		n.barCount%n.sys.cfg.AdaptEveryBarriers == 0
+	// The first-touch exchange rides the first cluster barrier only;
+	// every node computes ftDue from its own synchronized barrier count,
+	// so the whole cluster agrees which barrier carries the claims.
+	ftDue := !n.rt.ftDone
+	exchangeDue := adaptDue || ftDue
 
 	var routes []reroute
+	var homes []homeDelta
 	newEpoch := uint32(0)
 
 	const master = mem.ProcID(0)
@@ -257,15 +263,29 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 			n.e.masterAbsorb(m)
 		}
 		var exitData []byte
-		if adaptDue {
+		if exchangeDue {
 			st := &adaptState{epoch: n.rt.epoch.Load()}
 			for _, m := range arrivals {
-				n.absorbPeerCounters(st, m)
+				n.absorbPeerExchange(st, m, adaptDue, ftDue)
 			}
-			st.nodes = append(st.nodes, n.id)
-			st.deltas = append(st.deltas, n.rt.snapshotDeltas())
-			newEpoch, routes = n.rt.classifyRoutes(st)
-			exitData = encodeReroutes(newEpoch, routes)
+			newEpoch = st.epoch
+			if adaptDue {
+				st.nodes = append(st.nodes, n.id)
+				st.deltas = append(st.deltas, n.rt.snapshotDeltas())
+				newEpoch, routes = n.rt.classifyRoutes(st)
+			}
+			if ftDue {
+				for _, c := range n.rt.snapshotClaims() {
+					st.claims = append(st.claims, ftClaim{pg: c.pg, node: n.id, score: c.score})
+				}
+				homes = n.rt.planFirstTouch(st)
+			} else if adaptDue && n.sys.cfg.MigrateHomes {
+				homes = n.rt.planHomeMoves(st)
+			}
+			if len(homes) > 0 && newEpoch == st.epoch {
+				newEpoch = st.epoch + 1
+			}
+			exitData = encodeExitPlan(newEpoch, routes, homes)
 		}
 		// Exit messages carry what each arriver lacks.
 		for _, m := range arrivals {
@@ -282,8 +302,16 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 			A:    int32(b),
 			B:    int32(n.id),
 		}
-		if adaptDue {
-			arrive.Data = encodeCounterDeltas(n.rt.epoch.Load(), n.rt.snapshotDeltas())
+		if exchangeDue {
+			var deltas []counterDelta
+			if adaptDue {
+				deltas = n.rt.snapshotDeltas()
+			}
+			var claims []homeClaim
+			if ftDue {
+				claims = n.rt.snapshotClaims()
+			}
+			arrive.Data = encodeExchange(n.rt.epoch.Load(), deltas, claims)
 		}
 		n.e.barrierEntry()
 		n.e.arrive(arrive)
@@ -291,24 +319,36 @@ func (n *Node) clusterBarrier(b mem.BarrierID) error {
 		if err != nil {
 			return err
 		}
-		if adaptDue {
-			// An undecodable re-route set must fail the barrier loudly: a
-			// node that silently skipped it would route pages differently
-			// from the rest of the cluster.
-			newEpoch, routes, err = decodeReroutes(exit.Data, n.sys.layout.NumPages())
+		if exchangeDue {
+			// An undecodable plan — or an invalid re-route set — must fail
+			// the barrier loudly: a node that silently skipped it would
+			// route pages differently from the rest of the cluster. An
+			// invalid home-delta section is merely recorded and dropped
+			// (see decodeExitPlan); a home is a placement hint, and a
+			// dropped move leaves every table consistent.
+			var homeErr error
+			newEpoch, routes, homes, homeErr, err = decodeExitPlan(
+				exit.Data, n.sys.layout.NumPages(), n.sys.cfg.Procs)
 			if err != nil {
 				return fmt.Errorf("dsm: node %d: barrier %d: %w", n.id, b, err)
+			}
+			if homeErr != nil {
+				n.noteErr("home delta", homeErr)
+				homes = nil
 			}
 		}
 		if err := n.e.onExit(exit); err != nil {
 			return err
 		}
 	}
+	if ftDue {
+		n.rt.ftDone = true
+	}
 	if err := n.e.postBarrier(b); err != nil {
 		return err
 	}
-	if adaptDue && len(routes) > 0 {
-		if err := n.applyReclass(b, routes, newEpoch); err != nil {
+	if len(routes) > 0 || len(homes) > 0 {
+		if err := n.applyReclass(b, routes, homes, newEpoch); err != nil {
 			return err
 		}
 	}

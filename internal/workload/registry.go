@@ -7,8 +7,9 @@ import (
 	"repro/internal/trace"
 )
 
-// Names lists the five workloads in the paper's presentation order.
-var Names = []string{"locusroute", "cholesky", "mp3d", "water", "pthor"}
+// Names lists the five workloads in the paper's presentation order,
+// plus the synthetic writer-dominant placement workload.
+var Names = []string{"locusroute", "cholesky", "mp3d", "water", "pthor", "partition"}
 
 // New constructs a workload by name. procs is the processor count (the
 // paper used 16), scale multiplies the workload size (1.0 is this
@@ -32,6 +33,8 @@ func New(name string, procs int, scale float64, seed int64) (Program, error) {
 		return NewWater(procs, scale, seed), nil
 	case "pthor":
 		return NewPthor(procs, scale, seed), nil
+	case "partition":
+		return NewPartition(procs, scale, seed), nil
 	default:
 		return nil, fmt.Errorf("workload: unknown workload %q (want one of %v)", name, Names)
 	}

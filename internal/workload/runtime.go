@@ -28,6 +28,13 @@ type RuntimeConfig struct {
 	// adaptive classification epoch re-routing pages by their observed
 	// sharing pattern (see dsm.Config.AdaptEveryBarriers; 0 disables).
 	AdaptEveryBarriers int
+	// Placement names the initial page→home policy ("block", "rr",
+	// "first-touch"; empty means block — see dsm.ParsePlacement).
+	Placement string
+	// MigrateHomes re-homes pages to their dominant writer on adaptive
+	// epochs (requires AdaptEveryBarriers > 0; see
+	// dsm.Config.MigrateHomes).
+	MigrateHomes bool
 	// GCEveryBarriers enables the runtime's barrier-time garbage
 	// collection every k-th episode (0 disables).
 	GCEveryBarriers int
@@ -210,6 +217,15 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 		// systems, a nil image and no traffic.
 		return nil, fmt.Errorf("workload %s on runtime (%s): empty transport list", p.Name(), rc.Mode)
 	}
+	placement, err := dsm.ParsePlacement(rc.Placement)
+	if err != nil {
+		for _, tr := range transports {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+		return nil, fmt.Errorf("workload %s on runtime (%s): %w", p.Name(), rc.Mode, err)
+	}
 	var modeMap []dsm.Mode
 	if rc.ModeMap != "" {
 		numPages := (cfg.SpaceSize + mem.Addr(rc.PageSize) - 1) / mem.Addr(rc.PageSize)
@@ -238,6 +254,8 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 			Mode:               rc.Mode,
 			ModeMap:            modeMap,
 			AdaptEveryBarriers: rc.AdaptEveryBarriers,
+			Placement:          placement,
+			MigrateHomes:       rc.MigrateHomes,
 			GCEveryBarriers:    rc.GCEveryBarriers,
 			Latency:            rc.Latency,
 			NoBatch:            rc.NoBatch,

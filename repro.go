@@ -229,7 +229,8 @@ var Protocols = sim.ProtocolNames
 // AllProtocols additionally includes the SC (Ivy) baseline.
 var AllProtocols = sim.AllProtocolNames
 
-// Workloads lists the five SPLASH-like workload generators.
+// Workloads lists the workload generators: the five SPLASH-like
+// kernels plus the writer-dominant partition pattern.
 var Workloads = workload.Names
 
 // PaperPageSizes lists the page sizes the paper sweeps (bytes).

@@ -37,7 +37,7 @@ func TestFacadeConstants(t *testing.T) {
 	if len(repro.Protocols) != 4 || len(repro.AllProtocols) != 5 {
 		t.Error("protocol lists wrong")
 	}
-	if len(repro.Workloads) != 5 {
+	if len(repro.Workloads) != 6 {
 		t.Error("workload list wrong")
 	}
 	if len(repro.PaperPageSizes) != 5 || repro.PaperProcs != 16 {
