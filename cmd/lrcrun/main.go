@@ -83,6 +83,7 @@ func run(args []string, out io.Writer) error {
 		placement  = fs.String("placement", "block", "page placement policy: "+dsm.PlacementNames()+"; with -app, a comma list runs a per-policy traffic comparison")
 		migrate    = fs.Bool("migrate", false, "migrate page homes to their dominant writer on adaptive epochs (requires -adapt)")
 		statsJSON  = fs.Bool("statsjson", false, "emit the run's dsm.Stats (per-kind traffic and per-page routing counters) as JSON")
+		eagerDiffs = fs.Bool("eagerdiffs", false, "compute diffs eagerly at interval close in the lazy protocols (A/B baseline for the lazy diff pipeline; images and traffic identical)")
 		procs      = fs.Int("procs", 8, "number of logical processors (with -transport tcp, fixed to peer count × -gpn)")
 		gpn        = fs.Int("gpn", 1, "application goroutines per DSM node: gpn > 1 multiplexes the processors onto procs/gpn oversubscribed nodes")
 		iters      = fs.Int("iters", 100, "iterations per node (demos)")
@@ -233,7 +234,7 @@ func run(args []string, out io.Writer) error {
 	}
 	route := routeCfg{
 		modeMap: *modemap, adapt: *adapt, statsJSON: *statsJSON,
-		placements: placements, migrate: *migrate,
+		placements: placements, migrate: *migrate, eagerDiffs: *eagerDiffs,
 	}
 
 	switch {
@@ -277,6 +278,7 @@ type routeCfg struct {
 	placements []string
 	migrate    bool
 	statsJSON  bool
+	eagerDiffs bool
 }
 
 // traceRingCap bounds the protocol event ring: newest events win.
@@ -414,7 +416,7 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 		rc := workload.RuntimeConfig{
 			PageSize: pageSize, Mode: m, GCEveryBarriers: gc, GoroutinesPerNode: gpn,
 			ModeMap: route.modeMap, AdaptEveryBarriers: route.adapt,
-			Placement: pol, MigrateHomes: route.migrate,
+			Placement: pol, MigrateHomes: route.migrate, EagerDiffs: route.eagerDiffs,
 			NoBatch: pipe.noBatch, Flush: pipe.flush, CompressMin: pipe.compressMin,
 			RPCTimeout: ob.rpcTimeout, Metrics: ob.registry, Tracer: ob.tracer,
 		}
@@ -516,6 +518,7 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 	fmt.Fprintf(out, "%-28s%12d%12s%12s%14d%14s%14s%14s   (trace replay, %s)\n",
 		"simulator", st.TotalMessages(), "-", "-", st.TotalBytes(), "-", perCrit(st.TotalMessages()), perCrit(st.TotalBytes()), m)
 	var misses, diffs, updates, intervals, invals, moves, migrations int64
+	var created, deferred, cacheHits, flattened, twinBytes int64
 	for _, ns := range first.res.Nodes {
 		misses += ns.AccessMisses
 		diffs += ns.DiffsApplied
@@ -524,9 +527,16 @@ func runWorkload(out io.Writer, name string, procs, gpn int, scale float64, seed
 		invals += ns.InvalsReceived
 		moves += ns.OwnershipMoves
 		migrations += ns.PageMigrations
+		created += ns.DiffsCreated
+		deferred += ns.DiffsDeferred
+		cacheHits += ns.DiffCacheHits
+		flattened += ns.DiffsFlattened
+		twinBytes += ns.TwinBytesLive
 	}
-	fmt.Fprintf(out, "nodes: %d access misses, %d diffs applied, %d updates, %d intervals, %d invalidations, %d ownership moves, %d page migrations\n\n",
+	fmt.Fprintf(out, "nodes: %d access misses, %d diffs applied, %d updates, %d intervals, %d invalidations, %d ownership moves, %d page migrations\n",
 		misses, diffs, updates, intervals, invals, moves, migrations)
+	fmt.Fprintf(out, "diff plane: %d created, %d deferred, %d cache hits, %d flattened away, %d twin bytes live at exit\n\n",
+		created, deferred, cacheHits, flattened, twinBytes)
 	if route.statsJSON {
 		for _, r := range runs {
 			if err := emitStatsJSON(out, r.report); err != nil {
@@ -591,6 +601,7 @@ func runDemo(out io.Writer, demo string, m dsm.Mode, procs, gpn, iters, pageSize
 		Placement:          placement,
 		MigrateHomes:       route.migrate,
 		GCEveryBarriers:    gc,
+		EagerDiffs:         route.eagerDiffs,
 		GoroutinesPerNode:  gpn,
 		NoBatch:            pipe.noBatch,
 		Flush:              pipe.flush,

@@ -243,6 +243,78 @@ func (l *Log) Maximal(out []IntervalID) []IntervalID {
 	return maximal
 }
 
+// PlanBefore reports whether interval a is applied before interval b under
+// the runtime's linear extension of hb1: ascending clock sum, with
+// (processor, index) as the deterministic tiebreak. This is the single
+// source of apply order — the live engines sort their diff plans with it,
+// and FlattenSafe uses it to decide whether merged diffs would commute
+// past an interval that must sort between them.
+func PlanBefore(a, b *Interval) bool {
+	var sa, sb int32
+	for _, v := range a.VC {
+		sa += v
+	}
+	for _, v := range b.VC {
+		sb += v
+	}
+	if sa != sb {
+		return sa < sb
+	}
+	if a.ID.Proc != b.ID.Proc {
+		return a.ID.Proc < b.ID.Proc
+	}
+	return a.ID.Index < b.ID.Index
+}
+
+// FlattenSafe reports whether the intervals of processor creator with
+// indices in [first, last] selected by merged — all modifying page pg —
+// can be served as one flattened diff applied at first's plan position.
+//
+// The flattened diff carries last's bytes for every overlapping word, so
+// the merge is only sound if no other interval that the requester might
+// order between the components can write the same words. Two cases:
+//
+//   - An interval X happened-before last (X is covered by last's clock):
+//     X may overlap the components' words. If X sorts after first under
+//     PlanBefore, the merge would move the components' bytes across X —
+//     unsafe. X sorting before first is fine: it applies before the
+//     flattened diff either way. The creator's log provably contains
+//     every such X (it applied them while bringing its copy up to date
+//     before closing last), so this check is complete on the server.
+//
+//   - An interval concurrent with the components: for properly-labeled
+//     programs concurrent writers of the same page touch disjoint words
+//     (otherwise a data race), so it commutes with the merge.
+//
+// An unmerged interval of creator itself with index inside (first, last]
+// always breaks the merge: it sorts between the components by program
+// order and overlap cannot be ruled out.
+func (l *Log) FlattenSafe(pg mem.PageID, creator mem.ProcID, first, last int32, merged func(int32) bool) bool {
+	hist := l.byPage[pg]
+	if hist == nil {
+		return false
+	}
+	ia := l.Get(IntervalID{Proc: creator, Index: first})
+	ib := l.Get(IntervalID{Proc: creator, Index: last})
+	for q := 0; q < l.n; q++ {
+		for _, k := range hist[q] {
+			if !ib.VC.Covers(q, k) {
+				break // ascending indices: nothing later is covered either
+			}
+			if mem.ProcID(q) == creator {
+				if k <= first || merged(k) {
+					continue
+				}
+				return false
+			}
+			if x := l.ivs[q][k]; PlanBefore(ia, x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Assignment maps a responder processor to the outstanding intervals whose
 // diffs it will supply.
 type Assignment struct {

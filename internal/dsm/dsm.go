@@ -259,6 +259,12 @@ type Config struct {
 	// merged clock, bounding memory (TreadMarks-style). Only the lazy
 	// protocols retain diffs; the eager and SC engines ignore it.
 	GCEveryBarriers int
+	// EagerDiffs makes the lazy engines compute each interval's diffs at
+	// interval close (the pre-lazy behavior) instead of deferring
+	// creation to the first serve. Message counts and memory images are
+	// identical either way — the toggle exists so the lazy-creation win
+	// is directly measurable (TestLazyDiffCreationGate compares the two).
+	EagerDiffs bool
 	// GoroutinesPerNode is the number of application goroutines that
 	// drive each node (0 and 1 mean one). Node methods are safe for
 	// concurrent use regardless; the knob sizes Node.Barrier's local

@@ -198,6 +198,7 @@ func (e *eagerEngine) installPage(m *wire.Msg) bool {
 		if err != nil {
 			panic(fmt.Sprintf("dsm: node %d: lifting uncommitted writes off page %d: %v", n.id, pg, err))
 		}
+		n.stats.diffsCreated.Add(1)
 		pc.twin = page.NewTwin(m.Data)
 		pc.data = m.Data
 		if err := du.Apply(pc.data); err != nil {
@@ -381,6 +382,7 @@ func (e *eagerEngine) flushPages(cand []mem.PageID) error {
 			releaseSlots()
 			return err
 		}
+		n.stats.diffsCreated.Add(1)
 		if d.Empty() {
 			unclaim()
 			continue
@@ -701,6 +703,7 @@ func (e *eagerEngine) applyInval(m *wire.Msg, src mem.ProcID) {
 				ack.Diffs = append(ack.Diffs, wire.DiffRec{Page: pg, Diff: d})
 			}
 			pc.twin = nil
+			n.stats.diffsCreated.Add(1)
 		}
 		pc.valid = false
 	}
@@ -802,6 +805,7 @@ func (e *eagerEngine) applyFlushDone(m *wire.Msg) bool {
 		if err != nil {
 			fail("lifting uncommitted writes off", err)
 		}
+		n.stats.diffsCreated.Add(1)
 		uncommitted = du
 		committed = append([]byte(nil), pc.twin.Data()...)
 	}

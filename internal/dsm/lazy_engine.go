@@ -33,14 +33,23 @@ import (
 type lazyEngine struct {
 	n      *Node
 	update bool // LU: bring cached copies up to date at acquire time
+	// eagerDiffs restores eager diff creation at interval close (the
+	// pre-lazy behavior) for A/B measurement; deferral changes only when
+	// diffs are computed, never which messages flow, so the two settings
+	// are image- and message-identical.
+	eagerDiffs bool
 
 	// mu guards the interval machinery below.
 	mu        sync.Mutex
 	v         vc.VC
 	log       *core.Log
-	diffs     map[core.IntervalID]map[mem.PageID]*page.Diff
+	diffs     map[core.IntervalID]map[mem.PageID]*diffSlot
 	lastEpoch vc.VC
 	episodes  int
+	// flat caches flattened diffs built by handleDiffReq, keyed by the
+	// merged index range, so repeat requesters reuse one merge (and its
+	// encoded wire body). Dropped wholesale when GC discards diffs.
+	flat map[flatKey]*page.Diff
 	// fresh accumulates the interval records learned during the current
 	// barrier rendezvous, for postBarrier's invalidation step.
 	fresh []wire.IntervalRec
@@ -62,20 +71,117 @@ type lazyPage struct {
 	applied vc.VC      // modifications reflected in data
 	twin    *page.Twin // present while the current interval has writes
 	gen     uint64     // bumped whenever fresh notices target this page
+	// pending is the deferred diff slot of this node's latest closed
+	// interval on the page, while its post-interval contents still live
+	// in data (no snapshot taken yet). The next twin capture or any
+	// mutation of data resolves it — see materializeSlot.
+	pending *diffSlot
+}
+
+// diffSlot is one retained diff in the store: either materialized (d set)
+// or deferred (base twin captured, diff not yet computed). A deferred
+// slot's target contents are the target twin if set, else the live page
+// data (the slot is then the page's pending slot). All fields are
+// guarded by the slot's page stripe; the store map itself is under e.mu.
+type diffSlot struct {
+	d      *page.Diff
+	base   *page.Twin
+	target *page.Twin
+	// flat marks a slot received as part of a flattened response group.
+	// Its diff is positionally entangled with the rest of the group
+	// (the head carries every member's bytes, the members are empty),
+	// so it is applied locally but never forwarded: not piggybacked on
+	// LU grants and never served to a peer.
+	flat bool
+}
+
+// flatKey identifies a flattened serve group: this node's own intervals
+// on one page with indices in [first, last]. FlattenSafe only passes
+// when the group contains every own interval on the page in that range,
+// so the range determines the members.
+type flatKey struct {
+	pg          mem.PageID
+	first, last int32
 }
 
 func newLazyEngine(n *Node, update bool) *lazyEngine {
 	return &lazyEngine{
-		n:         n,
-		update:    update,
-		v:         vc.New(n.sys.cfg.Procs),
-		log:       core.NewLog(n.sys.cfg.Procs),
-		diffs:     make(map[core.IntervalID]map[mem.PageID]*page.Diff),
-		lastEpoch: vc.New(n.sys.cfg.Procs),
-		dirty:     make(map[mem.PageID]struct{}),
-		pages:     make([]*lazyPage, n.sys.layout.NumPages()),
+		n:          n,
+		update:     update,
+		eagerDiffs: n.sys.cfg.EagerDiffs,
+		v:          vc.New(n.sys.cfg.Procs),
+		log:        core.NewLog(n.sys.cfg.Procs),
+		diffs:      make(map[core.IntervalID]map[mem.PageID]*diffSlot),
+		lastEpoch:  vc.New(n.sys.cfg.Procs),
+		flat:       make(map[flatKey]*page.Diff),
+		dirty:      make(map[mem.PageID]struct{}),
+		pages:      make([]*lazyPage, n.sys.layout.NumPages()),
 	}
 }
+
+// newTwin and releaseTwin wrap twin capture and release with the
+// TwinBytesLive gauge: the gauge rises at capture and falls at the last
+// release, when the buffer returns to the page pool.
+func (e *lazyEngine) newTwin(contents []byte) *page.Twin {
+	t := page.NewTwin(contents)
+	e.n.stats.twinBytesLive.Add(int64(t.Len()))
+	return t
+}
+
+func (e *lazyEngine) releaseTwin(t *page.Twin) {
+	size := int64(t.Len())
+	if t.Release() {
+		e.n.stats.twinBytesLive.Add(-size)
+	}
+}
+
+// materializeSlot computes a deferred slot's diff. Caller holds the
+// slot's page stripe; pc is the page's current copy (nil only if the
+// page was dropped, which materializes first, so a deferred slot always
+// still has its target contents). The base and any target twin are
+// released once the diff exists.
+func (e *lazyEngine) materializeSlot(pc *lazyPage, slot *diffSlot, pg mem.PageID) {
+	if slot.d != nil {
+		return
+	}
+	var cur []byte
+	switch {
+	case slot.target != nil:
+		cur = slot.target.Data()
+	case pc != nil:
+		cur = pc.data
+	default:
+		panic(fmt.Sprintf("dsm: node %d: deferred diff for page %d lost its target contents", e.n.id, pg))
+	}
+	d, err := page.MakeDiff(slot.base, cur)
+	if err != nil {
+		panic(fmt.Sprintf("dsm: node %d: diffing page %d: %v", e.n.id, pg, err))
+	}
+	slot.d = d
+	e.releaseTwin(slot.base)
+	slot.base = nil
+	if slot.target != nil {
+		e.releaseTwin(slot.target)
+		slot.target = nil
+	} else if pc != nil && pc.pending == slot {
+		pc.pending = nil
+	}
+	e.n.stats.diffsCreated.Add(1)
+}
+
+// serveDiff prepares a diff for the encoder: the wire body is built once
+// (EnsureWireBody) and every reuse counts as a cache hit.
+func (e *lazyEngine) serveDiff(d *page.Diff) *page.Diff {
+	if d.WireBody() != nil {
+		e.n.stats.diffCacheHits.Add(1)
+	}
+	d.EnsureWireBody()
+	return d
+}
+
+// emptyDiff is the shared placeholder for the merged members of a
+// flattened response (the head rec carries their bytes).
+var emptyDiff = &page.Diff{}
 
 func (e *lazyEngine) clock() vc.VC {
 	e.mu.Lock()
@@ -95,14 +201,18 @@ func (e *lazyEngine) modeID() Mode {
 
 // --- interval management ---
 
-// closeIntervalLocked ends the current interval: diffs are created from
-// the twins of every dirtied page (eager diffing) and retained in the
-// diff store; the interval record with its write notices enters the
-// log. Caller holds e.mu. With multiple application goroutines the
-// node's interval contains every local goroutine's writes since the
-// last synchronization point — the node is one processor to the
-// protocol, exactly as a multi-threaded processor is to the paper's
-// model.
+// closeIntervalLocked ends the current interval: each dirtied page's
+// twin becomes a retained diff-store entry and the interval record with
+// its write notices enters the log. By default the diff itself is not
+// computed here — the slot keeps the twin as its base and the diff is
+// materialized on the first serve (or at GC, or never: a covered slot
+// whose diff nobody fetched is discarded twin and all, which is the
+// lazy-creation win). With EagerDiffs the diff is computed immediately,
+// the pre-lazy behavior kept for A/B measurement. Caller holds e.mu.
+// With multiple application goroutines the node's interval contains
+// every local goroutine's writes since the last synchronization point —
+// the node is one processor to the protocol, exactly as a multi-threaded
+// processor is to the paper's model.
 func (e *lazyEngine) closeIntervalLocked() {
 	n := e.n
 	e.dirtyMu.Lock()
@@ -118,7 +228,7 @@ func (e *lazyEngine) closeIntervalLocked() {
 	e.dirtyMu.Unlock()
 	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
 
-	byPage := make(map[mem.PageID]*page.Diff, len(cand))
+	byPage := make(map[mem.PageID]*diffSlot, len(cand))
 	pages := make([]mem.PageID, 0, len(cand))
 	for _, pg := range cand {
 		pmu := n.pageLock(pg)
@@ -128,13 +238,28 @@ func (e *lazyEngine) closeIntervalLocked() {
 			pmu.Unlock()
 			continue
 		}
-		d, err := page.MakeDiff(pc.twin, pc.data)
-		pc.twin = nil
-		pmu.Unlock()
-		if err != nil {
-			panic(fmt.Sprintf("dsm: node %d: diffing page %d: %v", n.id, pg, err))
+		var slot *diffSlot
+		if e.eagerDiffs {
+			d, err := page.MakeDiff(pc.twin, pc.data)
+			if err != nil {
+				pmu.Unlock()
+				panic(fmt.Sprintf("dsm: node %d: diffing page %d: %v", n.id, pg, err))
+			}
+			e.releaseTwin(pc.twin)
+			pc.twin = nil
+			slot = &diffSlot{d: d}
+			n.stats.diffsCreated.Add(1)
+		} else {
+			// The page table's twin reference transfers to the slot as the
+			// diff base; the post-interval contents stay live in pc.data
+			// until the next twin capture snapshots them (pending).
+			slot = &diffSlot{base: pc.twin}
+			pc.twin = nil
+			pc.pending = slot
+			n.stats.diffsDeferred.Add(1)
 		}
-		byPage[pg] = d
+		pmu.Unlock()
+		byPage[pg] = slot
 		pages = append(pages, pg)
 	}
 	if len(pages) == 0 {
@@ -395,7 +520,7 @@ func (e *lazyEngine) validate(pg mem.PageID) error {
 		})
 		missing := make(map[mem.ProcID][]wire.Want)
 		for _, id := range out {
-			if _, ok := e.diffs[id][pg]; ok {
+			if e.diffs[id][pg] != nil {
 				continue
 			}
 			missing[id.Proc] = append(missing[id.Proc], wire.Want{Page: pg, Proc: id.Proc, Index: id.Index})
@@ -417,24 +542,21 @@ func (e *lazyEngine) validate(pg mem.PageID) error {
 					return err
 				}
 				e.mu.Lock()
-				for _, rec := range resp.Diffs {
-					id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
-					if e.diffs[id] == nil {
-						e.diffs[id] = make(map[mem.PageID]*page.Diff)
-					}
-					e.diffs[id][rec.Page] = rec.Diff
-					n.stats.diffsFetched.Add(1)
-				}
+				e.storeDiffRecsLocked(resp.Diffs, true)
 				e.mu.Unlock()
 			}
 		}
 
 		// Apply. If fresh notices for this page landed while we were
 		// fetching (generation moved), the plan is stale: replan.
+		// Outstanding excludes this node's own intervals, so every step
+		// comes from a fetched or piggybacked slot — always materialized.
 		e.mu.Lock()
 		steps := make([]*page.Diff, len(out))
 		for i, id := range out {
-			steps[i] = e.diffs[id][pg]
+			if slot := e.diffs[id][pg]; slot != nil {
+				steps[i] = slot.d
+			}
 			if steps[i] == nil {
 				e.mu.Unlock()
 				return fmt.Errorf("dsm: node %d: diff %v for page %d unavailable", n.id, id, pg)
@@ -447,6 +569,12 @@ func (e *lazyEngine) validate(pg mem.PageID) error {
 		if pc.gen != genSnap {
 			pmu.Unlock()
 			continue
+		}
+		// A deferred diff of the latest local interval still reads its
+		// target contents out of pc.data; the remote diffs about to land
+		// there would be misattributed to it. Snapshot it now.
+		if pc.pending != nil && len(steps) > 0 {
+			e.materializeSlot(pc, pc.pending, pg)
 		}
 		// A concurrent local critical section may hold a live twin for
 		// this page (it kept writing through the invalidation, which is
@@ -480,7 +608,8 @@ func (e *lazyEngine) validate(pg mem.PageID) error {
 			n.rt.noteDiffApplied(pg)
 		}
 		if patched != nil {
-			pc.twin = page.NewTwin(patched)
+			e.releaseTwin(pc.twin)
+			pc.twin = e.newTwin(patched)
 		}
 		pc.valid = true
 		pc.applied.Max(vSnap)
@@ -495,6 +624,58 @@ func clockSum(v vc.VC) int64 {
 		s += int64(x)
 	}
 	return s
+}
+
+// storeDiffRecsLocked enters received diff records into the retained
+// store (if absent: an existing slot is never replaced — crucially not a
+// local deferred one). Caller holds e.mu; fetched counts the records as
+// wire fetches (false for LU piggybacks).
+//
+// Flattened response groups are detected here so their slots are marked
+// unforwardable: a flattened serve is a run of records for one (page,
+// creator) where the head carries the merged bytes and the members are
+// empty. A legitimate unflattened response can also carry an empty diff
+// (an interval whose writes restored the original bytes), so the
+// heuristic can over-mark — that only costs a peer a direct fetch from
+// the creator, never correctness.
+func (e *lazyEngine) storeDiffRecsLocked(recs []wire.DiffRec, fetched bool) {
+	flat := make([]bool, len(recs))
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].Page == recs[i].Page && recs[j].Proc == recs[i].Proc {
+			j++
+		}
+		if j-i >= 2 {
+			for k := i + 1; k < j; k++ {
+				if recs[k].Diff.Empty() {
+					for m := i; m < j; m++ {
+						flat[m] = true
+					}
+					break
+				}
+			}
+		}
+		i = j
+	}
+	for i, rec := range recs {
+		if !e.n.validPage(rec.Page) {
+			// The page id indexes the stripe table when the slot is later
+			// piggybacked; an out-of-range one is the sender's corruption.
+			e.n.noteErr("diff store",
+				fmt.Errorf("diff record for invalid page %d", rec.Page))
+			continue
+		}
+		id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
+		if e.diffs[id] == nil {
+			e.diffs[id] = make(map[mem.PageID]*diffSlot)
+		}
+		if _, ok := e.diffs[id][rec.Page]; !ok {
+			e.diffs[id][rec.Page] = &diffSlot{d: rec.Diff, flat: flat[i]}
+			if fetched {
+				e.n.stats.diffsFetched.Add(1)
+			}
+		}
+	}
 }
 
 // revalidate runs validate over a list of pages (LU's acquire/barrier-time
@@ -543,7 +724,7 @@ func (e *lazyEngine) prefetchDiffs(pages []mem.PageID) error {
 		out := e.log.Outstanding(pg, appliedSnap, e.v, n.id)
 		missing := make(map[mem.ProcID][]wire.Want)
 		for _, id := range out {
-			if _, ok := e.diffs[id][pg]; ok {
+			if e.diffs[id][pg] != nil {
 				continue
 			}
 			missing[id.Proc] = append(missing[id.Proc], wire.Want{Page: pg, Proc: id.Proc, Index: id.Index})
@@ -569,16 +750,7 @@ func (e *lazyEngine) prefetchDiffs(pages []mem.PageID) error {
 	}
 	e.mu.Lock()
 	for _, resp := range resps {
-		for _, rec := range resp.Diffs {
-			id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
-			if e.diffs[id] == nil {
-				e.diffs[id] = make(map[mem.PageID]*page.Diff)
-			}
-			if _, ok := e.diffs[id][rec.Page]; !ok {
-				e.diffs[id][rec.Page] = rec.Diff
-				n.stats.diffsFetched.Add(1)
-			}
-		}
+		e.storeDiffRecsLocked(resp.Diffs, true)
 	}
 	e.mu.Unlock()
 	return nil
@@ -606,7 +778,15 @@ func (e *lazyEngine) writePage(pg mem.PageID, off int, src []byte) error {
 	pc := e.pages[pg]
 	created := false
 	if pc.twin == nil {
-		pc.twin = page.NewTwin(pc.data)
+		pc.twin = e.newTwin(pc.data)
+		if pc.pending != nil {
+			// The fresh twin is a snapshot of the page exactly as the
+			// pending interval left it: it becomes the deferred diff's
+			// target (shared with the page table — twins are immutable),
+			// deferring the diff past this new interval for free.
+			pc.pending.target = pc.twin.Retain()
+			pc.pending = nil
+		}
 		created = true
 	}
 	copy(pc.data[off:off+len(src)], src)
@@ -638,6 +818,10 @@ func (e *lazyEngine) grant(req, grant *wire.Msg) {
 		// Piggyback every retained diff for the noticed intervals — the
 		// releaser supplies what it has (Figure 4's "l and x in a single
 		// message"); the acquirer fetches any remainder from creators.
+		// Deferred local diffs materialize here (the piggyback is their
+		// first serve); flat slots are skipped — their contents are only
+		// meaningful inside the response group they arrived in, so the
+		// acquirer fetches those intervals from the creator instead.
 		for _, rec := range recs {
 			id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
 			byPage := e.diffs[id]
@@ -647,8 +831,20 @@ func (e *lazyEngine) grant(req, grant *wire.Msg) {
 			}
 			sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 			for _, pg := range pages {
+				slot := byPage[pg]
+				pmu := e.n.pageLock(pg)
+				pmu.Lock()
+				if slot.flat {
+					pmu.Unlock()
+					continue
+				}
+				if slot.d == nil {
+					e.materializeSlot(e.pages[pg], slot, pg)
+				}
+				d := slot.d
+				pmu.Unlock()
 				grant.Diffs = append(grant.Diffs, wire.DiffRec{
-					Page: pg, Proc: id.Proc, Index: id.Index, Diff: byPage[pg],
+					Page: pg, Proc: id.Proc, Index: id.Index, Diff: e.serveDiff(d),
 				})
 			}
 		}
@@ -660,15 +856,7 @@ func (e *lazyEngine) onGrant(grant *wire.Msg) error {
 	fresh := e.absorbIntervalsLocked(grant.Intervals)
 	// Piggybacked diffs (LU grants) enter the retained-diff store; the
 	// revalidation below then fetches only what is still missing.
-	for _, rec := range grant.Diffs {
-		id := core.IntervalID{Proc: rec.Proc, Index: rec.Index}
-		if e.diffs[id] == nil {
-			e.diffs[id] = make(map[mem.PageID]*page.Diff)
-		}
-		if _, ok := e.diffs[id][rec.Page]; !ok {
-			e.diffs[id][rec.Page] = rec.Diff
-		}
-	}
+	e.storeDiffRecsLocked(grant.Diffs, false)
 	affected := e.invalidateForLocked(fresh)
 	e.mu.Unlock()
 
@@ -841,11 +1029,34 @@ func (e *lazyEngine) runGC(b mem.BarrierID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for id := range e.diffs {
-		if epoch.Covers(int(id.Proc), id.Index) {
-			n.stats.diffsDiscarded.Add(int64(len(e.diffs[id])))
-			delete(e.diffs, id)
+		if !epoch.Covers(int(id.Proc), id.Index) {
+			continue
 		}
+		byPage := e.diffs[id]
+		n.stats.diffsDiscarded.Add(int64(len(byPage)))
+		for pg, slot := range byPage {
+			pmu := n.pageLock(pg)
+			pmu.Lock()
+			if slot.d == nil {
+				// A covered slot whose diff was never fetched: drop the
+				// twins without ever computing it — the deferred work the
+				// lazy pipeline saves outright.
+				e.releaseTwin(slot.base)
+				slot.base = nil
+				if slot.target != nil {
+					e.releaseTwin(slot.target)
+					slot.target = nil
+				} else if pc := e.pages[pg]; pc != nil && pc.pending == slot {
+					pc.pending = nil
+				}
+			}
+			pmu.Unlock()
+		}
+		delete(e.diffs, id)
 	}
+	// Flattened serves merge only pre-epoch intervals their requesters
+	// still needed; the epoch retires them with the diffs they merged.
+	e.flat = make(map[flatKey]*page.Diff)
 	n.stats.gcRuns.Add(1)
 	return nil
 }
@@ -891,8 +1102,13 @@ func (e *lazyEngine) checkGCInvariant(epoch vc.VC) error {
 func (e *lazyEngine) dropPage(pg mem.PageID) {
 	// The reclassification runs after barrierEntry closed the interval,
 	// so no live twin exists; any retained diffs stay for GC to discard.
+	// A deferred diff still reading its target out of this copy's data
+	// must be materialized before the data goes away.
 	pmu := e.n.pageLock(pg)
 	pmu.Lock()
+	if pc := e.pages[pg]; pc != nil && pc.pending != nil {
+		e.materializeSlot(pc, pc.pending, pg)
+	}
 	e.pages[pg] = nil
 	pmu.Unlock()
 	e.dirtyMu.Lock()
@@ -913,6 +1129,9 @@ func (e *lazyEngine) adoptPage(pg mem.PageID, data []byte) {
 	e.mu.Unlock()
 	pmu := e.n.pageLock(pg)
 	pmu.Lock()
+	if old := e.pages[pg]; old != nil && old.pending != nil {
+		e.materializeSlot(old, old.pending, pg)
+	}
 	e.pages[pg] = &lazyPage{
 		data:    append([]byte(nil), data...),
 		valid:   true,
@@ -938,26 +1157,116 @@ func (e *lazyEngine) handle(m *wire.Msg, src mem.ProcID) bool {
 func (e *lazyEngine) handleDiffReq(m *wire.Msg, src mem.ProcID) {
 	n := e.n
 	e.mu.Lock()
-	resp := &wire.Msg{Kind: wire.KDiffResp, Seq: m.Seq}
-	for _, w := range m.Wants {
+	// Resolve every want before answering any: a request for a diff we
+	// never made (or already garbage collected out from under a peer
+	// that should have known), or for one we only hold as a flattened
+	// fragment, is the requester's bug or malice: record it and drop the
+	// whole request — a partial answer would install a torn page.
+	// Deferred local slots materialize here, on first serve.
+	diffs := make([]*page.Diff, len(m.Wants))
+	for i, w := range m.Wants {
 		id := core.IntervalID{Proc: w.Proc, Index: w.Index}
-		d := e.diffs[id][w.Page]
-		if d == nil {
-			// A request for a diff we never made (or already garbage
-			// collected out from under a peer that should have known) is
-			// the requester's bug or malice: record it and drop the whole
-			// request — a partial answer would install a torn page.
+		if !n.validPage(w.Page) {
+			e.mu.Unlock()
+			n.noteErr("diff request",
+				fmt.Errorf("asked for diff %v on invalid page %d", id, w.Page))
+			return
+		}
+		slot := e.diffs[id][w.Page]
+		if slot == nil {
 			e.mu.Unlock()
 			n.noteErr("diff request",
 				fmt.Errorf("asked for diff %v page %d this node does not hold", id, w.Page))
 			return
 		}
-		resp.Diffs = append(resp.Diffs, wire.DiffRec{Page: w.Page, Proc: w.Proc, Index: w.Index, Diff: d})
+		pmu := n.pageLock(w.Page)
+		pmu.Lock()
+		if slot.flat {
+			pmu.Unlock()
+			e.mu.Unlock()
+			n.noteErr("diff request",
+				fmt.Errorf("asked for diff %v page %d held only as a flattened fragment", id, w.Page))
+			return
+		}
+		if slot.d == nil {
+			e.materializeSlot(e.pages[w.Page], slot, w.Page)
+		}
+		diffs[i] = slot.d
+		pmu.Unlock()
+	}
+
+	// Serve, flattening where sound: a run of wants for several of this
+	// node's own intervals on one page merges into a single diff applied
+	// at the first interval's plan position, when FlattenSafe proves no
+	// interval the requester might order between the members writes the
+	// same page. The head record carries the merged bytes; the merged
+	// members ride along as empty records so the requester's plan stays
+	// complete (and marks them unforwardable, see storeDiffRecsLocked).
+	resp := &wire.Msg{Kind: wire.KDiffResp, Seq: m.Seq}
+	for i := 0; i < len(m.Wants); {
+		w := m.Wants[i]
+		j := i + 1
+		for j < len(m.Wants) && m.Wants[j].Page == w.Page && m.Wants[j].Proc == w.Proc &&
+			m.Wants[j].Index > m.Wants[j-1].Index {
+			j++
+		}
+		group := m.Wants[i:j]
+		if len(group) >= 2 && w.Proc == n.id {
+			if flat := e.flattenGroupLocked(group, diffs[i:j]); flat != nil {
+				resp.Diffs = append(resp.Diffs, wire.DiffRec{
+					Page: w.Page, Proc: w.Proc, Index: w.Index, Diff: e.serveDiff(flat),
+				})
+				for _, g := range group[1:] {
+					resp.Diffs = append(resp.Diffs, wire.DiffRec{
+						Page: g.Page, Proc: g.Proc, Index: g.Index, Diff: emptyDiff,
+					})
+				}
+				n.stats.diffsFlattened.Add(int64(len(group) - 1))
+				i = j
+				continue
+			}
+		}
+		for k := i; k < j; k++ {
+			resp.Diffs = append(resp.Diffs, wire.DiffRec{
+				Page: m.Wants[k].Page, Proc: m.Wants[k].Proc, Index: m.Wants[k].Index,
+				Diff: e.serveDiff(diffs[k]),
+			})
+		}
+		i = j
 	}
 	e.mu.Unlock()
 	// Staged: the shard worker's drain point flushes it, so a burst of
 	// diff requests from one prefetching peer answers in few frames.
 	n.stage(src, resp)
+}
+
+// flattenGroupLocked merges the diffs of a same-page ascending run of
+// this node's own intervals into one, or returns nil when the merge is
+// unsound. Results are cached by index range so repeat requesters (and
+// their encoded wire bodies) are served from one merge. Caller holds
+// e.mu.
+func (e *lazyEngine) flattenGroupLocked(group []wire.Want, diffs []*page.Diff) *page.Diff {
+	first, last := group[0].Index, group[len(group)-1].Index
+	key := flatKey{pg: group[0].Page, first: first, last: last}
+	if flat, ok := e.flat[key]; ok {
+		return flat
+	}
+	member := make(map[int32]bool, len(group))
+	for _, g := range group {
+		member[g.Index] = true
+	}
+	if !e.log.FlattenSafe(group[0].Page, e.n.id, first, last, func(k int32) bool { return member[k] }) {
+		return nil
+	}
+	flat, err := page.FlattenDiffs(diffs, e.n.sys.layout.PageSize())
+	if err != nil {
+		// Own diffs are well-formed, so this cannot happen; serve the
+		// group unflattened rather than fail the request.
+		e.n.noteErr("diff flatten", err)
+		return nil
+	}
+	e.flat[key] = flat
+	return flat
 }
 
 func (e *lazyEngine) handlePageReq(m *wire.Msg) {

@@ -46,6 +46,20 @@ type Stats struct {
 	GCRuns           int64
 	DiffsDiscarded   int64
 
+	// Diff data plane (lazy engines): DiffsCreated counts MakeDiff
+	// executions (eager engines tick it too, at their flush points),
+	// DiffsDeferred counts interval closes that kept the twin instead of
+	// diffing, DiffCacheHits counts serves satisfied by a previously
+	// encoded wire body, DiffsFlattened counts diffs elided by merging a
+	// multi-interval fetch into one flattened diff, and TwinBytesLive
+	// gauges the bytes currently held in live twins (capture minus final
+	// release).
+	DiffsCreated   int64
+	DiffsDeferred  int64
+	DiffCacheHits  int64
+	DiffsFlattened int64
+	TwinBytesLive  int64
+
 	// FlushedPages counts dirty pages pushed at eager release/barrier
 	// flush points.
 	FlushedPages int64
@@ -105,6 +119,11 @@ type nodeStats struct {
 	pagesFetched     atomic.Int64
 	gcRuns           atomic.Int64
 	diffsDiscarded   atomic.Int64
+	diffsCreated     atomic.Int64
+	diffsDeferred    atomic.Int64
+	diffCacheHits    atomic.Int64
+	diffsFlattened   atomic.Int64
+	twinBytesLive    atomic.Int64
 	flushedPages     atomic.Int64
 	invalsReceived   atomic.Int64
 	updatesReceived  atomic.Int64
@@ -140,6 +159,11 @@ func (s *nodeStats) snapshot() Stats {
 		PagesFetched:     s.pagesFetched.Load(),
 		GCRuns:           s.gcRuns.Load(),
 		DiffsDiscarded:   s.diffsDiscarded.Load(),
+		DiffsCreated:     s.diffsCreated.Load(),
+		DiffsDeferred:    s.diffsDeferred.Load(),
+		DiffCacheHits:    s.diffCacheHits.Load(),
+		DiffsFlattened:   s.diffsFlattened.Load(),
+		TwinBytesLive:    s.twinBytesLive.Load(),
 		FlushedPages:     s.flushedPages.Load(),
 		InvalsReceived:   s.invalsReceived.Load(),
 		UpdatesReceived:  s.updatesReceived.Load(),

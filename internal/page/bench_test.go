@@ -1,0 +1,134 @@
+package page
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// byteLoopMakeDiff is the pre-kernel MakeDiff, kept verbatim as the
+// baseline BenchmarkMakeDiff compares against: byte-at-a-time word
+// comparison, per-run payload allocation, end-of-page clamp.
+func byteLoopMakeDiff(twin *Twin, current []byte) (*Diff, error) {
+	byteWordEqual := func(a, b []byte, off, n int) bool {
+		end := off + wordSize
+		if end > n {
+			end = n
+		}
+		for k := off; k < end; k++ {
+			if a[k] != b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	a, b := twin.Data(), current
+	n := len(current)
+	d := &Diff{}
+	i := 0
+	for i < n {
+		for i < n && byteWordEqual(a, b, i, n) {
+			i += wordSize
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !byteWordEqual(a, b, i, n) {
+			i += wordSize
+		}
+		end := i
+		if end > n {
+			end = n
+		}
+		payload := make([]byte, end-start)
+		copy(payload, b[start:end])
+		d.runs = append(d.runs, Run{Off: int32(start), Len: int32(end - start)})
+		d.data = append(d.data, payload)
+	}
+	return d, nil
+}
+
+// sparsePage builds a 4KB page pair with a handful of scattered word
+// writes — the common SPLASH pattern MakeDiff sees at release.
+func sparsePage(seed int64) (*Twin, []byte) {
+	r := rand.New(rand.NewSource(seed))
+	size := 4096
+	orig := make([]byte, size)
+	r.Read(orig)
+	cur := append([]byte(nil), orig...)
+	for i := 0; i < 8; i++ {
+		off := r.Intn(size - 16)
+		for k := 0; k < 4+r.Intn(12); k++ {
+			cur[off+k] ^= 0x5a
+		}
+	}
+	return NewTwin(orig), cur
+}
+
+func BenchmarkMakeDiff(b *testing.B) {
+	tw, cur := sparsePage(42)
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(int64(len(cur)))
+		for i := 0; i < b.N; i++ {
+			d, err := MakeDiff(tw, cur)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = d
+		}
+	})
+	b.Run("byteloop-baseline", func(b *testing.B) {
+		b.SetBytes(int64(len(cur)))
+		for i := 0; i < b.N; i++ {
+			d, err := byteLoopMakeDiff(tw, cur)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = d
+		}
+	})
+}
+
+// BenchmarkDiffServe measures re-serving one diff to many requesters:
+// cold rebuilds the wire body every time (the pre-cache behavior),
+// cached reuses the one EnsureWireBody buffer.
+func BenchmarkDiffServe(b *testing.B) {
+	tw, cur := sparsePage(7)
+	d, err := MakeDiff(tw, cur)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 0, d.WireSize())
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh, _ := DiffFromRuns(d.Runs(), d.data)
+			buf = append(buf[:0], fresh.EnsureWireBody()...)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		d.EnsureWireBody()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = append(buf[:0], d.EnsureWireBody()...)
+		}
+	})
+	_ = buf
+}
+
+// The serve-from-cache path must not allocate: once the wire body is
+// built, every further serve is a single append into the frame buffer.
+func TestDiffServeFromCacheAllocs(t *testing.T) {
+	tw, cur := sparsePage(7)
+	d, err := MakeDiff(tw, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EnsureWireBody()
+	buf := make([]byte, 0, 2*d.WireSize())
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = append(buf[:0], d.EnsureWireBody()...)
+	})
+	if allocs != 0 {
+		t.Fatalf("serve-from-cache allocated %.1f objects per op, want 0", allocs)
+	}
+}

@@ -1,7 +1,10 @@
 package page
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Wire-size model for diffs, shared by the simulator's byte accounting and
@@ -22,14 +25,24 @@ const (
 // Twin is a pristine copy of a page's contents, taken at the first write
 // after the page became writable, so that the processor's modifications
 // can later be recovered as a diff (current XOR twin, run-length encoded).
+//
+// Twins are reference-counted: the lazy engine shares one twin between
+// the page table and a deferred diff (the snapshot a not-yet-computed
+// diff will be computed against), and the buffer returns to the
+// size-classed pool at the last Release. A twin that is never released
+// is simply reclaimed by the garbage collector — Release is a recycling
+// contract, not a correctness one — but after releasing its reference a
+// holder must not touch the twin again.
 type Twin struct {
 	data []byte
+	refs atomic.Int32
 }
 
-// NewTwin captures a twin of the given page contents.
+// NewTwin captures a twin of the given page contents with one reference.
 func NewTwin(contents []byte) *Twin {
-	t := &Twin{data: make([]byte, len(contents))}
+	t := &Twin{data: getBuf(len(contents))}
 	copy(t.data, contents)
+	t.refs.Store(1)
 	return t
 }
 
@@ -39,61 +52,148 @@ func (t *Twin) Len() int { return len(t.data) }
 // Data exposes the twin's bytes; callers must not mutate them.
 func (t *Twin) Data() []byte { return t.data }
 
+// Retain adds a reference and returns t.
+func (t *Twin) Retain() *Twin {
+	t.refs.Add(1)
+	return t
+}
+
+// Release drops one reference. The last release recycles the buffer into
+// the pool and returns true; the twin must not be used afterwards.
+func (t *Twin) Release() bool {
+	if t.refs.Add(-1) == 0 {
+		putBuf(t.data)
+		t.data = nil
+		return true
+	}
+	return false
+}
+
 // Diff is a run-length encoding of the difference between a twin and the
 // current contents of a page: the set of word-aligned byte runs that
-// changed, together with their new values.
+// changed, together with their new values. A diff is immutable once
+// built; the cached wire body (see EnsureWireBody) may be attached
+// lazily, which is the one field with interior mutability.
 type Diff struct {
 	runs []Run
 	data [][]byte
+	// enc caches the diff's wire body — run count plus per-run headers
+	// and payloads, exactly the bytes the message encoder would produce —
+	// built at most once per diff and reused verbatim by every subsequent
+	// serve. Atomic because concurrent handler workers may race to build
+	// it; the first store wins and the losers drop their copy.
+	enc atomic.Pointer[[]byte]
 }
 
 // MakeDiff computes the diff between twin and current, which must be the
 // same length. Comparison is word-granular: any word containing a changed
 // byte is included whole, and adjacent changed words coalesce into runs.
+// The scan is word-wide — chunked equality for the long unchanged
+// stretches, 64-bit compares refined to the 4-byte word boundary — and
+// all run payloads share one pooled backing buffer.
 func MakeDiff(twin *Twin, current []byte) (*Diff, error) {
 	if len(current) != len(twin.data) {
 		return nil, fmt.Errorf("page: diff length mismatch: twin %d bytes, page %d bytes", len(twin.data), len(current))
 	}
-	d := &Diff{}
+	a, b := twin.data, current
 	n := len(current)
+	d := &Diff{}
+	total := 0
 	i := 0
 	for i < n {
-		// Skip unchanged words.
-		for i < n && wordEqual(twin.data, current, i, n) {
-			i += wordSize
-		}
+		i = nextChangedWord(a, b, i, n)
 		if i >= n {
 			break
 		}
 		start := i
-		for i < n && !wordEqual(twin.data, current, i, n) {
-			i += wordSize
+		i = nextUnchangedWord(a, b, i+wordSize, n)
+		d.runs = append(d.runs, Run{Off: int32(start), Len: int32(i - start)})
+		total += i - start
+	}
+	if total > 0 {
+		back := getBuf(total)
+		d.data = make([][]byte, len(d.runs))
+		off := 0
+		for k, r := range d.runs {
+			p := back[off : off+int(r.Len) : off+int(r.Len)]
+			copy(p, b[r.Off:int(r.Off)+int(r.Len)])
+			d.data[k] = p
+			off += int(r.Len)
 		}
-		end := i
-		if end > n {
-			end = n
-		}
-		payload := make([]byte, end-start)
-		copy(payload, current[start:end])
-		d.runs = append(d.runs, Run{Off: int32(start), Len: int32(end - start)})
-		d.data = append(d.data, payload)
 	}
 	return d, nil
 }
 
-// wordEqual reports whether the word starting at off matches between a and
-// b, tolerating a short final word.
-func wordEqual(a, b []byte, off, n int) bool {
-	end := off + wordSize
-	if end > n {
-		end = n
+// nextChangedWord returns the smallest word-aligned offset >= i whose
+// word differs between a and b, or n when the remainder is equal. Long
+// equal stretches are skipped a chunk at a time via bytes.Equal (which
+// the runtime implements word-wide), then 64-bit loads locate the first
+// differing pair and refine it to the 4-byte word boundary. A short
+// final word (n not word-aligned) counts as one word.
+func nextChangedWord(a, b []byte, i, n int) int {
+	const chunk = 128
+	for i+chunk <= n && bytes.Equal(a[i:i+chunk], b[i:i+chunk]) {
+		i += chunk
 	}
-	for k := off; k < end; k++ {
-		if a[k] != b[k] {
-			return false
+	for i+8 <= n {
+		x := binary.LittleEndian.Uint64(a[i:])
+		y := binary.LittleEndian.Uint64(b[i:])
+		if x != y {
+			if uint32(x) == uint32(y) {
+				return i + wordSize
+			}
+			return i
 		}
+		i += 8
 	}
-	return true
+	for i+wordSize <= n {
+		if binary.LittleEndian.Uint32(a[i:]) != binary.LittleEndian.Uint32(b[i:]) {
+			return i
+		}
+		i += wordSize
+	}
+	if i < n && !bytes.Equal(a[i:n], b[i:n]) {
+		return i
+	}
+	return n
+}
+
+// nextUnchangedWord returns the smallest word-aligned offset >= i whose
+// word matches between a and b, or n when every remaining word (including
+// a short tail) differs. Never returns past n, which is what lets
+// MakeDiff's run loop drop the historical end-of-page clamp.
+func nextUnchangedWord(a, b []byte, i, n int) int {
+	for i+8 <= n {
+		x := binary.LittleEndian.Uint64(a[i:])
+		y := binary.LittleEndian.Uint64(b[i:])
+		if uint32(x) == uint32(y) {
+			return i
+		}
+		if x>>32 == y>>32 {
+			return i + wordSize
+		}
+		i += 8
+	}
+	for i+wordSize <= n {
+		if binary.LittleEndian.Uint32(a[i:]) == binary.LittleEndian.Uint32(b[i:]) {
+			return i
+		}
+		i += wordSize
+	}
+	if i < n && bytes.Equal(a[i:n], b[i:n]) {
+		return i
+	}
+	return n
+}
+
+// wordEqual reports whether the word starting at off matches between a and
+// b, tolerating a short final word. Word-wide: one 32-bit compare for a
+// full word, bytes.Equal for the tail.
+func wordEqual(a, b []byte, off, n int) bool {
+	if off+wordSize <= n {
+		return binary.LittleEndian.Uint32(a[off:]) == binary.LittleEndian.Uint32(b[off:])
+	}
+	return bytes.Equal(a[off:n], b[off:n])
 }
 
 // Empty reports whether the diff carries no modifications.
@@ -123,15 +223,56 @@ func (d *Diff) WireSize() int {
 	return DiffHeaderBytes + len(d.runs)*RunHeaderBytes + d.PayloadBytes()
 }
 
+// WireBody returns the cached wire body, or nil when none has been built
+// yet. The body is the run count followed by each run's (offset, length)
+// descriptor and payload — everything the encoder writes after the
+// per-record header.
+func (d *Diff) WireBody() []byte {
+	if p := d.enc.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// EnsureWireBody returns the diff's wire body, building and caching it on
+// first use so every later serve of the same diff appends one immutable
+// buffer instead of re-walking runs and payloads.
+func (d *Diff) EnsureWireBody() []byte {
+	if p := d.enc.Load(); p != nil {
+		return *p
+	}
+	body := make([]byte, 0, 4+len(d.runs)*RunHeaderBytes+d.PayloadBytes())
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], uint32(len(d.runs)))
+	body = append(body, t[:]...)
+	for i, r := range d.runs {
+		binary.LittleEndian.PutUint32(t[:], uint32(r.Off))
+		body = append(body, t[:]...)
+		binary.LittleEndian.PutUint32(t[:], uint32(r.Len))
+		body = append(body, t[:]...)
+		body = append(body, d.data[i]...)
+	}
+	if d.enc.CompareAndSwap(nil, &body) {
+		return body
+	}
+	return *d.enc.Load()
+}
+
 // Apply merges the diff into the page contents in place. Later diffs
 // applied on top overwrite earlier ones, which is how the happened-before
 // ordering of modifications is realized (§4.3.3: diffs are applied in the
 // order specified by hb1).
+//
+// Every run is validated before any byte moves, so a hostile diff — one
+// whose runs a peer forged with negative or out-of-page coordinates — is
+// rejected whole and leaves the page untouched rather than torn.
 func (d *Diff) Apply(contents []byte) error {
-	for i, r := range d.runs {
-		if int(r.End()) > len(contents) {
+	for _, r := range d.runs {
+		if r.Off < 0 || r.Len < 0 || int(r.Off)+int(r.Len) > len(contents) {
 			return fmt.Errorf("page: diff run [%d,%d) exceeds page size %d", r.Off, r.End(), len(contents))
 		}
+	}
+	for i, r := range d.runs {
 		copy(contents[r.Off:r.End()], d.data[i])
 	}
 	return nil
@@ -147,7 +288,9 @@ func (d *Diff) Ranges() *RangeSet {
 }
 
 // DiffFromRuns constructs a diff directly from runs and payloads; used by
-// the wire decoder. Each payload must match its run's length.
+// the wire decoder. Each payload must match its run's length and declare
+// a non-negative offset (the same rejection the decoder applies, repeated
+// here so no constructor path can build a diff Apply must refuse).
 func DiffFromRuns(runs []Run, data [][]byte) (*Diff, error) {
 	if len(runs) != len(data) {
 		return nil, fmt.Errorf("page: %d runs but %d payloads", len(runs), len(data))
@@ -155,6 +298,9 @@ func DiffFromRuns(runs []Run, data [][]byte) (*Diff, error) {
 	for i, r := range runs {
 		if int(r.Len) != len(data[i]) {
 			return nil, fmt.Errorf("page: run %d declares %d bytes but payload has %d", i, r.Len, len(data[i]))
+		}
+		if r.Off < 0 {
+			return nil, fmt.Errorf("page: run %d has negative offset %d", i, r.Off)
 		}
 	}
 	return &Diff{runs: runs, data: data}, nil

@@ -1,0 +1,42 @@
+package page
+
+import "fmt"
+
+// FlattenDiffs merges several diffs for the same page — ordered earliest
+// interval first — into one diff that, applied once, yields the same
+// bytes as applying the inputs in order. Overlapping runs resolve
+// last-writer-wins, matching hb1 apply order (§4.3.3): the flattened
+// run set is the RangeSet union of the inputs' runs, and each merged
+// byte takes its value from the latest diff that wrote it.
+//
+// The merge replays the diffs onto a pooled scratch page and then reads
+// the union ranges back out; stale scratch bytes outside the union are
+// never read. The scratch is returned to the pool before FlattenDiffs
+// returns; the output diff owns a fresh pooled backing.
+func FlattenDiffs(diffs []*Diff, pageSize int) (*Diff, error) {
+	scratch := getBuf(pageSize)
+	defer putBuf(scratch)
+	union := &RangeSet{}
+	for k, d := range diffs {
+		if err := d.Apply(scratch); err != nil {
+			return nil, fmt.Errorf("page: flatten diff %d: %w", k, err)
+		}
+		for _, r := range d.runs {
+			union.AddRun(r)
+		}
+	}
+	out := &Diff{runs: append([]Run(nil), union.Runs()...)}
+	total := union.Bytes()
+	if total > 0 {
+		back := getBuf(total)
+		out.data = make([][]byte, len(out.runs))
+		off := 0
+		for k, r := range out.runs {
+			p := back[off : off+int(r.Len) : off+int(r.Len)]
+			copy(p, scratch[r.Off:int(r.Off)+int(r.Len)])
+			out.data[k] = p
+			off += int(r.Len)
+		}
+	}
+	return out, nil
+}

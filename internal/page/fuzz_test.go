@@ -1,0 +1,79 @@
+package page
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDiffApply feeds Apply hostile run tables — negative offsets,
+// negative lengths, out-of-page spans, int32-overflowing Off+Len — as a
+// forged peer could deliver them. Per the hostile-peer policy the diff
+// must be rejected whole: no panic, and on error the page is untouched
+// (no torn partial apply).
+func FuzzDiffApply(f *testing.F) {
+	// Seeds: benign, off-end, negative offset, negative length, and the
+	// int32-overflow pair Off=Len=MaxInt32 whose naive sum goes negative.
+	seed := func(runs ...int32) []byte {
+		var b []byte
+		for _, v := range runs {
+			b = binary.LittleEndian.AppendUint32(b, uint32(v))
+		}
+		return b
+	}
+	f.Add(seed(0, 4, 8, 4), byte(64))
+	f.Add(seed(60, 8), byte(64))
+	f.Add(seed(-4, 4), byte(64))
+	f.Add(seed(4, -4), byte(64))
+	f.Add(seed(1<<31-1, 1<<31-1), byte(64))
+	f.Add(seed(0, 8, 4, 8), byte(16)) // overlapping runs are legal
+
+	f.Fuzz(func(t *testing.T, raw []byte, pageSize byte) {
+		size := int(pageSize)
+		var runs []Run
+		var data [][]byte
+		for len(raw) >= 8 {
+			off := int32(binary.LittleEndian.Uint32(raw))
+			length := int32(binary.LittleEndian.Uint32(raw[4:]))
+			raw = raw[8:]
+			payload := 0
+			if length > 0 && length < 1<<12 {
+				payload = int(length)
+			}
+			runs = append(runs, Run{Off: off, Len: length})
+			data = append(data, bytes.Repeat([]byte{0xAB}, payload))
+		}
+		// DiffFromRuns (the decoder's constructor) must reject negative
+		// coordinates and payload mismatches without panicking.
+		fromWire, wireErr := DiffFromRuns(runs, data)
+		if wireErr == nil {
+			for _, r := range fromWire.Runs() {
+				if r.Off < 0 {
+					t.Fatalf("DiffFromRuns accepted negative offset %d", r.Off)
+				}
+			}
+		}
+		// Then drive Apply directly on the raw run table, bypassing the
+		// constructor: Apply's own validation is the last line of defense
+		// and must hold even for diffs no decoder path would build (e.g.
+		// Off+Len overflowing int32 with an undersized payload).
+		d := &Diff{runs: runs, data: data}
+		page := make([]byte, size)
+		for i := range page {
+			page[i] = byte(i)
+		}
+		before := append([]byte(nil), page...)
+		if err := d.Apply(page); err != nil {
+			if !bytes.Equal(page, before) {
+				t.Fatalf("rejected diff tore the page: %x -> %x", before, page)
+			}
+			return
+		}
+		// Accepted: every run must have been in bounds.
+		for _, r := range d.Runs() {
+			if r.Off < 0 || r.Len < 0 || int(r.Off)+int(r.Len) > size {
+				t.Fatalf("out-of-bounds run %+v accepted on %d-byte page", r, size)
+			}
+		}
+	})
+}

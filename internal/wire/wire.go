@@ -352,6 +352,16 @@ func appendDiffList(buf []byte, diffs []DiffRec) []byte {
 		buf = put32(buf, int32(d.Page))
 		buf = put32(buf, int32(d.Proc))
 		buf = put32(buf, d.Index)
+		// A diff served before carries its wire body pre-encoded (run
+		// count + run headers + payloads, byte-identical to the loop
+		// below); append it verbatim instead of re-walking the runs. The
+		// engine decides which diffs are worth caching via EnsureWireBody;
+		// one-shot encodes take the direct path with no caching side
+		// effect.
+		if body := d.Diff.WireBody(); body != nil {
+			buf = append(buf, body...)
+			continue
+		}
 		runs := d.Diff.Runs()
 		buf = put32(buf, int32(len(runs)))
 		for i, r := range runs {

@@ -112,6 +112,28 @@ func TestDiffsRoundTrip(t *testing.T) {
 	}
 }
 
+// Encoding a diff whose wire body is cached must produce bytes identical
+// to the direct encode path — the cache is a pure reuse, not a format.
+func TestCachedWireBodyEncodesIdentically(t *testing.T) {
+	mk := func() *Msg {
+		d := mkDiff(t, 64, 4, 5, 20, 33)
+		return &Msg{Kind: KDiffResp, Seq: 9, A: 1,
+			Diffs: []DiffRec{{Page: 5, Proc: 2, Index: 3, Diff: d}}}
+	}
+	fresh := mk()
+	cached := mk()
+	cached.Diffs[0].Diff.EnsureWireBody()
+	a := fresh.EncodeAppend(nil)
+	b := cached.EncodeAppend(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cached-body encode differs:\n direct %x\n cached %x", a, b)
+	}
+	// And again from the same cached diff, to cover the repeat-serve path.
+	if c := cached.EncodeAppend(nil); !bytes.Equal(b, c) {
+		t.Fatal("second cached encode differs from first")
+	}
+}
+
 func TestWantsAndDataRoundTrip(t *testing.T) {
 	m := &Msg{
 		Kind:  KDiffReq,

@@ -38,6 +38,10 @@ type RuntimeConfig struct {
 	// GCEveryBarriers enables the runtime's barrier-time garbage
 	// collection every k-th episode (0 disables).
 	GCEveryBarriers int
+	// EagerDiffs restores eager diff creation at interval close in the
+	// lazy engines (see dsm.Config.EagerDiffs). Images and message
+	// counts are identical either way.
+	EagerDiffs bool
 	// Latency configures the interconnect time model (zero value uses the
 	// runtime default).
 	Latency dsm.LatencyModel
@@ -257,6 +261,7 @@ func RunOnRuntime(p Program, rc RuntimeConfig) (*RuntimeResult, error) {
 			Placement:          placement,
 			MigrateHomes:       rc.MigrateHomes,
 			GCEveryBarriers:    rc.GCEveryBarriers,
+			EagerDiffs:         rc.EagerDiffs,
 			Latency:            rc.Latency,
 			NoBatch:            rc.NoBatch,
 			Flush:              rc.Flush,

@@ -1,0 +1,128 @@
+package repro_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro"
+)
+
+// Lazy-diff gate and benchmark: deferring diff creation from interval
+// close to first demand earns its keep when, on a multi-reader SPLASH
+// workload, some intervals' diffs are never asked for before GC covers
+// them — those MakeDiff executions simply vanish — while the diffs
+// that are demanded get their wire encoding computed once and replayed
+// to every further requester. The toggle under test
+// (RuntimeConfig.EagerDiffs) changes only *when* diffs are computed,
+// never what moves on the wire, so the gate also pins the two modes to
+// matching images and level message counts.
+
+// lazyDiffRC is the diff-plane configuration under test for one
+// protocol: default page size, periodic GC so covered deferred diffs
+// actually get reclaimed without ever being materialized.
+func lazyDiffRC(m repro.DSMMode, eager bool) repro.RuntimeConfig {
+	return repro.RuntimeConfig{
+		PageSize: adaptPageSize, Mode: m, GCEveryBarriers: 2, EagerDiffs: eager,
+	}
+}
+
+// lazyDiffTrafficSlack bounds how far apart the lazy and eager runs'
+// median message counts may drift. The toggle cannot change what moves
+// on the wire — every piggybacked or requested diff is materialized
+// before serving either way — but the live runtime's lock-acquisition
+// order is scheduling-dependent, so two runs of the *same*
+// configuration already differ by a few messages; exact equality would
+// gate on scheduler noise, not on the diff plane.
+const lazyDiffTrafficSlack = 0.05
+
+// lazyDiffRepeats is how many runs per configuration feed the medians.
+const lazyDiffRepeats = 3
+
+// diffPlaneRun is one run's worth of gate evidence.
+type diffPlaneRun struct {
+	msgs                        int64
+	created, deferred, cacheHits int64
+}
+
+// runDiffPlane executes one configuration, verifies the image against
+// ref, and sums the diff-plane counters over the nodes.
+func runDiffPlane(t *testing.T, name string, ref *repro.WorkloadResult, rc repro.RuntimeConfig) diffPlaneRun {
+	t.Helper()
+	res, err := repro.RunWorkloadOnRuntime(name, adaptProcs, adaptScale, adaptSeed, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Image) != string(ref.Image) {
+		t.Fatalf("%s/%s (eager=%v): runtime image diverges from reference", name, rc.Mode, rc.EagerDiffs)
+	}
+	r := diffPlaneRun{msgs: res.Net.Messages}
+	for _, ns := range res.Nodes {
+		r.created += ns.DiffsCreated
+		r.deferred += ns.DiffsDeferred
+		r.cacheHits += ns.DiffCacheHits
+	}
+	return r
+}
+
+// medianMsgs returns the median message count of a sample of runs.
+func medianMsgs(runs []diffPlaneRun) int64 {
+	msgs := make([]int64, len(runs))
+	for i, r := range runs {
+		msgs[i] = r.msgs
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
+	return msgs[len(msgs)/2]
+}
+
+// TestLazyDiffCreationGate: on the water workload under both lazy
+// protocols, lazy diff creation must (a) keep the image byte-identical
+// to the reference and the median interconnect message count level
+// with the eager baseline, (b) compute strictly fewer diffs than the
+// baseline on every run, with at least one close actually deferred,
+// and (c) serve at least one diff from the cached wire encoding.
+func TestLazyDiffCreationGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lazy-diff gate runs both lazy protocols several times; skipped in short mode")
+	}
+	const name = "water"
+	for _, m := range []repro.DSMMode{repro.LazyInvalidate, repro.LazyUpdate} {
+		ref, err := repro.ExecuteWorkload(name, adaptProcs, adaptScale, adaptSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lazy, eager []diffPlaneRun
+		for i := 0; i < lazyDiffRepeats; i++ {
+			lazy = append(lazy, runDiffPlane(t, name, ref, lazyDiffRC(m, false)))
+			eager = append(eager, runDiffPlane(t, name, ref, lazyDiffRC(m, true)))
+		}
+		lm, em := medianMsgs(lazy), medianMsgs(eager)
+		if f := float64(lm); f < float64(em)*(1-lazyDiffTrafficSlack) || f > float64(em)*(1+lazyDiffTrafficSlack) {
+			t.Errorf("%s/%s: lazy diff creation changed traffic: median %d msgs lazy vs %d eager (±%.0f%% allowed)",
+				name, m, lm, em, 100*lazyDiffTrafficSlack)
+		}
+		// The counters, unlike the message totals, are stable across
+		// scheduler orders: every run must beat every eager run.
+		maxCreated, minDeferred, minHits := int64(0), int64(1<<62), int64(1<<62)
+		for _, r := range lazy {
+			maxCreated = max(maxCreated, r.created)
+			minDeferred = min(minDeferred, r.deferred)
+			minHits = min(minHits, r.cacheHits)
+		}
+		minEager := int64(1 << 62)
+		for _, r := range eager {
+			minEager = min(minEager, r.created)
+		}
+		t.Logf("%s/%s: ≤%d diffs created lazily vs ≥%d eagerly (≥%d deferred, ≥%d cache hits; median msgs %d vs %d)",
+			name, m, maxCreated, minEager, minDeferred, minHits, lm, em)
+		if maxCreated >= minEager {
+			t.Errorf("%s/%s: lazy mode created %d diffs, want strictly fewer than eager's %d",
+				name, m, maxCreated, minEager)
+		}
+		if minDeferred == 0 {
+			t.Errorf("%s/%s: no interval close deferred its diff", name, m)
+		}
+		if minHits == 0 {
+			t.Errorf("%s/%s: no diff served from the cached wire encoding", name, m)
+		}
+	}
+}
