@@ -104,6 +104,12 @@ type flatKey struct {
 	first, last int32
 }
 
+// flatCacheMax caps e.flat: each entry pins a merged diff plus its
+// encoded wire body (up to ~2 page-sizes), and runs whose barrier GC is
+// disabled would otherwise grow the cache by one entry per distinct
+// served range for the life of the process.
+const flatCacheMax = 256
+
 func newLazyEngine(n *Node, update bool) *lazyEngine {
 	return &lazyEngine{
 		n:          n,
@@ -627,9 +633,8 @@ func clockSum(v vc.VC) int64 {
 }
 
 // storeDiffRecsLocked enters received diff records into the retained
-// store (if absent: an existing slot is never replaced — crucially not a
-// local deferred one). Caller holds e.mu; fetched counts the records as
-// wire fetches (false for LU piggybacks).
+// store. Caller holds e.mu; fetched counts the records as wire fetches
+// (false for LU piggybacks).
 //
 // Flattened response groups are detected here so their slots are marked
 // unforwardable: a flattened serve is a run of records for one (page,
@@ -638,6 +643,22 @@ func clockSum(v vc.VC) int64 {
 // (an interval whose writes restored the original bytes), so the
 // heuristic can over-mark — that only costs a peer a direct fetch from
 // the creator, never correctness.
+//
+// A record outside a detected group never replaces an existing slot
+// (crucially not a local deferred one). A flattened group's records are
+// different: the group is positionally entangled — the head carries
+// every member's bytes — so if any of its slots already exists (the
+// interval's plain diff landed via an LU piggyback between the
+// requester's plan and this store), keeping the old slot would mix plain
+// and flat records: a kept plain head drops the merged members' bytes, a
+// kept plain member re-applies its stale bytes over the head's merge.
+// Such slots are replaced wholesale, so the stored group is exactly the
+// group served — sound whether the run is a true flattened serve or an
+// over-marked plain one (plain records are individually correct).
+// Records claiming this node's own intervals are exempt (the protocol
+// never returns them; a forged group must not clobber deferred local
+// slots). Remote slots are immutable after insertion and only ever read
+// under e.mu, so the swap here is ordered with every reader.
 func (e *lazyEngine) storeDiffRecsLocked(recs []wire.DiffRec, fetched bool) {
 	flat := make([]bool, len(recs))
 	for i := 0; i < len(recs); {
@@ -669,11 +690,15 @@ func (e *lazyEngine) storeDiffRecsLocked(recs []wire.DiffRec, fetched bool) {
 		if e.diffs[id] == nil {
 			e.diffs[id] = make(map[mem.PageID]*diffSlot)
 		}
-		if _, ok := e.diffs[id][rec.Page]; !ok {
+		existing, ok := e.diffs[id][rec.Page]
+		switch {
+		case !ok:
 			e.diffs[id][rec.Page] = &diffSlot{d: rec.Diff, flat: flat[i]}
 			if fetched {
 				e.n.stats.diffsFetched.Add(1)
 			}
+		case flat[i] && rec.Proc != e.n.id && existing.d != nil:
+			e.diffs[id][rec.Page] = &diffSlot{d: rec.Diff, flat: true}
 		}
 	}
 }
@@ -1247,16 +1272,25 @@ func (e *lazyEngine) handleDiffReq(m *wire.Msg, src mem.ProcID) {
 // e.mu.
 func (e *lazyEngine) flattenGroupLocked(group []wire.Want, diffs []*page.Diff) *page.Diff {
 	first, last := group[0].Index, group[len(group)-1].Index
-	key := flatKey{pg: group[0].Page, first: first, last: last}
-	if flat, ok := e.flat[key]; ok {
-		return flat
-	}
 	member := make(map[int32]bool, len(group))
 	for _, g := range group {
 		member[g.Index] = true
 	}
+	// Soundness is per-request, so FlattenSafe runs before the cache is
+	// consulted: the key is only the index range, and a want-group with a
+	// gap (the requester already holds a middle interval's diff, say from
+	// an LU piggyback) must not be handed the full-membership merge a
+	// previous requester populated — applying its separately-held middle
+	// diff after that head would overwrite the last interval's bytes. A
+	// group that passes necessarily contains every own interval on the
+	// page in (first, last], so the range does determine the members and
+	// the cached entry fits. FlattenSafe is cheap next to the merge.
 	if !e.log.FlattenSafe(group[0].Page, e.n.id, first, last, func(k int32) bool { return member[k] }) {
 		return nil
+	}
+	key := flatKey{pg: group[0].Page, first: first, last: last}
+	if flat, ok := e.flat[key]; ok {
+		return flat
 	}
 	flat, err := page.FlattenDiffs(diffs, e.n.sys.layout.PageSize())
 	if err != nil {
@@ -1264,6 +1298,15 @@ func (e *lazyEngine) flattenGroupLocked(group []wire.Want, diffs []*page.Diff) *
 		// group unflattened rather than fail the request.
 		e.n.noteErr("diff flatten", err)
 		return nil
+	}
+	if len(e.flat) >= flatCacheMax {
+		// The wholesale drop in runGC never runs with barrier GC disabled
+		// (GCEveryBarriers=0), so the cache bounds itself: evict an
+		// arbitrary entry (map order) — a re-merge costs one FlattenDiffs.
+		for k := range e.flat {
+			delete(e.flat, k)
+			break
+		}
 	}
 	e.flat[key] = flat
 	return flat
